@@ -1,0 +1,300 @@
+//! Algebra expression trees and their static arity.
+
+use seqdl_core::{RelName, Tuple};
+use seqdl_syntax::{PathExpr, Var};
+use std::fmt;
+
+/// The column variable `$i` (1-based), used inside generalised selections and
+/// projections.
+pub fn col(i: usize) -> PathExpr {
+    PathExpr::var(Var::path(&i.to_string()))
+}
+
+/// Errors raised when building or evaluating algebra expressions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AlgebraError {
+    /// Union or difference of relations with different arities.
+    ArityMismatch {
+        /// Arity of the left operand.
+        left: usize,
+        /// Arity of the right operand.
+        right: usize,
+    },
+    /// A column index outside `1..=arity`.
+    ColumnOutOfRange {
+        /// The offending column.
+        column: usize,
+        /// The arity of the operand.
+        arity: usize,
+    },
+    /// A selection or projection expression used a variable that is not a column
+    /// variable of the operand.
+    BadColumnVariable {
+        /// The offending variable, rendered.
+        variable: String,
+    },
+    /// The relation's arity in the instance differs from the declared arity.
+    RelationArityMismatch {
+        /// The relation name.
+        relation: String,
+        /// Declared arity.
+        declared: usize,
+        /// Arity found in the instance.
+        found: usize,
+    },
+    /// Translating a program that is not in the expected shape.
+    Translation(String),
+}
+
+impl fmt::Display for AlgebraError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlgebraError::ArityMismatch { left, right } => {
+                write!(f, "arity mismatch: {left} vs {right}")
+            }
+            AlgebraError::ColumnOutOfRange { column, arity } => {
+                write!(f, "column {column} out of range for arity {arity}")
+            }
+            AlgebraError::BadColumnVariable { variable } => {
+                write!(f, "{variable} is not a column variable of the operand")
+            }
+            AlgebraError::RelationArityMismatch {
+                relation,
+                declared,
+                found,
+            } => write!(
+                f,
+                "relation {relation} declared with arity {declared} but has arity {found} in the instance"
+            ),
+            AlgebraError::Translation(msg) => write!(f, "translation error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AlgebraError {}
+
+/// A sequence-relational-algebra expression (Section 7).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum AlgebraExpr {
+    /// A named relation of the given arity.
+    Relation {
+        /// The relation name.
+        name: RelName,
+        /// Its arity.
+        arity: usize,
+    },
+    /// A constant relation.
+    Constant {
+        /// The arity of the relation.
+        arity: usize,
+        /// Its tuples.
+        tuples: Vec<Tuple>,
+    },
+    /// Union of two expressions of the same arity.
+    Union(Box<AlgebraExpr>, Box<AlgebraExpr>),
+    /// Difference of two expressions of the same arity.
+    Difference(Box<AlgebraExpr>, Box<AlgebraExpr>),
+    /// Cartesian product.
+    Product(Box<AlgebraExpr>, Box<AlgebraExpr>),
+    /// Generalised selection `σ_{α=β}`.
+    Select {
+        /// The operand.
+        input: Box<AlgebraExpr>,
+        /// Left path expression over `$1..$n`.
+        lhs: PathExpr,
+        /// Right path expression over `$1..$n`.
+        rhs: PathExpr,
+    },
+    /// Generalised projection `π_{α1,…,αp}`.
+    Project {
+        /// The operand.
+        input: Box<AlgebraExpr>,
+        /// The output column expressions over `$1..$n`.
+        exprs: Vec<PathExpr>,
+    },
+    /// `UNPACK_i`: unpack column `i` (1-based).
+    Unpack {
+        /// The operand.
+        input: Box<AlgebraExpr>,
+        /// The column to unpack.
+        column: usize,
+    },
+    /// `SUB_i`: append a column ranging over the substrings of column `i`.
+    Substrings {
+        /// The operand.
+        input: Box<AlgebraExpr>,
+        /// The column whose substrings are enumerated.
+        column: usize,
+    },
+}
+
+impl AlgebraExpr {
+    /// A named relation.
+    pub fn relation(name: RelName, arity: usize) -> AlgebraExpr {
+        AlgebraExpr::Relation { name, arity }
+    }
+
+    /// A constant relation.
+    pub fn constant(arity: usize, tuples: Vec<Tuple>) -> AlgebraExpr {
+        AlgebraExpr::Constant { arity, tuples }
+    }
+
+    /// Union, boxing the operands.
+    pub fn union(a: AlgebraExpr, b: AlgebraExpr) -> AlgebraExpr {
+        AlgebraExpr::Union(Box::new(a), Box::new(b))
+    }
+
+    /// Difference, boxing the operands.
+    pub fn difference(a: AlgebraExpr, b: AlgebraExpr) -> AlgebraExpr {
+        AlgebraExpr::Difference(Box::new(a), Box::new(b))
+    }
+
+    /// Cartesian product, boxing the operands.
+    pub fn product(a: AlgebraExpr, b: AlgebraExpr) -> AlgebraExpr {
+        AlgebraExpr::Product(Box::new(a), Box::new(b))
+    }
+
+    /// Selection `σ_{lhs=rhs}`.
+    pub fn select(input: AlgebraExpr, lhs: PathExpr, rhs: PathExpr) -> AlgebraExpr {
+        AlgebraExpr::Select {
+            input: Box::new(input),
+            lhs,
+            rhs,
+        }
+    }
+
+    /// Projection `π_{exprs}`.
+    pub fn project(input: AlgebraExpr, exprs: Vec<PathExpr>) -> AlgebraExpr {
+        AlgebraExpr::Project {
+            input: Box::new(input),
+            exprs,
+        }
+    }
+
+    /// `UNPACK_i`.
+    pub fn unpack(input: AlgebraExpr, column: usize) -> AlgebraExpr {
+        AlgebraExpr::Unpack {
+            input: Box::new(input),
+            column,
+        }
+    }
+
+    /// `SUB_i`.
+    pub fn substrings(input: AlgebraExpr, column: usize) -> AlgebraExpr {
+        AlgebraExpr::Substrings {
+            input: Box::new(input),
+            column,
+        }
+    }
+
+    /// The arity of the expression's result.
+    ///
+    /// # Errors
+    /// Arity mismatches in union/difference, out-of-range columns.
+    pub fn arity(&self) -> Result<usize, AlgebraError> {
+        match self {
+            AlgebraExpr::Relation { arity, .. } | AlgebraExpr::Constant { arity, .. } => Ok(*arity),
+            AlgebraExpr::Union(a, b) | AlgebraExpr::Difference(a, b) => {
+                let (la, lb) = (a.arity()?, b.arity()?);
+                if la != lb {
+                    return Err(AlgebraError::ArityMismatch { left: la, right: lb });
+                }
+                Ok(la)
+            }
+            AlgebraExpr::Product(a, b) => Ok(a.arity()? + b.arity()?),
+            AlgebraExpr::Select { input, .. } => input.arity(),
+            AlgebraExpr::Project { exprs, .. } => Ok(exprs.len()),
+            AlgebraExpr::Unpack { input, column } => {
+                let n = input.arity()?;
+                if *column == 0 || *column > n {
+                    return Err(AlgebraError::ColumnOutOfRange { column: *column, arity: n });
+                }
+                Ok(n)
+            }
+            AlgebraExpr::Substrings { input, column } => {
+                let n = input.arity()?;
+                if *column == 0 || *column > n {
+                    return Err(AlgebraError::ColumnOutOfRange { column: *column, arity: n });
+                }
+                Ok(n + 1)
+            }
+        }
+    }
+
+    /// The number of operator nodes in the expression (a size measure for tests and
+    /// reporting).
+    pub fn size(&self) -> usize {
+        1 + match self {
+            AlgebraExpr::Relation { .. } | AlgebraExpr::Constant { .. } => 0,
+            AlgebraExpr::Union(a, b)
+            | AlgebraExpr::Difference(a, b)
+            | AlgebraExpr::Product(a, b) => a.size() + b.size(),
+            AlgebraExpr::Select { input, .. }
+            | AlgebraExpr::Project { input, .. }
+            | AlgebraExpr::Unpack { input, .. }
+            | AlgebraExpr::Substrings { input, .. } => input.size(),
+        }
+    }
+}
+
+impl fmt::Display for AlgebraExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlgebraExpr::Relation { name, .. } => write!(f, "{name}"),
+            AlgebraExpr::Constant { tuples, .. } => write!(f, "const[{} tuples]", tuples.len()),
+            AlgebraExpr::Union(a, b) => write!(f, "({a} ∪ {b})"),
+            AlgebraExpr::Difference(a, b) => write!(f, "({a} − {b})"),
+            AlgebraExpr::Product(a, b) => write!(f, "({a} × {b})"),
+            AlgebraExpr::Select { input, lhs, rhs } => write!(f, "σ[{lhs} = {rhs}]({input})"),
+            AlgebraExpr::Project { input, exprs } => {
+                let cols: Vec<String> = exprs.iter().map(|e| e.to_string()).collect();
+                write!(f, "π[{}]({input})", cols.join(", "))
+            }
+            AlgebraExpr::Unpack { input, column } => write!(f, "UNPACK_{column}({input})"),
+            AlgebraExpr::Substrings { input, column } => write!(f, "SUB_{column}({input})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqdl_core::rel;
+
+    #[test]
+    fn arities_are_computed_structurally() {
+        let r = AlgebraExpr::relation(rel("R"), 2);
+        let s = AlgebraExpr::relation(rel("S"), 2);
+        assert_eq!(AlgebraExpr::union(r.clone(), s.clone()).arity().unwrap(), 2);
+        assert_eq!(AlgebraExpr::product(r.clone(), s.clone()).arity().unwrap(), 4);
+        assert_eq!(AlgebraExpr::substrings(r.clone(), 1).arity().unwrap(), 3);
+        assert_eq!(AlgebraExpr::unpack(r.clone(), 2).arity().unwrap(), 2);
+        assert_eq!(
+            AlgebraExpr::project(r.clone(), vec![col(1)]).arity().unwrap(),
+            1
+        );
+        let mismatched = AlgebraExpr::union(r.clone(), AlgebraExpr::relation(rel("T"), 3));
+        assert!(matches!(
+            mismatched.arity(),
+            Err(AlgebraError::ArityMismatch { left: 2, right: 3 })
+        ));
+        assert!(matches!(
+            AlgebraExpr::unpack(r, 5).arity(),
+            Err(AlgebraError::ColumnOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn display_uses_standard_notation() {
+        let e = AlgebraExpr::select(
+            AlgebraExpr::product(
+                AlgebraExpr::relation(rel("R"), 1),
+                AlgebraExpr::relation(rel("S"), 1),
+            ),
+            col(1),
+            col(2),
+        );
+        assert_eq!(e.to_string(), "σ[$1 = $2]((R × S))");
+        assert_eq!(e.size(), 4);
+    }
+}

@@ -1,0 +1,23 @@
+//! EXP-RX: regular-expression matching compiled to Sequence Datalog (recursion as
+//! syntactic sugar) versus direct NFA simulation — the ablation quantifies the cost
+//! of running regular matching on the generic engine.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ext/regex");
+    for (strings, len) in [(16usize, 12usize), (32, 16)] {
+        group.bench_with_input(
+            BenchmarkId::new("compiled_datalog", format!("{strings}x{len}")),
+            &(strings, len),
+            |b, &(s, l)| b.iter(|| seqdl_bench::regex_datalog_run(s, l)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("nfa_simulation", format!("{strings}x{len}")),
+            &(strings, len),
+            |b, &(s, l)| b.iter(|| seqdl_bench::regex_nfa_run(s, l)),
+        );
+    }
+    group.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,14 @@
+//! EXP-T: cost of the conservative termination analysis over the witness programs.
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("ext/termination_survey", |b| {
+        b.iter(|| {
+            let (certified, total) = seqdl_bench::termination_survey();
+            assert!(certified < total, "Example 2.3 must stay uncertified");
+            certified
+        })
+    });
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

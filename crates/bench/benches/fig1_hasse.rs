@@ -1,0 +1,16 @@
+//! FIG-1: build the Figure 1 Hasse diagram (11 equivalence classes).
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("fig1/equivalence_classes_16", |b| {
+        b.iter(|| {
+            let d = seqdl_bench::figure1_diagram();
+            assert_eq!(d.classes.len(), 11);
+        })
+    });
+    c.bench_function("fig1/equivalence_classes_64", |b| {
+        b.iter(|| assert_eq!(seqdl_bench::figure1_class_count_full(), 11))
+    });
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! FIG-2: the associative-unification search tree of Figure 2, plus scaling.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("fig2/paper_equation", |b| {
+        b.iter(|| assert_eq!(seqdl_bench::figure2_solutions().solutions.len(), 4))
+    });
+    let mut group = c.benchmark_group("fig2/split_family");
+    for n in [4usize, 8, 12] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| seqdl_bench::unify_split_family(3, n))
+        });
+    }
+    group.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,10 @@
+//! FIG-3: decide F1 <= F2 (Theorem 6.1) for all 64x64 fragment pairs.
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("fig3/decide_all_pairs", |b| {
+        b.iter(|| seqdl_bench::figure3_decide_all())
+    });
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! EXP-L: quadratic output growth of the squaring query vs the linear bound of
+//! Lemma 5.1.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lem51/squaring");
+    for n in [4usize, 8, 12] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| assert_eq!(seqdl_bench::squaring_output_length(n), n * n))
+        });
+    }
+    group.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

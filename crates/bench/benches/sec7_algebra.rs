@@ -1,0 +1,20 @@
+//! EXP-RA: Datalog vs sequence relational algebra (Theorem 7.1).
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("sec7/normal_form", |b| {
+        b.iter(|| seqdl_bench::normal_form_size())
+    });
+    let mut group = c.benchmark_group("sec7/roundtrip");
+    for (nodes, edges) in [(6usize, 10usize), (10, 20)] {
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &(nodes, edges), |b, &(n, e)| {
+            b.iter(|| {
+                let (a, bb) = seqdl_bench::algebra_roundtrip(n, e);
+                assert_eq!(a, bb);
+            })
+        });
+    }
+    group.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! EXP-P: packing elimination of Example 2.2 (Lemma 4.13 / Example 4.14).
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm415/three_occurrences");
+    for hay in [6usize, 10] {
+        group.bench_with_input(BenchmarkId::from_parameter(hay), &hay, |b, &hay| {
+            b.iter(|| {
+                let (rules, agree) = seqdl_bench::packing_ablation(hay);
+                assert_eq!(rules, 28);
+                assert!(agree);
+            })
+        });
+    }
+    group.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

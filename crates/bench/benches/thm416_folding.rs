@@ -1,0 +1,14 @@
+//! EXP-I: intermediate-predicate folding (Theorem 4.16).
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm416/pipeline");
+    for n in [4usize, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| seqdl_bench::folding_ablation(n, 6))
+        });
+    }
+    group.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

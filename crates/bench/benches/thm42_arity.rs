@@ -1,0 +1,14 @@
+//! EXP-A: reversal query before/after arity elimination (Theorem 4.2).
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm42/reversal");
+    for n in [4usize, 8, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| seqdl_bench::arity_ablation(n))
+        });
+    }
+    group.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! EXP-E: the only-a's query in its three fragments (Theorem 4.7), and
+//! negated-equation elimination (Lemma 4.5).
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm47/only_as");
+    for n in [8usize, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| seqdl_bench::equations_ablation(n))
+        });
+    }
+    group.finish();
+    c.bench_function("thm47/negated_equation_elimination", |b| {
+        b.iter(|| seqdl_bench::equation_elimination_ablation(3))
+    });
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,535 @@
+//! The subcommand implementations.
+
+use crate::args::{ArgError, Flags};
+use seqdl_algebra::datalog_to_algebra;
+use seqdl_core::{Instance, RelName};
+use seqdl_engine::{Engine, EvalLimits, FixpointStrategy};
+use seqdl_fragments::{rewrite_into, Feature, Fragment, HasseDiagram};
+use seqdl_io::{load_instance, load_program};
+use seqdl_regex::{compile_contains, compile_match, parse_regex, CompileOptions};
+use seqdl_rewrite::{
+    eliminate_arity, eliminate_equations, eliminate_packing_nonrecursive,
+    fold_intermediate_predicates, to_normal_form,
+};
+use seqdl_syntax::{
+    analysis::{check_safety, check_stratification},
+    parse_expr, Equation, FeatureSet, Program, ProgramInfo,
+};
+use seqdl_termination::analyse as analyse_termination;
+use seqdl_unify::{is_one_sided_nonlinear, solve, solve_allowing_empty, SolveOptions};
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Errors surfaced to the user by the CLI.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad command-line arguments.
+    Args(ArgError),
+    /// An unknown subcommand.
+    UnknownCommand(String),
+    /// Anything that went wrong while executing the command (file, parse,
+    /// evaluation, or rewrite errors), already rendered.
+    Command(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Args(e) => write!(f, "{e}"),
+            CliError::UnknownCommand(name) => {
+                write!(f, "unknown command `{name}`; run `seqdl help` for usage")
+            }
+            CliError::Command(message) => f.write_str(message),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        CliError::Args(e)
+    }
+}
+
+fn command_error(e: impl fmt::Display) -> CliError {
+    CliError::Command(e.to_string())
+}
+
+/// The `seqdl help` text.
+pub fn help_text() -> String {
+    concat!(
+        "seqdl — Sequence Datalog for sequence databases (PODS 2021 reproduction)\n",
+        "\n",
+        "Usage:\n",
+        "  seqdl run         --program q.sdl --instance db.sdi [--output S] [--strategy naive|semi-naive]\n",
+        "                    [--max-iterations N] [--max-facts N] [--max-path-len N] [--stats] [--save out.sdi]\n",
+        "  seqdl analyze     --program q.sdl\n",
+        "  seqdl termination --program q.sdl\n",
+        "  seqdl rewrite     --program q.sdl --eliminate arity|equations|packing|intermediate [--output S]\n",
+        "  seqdl normalize   --program q.sdl\n",
+        "  seqdl algebra     --program q.sdl --output S\n",
+        "  seqdl fragment    --program q.sdl --target EINR --output S\n",
+        "  seqdl hasse       [--dot] [--all]\n",
+        "  seqdl unify       --equation \"lhs = rhs\" [--allow-empty] [--dot]\n",
+        "  seqdl regex       --pattern \"a (b|c)*\" [--contains] [--instance db.sdi] [--input R] [--output Match]\n",
+        "  seqdl help\n",
+        "\n",
+        "Programs are .sdl files (Sequence Datalog source); instances are .sdi files\n",
+        "(ground facts, one per line).  See the repository README for the syntax.\n",
+    )
+    .to_string()
+}
+
+/// Dispatch a single subcommand.
+///
+/// # Errors
+/// Propagates argument, file, parse, and evaluation errors as [`CliError`].
+pub fn run_command(command: &str, flags: &Flags) -> Result<String, CliError> {
+    match command {
+        "help" | "--help" | "-h" => Ok(help_text()),
+        "run" => cmd_run(flags),
+        "analyze" | "analyse" => cmd_analyze(flags),
+        "termination" => cmd_termination(flags),
+        "rewrite" => cmd_rewrite(flags),
+        "normalize" | "normalise" => cmd_normalize(flags),
+        "algebra" => cmd_algebra(flags),
+        "fragment" => cmd_fragment(flags),
+        "hasse" => cmd_hasse(flags),
+        "unify" => cmd_unify(flags),
+        "regex" => cmd_regex(flags),
+        other => Err(CliError::UnknownCommand(other.to_string())),
+    }
+}
+
+fn load_program_flag(flags: &Flags) -> Result<Program, CliError> {
+    let path = flags.require("program")?;
+    load_program(path).map_err(command_error)
+}
+
+fn load_instance_flag(flags: &Flags) -> Result<Instance, CliError> {
+    let path = flags.require("instance")?;
+    load_instance(path).map_err(command_error)
+}
+
+fn output_relation(flags: &Flags, program: &Program) -> Result<RelName, CliError> {
+    if let Some(name) = flags.get("output") {
+        return Ok(RelName::new(name));
+    }
+    // Default: the single IDB relation of the last stratum's last rule.
+    program
+        .strata
+        .last()
+        .and_then(|s| s.rules.last())
+        .map(|r| r.head.relation)
+        .ok_or_else(|| CliError::Command("program has no rules; pass --output explicitly".into()))
+}
+
+fn engine_from_flags(flags: &Flags) -> Result<Engine, CliError> {
+    let mut limits = EvalLimits::default();
+    if let Some(n) = flags.get_usize("max-iterations")? {
+        limits.max_iterations = n;
+    }
+    if let Some(n) = flags.get_usize("max-facts")? {
+        limits.max_facts = n;
+    }
+    if let Some(n) = flags.get_usize("max-path-len")? {
+        limits.max_path_len = n;
+    }
+    let strategy = match flags.get("strategy") {
+        None | Some("semi-naive") | Some("seminaive") => FixpointStrategy::SemiNaive,
+        Some("naive") => FixpointStrategy::Naive,
+        Some(other) => {
+            return Err(CliError::Command(format!(
+                "unknown strategy `{other}` (expected `naive` or `semi-naive`)"
+            )))
+        }
+    };
+    Ok(Engine::new().with_limits(limits).with_strategy(strategy))
+}
+
+fn cmd_run(flags: &Flags) -> Result<String, CliError> {
+    let program = load_program_flag(flags)?;
+    let instance = load_instance_flag(flags)?;
+    let output = output_relation(flags, &program)?;
+    let engine = engine_from_flags(flags)?;
+    let (result, stats) = engine
+        .run_with_stats(&program, &instance)
+        .map_err(command_error)?;
+
+    let mut report = String::new();
+    let relation = result.relation(output);
+    match relation {
+        None => writeln!(report, "{output}: (not derived)").expect("write to string"),
+        Some(relation) if relation.arity() == 0 => {
+            writeln!(report, "{output} = {}", result.nullary_true(output)).expect("write to string");
+        }
+        Some(relation) => {
+            writeln!(report, "{output}: {} fact(s)", relation.len()).expect("write to string");
+            for tuple in relation.tuples() {
+                let args: Vec<String> = tuple.iter().map(ToString::to_string).collect();
+                writeln!(report, "  {output}({})", args.join(", ")).expect("write to string");
+            }
+        }
+    }
+    if flags.has("stats") {
+        writeln!(
+            report,
+            "iterations: {}, derived facts: {}, rule firings: {}",
+            stats.iterations, stats.derived_facts, stats.rule_firings
+        )
+        .expect("write to string");
+    }
+    if let Some(path) = flags.get("save") {
+        seqdl_io::save_instance(path, &result).map_err(command_error)?;
+        writeln!(report, "full result saved to {path}").expect("write to string");
+    }
+    Ok(report)
+}
+
+fn cmd_analyze(flags: &Flags) -> Result<String, CliError> {
+    let program = load_program_flag(flags)?;
+    let features = FeatureSet::of_program(&program);
+    let fragment = Fragment::of_program(&program);
+    let mut report = String::new();
+    writeln!(report, "rules: {}", program.rule_count()).expect("write to string");
+    writeln!(report, "strata: {}", program.stratum_count()).expect("write to string");
+    writeln!(report, "features: {}", features.letters()).expect("write to string");
+    writeln!(report, "fragment: {fragment}").expect("write to string");
+    writeln!(report, "fragment modulo A, P: {}", fragment.hat()).expect("write to string");
+
+    let edb: Vec<String> = program.edb_relations().iter().map(ToString::to_string).collect();
+    let idb: Vec<String> = program.idb_relations().iter().map(ToString::to_string).collect();
+    writeln!(report, "EDB relations: {}", edb.join(", ")).expect("write to string");
+    writeln!(report, "IDB relations: {}", idb.join(", ")).expect("write to string");
+
+    match check_safety(&program) {
+        Ok(()) => writeln!(report, "safety: all rules are safe").expect("write to string"),
+        Err(e) => writeln!(report, "safety: {e}").expect("write to string"),
+    }
+    match check_stratification(&program) {
+        Ok(()) => writeln!(report, "stratification: valid").expect("write to string"),
+        Err(e) => writeln!(report, "stratification: {e}").expect("write to string"),
+    }
+    match ProgramInfo::analyse(&program) {
+        Ok(_) => {}
+        Err(e) => writeln!(report, "analysis: {e}").expect("write to string"),
+    }
+    write!(report, "termination: {}", analyse_termination(&program)).expect("write to string");
+    Ok(report)
+}
+
+fn cmd_termination(flags: &Flags) -> Result<String, CliError> {
+    let program = load_program_flag(flags)?;
+    Ok(analyse_termination(&program).to_string())
+}
+
+fn cmd_rewrite(flags: &Flags) -> Result<String, CliError> {
+    let program = load_program_flag(flags)?;
+    let which = flags.require("eliminate")?;
+    let rewritten = match which {
+        "arity" => eliminate_arity(&program).map_err(command_error)?,
+        "equations" => eliminate_equations(&program).map_err(command_error)?,
+        "packing" => {
+            let output = output_relation(flags, &program)?;
+            eliminate_packing_nonrecursive(&program, output).map_err(command_error)?
+        }
+        "intermediate" => {
+            let output = output_relation(flags, &program)?;
+            fold_intermediate_predicates(&program, output).map_err(command_error)?
+        }
+        other => {
+            return Err(CliError::Command(format!(
+                "unknown feature `{other}` (expected arity, equations, packing, or intermediate)"
+            )))
+        }
+    };
+    Ok(format!(
+        "% fragment: {} -> {}\n{rewritten}",
+        Fragment::of_program(&program),
+        Fragment::of_program(&rewritten)
+    ))
+}
+
+fn cmd_normalize(flags: &Flags) -> Result<String, CliError> {
+    let program = load_program_flag(flags)?;
+    let normal = to_normal_form(&program).map_err(command_error)?;
+    Ok(normal.to_string())
+}
+
+fn cmd_algebra(flags: &Flags) -> Result<String, CliError> {
+    let program = load_program_flag(flags)?;
+    let output = output_relation(flags, &program)?;
+    let expr = datalog_to_algebra(&program, output).map_err(command_error)?;
+    Ok(format!("{expr}"))
+}
+
+fn cmd_fragment(flags: &Flags) -> Result<String, CliError> {
+    let program = load_program_flag(flags)?;
+    let output = output_relation(flags, &program)?;
+    let letters = flags.require("target")?;
+    let mut target = Fragment::empty();
+    for c in letters.chars() {
+        if c == '{' || c == '}' || c == ',' || c.is_whitespace() {
+            continue;
+        }
+        let feature = Feature::from_letter(c)
+            .ok_or_else(|| CliError::Command(format!("unknown feature letter `{c}`")))?;
+        target = target.with(feature);
+    }
+    let source = Fragment::of_program(&program);
+    let rewritten = rewrite_into(&program, output, target).map_err(|e| {
+        CliError::Command(format!("cannot rewrite {source} into {target}: {e}"))
+    })?;
+    Ok(format!(
+        "% fragment: {source} -> {} (target {target})\n{rewritten}",
+        Fragment::of_program(&rewritten)
+    ))
+}
+
+fn cmd_hasse(flags: &Flags) -> Result<String, CliError> {
+    let fragments = if flags.has("all") {
+        Fragment::all()
+    } else {
+        Fragment::all_over_einr()
+    };
+    let diagram = HasseDiagram::build(&fragments);
+    if flags.has("dot") {
+        return Ok(diagram.to_dot());
+    }
+    Ok(format!(
+        "{} fragments fall into {} equivalence classes (Figure 1 of the paper):\n{}",
+        fragments.len(),
+        diagram.classes.len(),
+        diagram.render_text()
+    ))
+}
+
+fn cmd_unify(flags: &Flags) -> Result<String, CliError> {
+    let text = flags.require("equation")?;
+    let (lhs, rhs) = text
+        .split_once('=')
+        .ok_or_else(|| CliError::Command("the --equation value must contain `=`".into()))?;
+    let lhs = parse_expr(lhs.trim()).map_err(command_error)?;
+    let rhs = parse_expr(rhs.trim()).map_err(command_error)?;
+    let equation = Equation::new(lhs, rhs);
+
+    let mut report = String::new();
+    writeln!(
+        report,
+        "equation: {equation}\none-sided nonlinear: {}",
+        is_one_sided_nonlinear(&equation)
+    )
+    .expect("write to string");
+
+    if flags.has("allow-empty") {
+        let solutions =
+            solve_allowing_empty(&equation, &SolveOptions::default()).map_err(command_error)?;
+        writeln!(report, "{} symbolic solution(s) (empty words allowed):", solutions.len())
+            .expect("write to string");
+        for s in &solutions {
+            writeln!(report, "  {s}").expect("write to string");
+        }
+    } else {
+        let result = solve(&equation, &SolveOptions::default()).map_err(command_error)?;
+        writeln!(
+            report,
+            "{} symbolic solution(s), search tree with {} node(s):",
+            result.solutions.len(),
+            result.tree.len()
+        )
+        .expect("write to string");
+        for s in &result.solutions {
+            writeln!(report, "  {s}").expect("write to string");
+        }
+        if flags.has("dot") {
+            writeln!(report, "{}", result.tree.to_dot()).expect("write to string");
+        }
+    }
+    Ok(report)
+}
+
+fn cmd_regex(flags: &Flags) -> Result<String, CliError> {
+    let pattern = flags.require("pattern")?;
+    let regex = parse_regex(pattern).map_err(command_error)?;
+    let mut options = CompileOptions::default();
+    if let Some(input) = flags.get("input") {
+        options.input = RelName::new(input);
+    }
+    if let Some(output) = flags.get("output") {
+        options.output = RelName::new(output);
+    }
+    if let Some(prefix) = flags.get("state-prefix") {
+        options.state_prefix = prefix.to_string();
+    }
+    let compiled = if flags.has("contains") {
+        compile_contains(&regex, &options)
+    } else {
+        compile_match(&regex, &options)
+    };
+
+    let mut report = format!(
+        "% regex: {regex}\n% reads {} and writes {}\n{}",
+        compiled.input, compiled.output, compiled.program
+    );
+    if flags.get("instance").is_some() {
+        let instance = load_instance_flag(flags)?;
+        let engine = engine_from_flags(flags)?;
+        let result = engine.run(&compiled.program, &instance).map_err(command_error)?;
+        let matches = result.unary_paths(compiled.output);
+        writeln!(report, "\n{} matching string(s):", matches.len()).expect("write to string");
+        for path in matches {
+            writeln!(report, "  {path}").expect("write to string");
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse_flags;
+    use seqdl_core::{path_of, rel};
+
+    fn flags(parts: &[&str]) -> Flags {
+        parse_flags(&parts.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("seqdl-cli-test-{}-{name}", std::process::id()));
+        dir
+    }
+
+    fn write_program(name: &str, source: &str) -> String {
+        let path = temp_path(name);
+        std::fs::write(&path, source).unwrap();
+        path.display().to_string()
+    }
+
+    fn write_instance_file(name: &str, instance: &Instance) -> String {
+        let path = temp_path(name);
+        seqdl_io::save_instance(&path, instance).unwrap();
+        path.display().to_string()
+    }
+
+    #[test]
+    fn run_executes_a_program_on_an_instance() {
+        let program = write_program("run.sdl", "S($x) <- R($x), a·$x = $x·a.");
+        let instance = write_instance_file(
+            "run.sdi",
+            &Instance::unary(rel("R"), [path_of(&["a", "a"]), path_of(&["a", "b"])]),
+        );
+        let output = cmd_run(&flags(&[
+            "--program", &program, "--instance", &instance, "--output", "S", "--stats",
+        ]))
+        .unwrap();
+        assert!(output.contains("S: 1 fact(s)"), "{output}");
+        assert!(output.contains("S(a·a)"), "{output}");
+        assert!(output.contains("iterations:"), "{output}");
+    }
+
+    #[test]
+    fn run_defaults_the_output_relation_to_the_last_rule_head() {
+        let program = write_program("run-default.sdl", "T(a·$x, $x) <- R($x).\nS($x) <- T($x·a, $x).");
+        let instance = write_instance_file(
+            "run-default.sdi",
+            &Instance::unary(rel("R"), [path_of(&["a", "a", "a"])]),
+        );
+        let output = cmd_run(&flags(&["--program", &program, "--instance", &instance])).unwrap();
+        assert!(output.contains("S: 1 fact(s)"), "{output}");
+    }
+
+    #[test]
+    fn run_reports_limit_violations() {
+        let program = write_program("diverge.sdl", "T(a).\nT(a·$x) <- T($x).");
+        let instance = write_instance_file("empty.sdi", &Instance::new());
+        let err = cmd_run(&flags(&[
+            "--program", &program, "--instance", &instance, "--output", "T",
+            "--max-iterations", "10",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("limit"), "{err}");
+    }
+
+    #[test]
+    fn analyze_reports_features_and_termination() {
+        let program = write_program(
+            "analyze.sdl",
+            "T(eps, $x, $x) <- R($x).\nT($y·$x, $x, $z) <- T($y, $x, a·$z).\nS($y) <- T($y, $x, eps).",
+        );
+        let output = cmd_analyze(&flags(&["--program", &program])).unwrap();
+        assert!(output.contains("fragment: {A, I, R}"), "{output}");
+        assert!(output.contains("EDB relations: R"), "{output}");
+        assert!(output.contains("guaranteed to terminate"), "{output}");
+    }
+
+    #[test]
+    fn rewrite_eliminates_the_requested_feature() {
+        let program = write_program("rewrite.sdl", "S($x) <- R($x), a·$x = $x·a.");
+        let output =
+            cmd_rewrite(&flags(&["--program", &program, "--eliminate", "equations"])).unwrap();
+        assert!(!output.contains(" = "), "no equations left:\n{output}");
+        let err = cmd_rewrite(&flags(&["--program", &program, "--eliminate", "negation"]))
+            .unwrap_err();
+        assert!(err.to_string().contains("unknown feature"));
+    }
+
+    #[test]
+    fn normalize_and_algebra_translate_nonrecursive_programs() {
+        let program = write_program("norm.sdl", "T(a·$x, $x) <- R($x).\nS($x) <- T($x·a, $x).");
+        let normal = cmd_normalize(&flags(&["--program", &program])).unwrap();
+        assert!(normal.contains("<-"));
+        let algebra =
+            cmd_algebra(&flags(&["--program", &program, "--output", "S"])).unwrap();
+        assert!(!algebra.is_empty());
+    }
+
+    #[test]
+    fn fragment_rewrites_into_a_target_fragment() {
+        let program = write_program("frag.sdl", "S($x) <- R($x), a·$x = $x·a.");
+        let output = cmd_fragment(&flags(&[
+            "--program", &program, "--target", "I", "--output", "S",
+        ]))
+        .unwrap();
+        assert!(output.contains("target {I}"), "{output}");
+        let err = cmd_fragment(&flags(&["--program", &program, "--target", "X", "--output", "S"]))
+            .unwrap_err();
+        assert!(err.to_string().contains("unknown feature letter"));
+    }
+
+    #[test]
+    fn hasse_counts_eleven_classes_for_both_fragment_sets() {
+        let einr = cmd_hasse(&flags(&[])).unwrap();
+        assert!(einr.contains("16 fragments fall into 11"), "{einr}");
+        let all = cmd_hasse(&flags(&["--all"])).unwrap();
+        assert!(all.contains("64 fragments fall into 11"), "{all}");
+    }
+
+    #[test]
+    fn unify_lists_solutions_and_rejects_malformed_equations() {
+        let output = cmd_unify(&flags(&["--equation", "$x·$y = a·b"])).unwrap();
+        assert!(output.contains("1 symbolic solution"), "{output}");
+        let with_empty =
+            cmd_unify(&flags(&["--equation", "$x·$y = a·b", "--allow-empty"])).unwrap();
+        assert!(with_empty.contains("3 symbolic solution"), "{with_empty}");
+        assert!(cmd_unify(&flags(&["--equation", "no equals sign"])).is_err());
+    }
+
+    #[test]
+    fn regex_compiles_and_optionally_runs() {
+        let printed = cmd_regex(&flags(&["--pattern", "a (b|c)*"])).unwrap();
+        assert!(printed.contains("Match($x)"), "{printed}");
+
+        let instance = write_instance_file(
+            "regex.sdi",
+            &Instance::unary(
+                rel("R"),
+                [path_of(&["a", "b", "b"]), path_of(&["b", "a"]), path_of(&["a"])],
+            ),
+        );
+        let ran = cmd_regex(&flags(&["--pattern", "a (b|c)*", "--instance", &instance])).unwrap();
+        assert!(ran.contains("2 matching string(s)"), "{ran}");
+        assert!(cmd_regex(&flags(&["--pattern", "(((", "--instance", &instance])).is_err());
+    }
+}

@@ -1,0 +1,16 @@
+//! The `seqdl` binary: a thin wrapper around [`seqdl_cli::run_cli`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match seqdl_cli::run_cli(&args) {
+        Ok(output) => {
+            if !output.is_empty() {
+                println!("{output}");
+            }
+        }
+        Err(error) => {
+            eprintln!("seqdl: {error}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,561 @@
+//! Schemas, relations, facts, and instances (Sections 2.1 and 2.3).
+//!
+//! An *instance* `I` of a schema `Γ` assigns to each relation name a finite n-ary
+//! relation on paths.  Equivalently (Section 2.3) an instance is a finite set of
+//! *facts* `R(p1, …, pn)`.  Both views are exposed here: [`Instance`] stores
+//! relations keyed by name and iterates as facts.
+
+use crate::error::CoreError;
+use crate::interner::RelName;
+use crate::path::Path;
+use crate::value::Value;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A tuple of paths — one row of an n-ary relation.
+pub type Tuple = Vec<Path>;
+
+/// A fact `R(p1, …, pn)`.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Fact {
+    /// The relation name.
+    pub relation: RelName,
+    /// The component paths.
+    pub tuple: Tuple,
+}
+
+impl Fact {
+    /// Build a fact.
+    pub fn new(relation: RelName, tuple: Tuple) -> Fact {
+        Fact { relation, tuple }
+    }
+
+    /// Arity of the fact.
+    pub fn arity(&self) -> usize {
+        self.tuple.len()
+    }
+}
+
+impl fmt::Display for Fact {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.relation)?;
+        for (i, p) in self.tuple.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        f.write_str(")")
+    }
+}
+
+/// A schema: a finite set of relation names, each with an arity (Section 2.1).
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Schema {
+    arities: BTreeMap<RelName, usize>,
+}
+
+impl Schema {
+    /// The empty schema.
+    pub fn new() -> Schema {
+        Schema::default()
+    }
+
+    /// Build a schema from `(name, arity)` pairs.
+    pub fn from_pairs<'a>(pairs: impl IntoIterator<Item = (&'a str, usize)>) -> Schema {
+        let mut s = Schema::new();
+        for (name, arity) in pairs {
+            s.declare(RelName::new(name), arity);
+        }
+        s
+    }
+
+    /// Declare (or re-declare) a relation name with the given arity.
+    pub fn declare(&mut self, relation: RelName, arity: usize) {
+        self.arities.insert(relation, arity);
+    }
+
+    /// The arity of `relation`, if declared.
+    pub fn arity(&self, relation: RelName) -> Option<usize> {
+        self.arities.get(&relation).copied()
+    }
+
+    /// Does the schema declare `relation`?
+    pub fn contains(&self, relation: RelName) -> bool {
+        self.arities.contains_key(&relation)
+    }
+
+    /// Iterate over `(relation, arity)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (RelName, usize)> + '_ {
+        self.arities.iter().map(|(r, a)| (*r, *a))
+    }
+
+    /// Number of declared relation names.
+    pub fn len(&self) -> usize {
+        self.arities.len()
+    }
+
+    /// Is the schema empty?
+    pub fn is_empty(&self) -> bool {
+        self.arities.is_empty()
+    }
+
+    /// A schema is *monadic* if every relation has arity zero or one (Section 3.1).
+    pub fn is_monadic(&self) -> bool {
+        self.arities.values().all(|&a| a <= 1)
+    }
+}
+
+/// A finite n-ary relation on paths.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Relation {
+    arity: usize,
+    tuples: BTreeSet<Tuple>,
+}
+
+impl Relation {
+    /// The empty relation of the given arity.
+    pub fn new(arity: usize) -> Relation {
+        Relation {
+            arity,
+            tuples: BTreeSet::new(),
+        }
+    }
+
+    /// The arity of the relation.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Is the relation empty?
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Insert a tuple; returns `true` if it was new.
+    ///
+    /// # Errors
+    /// Fails if the tuple's length differs from the relation's arity.
+    pub fn insert(&mut self, tuple: Tuple) -> Result<bool, CoreError> {
+        if tuple.len() != self.arity {
+            return Err(CoreError::ArityMismatch {
+                relation: RelName::new("<anonymous>"),
+                expected: self.arity,
+                found: tuple.len(),
+            });
+        }
+        Ok(self.tuples.insert(tuple))
+    }
+
+    /// Does the relation contain `tuple`?
+    pub fn contains(&self, tuple: &[Path]) -> bool {
+        self.tuples.contains(tuple)
+    }
+
+    /// Iterate over the tuples in lexicographic order.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> + '_ {
+        self.tuples.iter()
+    }
+
+    /// All tuples, cloned into a vector.
+    pub fn tuples(&self) -> Vec<Tuple> {
+        self.tuples.iter().cloned().collect()
+    }
+}
+
+/// An instance: a mapping from relation names to relations, equivalently a finite
+/// set of facts (Section 2.3).
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Instance {
+    relations: BTreeMap<RelName, Relation>,
+}
+
+impl Instance {
+    /// The empty instance.
+    pub fn new() -> Instance {
+        Instance::default()
+    }
+
+    /// Build an instance from an iterator of facts.
+    ///
+    /// # Errors
+    /// Fails if two facts use the same relation name with different arities.
+    pub fn from_facts(facts: impl IntoIterator<Item = Fact>) -> Result<Instance, CoreError> {
+        let mut inst = Instance::new();
+        for fact in facts {
+            inst.insert_fact(fact)?;
+        }
+        Ok(inst)
+    }
+
+    /// Convenience: a unary instance `{ R(p) | p ∈ paths }` over a single relation.
+    pub fn unary(relation: RelName, paths: impl IntoIterator<Item = Path>) -> Instance {
+        let mut inst = Instance::new();
+        for p in paths {
+            inst.insert_fact(Fact::new(relation, vec![p]))
+                .expect("unary facts cannot mismatch");
+        }
+        // Even when `paths` is empty, register the relation with arity 1.
+        inst.relations
+            .entry(relation)
+            .or_insert_with(|| Relation::new(1));
+        inst
+    }
+
+    /// Insert a fact; returns `true` if it was new.
+    ///
+    /// The relation's arity is fixed by the first fact inserted for it.
+    ///
+    /// # Errors
+    /// Fails on arity mismatch with previously inserted facts.
+    pub fn insert_fact(&mut self, fact: Fact) -> Result<bool, CoreError> {
+        let arity = fact.arity();
+        let relation = fact.relation;
+        let rel = self
+            .relations
+            .entry(relation)
+            .or_insert_with(|| Relation::new(arity));
+        if rel.arity() != arity {
+            return Err(CoreError::ArityMismatch {
+                relation,
+                expected: rel.arity(),
+                found: arity,
+            });
+        }
+        rel.insert(fact.tuple).map_err(|_| CoreError::ArityMismatch {
+            relation,
+            expected: arity,
+            found: arity,
+        })
+    }
+
+    /// Insert an empty relation of the given arity (or leave an existing one alone).
+    pub fn declare_relation(&mut self, relation: RelName, arity: usize) {
+        self.relations
+            .entry(relation)
+            .or_insert_with(|| Relation::new(arity));
+    }
+
+    /// The relation assigned to `name`, if present.
+    pub fn relation(&self, name: RelName) -> Option<&Relation> {
+        self.relations.get(&name)
+    }
+
+    /// The set of paths of a unary relation (empty if the relation is absent).
+    ///
+    /// This is the natural way to read off the answer of a *flat unary query*
+    /// (Section 3.1).
+    pub fn unary_paths(&self, name: RelName) -> BTreeSet<Path> {
+        self.relation(name)
+            .map(|r| {
+                r.iter()
+                    .filter(|t| t.len() == 1)
+                    .map(|t| t[0].clone())
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Does the instance contain the given fact?
+    pub fn contains_fact(&self, fact: &Fact) -> bool {
+        self.relation(fact.relation)
+            .is_some_and(|r| r.arity() == fact.arity() && r.contains(&fact.tuple))
+    }
+
+    /// Is a nullary relation "true" (non-empty)?  Nullary relations model boolean
+    /// query results (Example 2.2).
+    pub fn nullary_true(&self, name: RelName) -> bool {
+        self.relation(name).is_some_and(|r| !r.is_empty())
+    }
+
+    /// Relation names present in the instance, in name order.
+    pub fn relation_names(&self) -> Vec<RelName> {
+        self.relations.keys().copied().collect()
+    }
+
+    /// Iterate over all facts of the instance, in deterministic order.
+    pub fn facts(&self) -> impl Iterator<Item = Fact> + '_ {
+        self.relations.iter().flat_map(|(name, rel)| {
+            rel.iter().map(move |t| Fact::new(*name, t.clone()))
+        })
+    }
+
+    /// Total number of facts.
+    pub fn fact_count(&self) -> usize {
+        self.relations.values().map(Relation::len).sum()
+    }
+
+    /// An instance is *flat* if no packed value occurs anywhere in it (Section 3.1).
+    pub fn is_flat(&self) -> bool {
+        self.facts().all(|f| f.tuple.iter().all(Path::is_flat))
+    }
+
+    /// An instance is *classical* if every component of every fact is a length-1
+    /// path holding an atomic value (Section 2.1).
+    pub fn is_classical(&self) -> bool {
+        self.facts().all(|f| {
+            f.tuple
+                .iter()
+                .all(|p| p.len() == 1 && p[0].is_atom())
+        })
+    }
+
+    /// An instance is *two-bounded* if only paths of length one or two occur in it
+    /// (Section 5.2).
+    pub fn is_two_bounded(&self) -> bool {
+        self.facts()
+            .all(|f| f.tuple.iter().all(|p| (1..=2).contains(&p.len())))
+    }
+
+    /// The largest path length occurring in the instance (0 for the empty instance).
+    /// Used to state the linear output bound of Lemma 5.1.
+    pub fn max_path_len(&self) -> usize {
+        self.facts()
+            .flat_map(|f| f.tuple.into_iter().map(|p| p.len()))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The schema induced by this instance.
+    pub fn schema(&self) -> Schema {
+        let mut s = Schema::new();
+        for (name, rel) in &self.relations {
+            s.declare(*name, rel.arity());
+        }
+        s
+    }
+
+    /// Restrict the instance to the relations of `schema` (dropping others).
+    pub fn project_to_schema(&self, schema: &Schema) -> Instance {
+        let mut out = Instance::new();
+        for (name, rel) in &self.relations {
+            if schema.contains(*name) {
+                out.relations.insert(*name, rel.clone());
+            }
+        }
+        out
+    }
+
+    /// Union of two instances (relations are merged; arities must agree).
+    ///
+    /// # Errors
+    /// Fails if a relation appears in both with different arities.
+    pub fn union(&self, other: &Instance) -> Result<Instance, CoreError> {
+        let mut out = self.clone();
+        for fact in other.facts() {
+            out.insert_fact(fact)?;
+        }
+        // Preserve empty relations declared in `other`.
+        for (name, rel) in &other.relations {
+            out.declare_relation(*name, rel.arity());
+        }
+        Ok(out)
+    }
+
+    /// All atomic values appearing anywhere in the instance (the instance's *active
+    /// domain*).
+    pub fn active_atoms(&self) -> BTreeSet<crate::interner::AtomId> {
+        fn collect(value: &Value, out: &mut BTreeSet<crate::interner::AtomId>) {
+            match value {
+                Value::Atom(a) => {
+                    out.insert(*a);
+                }
+                Value::Packed(p) => {
+                    for v in p.iter() {
+                        collect(v, out);
+                    }
+                }
+            }
+        }
+        let mut out = BTreeSet::new();
+        for fact in self.facts() {
+            for path in &fact.tuple {
+                for v in path.iter() {
+                    collect(v, &mut out);
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for fact in self.facts() {
+            if !first {
+                f.write_str("\n")?;
+            }
+            write!(f, "{fact}.")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{atom, path_of, rel, repeat_path};
+
+    fn fact(r: &str, paths: &[&[&str]]) -> Fact {
+        Fact::new(
+            rel(r),
+            paths.iter().map(|names| path_of(names)).collect(),
+        )
+    }
+
+    #[test]
+    fn schema_basics_and_monadicity() {
+        let s = Schema::from_pairs([("R", 1), ("A", 0)]);
+        assert_eq!(s.arity(rel("R")), Some(1));
+        assert_eq!(s.arity(rel("D")), None);
+        assert!(s.is_monadic());
+        let s2 = Schema::from_pairs([("D", 3)]);
+        assert!(!s2.is_monadic());
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+        assert!(Schema::new().is_empty());
+    }
+
+    #[test]
+    fn facts_display_like_the_paper() {
+        let f = fact("R", &[&["a", "b", "a"]]);
+        assert_eq!(f.to_string(), "R(a·b·a)");
+        let f = fact("D", &[&["q1"], &["a"], &["q2"]]);
+        assert_eq!(f.to_string(), "D(q1, a, q2)");
+    }
+
+    #[test]
+    fn insert_and_query_facts() {
+        let mut inst = Instance::new();
+        assert!(inst.insert_fact(fact("R", &[&["a", "a"]])).unwrap());
+        assert!(!inst.insert_fact(fact("R", &[&["a", "a"]])).unwrap());
+        assert!(inst.insert_fact(fact("R", &[&["a", "b"]])).unwrap());
+        assert_eq!(inst.fact_count(), 2);
+        assert!(inst.contains_fact(&fact("R", &[&["a", "b"]])));
+        assert!(!inst.contains_fact(&fact("R", &[&["b", "a"]])));
+        assert!(!inst.contains_fact(&fact("S", &[&["a", "b"]])));
+        assert_eq!(
+            inst.unary_paths(rel("R")),
+            BTreeSet::from([path_of(&["a", "a"]), path_of(&["a", "b"])])
+        );
+    }
+
+    #[test]
+    fn arity_is_enforced_per_relation() {
+        let mut inst = Instance::new();
+        inst.insert_fact(fact("D", &[&["q"], &["a"], &["p"]])).unwrap();
+        let err = inst
+            .insert_fact(fact("D", &[&["q"], &["a"]]))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            CoreError::ArityMismatch {
+                relation: rel("D"),
+                expected: 3,
+                found: 2
+            }
+        );
+    }
+
+    #[test]
+    fn unary_constructor_registers_relation_even_when_empty() {
+        let inst = Instance::unary(rel("EmptyRel"), []);
+        assert!(inst.relation(rel("EmptyRel")).is_some());
+        assert_eq!(inst.unary_paths(rel("EmptyRel")), BTreeSet::new());
+    }
+
+    #[test]
+    fn flat_classical_and_two_bounded_classification() {
+        let flat = Instance::unary(rel("R"), [repeat_path("a", 3)]);
+        assert!(flat.is_flat());
+        assert!(!flat.is_classical());
+        assert!(!flat.is_two_bounded());
+
+        let classical = Instance::unary(rel("N"), [path_of(&["q0"])]);
+        assert!(classical.is_classical());
+        assert!(classical.is_two_bounded());
+
+        let mut packed = Instance::new();
+        packed
+            .insert_fact(Fact::new(
+                rel("T"),
+                vec![Path::from_values([Value::packed(path_of(&["s"]))])],
+            ))
+            .unwrap();
+        assert!(!packed.is_flat());
+        assert!(packed.is_classical() == false);
+    }
+
+    #[test]
+    fn nullary_relations_model_boolean_results() {
+        let mut inst = Instance::new();
+        assert!(!inst.nullary_true(rel("Answer")));
+        inst.insert_fact(Fact::new(rel("Answer"), vec![])).unwrap();
+        assert!(inst.nullary_true(rel("Answer")));
+    }
+
+    #[test]
+    fn union_merges_and_checks_arity() {
+        let a = Instance::unary(rel("R"), [path_of(&["x"])]);
+        let b = Instance::unary(rel("S"), [path_of(&["y"])]);
+        let u = a.union(&b).unwrap();
+        assert_eq!(u.fact_count(), 2);
+
+        let mut c = Instance::new();
+        c.insert_fact(fact("R", &[&["x"], &["y"]])).unwrap();
+        assert!(a.union(&c).is_err());
+    }
+
+    #[test]
+    fn schema_induction_and_projection() {
+        let mut inst = Instance::new();
+        inst.insert_fact(fact("R", &[&["x"]])).unwrap();
+        inst.insert_fact(fact("D", &[&["q"], &["a"], &["p"]])).unwrap();
+        let schema = inst.schema();
+        assert_eq!(schema.arity(rel("D")), Some(3));
+        let only_r = Schema::from_pairs([("R", 1)]);
+        let projected = inst.project_to_schema(&only_r);
+        assert_eq!(projected.relation_names(), vec![rel("R")]);
+    }
+
+    #[test]
+    fn active_atoms_looks_inside_packing() {
+        let mut inst = Instance::new();
+        inst.insert_fact(Fact::new(
+            rel("T"),
+            vec![Path::from_values([
+                Value::atom("c"),
+                Value::packed(path_of(&["a", "b"])),
+            ])],
+        ))
+        .unwrap();
+        let atoms = inst.active_atoms();
+        assert!(atoms.contains(&atom("a")));
+        assert!(atoms.contains(&atom("b")));
+        assert!(atoms.contains(&atom("c")));
+        assert_eq!(atoms.len(), 3);
+    }
+
+    #[test]
+    fn max_path_len_over_instance() {
+        assert_eq!(Instance::new().max_path_len(), 0);
+        let inst = Instance::unary(rel("R"), [repeat_path("a", 7), repeat_path("a", 2)]);
+        assert_eq!(inst.max_path_len(), 7);
+    }
+
+    #[test]
+    fn display_lists_facts_deterministically() {
+        let mut inst = Instance::new();
+        inst.insert_fact(fact("S", &[&["b"]])).unwrap();
+        inst.insert_fact(fact("R", &[&["a"]])).unwrap();
+        let text = inst.to_string();
+        assert_eq!(text, "R(a).\nS(b).");
+    }
+}

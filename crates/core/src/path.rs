@@ -1,0 +1,313 @@
+//! Paths: finite sequences of values, with associative concatenation (Section 2.1).
+
+use crate::interner::AtomId;
+use crate::value::Value;
+use std::fmt;
+use std::ops::Index;
+
+/// A path: a finite sequence of [`Value`]s.  The empty path is `ε`.
+///
+/// Concatenation (`·`) is associative; [`Path::concat`] and the [`Extend`] /
+/// [`FromIterator`] implementations all preserve that reading.  A value `v` is
+/// identified with the length-1 path `v` (see [`Path::singleton`]), which is how
+/// classical relational instances embed into sequence databases.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Path(Vec<Value>);
+
+impl Path {
+    /// The empty path `ε`.
+    pub fn empty() -> Path {
+        Path(Vec::new())
+    }
+
+    /// A one-element path holding `value`.
+    pub fn singleton(value: Value) -> Path {
+        Path(vec![value])
+    }
+
+    /// Build a path from any sequence of values.
+    pub fn from_values(values: impl IntoIterator<Item = Value>) -> Path {
+        Path(values.into_iter().collect())
+    }
+
+    /// Build a flat path from atoms.
+    pub fn from_atoms(atoms: impl IntoIterator<Item = AtomId>) -> Path {
+        Path(atoms.into_iter().map(Value::Atom).collect())
+    }
+
+    /// Number of values in the path (`|p|`).
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Is this the empty path `ε`?
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The values of the path, in order.
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+
+    /// Iterate over the values of the path.
+    pub fn iter(&self) -> std::slice::Iter<'_, Value> {
+        self.0.iter()
+    }
+
+    /// Concatenation `self · other`.
+    pub fn concat(&self, other: &Path) -> Path {
+        let mut out = Vec::with_capacity(self.len() + other.len());
+        out.extend_from_slice(&self.0);
+        out.extend_from_slice(&other.0);
+        Path(out)
+    }
+
+    /// Append a single value in place.
+    pub fn push(&mut self, value: Value) {
+        self.0.push(value);
+    }
+
+    /// The contiguous subpath `p[start..end]` (half-open), as its own path.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds (mirrors slice indexing).
+    pub fn subpath(&self, start: usize, end: usize) -> Path {
+        Path(self.0[start..end].to_vec())
+    }
+
+    /// All contiguous subpaths (substrings) of this path, including `ε` and the path
+    /// itself.  This is the semantics of the `SUB` operator of Section 7.
+    ///
+    /// The empty path is reported exactly once.
+    pub fn substrings(&self) -> Vec<Path> {
+        let mut out = vec![Path::empty()];
+        for start in 0..self.len() {
+            for end in (start + 1)..=self.len() {
+                out.push(self.subpath(start, end));
+            }
+        }
+        out
+    }
+
+    /// Does `needle` occur as a contiguous subpath of `self`?
+    pub fn contains_subpath(&self, needle: &Path) -> bool {
+        if needle.is_empty() {
+            return true;
+        }
+        if needle.len() > self.len() {
+            return false;
+        }
+        self.0
+            .windows(needle.len())
+            .any(|w| w == needle.values())
+    }
+
+    /// A path is *flat* if it contains no packed values at any depth (Section 3.1
+    /// restricts query inputs and outputs to flat instances).
+    pub fn is_flat(&self) -> bool {
+        self.0.iter().all(|v| !v.is_packed())
+    }
+
+    /// Maximum packing depth over the values of the path (0 for flat paths).
+    pub fn packing_depth(&self) -> usize {
+        self.0.iter().map(Value::packing_depth).max().unwrap_or(0)
+    }
+
+    /// Total number of atomic-value occurrences at any depth.
+    pub fn atom_count(&self) -> usize {
+        self.0.iter().map(Value::atom_count).sum()
+    }
+
+    /// Reverse the path (used by the reversal example, Example 4.3).
+    pub fn reversed(&self) -> Path {
+        Path(self.0.iter().rev().cloned().collect())
+    }
+
+    /// The *doubled* version `k1·k1·k2·k2·…·kn·kn` of the path, as used by the
+    /// doubling step in the proof of Theorem 4.15.
+    pub fn doubled(&self) -> Path {
+        Path(
+            self.0
+                .iter()
+                .flat_map(|v| [v.clone(), v.clone()])
+                .collect(),
+        )
+    }
+
+    /// Invert [`Path::doubled`]: returns `None` if the path is not a doubled path.
+    pub fn undoubled(&self) -> Option<Path> {
+        if self.len() % 2 != 0 {
+            return None;
+        }
+        let mut out = Vec::with_capacity(self.len() / 2);
+        for pair in self.0.chunks(2) {
+            if pair[0] != pair[1] {
+                return None;
+            }
+            out.push(pair[0].clone());
+        }
+        Some(Path(out))
+    }
+}
+
+impl Index<usize> for Path {
+    type Output = Value;
+    fn index(&self, ix: usize) -> &Value {
+        &self.0[ix]
+    }
+}
+
+impl FromIterator<Value> for Path {
+    fn from_iter<T: IntoIterator<Item = Value>>(iter: T) -> Self {
+        Path(iter.into_iter().collect())
+    }
+}
+
+impl Extend<Value> for Path {
+    fn extend<T: IntoIterator<Item = Value>>(&mut self, iter: T) {
+        self.0.extend(iter);
+    }
+}
+
+impl IntoIterator for Path {
+    type Item = Value;
+    type IntoIter = std::vec::IntoIter<Value>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Path {
+    type Item = &'a Value;
+    type IntoIter = std::slice::Iter<'a, Value>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return f.write_str("eps");
+        }
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                f.write_str("·")?;
+            }
+            v.fmt_into(f)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{atom, path_of, repeat_path};
+
+    #[test]
+    fn empty_path_properties() {
+        let e = Path::empty();
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+        assert!(e.is_flat());
+        assert_eq!(e.to_string(), "eps");
+        assert_eq!(e.substrings(), vec![Path::empty()]);
+        assert_eq!(e.reversed(), e);
+        assert_eq!(e.doubled(), e);
+    }
+
+    #[test]
+    fn concatenation_is_associative() {
+        let p = path_of(&["a", "b"]);
+        let q = path_of(&["c"]);
+        let r = path_of(&["d", "e"]);
+        assert_eq!(p.concat(&q).concat(&r), p.concat(&q.concat(&r)));
+        assert_eq!(p.concat(&Path::empty()), p);
+        assert_eq!(Path::empty().concat(&p), p);
+    }
+
+    #[test]
+    fn substrings_enumerates_all_contiguous_subpaths() {
+        let p = path_of(&["a", "b", "c"]);
+        let subs = p.substrings();
+        // ε plus 3 + 2 + 1 nonempty substrings.
+        assert_eq!(subs.len(), 7);
+        assert!(subs.contains(&Path::empty()));
+        assert!(subs.contains(&path_of(&["a"])));
+        assert!(subs.contains(&path_of(&["b", "c"])));
+        assert!(subs.contains(&p));
+        assert!(!subs.contains(&path_of(&["a", "c"])));
+    }
+
+    #[test]
+    fn contains_subpath_is_contiguous_containment() {
+        let p = path_of(&["a", "b", "a", "c"]);
+        assert!(p.contains_subpath(&Path::empty()));
+        assert!(p.contains_subpath(&path_of(&["b", "a"])));
+        assert!(p.contains_subpath(&p));
+        assert!(!p.contains_subpath(&path_of(&["a", "a"])));
+        assert!(!p.contains_subpath(&path_of(&["a", "b", "a", "c", "d"])));
+    }
+
+    #[test]
+    fn flatness_and_packing_depth() {
+        let flat = path_of(&["a", "b"]);
+        assert!(flat.is_flat());
+        assert_eq!(flat.packing_depth(), 0);
+
+        // c · ⟨a·b·a⟩, the paper's example path with packing.
+        let mixed = Path::from_values([
+            Value::atom("c"),
+            Value::packed(path_of(&["a", "b", "a"])),
+        ]);
+        assert!(!mixed.is_flat());
+        assert_eq!(mixed.packing_depth(), 1);
+        assert_eq!(mixed.atom_count(), 4);
+        assert_eq!(mixed.to_string(), "c·<a·b·a>");
+    }
+
+    #[test]
+    fn doubling_round_trips() {
+        let p = path_of(&["k1", "k2", "k3"]);
+        let d = p.doubled();
+        assert_eq!(d.len(), 6);
+        assert_eq!(d.to_string(), "k1·k1·k2·k2·k3·k3");
+        assert_eq!(d.undoubled(), Some(p.clone()));
+        // Non-doubled paths are rejected.
+        assert_eq!(path_of(&["a", "b"]).undoubled(), None);
+        assert_eq!(path_of(&["a"]).undoubled(), None);
+        assert_eq!(Path::empty().undoubled(), Some(Path::empty()));
+    }
+
+    #[test]
+    fn reversal_and_indexing() {
+        let p = path_of(&["x", "y", "z"]);
+        assert_eq!(p.reversed(), path_of(&["z", "y", "x"]));
+        assert_eq!(p[0], Value::Atom(atom("x")));
+        assert_eq!(p[2], Value::Atom(atom("z")));
+    }
+
+    #[test]
+    fn repeat_path_builds_a_powers() {
+        let p = repeat_path("a", 4);
+        assert_eq!(p.to_string(), "a·a·a·a");
+        assert!(p.iter().all(|v| v.as_atom() == Some(atom("a"))));
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let mut p: Path = [Value::atom("a"), Value::atom("b")].into_iter().collect();
+        p.extend([Value::atom("c")]);
+        assert_eq!(p, path_of(&["a", "b", "c"]));
+        let collected: Vec<&Value> = (&p).into_iter().collect();
+        assert_eq!(collected.len(), 3);
+    }
+}

@@ -1,0 +1,110 @@
+//! Errors raised during evaluation.
+
+use seqdl_core::CoreError;
+use seqdl_syntax::SyntaxError;
+use std::fmt;
+
+/// Errors raised by the evaluation engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// The program failed a static well-formedness check (safety, stratification,
+    /// arity consistency).
+    IllFormed(SyntaxError),
+    /// An IDB relation name of the program already holds facts in the input
+    /// instance, or is declared there with a different arity.  The paper requires a
+    /// program over a schema Γ to use IDB relation names outside Γ (Section 2.3).
+    IdbRelationInInput {
+        /// The offending relation name.
+        relation: String,
+    },
+    /// A body could not be planned: some positive equation never has a fully bound
+    /// side.  This cannot happen for safe rules; it indicates the rule is unsafe.
+    Unplannable {
+        /// Rendering of the offending rule.
+        rule: String,
+    },
+    /// The data model rejected a derived fact (e.g. an arity mismatch between a rule
+    /// head and the relation it populates).
+    Data(CoreError),
+    /// A resource limit was exceeded; the program most likely does not terminate on
+    /// this instance (cf. Example 2.3 of the paper).
+    LimitExceeded {
+        /// Which limit was hit.
+        what: LimitKind,
+        /// The configured limit value.
+        limit: usize,
+    },
+}
+
+/// Which evaluation limit was exceeded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LimitKind {
+    /// Too many fixpoint iterations in one stratum.
+    Iterations,
+    /// Too many derived facts.
+    Facts,
+    /// A derived path grew too long.
+    PathLength,
+}
+
+impl fmt::Display for LimitKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LimitKind::Iterations => f.write_str("fixpoint iterations"),
+            LimitKind::Facts => f.write_str("derived facts"),
+            LimitKind::PathLength => f.write_str("derived path length"),
+        }
+    }
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::IllFormed(e) => write!(f, "ill-formed program: {e}"),
+            EvalError::IdbRelationInInput { relation } => write!(
+                f,
+                "IDB relation {relation} already occurs in the input instance; \
+                 a program's IDB relation names must be disjoint from the input schema"
+            ),
+            EvalError::Unplannable { rule } => {
+                write!(f, "cannot plan body of rule `{rule}` (rule is not safe)")
+            }
+            EvalError::Data(e) => write!(f, "derived fact rejected: {e}"),
+            EvalError::LimitExceeded { what, limit } => {
+                write!(f, "evaluation exceeded the limit of {limit} {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl From<SyntaxError> for EvalError {
+    fn from(e: SyntaxError) -> Self {
+        EvalError::IllFormed(e)
+    }
+}
+
+impl From<CoreError> for EvalError {
+    fn from(e: CoreError) -> Self {
+        EvalError::Data(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = EvalError::LimitExceeded {
+            what: LimitKind::Facts,
+            limit: 1000,
+        };
+        assert_eq!(e.to_string(), "evaluation exceeded the limit of 1000 derived facts");
+        let e = EvalError::Unplannable {
+            rule: "S($x) <- $x = $y.".into(),
+        };
+        assert!(e.to_string().contains("not safe"));
+    }
+}

@@ -1,0 +1,582 @@
+//! Stratum-by-stratum fixpoint evaluation (Section 2.3).
+
+use crate::error::{EvalError, LimitKind};
+use crate::matching::{equation_holds, ground_tuple, match_equation, match_predicate};
+use crate::plan::{plan_rule, BodyPlan, PlannedLiteral};
+use seqdl_core::{Fact, Instance, RelName, Tuple};
+use seqdl_syntax::{Program, ProgramInfo, Rule, Stratum, Valuation};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Resource limits for evaluation.
+///
+/// The paper only considers programs that terminate on every instance; these limits
+/// make non-termination (Example 2.3) a reportable error instead of a hang.
+#[derive(Clone, Copy, Debug)]
+pub struct EvalLimits {
+    /// Maximum fixpoint iterations per stratum.
+    pub max_iterations: usize,
+    /// Maximum total number of derived facts.
+    pub max_facts: usize,
+    /// Maximum length of any derived path.
+    pub max_path_len: usize,
+}
+
+impl Default for EvalLimits {
+    fn default() -> Self {
+        EvalLimits {
+            max_iterations: 10_000,
+            max_facts: 1_000_000,
+            max_path_len: 100_000,
+        }
+    }
+}
+
+/// Which fixpoint algorithm to use within a stratum.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FixpointStrategy {
+    /// Re-evaluate every rule against the full instance each iteration.
+    Naive,
+    /// Semi-naive evaluation: after the first iteration, only rule instantiations
+    /// that use at least one fact derived in the previous iteration are considered.
+    SemiNaive,
+}
+
+/// Counters describing an evaluation run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Total fixpoint iterations across all strata.
+    pub iterations: usize,
+    /// Number of facts derived (beyond the input).
+    pub derived_facts: usize,
+    /// Number of successful rule firings (head instantiations, counting duplicates).
+    pub rule_firings: usize,
+}
+
+/// The evaluation engine.
+#[derive(Clone, Copy, Debug)]
+pub struct Engine {
+    limits: EvalLimits,
+    strategy: FixpointStrategy,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+impl Engine {
+    /// An engine with default limits and semi-naive evaluation.
+    pub fn new() -> Engine {
+        Engine {
+            limits: EvalLimits::default(),
+            strategy: FixpointStrategy::SemiNaive,
+        }
+    }
+
+    /// Override the resource limits.
+    pub fn with_limits(mut self, limits: EvalLimits) -> Engine {
+        self.limits = limits;
+        self
+    }
+
+    /// Override the fixpoint strategy.
+    pub fn with_strategy(mut self, strategy: FixpointStrategy) -> Engine {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Evaluate `program` on `input`, returning the final instance (input relations
+    /// plus all IDB relations).
+    ///
+    /// # Errors
+    /// Ill-formed programs and exceeded resource limits.
+    pub fn run(&self, program: &Program, input: &Instance) -> Result<Instance, EvalError> {
+        self.run_with_stats(program, input).map(|(i, _)| i)
+    }
+
+    /// Like [`Engine::run`], additionally returning evaluation statistics.
+    ///
+    /// # Errors
+    /// Ill-formed programs and exceeded resource limits.
+    pub fn run_with_stats(
+        &self,
+        program: &Program,
+        input: &Instance,
+    ) -> Result<(Instance, EvalStats), EvalError> {
+        let info = ProgramInfo::analyse(program)?;
+        let mut instance = input.clone();
+        // Register every IDB relation so empty results are observable.  The paper
+        // requires IDB relation names to lie outside the input schema Γ; we reject
+        // inputs that already populate an IDB relation (or declare it with another
+        // arity), which would otherwise surface as a confusing arity error later.
+        for (rel, arity) in &info.arities {
+            if info.idb.contains(rel) {
+                if let Some(existing) = input.relation(*rel) {
+                    if !existing.is_empty() || existing.arity() != *arity {
+                        return Err(EvalError::IdbRelationInInput {
+                            relation: rel.name().to_string(),
+                        });
+                    }
+                }
+                instance.declare_relation(*rel, *arity);
+            }
+        }
+        let mut stats = EvalStats::default();
+        for stratum in &program.strata {
+            self.eval_stratum(stratum, &mut instance, &mut stats)?;
+        }
+        Ok((instance, stats))
+    }
+
+    fn eval_stratum(
+        &self,
+        stratum: &Stratum,
+        instance: &mut Instance,
+        stats: &mut EvalStats,
+    ) -> Result<(), EvalError> {
+        if stratum.rules.is_empty() {
+            return Ok(());
+        }
+        let stratum_heads: BTreeSet<RelName> = stratum.head_relations();
+        let plans: Vec<(Rule, BodyPlan)> = stratum
+            .rules
+            .iter()
+            .map(|r| plan_rule(r).map(|p| (r.clone(), p)))
+            .collect::<Result<_, _>>()?;
+
+        // delta = facts of this stratum's head relations derived in the previous
+        // iteration.
+        let mut delta: BTreeMap<RelName, Vec<Tuple>> = BTreeMap::new();
+        let mut iteration = 0usize;
+        loop {
+            if iteration >= self.limits.max_iterations {
+                return Err(EvalError::LimitExceeded {
+                    what: LimitKind::Iterations,
+                    limit: self.limits.max_iterations,
+                });
+            }
+            stats.iterations += 1;
+            let mut new_facts: Vec<Fact> = Vec::new();
+            for (rule, plan) in &plans {
+                if iteration == 0 {
+                    new_facts.extend(self.fire_rule(rule, plan, instance, None, stats)?);
+                    continue;
+                }
+                match self.strategy {
+                    FixpointStrategy::Naive => {
+                        new_facts.extend(self.fire_rule(rule, plan, instance, None, stats)?);
+                    }
+                    FixpointStrategy::SemiNaive => {
+                        // Only instantiations using at least one delta fact can be
+                        // new; fire one variant per recursive predicate position.
+                        let recursive_positions: Vec<usize> = plan
+                            .steps
+                            .iter()
+                            .enumerate()
+                            .filter_map(|(i, s)| match s {
+                                PlannedLiteral::MatchPredicate(p)
+                                    if stratum_heads.contains(&p.relation) =>
+                                {
+                                    Some(i)
+                                }
+                                _ => None,
+                            })
+                            .collect();
+                        for pos in recursive_positions {
+                            new_facts.extend(self.fire_rule(
+                                rule,
+                                plan,
+                                instance,
+                                Some((pos, &delta)),
+                                stats,
+                            )?);
+                        }
+                    }
+                }
+            }
+
+            // Insert genuinely new facts and build the next delta.
+            let mut next_delta: BTreeMap<RelName, Vec<Tuple>> = BTreeMap::new();
+            for fact in new_facts {
+                for path in &fact.tuple {
+                    if path.len() > self.limits.max_path_len {
+                        return Err(EvalError::LimitExceeded {
+                            what: LimitKind::PathLength,
+                            limit: self.limits.max_path_len,
+                        });
+                    }
+                }
+                let relation = fact.relation;
+                let tuple = fact.tuple.clone();
+                let inserted = instance.insert_fact(fact).map_err(EvalError::Data)?;
+                if inserted {
+                    stats.derived_facts += 1;
+                    if stats.derived_facts > self.limits.max_facts {
+                        return Err(EvalError::LimitExceeded {
+                            what: LimitKind::Facts,
+                            limit: self.limits.max_facts,
+                        });
+                    }
+                    next_delta.entry(relation).or_default().push(tuple);
+                }
+            }
+
+            if next_delta.is_empty() {
+                return Ok(());
+            }
+            delta = next_delta;
+            iteration += 1;
+        }
+    }
+
+    /// Evaluate one rule against the instance.  If `restrict` is given, the
+    /// predicate at that plan position draws its tuples from the delta instead of
+    /// the full instance.
+    fn fire_rule(
+        &self,
+        rule: &Rule,
+        plan: &BodyPlan,
+        instance: &Instance,
+        restrict: Option<(usize, &BTreeMap<RelName, Vec<Tuple>>)>,
+        stats: &mut EvalStats,
+    ) -> Result<Vec<Fact>, EvalError> {
+        let mut frontier = vec![Valuation::new()];
+        for (ix, step) in plan.steps.iter().enumerate() {
+            if frontier.is_empty() {
+                return Ok(Vec::new());
+            }
+            let mut next = Vec::new();
+            match step {
+                PlannedLiteral::MatchPredicate(pred) => {
+                    let restricted_here =
+                        restrict.as_ref().is_some_and(|(pos, _)| *pos == ix);
+                    let tuples: Vec<Tuple> = if restricted_here {
+                        let (_, delta) = restrict.as_ref().expect("checked above");
+                        delta.get(&pred.relation).cloned().unwrap_or_default()
+                    } else {
+                        instance
+                            .relation(pred.relation)
+                            .map(|r| r.tuples())
+                            .unwrap_or_default()
+                    };
+                    for nu in &frontier {
+                        for tuple in &tuples {
+                            next.extend(match_predicate(pred, tuple, nu));
+                        }
+                    }
+                }
+                PlannedLiteral::SolveEquation(eq) => {
+                    for nu in &frontier {
+                        match match_equation(eq, nu) {
+                            Some(extensions) => next.extend(extensions),
+                            None => {
+                                return Err(EvalError::Unplannable {
+                                    rule: rule.to_string(),
+                                })
+                            }
+                        }
+                    }
+                }
+                PlannedLiteral::CheckNegatedPredicate(pred) => {
+                    for nu in &frontier {
+                        let Some(tuple) = ground_tuple(pred, nu) else {
+                            return Err(EvalError::Unplannable {
+                                rule: rule.to_string(),
+                            });
+                        };
+                        let present = instance.contains_fact(&Fact::new(pred.relation, tuple));
+                        if !present {
+                            next.push(nu.clone());
+                        }
+                    }
+                }
+                PlannedLiteral::CheckNegatedEquation(eq) => {
+                    for nu in &frontier {
+                        match equation_holds(eq, nu) {
+                            Some(false) => next.push(nu.clone()),
+                            Some(true) => {}
+                            None => {
+                                return Err(EvalError::Unplannable {
+                                    rule: rule.to_string(),
+                                })
+                            }
+                        }
+                    }
+                }
+            }
+            frontier = next;
+        }
+
+        let mut out = Vec::new();
+        for nu in &frontier {
+            let Some(tuple) = ground_tuple(&rule.head, nu) else {
+                return Err(EvalError::Unplannable {
+                    rule: rule.to_string(),
+                });
+            };
+            stats.rule_firings += 1;
+            out.push(Fact::new(rule.head.relation, tuple));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqdl_core::{path_of, rel, repeat_path};
+    use seqdl_syntax::parse_program;
+
+    fn engine() -> Engine {
+        Engine::new().with_limits(EvalLimits {
+            max_iterations: 1000,
+            max_facts: 100_000,
+            max_path_len: 10_000,
+        })
+    }
+
+    #[test]
+    fn example_3_1_only_as_with_equation() {
+        let program = parse_program("S($x) <- R($x), a·$x = $x·a.").unwrap();
+        let input = Instance::unary(
+            rel("R"),
+            [repeat_path("a", 4), path_of(&["a", "b", "a"]), Path::empty()],
+        );
+        let out = engine().run(&program, &input).unwrap();
+        let s = out.unary_paths(rel("S"));
+        assert!(s.contains(&repeat_path("a", 4)));
+        assert!(s.contains(&Path::empty()));
+        assert!(!s.contains(&path_of(&["a", "b", "a"])));
+    }
+
+    #[test]
+    fn example_3_1_only_as_with_recursion_matches_equation_variant() {
+        let with_eq = parse_program("S($x) <- R($x), a·$x = $x·a.").unwrap();
+        let with_rec = parse_program(
+            "T($x, $x) <- R($x).\nT($x, $y) <- T($x, $y·a).\nS($x) <- T($x, eps).",
+        )
+        .unwrap();
+        let input = Instance::unary(
+            rel("R"),
+            [
+                repeat_path("a", 3),
+                path_of(&["b"]),
+                path_of(&["a", "b"]),
+                Path::empty(),
+            ],
+        );
+        let s1 = engine().run(&with_eq, &input).unwrap().unary_paths(rel("S"));
+        let s2 = engine().run(&with_rec, &input).unwrap().unary_paths(rel("S"));
+        assert_eq!(s1, s2);
+        assert_eq!(s1.len(), 2);
+    }
+
+    #[test]
+    fn example_4_3_reversal_with_arity() {
+        let program = parse_program(
+            "T($x, eps) <- R($x).\nT($x, $y·@u) <- T($x·@u, $y).\nS($x) <- T(eps, $x).",
+        )
+        .unwrap();
+        let input = Instance::unary(rel("R"), [path_of(&["a", "b", "c"])]);
+        let out = engine().run(&program, &input).unwrap();
+        assert_eq!(
+            out.unary_paths(rel("S")),
+            BTreeSet::from([path_of(&["c", "b", "a"])])
+        );
+    }
+
+    #[test]
+    fn example_2_1_nfa_acceptance() {
+        // NFA over {a, b} accepting strings ending in b: states q0 (initial), q1
+        // (final); q0 -a-> q0, q0 -b-> q1, q1 -a-> q0, q1 -b-> q1.
+        let program = parse_program(
+            "S(@q·$x, eps) <- R($x), N(@q).\n\
+             S(@q2·$y, $z·@a) <- S(@q1·@a·$y, $z), D(@q1, @a, @q2).\n\
+             A($x) <- S(@q, $x), F(@q).",
+        )
+        .unwrap();
+        let mut input = Instance::new();
+        input.insert_fact(Fact::new(rel("N"), vec![path_of(&["q0"])])).unwrap();
+        input.insert_fact(Fact::new(rel("F"), vec![path_of(&["q1"])])).unwrap();
+        for (from, sym, to) in [
+            ("q0", "a", "q0"),
+            ("q0", "b", "q1"),
+            ("q1", "a", "q0"),
+            ("q1", "b", "q1"),
+        ] {
+            input
+                .insert_fact(Fact::new(
+                    rel("D"),
+                    vec![path_of(&[from]), path_of(&[sym]), path_of(&[to])],
+                ))
+                .unwrap();
+        }
+        for word in [vec!["a", "b"], vec!["b", "b", "b"], vec!["a"], vec!["b", "a"]] {
+            input
+                .insert_fact(Fact::new(rel("R"), vec![path_of(&word)]))
+                .unwrap();
+        }
+        let out = engine().run(&program, &input).unwrap();
+        let accepted = out.unary_paths(rel("A"));
+        assert!(accepted.contains(&path_of(&["a", "b"])));
+        assert!(accepted.contains(&path_of(&["b", "b", "b"])));
+        assert!(!accepted.contains(&path_of(&["a"])));
+        assert!(!accepted.contains(&path_of(&["b", "a"])));
+    }
+
+    #[test]
+    fn example_2_2_three_occurrences_boolean_query() {
+        let program = parse_program(
+            "T($u·<$s>·$v) <- R($u·$s·$v), S($s).\n\
+             A <- T($x), T($y), T($z), $x != $y, $x != $z, $y != $z.",
+        )
+        .unwrap();
+        // "ab" occurs three times in abxabyab.
+        let mut input = Instance::unary(
+            rel("R"),
+            [path_of(&["a", "b", "x", "a", "b", "y", "a", "b"])],
+        );
+        input
+            .insert_fact(Fact::new(rel("S"), vec![path_of(&["a", "b"])]))
+            .unwrap();
+        assert!(engine().run(&program, &input).unwrap().nullary_true(rel("A")));
+
+        // Only two occurrences: a·b·x·a·b.
+        let mut input2 = Instance::unary(rel("R"), [path_of(&["a", "b", "x", "a", "b"])]);
+        input2
+            .insert_fact(Fact::new(rel("S"), vec![path_of(&["a", "b"])]))
+            .unwrap();
+        assert!(!engine().run(&program, &input2).unwrap().nullary_true(rel("A")));
+    }
+
+    #[test]
+    fn squaring_query_from_theorem_5_3() {
+        let program = parse_program(
+            "T(eps, $x, $x) <- R($x).\nT($y·$x, $x, $z) <- T($y, $x, a·$z).\nS($y) <- T($y, $x, eps).",
+        )
+        .unwrap();
+        for n in [0usize, 1, 2, 3, 5] {
+            let input = Instance::unary(rel("R"), [repeat_path("a", n)]);
+            let out = engine().run(&program, &input).unwrap();
+            let s = out.unary_paths(rel("S"));
+            assert!(
+                s.contains(&repeat_path("a", n * n)),
+                "a^{} missing from output for n={n}",
+                n * n
+            );
+        }
+    }
+
+    #[test]
+    fn stratified_negation_only_black_successors() {
+        // Section 5.2: nodes whose successors are all black, on graphs encoded as
+        // length-2 paths.
+        let program = parse_program(
+            "W(@x) <- R(@x·@y), !B(@y).\n---\nS(@x) <- R(@x·@y), !W(@x).",
+        )
+        .unwrap();
+        let mut input = Instance::new();
+        for (a, b) in [("n1", "n2"), ("n1", "n3"), ("n4", "n2")] {
+            input
+                .insert_fact(Fact::new(rel("R"), vec![path_of(&[a, b])]))
+                .unwrap();
+        }
+        // n2 is black, n3 is not.
+        input.insert_fact(Fact::new(rel("B"), vec![path_of(&["n2"])])).unwrap();
+        let out = engine().run(&program, &input).unwrap();
+        let s = out.unary_paths(rel("S"));
+        // n4's only successor (n2) is black; n1 has a non-black successor (n3).
+        assert!(s.contains(&path_of(&["n4"])));
+        assert!(!s.contains(&path_of(&["n1"])));
+    }
+
+    #[test]
+    fn graph_reachability_in_fragment_i_r() {
+        let program = parse_program(
+            "T(@x·@y) <- R(@x·@y).\nT(@x·@z) <- T(@x·@y), R(@y·@z).\nS <- T(a·b).",
+        )
+        .unwrap();
+        let mut chain = Instance::new();
+        for (x, y) in [("a", "c"), ("c", "d"), ("d", "b")] {
+            chain
+                .insert_fact(Fact::new(rel("R"), vec![path_of(&[x, y])]))
+                .unwrap();
+        }
+        assert!(engine().run(&program, &chain).unwrap().nullary_true(rel("S")));
+
+        let mut no_path = Instance::new();
+        for (x, y) in [("a", "c"), ("d", "b")] {
+            no_path
+                .insert_fact(Fact::new(rel("R"), vec![path_of(&[x, y])]))
+                .unwrap();
+        }
+        assert!(!engine().run(&program, &no_path).unwrap().nullary_true(rel("S")));
+    }
+
+    #[test]
+    fn example_2_3_nonterminating_program_hits_limits() {
+        let program = parse_program("T(a).\nT(a·$x) <- T($x).").unwrap();
+        let tight = Engine::new().with_limits(EvalLimits {
+            max_iterations: 50,
+            max_facts: 100_000,
+            max_path_len: 100_000,
+        });
+        let err = tight.run(&program, &Instance::new()).unwrap_err();
+        assert!(matches!(err, EvalError::LimitExceeded { .. }));
+    }
+
+    #[test]
+    fn naive_and_semi_naive_agree() {
+        let program = parse_program(
+            "T(@x·@y) <- R(@x·@y).\nT(@x·@z) <- T(@x·@y), R(@y·@z).\nS($p) <- T($p).",
+        )
+        .unwrap();
+        let mut input = Instance::new();
+        for (x, y) in [("a", "b"), ("b", "c"), ("c", "d"), ("d", "a"), ("b", "e")] {
+            input
+                .insert_fact(Fact::new(rel("R"), vec![path_of(&[x, y])]))
+                .unwrap();
+        }
+        let naive = engine()
+            .with_strategy(FixpointStrategy::Naive)
+            .run(&program, &input)
+            .unwrap();
+        let semi = engine()
+            .with_strategy(FixpointStrategy::SemiNaive)
+            .run(&program, &input)
+            .unwrap();
+        assert_eq!(naive.unary_paths(rel("S")), semi.unary_paths(rel("S")));
+        assert_eq!(naive.unary_paths(rel("S")).len(), 5 + 4 + 4 + 4 + 3);
+    }
+
+    #[test]
+    fn stats_report_iterations_and_facts() {
+        let program = parse_program("S($x) <- R($x).").unwrap();
+        let input = Instance::unary(rel("R"), [path_of(&["a"]), path_of(&["b"])]);
+        let (_, stats) = engine().run_with_stats(&program, &input).unwrap();
+        assert_eq!(stats.derived_facts, 2);
+        assert!(stats.iterations >= 1);
+        assert_eq!(stats.rule_firings, 2);
+    }
+
+    #[test]
+    fn empty_idb_relations_are_declared_in_the_output() {
+        let program = parse_program("S($x) <- R($x), a·$x = $x·a.").unwrap();
+        let input = Instance::unary(rel("R"), [path_of(&["b"])]);
+        let out = engine().run(&program, &input).unwrap();
+        assert!(out.relation(rel("S")).is_some());
+        assert!(out.unary_paths(rel("S")).is_empty());
+    }
+
+    #[test]
+    fn unsafe_programs_are_rejected_before_evaluation() {
+        let program = parse_program("S($y) <- R($x).").unwrap();
+        assert!(matches!(
+            engine().run(&program, &Instance::new()),
+            Err(EvalError::IllFormed(_))
+        ));
+    }
+
+    use seqdl_core::Path;
+}

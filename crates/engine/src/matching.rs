@@ -1,0 +1,303 @@
+//! Associative matching of path expressions against ground paths.
+//!
+//! The central operation of the evaluator: given a path expression `e`, a ground
+//! path `p`, and a partial valuation ν, enumerate all extensions ν′ ⊇ ν such that
+//! ν′(e) = p.  Because concatenation is associative, an unbound path variable can
+//! absorb any contiguous (possibly empty) block of the remaining path, so matching
+//! enumerates all decompositions.
+
+use seqdl_core::{Path, Value};
+use seqdl_syntax::{Binding, Equation, PathExpr, Predicate, Term, Valuation, VarKind};
+
+/// All extensions of `valuation` that make `expr` denote exactly `path`.
+pub fn match_expr(expr: &PathExpr, path: &Path, valuation: &Valuation) -> Vec<Valuation> {
+    let mut out = Vec::new();
+    match_terms(expr.terms(), path.values(), valuation, &mut out);
+    out
+}
+
+/// All extensions of `valuation` that make every component expression of `pred`
+/// denote the corresponding component path of `tuple`.
+///
+/// Returns an empty vector if the arities differ.
+pub fn match_predicate(pred: &Predicate, tuple: &[Path], valuation: &Valuation) -> Vec<Valuation> {
+    if pred.args.len() != tuple.len() {
+        return Vec::new();
+    }
+    let mut current = vec![valuation.clone()];
+    for (arg, path) in pred.args.iter().zip(tuple.iter()) {
+        let mut next = Vec::new();
+        for nu in &current {
+            next.extend(match_expr(arg, path, nu));
+        }
+        if next.is_empty() {
+            return Vec::new();
+        }
+        current = next;
+    }
+    current
+}
+
+/// Does the (fully bound) equation hold under `valuation`?  Returns `None` if some
+/// variable of the equation is unbound.
+pub fn equation_holds(eq: &Equation, valuation: &Valuation) -> Option<bool> {
+    let lhs = valuation.apply(&eq.lhs)?;
+    let rhs = valuation.apply(&eq.rhs)?;
+    Some(lhs == rhs)
+}
+
+/// All extensions of `valuation` satisfying the equation, assuming at least one side
+/// is fully bound under `valuation` (the planner guarantees this for safe rules).
+///
+/// Returns `None` if neither side is fully bound.
+pub fn match_equation(eq: &Equation, valuation: &Valuation) -> Option<Vec<Valuation>> {
+    let lhs_bound = valuation.is_appropriate_for(&eq.lhs);
+    let rhs_bound = valuation.is_appropriate_for(&eq.rhs);
+    match (lhs_bound, rhs_bound) {
+        (true, true) => {
+            let holds = equation_holds(eq, valuation).unwrap_or(false);
+            Some(if holds { vec![valuation.clone()] } else { Vec::new() })
+        }
+        (true, false) => {
+            let ground = valuation.apply(&eq.lhs)?;
+            Some(match_expr(&eq.rhs, &ground, valuation))
+        }
+        (false, true) => {
+            let ground = valuation.apply(&eq.rhs)?;
+            Some(match_expr(&eq.lhs, &ground, valuation))
+        }
+        (false, false) => None,
+    }
+}
+
+fn match_terms(terms: &[Term], values: &[Value], valuation: &Valuation, out: &mut Vec<Valuation>) {
+    let Some((first, rest)) = terms.split_first() else {
+        if values.is_empty() {
+            out.push(valuation.clone());
+        }
+        return;
+    };
+    match first {
+        Term::Const(a) => {
+            if let Some(Value::Atom(b)) = values.first() {
+                if a == b {
+                    match_terms(rest, &values[1..], valuation, out);
+                }
+            }
+        }
+        Term::Packed(inner) => {
+            if let Some(Value::Packed(p)) = values.first() {
+                let mut inner_matches = Vec::new();
+                match_terms(inner.terms(), p.values(), valuation, &mut inner_matches);
+                for nu in inner_matches {
+                    match_terms(rest, &values[1..], &nu, out);
+                }
+            }
+        }
+        Term::Var(v) => match (v.kind, valuation.get(*v)) {
+            (VarKind::Atom, Some(Binding::Atom(bound))) => {
+                if let Some(Value::Atom(b)) = values.first() {
+                    if bound == b {
+                        match_terms(rest, &values[1..], valuation, out);
+                    }
+                }
+            }
+            (VarKind::Atom, None) => {
+                if let Some(Value::Atom(b)) = values.first() {
+                    let extended = valuation.extended(*v, Binding::Atom(*b));
+                    match_terms(rest, &values[1..], &extended, out);
+                }
+            }
+            (VarKind::Path, Some(Binding::Path(bound))) => {
+                let n = bound.len();
+                if values.len() >= n && &values[..n] == bound.values() {
+                    match_terms(rest, &values[n..], valuation, out);
+                }
+            }
+            (VarKind::Path, None) => {
+                // Try every prefix (including the empty one) for this path variable.
+                for split in 0..=values.len() {
+                    let prefix = Path::from_values(values[..split].iter().cloned());
+                    let extended = valuation.extended(*v, Binding::Path(prefix));
+                    match_terms(rest, &values[split..], &extended, out);
+                }
+            }
+            // A binding of the wrong shape cannot occur: `Valuation::bind` checks it.
+            _ => unreachable!("valuation binding of the wrong kind"),
+        },
+    }
+}
+
+/// A variable assignment enumerator used by negated-predicate checks: does *some*
+/// tuple of `tuples` match `pred` under an extension of `valuation`?
+pub fn matches_some_tuple(pred: &Predicate, tuples: &[Vec<Path>], valuation: &Valuation) -> bool {
+    tuples
+        .iter()
+        .any(|t| !match_predicate(pred, t, valuation).is_empty())
+}
+
+/// Convenience for tests and callers: apply a valuation to a predicate to obtain the
+/// corresponding ground tuple, if the valuation is appropriate.
+pub fn ground_tuple(pred: &Predicate, valuation: &Valuation) -> Option<Vec<Path>> {
+    pred.args.iter().map(|a| valuation.apply(a)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqdl_core::{atom, path_of, rel, Path};
+    use seqdl_syntax::{parse_expr, Predicate, Var};
+
+    fn expr(s: &str) -> PathExpr {
+        parse_expr(s).unwrap()
+    }
+
+    #[test]
+    fn matching_constants_and_atom_variables() {
+        let matches = match_expr(&expr("a·@x·c"), &path_of(&["a", "b", "c"]), &Valuation::new());
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].get(Var::atom("x")), Some(&Binding::Atom(atom("b"))));
+        // Atom variable cannot absorb two values.
+        assert!(match_expr(&expr("a·@x"), &path_of(&["a", "b", "c"]), &Valuation::new()).is_empty());
+        // Constant mismatch.
+        assert!(match_expr(&expr("a·b"), &path_of(&["a", "c"]), &Valuation::new()).is_empty());
+    }
+
+    #[test]
+    fn unbound_path_variables_enumerate_all_decompositions() {
+        // $x·$y against a·b·c: 4 splits (|$x| = 0..3).
+        let matches = match_expr(&expr("$x·$y"), &path_of(&["a", "b", "c"]), &Valuation::new());
+        assert_eq!(matches.len(), 4);
+        // Each match reassembles to the original path.
+        for nu in &matches {
+            let x = nu.get(Var::path("x")).unwrap().as_path();
+            let y = nu.get(Var::path("y")).unwrap().as_path();
+            assert_eq!(x.concat(&y), path_of(&["a", "b", "c"]));
+        }
+    }
+
+    #[test]
+    fn repeated_path_variables_must_agree() {
+        // $x·$x against a·b·a·b: only $x = a·b.
+        let matches = match_expr(&expr("$x·$x"), &path_of(&["a", "b", "a", "b"]), &Valuation::new());
+        assert_eq!(matches.len(), 1);
+        assert_eq!(
+            matches[0].get(Var::path("x")),
+            Some(&Binding::Path(path_of(&["a", "b"])))
+        );
+        assert!(match_expr(&expr("$x·$x"), &path_of(&["a", "b", "a"]), &Valuation::new()).is_empty());
+    }
+
+    #[test]
+    fn bound_variables_constrain_the_match() {
+        let mut nu = Valuation::new();
+        nu.bind_path(Var::path("x"), path_of(&["a"]));
+        let matches = match_expr(&expr("$x·$y"), &path_of(&["a", "b"]), &nu);
+        assert_eq!(matches.len(), 1);
+        assert_eq!(
+            matches[0].get(Var::path("y")),
+            Some(&Binding::Path(path_of(&["b"])))
+        );
+        // A conflicting binding yields no matches.
+        let mut nu = Valuation::new();
+        nu.bind_path(Var::path("x"), path_of(&["c"]));
+        assert!(match_expr(&expr("$x·$y"), &path_of(&["a", "b"]), &nu).is_empty());
+    }
+
+    #[test]
+    fn packing_must_match_packed_values() {
+        let packed_path = Path::from_values([
+            Value::atom("c"),
+            Value::packed(path_of(&["a", "b"])),
+        ]);
+        let matches = match_expr(&expr("c·<$s>"), &packed_path, &Valuation::new());
+        assert_eq!(matches.len(), 1);
+        assert_eq!(
+            matches[0].get(Var::path("s")),
+            Some(&Binding::Path(path_of(&["a", "b"])))
+        );
+        // A packed expression never matches an atomic value.
+        assert!(match_expr(&expr("<$s>"), &path_of(&["a"]), &Valuation::new()).is_empty());
+        // And a path variable *can* match a packed value (it is a value like any
+        // other).
+        let matches = match_expr(&expr("c·$v"), &packed_path, &Valuation::new());
+        assert_eq!(matches.len(), 1);
+    }
+
+    #[test]
+    fn empty_expression_matches_only_the_empty_path() {
+        assert_eq!(match_expr(&expr("eps"), &Path::empty(), &Valuation::new()).len(), 1);
+        assert!(match_expr(&expr("eps"), &path_of(&["a"]), &Valuation::new()).is_empty());
+    }
+
+    #[test]
+    fn predicate_matching_threads_valuations_across_components() {
+        // T($x, $x·a) against (b, b·a) succeeds; against (b, c·a) fails.
+        let pred = Predicate::new(rel("T"), vec![expr("$x"), expr("$x·a")]);
+        let ok = match_predicate(
+            &pred,
+            &[path_of(&["b"]), path_of(&["b", "a"])],
+            &Valuation::new(),
+        );
+        assert_eq!(ok.len(), 1);
+        let bad = match_predicate(
+            &pred,
+            &[path_of(&["b"]), path_of(&["c", "a"])],
+            &Valuation::new(),
+        );
+        assert!(bad.is_empty());
+        // Arity mismatch never matches.
+        assert!(match_predicate(&pred, &[path_of(&["b"])], &Valuation::new()).is_empty());
+    }
+
+    #[test]
+    fn equation_matching_uses_the_ground_side() {
+        // With $x bound, a·$x = $y·a binds $y.
+        let eq = Equation::new(expr("a·$x"), expr("$y·a"));
+        let mut nu = Valuation::new();
+        nu.bind_path(Var::path("x"), path_of(&["a"]));
+        let matches = match_equation(&eq, &nu).unwrap();
+        assert_eq!(matches.len(), 1);
+        assert_eq!(
+            matches[0].get(Var::path("y")),
+            Some(&Binding::Path(path_of(&["a"])))
+        );
+        // Fully bound equations are just checked.
+        let mut nu2 = matches[0].clone();
+        nu2.bind_path(Var::path("z"), Path::empty());
+        let eq2 = Equation::new(expr("$x"), expr("$y"));
+        assert_eq!(match_equation(&eq2, &nu2).unwrap().len(), 1);
+        // Neither side bound: planner error signalled by None.
+        assert!(match_equation(&Equation::new(expr("$p"), expr("$q")), &Valuation::new()).is_none());
+    }
+
+    #[test]
+    fn ground_tuple_and_matches_some_tuple() {
+        let pred = Predicate::new(rel("R"), vec![expr("$x·a")]);
+        let mut nu = Valuation::new();
+        nu.bind_path(Var::path("x"), path_of(&["b"]));
+        assert_eq!(ground_tuple(&pred, &nu), Some(vec![path_of(&["b", "a"])]));
+        assert_eq!(ground_tuple(&pred, &Valuation::new()), None);
+
+        let tuples = vec![vec![path_of(&["b", "a"])], vec![path_of(&["c"])]];
+        assert!(matches_some_tuple(&pred, &tuples, &nu));
+        let mut nu_miss = Valuation::new();
+        nu_miss.bind_path(Var::path("x"), path_of(&["z"]));
+        assert!(!matches_some_tuple(&pred, &tuples, &nu_miss));
+    }
+
+    #[test]
+    fn only_as_equation_matches_exactly_a_powers() {
+        // a·$x = $x·a with $x bound: holds iff $x is all a's.
+        let eq = Equation::new(expr("a·$x"), expr("$x·a"));
+        for (path, expected) in [
+            (seqdl_core::repeat_path("a", 4), true),
+            (path_of(&["a", "b", "a"]), false),
+            (Path::empty(), true),
+        ] {
+            let mut nu = Valuation::new();
+            nu.bind_path(Var::path("x"), path);
+            assert_eq!(equation_holds(&eq, &nu), Some(expected));
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Body planning: ordering the literals of a rule body for evaluation.
+//!
+//! For a safe rule (Section 2.2) the limited-variable fixpoint guarantees an order
+//! in which
+//!
+//! 1. positive predicates are matched first (binding their variables),
+//! 2. each positive equation is evaluated at a point where at least one of its
+//!    sides is fully bound (so it can be solved by matching against a ground path),
+//! 3. negated predicates and negated equations are checked last, when all their
+//!    variables are bound.
+
+use crate::error::EvalError;
+use seqdl_syntax::{Atom, Literal, Rule, Var};
+use std::collections::BTreeSet;
+
+/// One step of a planned body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PlannedLiteral {
+    /// Match a positive predicate against the current instance.
+    MatchPredicate(seqdl_syntax::Predicate),
+    /// Evaluate a positive equation (one side is guaranteed ground at this point).
+    SolveEquation(seqdl_syntax::Equation),
+    /// Check a negated predicate (all variables bound).
+    CheckNegatedPredicate(seqdl_syntax::Predicate),
+    /// Check a negated equation (all variables bound).
+    CheckNegatedEquation(seqdl_syntax::Equation),
+}
+
+/// A plan: the body literals of a rule in evaluation order.
+#[derive(Clone, Debug, Default)]
+pub struct BodyPlan {
+    /// The ordered steps.
+    pub steps: Vec<PlannedLiteral>,
+}
+
+/// Plan the body of a rule.
+///
+/// # Errors
+/// [`EvalError::Unplannable`] if some positive equation never acquires a fully
+/// bound side; this only happens for unsafe rules.
+pub fn plan_rule(rule: &Rule) -> Result<BodyPlan, EvalError> {
+    let mut steps = Vec::new();
+    let mut bound: BTreeSet<Var> = BTreeSet::new();
+
+    // 1. Positive predicates, in source order.
+    for lit in rule.body.iter().filter(|l| l.positive) {
+        if let Atom::Pred(p) = &lit.atom {
+            bound.extend(p.vars());
+            steps.push(PlannedLiteral::MatchPredicate(p.clone()));
+        }
+    }
+
+    // 2. Positive equations, each at a point where one side is fully bound.
+    let mut pending: Vec<&Literal> = rule
+        .body
+        .iter()
+        .filter(|l| l.positive && l.is_equation())
+        .collect();
+    while !pending.is_empty() {
+        let pick = pending.iter().position(|l| {
+            let eq = l.atom.as_equation().expect("filtered to equations");
+            eq.lhs.vars().iter().all(|v| bound.contains(v))
+                || eq.rhs.vars().iter().all(|v| bound.contains(v))
+        });
+        match pick {
+            Some(ix) => {
+                let lit = pending.remove(ix);
+                let eq = lit.atom.as_equation().expect("filtered to equations").clone();
+                bound.extend(eq.vars());
+                steps.push(PlannedLiteral::SolveEquation(eq));
+            }
+            None => {
+                return Err(EvalError::Unplannable {
+                    rule: rule.to_string(),
+                })
+            }
+        }
+    }
+
+    // 3. Negated literals.
+    for lit in rule.body.iter().filter(|l| !l.positive) {
+        match &lit.atom {
+            Atom::Pred(p) => steps.push(PlannedLiteral::CheckNegatedPredicate(p.clone())),
+            Atom::Eq(e) => steps.push(PlannedLiteral::CheckNegatedEquation(e.clone())),
+        }
+    }
+
+    Ok(BodyPlan { steps })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqdl_syntax::parse_rule;
+
+    #[test]
+    fn predicates_come_before_equations_and_negation_last() {
+        let rule = parse_rule("S($x) <- a·$x = $x·a, R($x), !B($x).").unwrap();
+        let plan = plan_rule(&rule).unwrap();
+        assert!(matches!(plan.steps[0], PlannedLiteral::MatchPredicate(_)));
+        assert!(matches!(plan.steps[1], PlannedLiteral::SolveEquation(_)));
+        assert!(matches!(plan.steps[2], PlannedLiteral::CheckNegatedPredicate(_)));
+    }
+
+    #[test]
+    fn chained_equations_are_ordered_by_boundness() {
+        // $z = b·$y can only run after $y = $x·a has bound $y.
+        let rule = parse_rule("S($z) <- R($x), $z = b·$y, $y = $x·a.").unwrap();
+        let plan = plan_rule(&rule).unwrap();
+        let equations: Vec<String> = plan
+            .steps
+            .iter()
+            .filter_map(|s| match s {
+                PlannedLiteral::SolveEquation(e) => Some(e.to_string()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(equations, vec!["$y = $x·a".to_string(), "$z = b·$y".to_string()]);
+    }
+
+    #[test]
+    fn unsafe_rules_cannot_be_planned() {
+        let rule = parse_rule("S($x) <- R($x), $y = $z.").unwrap();
+        assert!(matches!(plan_rule(&rule), Err(EvalError::Unplannable { .. })));
+    }
+
+    #[test]
+    fn nonequalities_are_planned_as_negated_equations() {
+        let rule = parse_rule("S($x) <- R($x·@a·@b), @a != @b.").unwrap();
+        let plan = plan_rule(&rule).unwrap();
+        assert!(matches!(
+            plan.steps.last(),
+            Some(PlannedLiteral::CheckNegatedEquation(_))
+        ));
+    }
+
+    #[test]
+    fn bodiless_rules_plan_to_nothing() {
+        let rule = parse_rule("T(a).").unwrap();
+        assert!(plan_rule(&rule).unwrap().steps.is_empty());
+    }
+}

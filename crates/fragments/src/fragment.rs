@@ -1,0 +1,270 @@
+//! Features and fragments (Section 3).
+
+use seqdl_syntax::FeatureSet;
+use std::fmt;
+use std::str::FromStr;
+
+/// One of the six language features of Section 3.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum Feature {
+    /// **A** — predicates of arity greater than one.
+    Arity,
+    /// **E** — equations between path expressions.
+    Equations,
+    /// **I** — intermediate predicates (two or more IDB relation names).
+    Intermediate,
+    /// **N** — (stratified) negation.
+    Negation,
+    /// **P** — packing.
+    Packing,
+    /// **R** — recursion.
+    Recursion,
+}
+
+impl Feature {
+    /// All six features, in the paper's alphabetical order.
+    pub const ALL: [Feature; 6] = [
+        Feature::Arity,
+        Feature::Equations,
+        Feature::Intermediate,
+        Feature::Negation,
+        Feature::Packing,
+        Feature::Recursion,
+    ];
+
+    /// The single-letter name of the feature.
+    pub fn letter(self) -> char {
+        match self {
+            Feature::Arity => 'A',
+            Feature::Equations => 'E',
+            Feature::Intermediate => 'I',
+            Feature::Negation => 'N',
+            Feature::Packing => 'P',
+            Feature::Recursion => 'R',
+        }
+    }
+
+    /// Parse a feature from its letter.
+    pub fn from_letter(c: char) -> Option<Feature> {
+        match c.to_ascii_uppercase() {
+            'A' => Some(Feature::Arity),
+            'E' => Some(Feature::Equations),
+            'I' => Some(Feature::Intermediate),
+            'N' => Some(Feature::Negation),
+            'P' => Some(Feature::Packing),
+            'R' => Some(Feature::Recursion),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Feature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.letter())
+    }
+}
+
+/// A fragment: a set of features (Section 3).  Programs *belong* to a fragment if
+/// they use only its features.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Default)]
+pub struct Fragment(u8);
+
+impl Fragment {
+    /// The empty fragment `{}`.
+    pub fn empty() -> Fragment {
+        Fragment(0)
+    }
+
+    /// The full fragment Φ = {A, E, I, N, P, R}.
+    pub fn full() -> Fragment {
+        Fragment::from_features(Feature::ALL)
+    }
+
+    /// Build a fragment from features.
+    pub fn from_features(features: impl IntoIterator<Item = Feature>) -> Fragment {
+        let mut f = Fragment::empty();
+        for feature in features {
+            f = f.with(feature);
+        }
+        f
+    }
+
+    /// The fragment of features a program actually uses.
+    pub fn of_feature_set(fs: &FeatureSet) -> Fragment {
+        let mut out = Fragment::empty();
+        for (flag, feature) in [
+            (fs.arity, Feature::Arity),
+            (fs.equations, Feature::Equations),
+            (fs.intermediate, Feature::Intermediate),
+            (fs.negation, Feature::Negation),
+            (fs.packing, Feature::Packing),
+            (fs.recursion, Feature::Recursion),
+        ] {
+            if flag {
+                out = out.with(feature);
+            }
+        }
+        out
+    }
+
+    /// The fragment of features used by a program.
+    pub fn of_program(program: &seqdl_syntax::Program) -> Fragment {
+        Fragment::of_feature_set(&FeatureSet::of_program(program))
+    }
+
+    fn bit(feature: Feature) -> u8 {
+        1 << (Feature::ALL.iter().position(|f| *f == feature).expect("feature") as u8)
+    }
+
+    /// Does the fragment contain `feature`?
+    pub fn contains(self, feature: Feature) -> bool {
+        self.0 & Fragment::bit(feature) != 0
+    }
+
+    /// The fragment with `feature` added.
+    pub fn with(self, feature: Feature) -> Fragment {
+        Fragment(self.0 | Fragment::bit(feature))
+    }
+
+    /// The fragment with `feature` removed.
+    pub fn without(self, feature: Feature) -> Fragment {
+        Fragment(self.0 & !Fragment::bit(feature))
+    }
+
+    /// Is this fragment a subset of `other`?
+    pub fn is_subset_of(self, other: Fragment) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Union of two fragments.
+    pub fn union(self, other: Fragment) -> Fragment {
+        Fragment(self.0 | other.0)
+    }
+
+    /// The features of the fragment, in order.
+    pub fn features(self) -> Vec<Feature> {
+        Feature::ALL
+            .into_iter()
+            .filter(|f| self.contains(*f))
+            .collect()
+    }
+
+    /// Number of features.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Is this the empty fragment?
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The projection of the fragment onto {E, I, N, R}: the paper's `F̂ = F − {A, P}`
+    /// (Section 6), since arity and packing are redundant.
+    pub fn hat(self) -> Fragment {
+        self.without(Feature::Arity).without(Feature::Packing)
+    }
+
+    /// All 16 fragments over {E, I, N, R} (the fragments classified by Figure 1).
+    pub fn all_over_einr() -> Vec<Fragment> {
+        let letters = [
+            Feature::Equations,
+            Feature::Intermediate,
+            Feature::Negation,
+            Feature::Recursion,
+        ];
+        (0..16u8)
+            .map(|mask| {
+                Fragment::from_features(
+                    letters
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| mask & (1 << i) != 0)
+                        .map(|(_, f)| *f),
+                )
+            })
+            .collect()
+    }
+
+    /// All 64 fragments over the full feature set Φ.
+    pub fn all() -> Vec<Fragment> {
+        (0..64u8).map(Fragment).collect()
+    }
+}
+
+impl fmt::Display for Fragment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let letters: Vec<String> = self.features().iter().map(|x| x.to_string()).collect();
+        write!(f, "{{{}}}", letters.join(", "))
+    }
+}
+
+impl FromStr for Fragment {
+    type Err = String;
+    /// Parse a fragment from letters, e.g. `"EIN"`, `"{E, I, N}"`, or `"{}"`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut out = Fragment::empty();
+        for c in s.chars() {
+            if c.is_whitespace() || "{},".contains(c) {
+                continue;
+            }
+            match Feature::from_letter(c) {
+                Some(f) => out = out.with(f),
+                None => return Err(format!("unknown feature letter `{c}`")),
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqdl_syntax::parse_program;
+
+    #[test]
+    fn fragment_set_operations() {
+        let einr: Fragment = "EINR".parse().unwrap();
+        assert_eq!(einr.len(), 4);
+        assert!(einr.contains(Feature::Equations));
+        assert!(!einr.contains(Feature::Packing));
+        assert!(Fragment::empty().is_subset_of(einr));
+        assert!(einr.is_subset_of(Fragment::full()));
+        assert!(!einr.is_subset_of("EIN".parse().unwrap()));
+        assert_eq!(einr.without(Feature::Equations).to_string(), "{I, N, R}");
+        assert_eq!(
+            einr.union("AP".parse().unwrap()),
+            Fragment::full()
+        );
+        assert_eq!(Fragment::full().hat(), einr);
+    }
+
+    #[test]
+    fn parsing_and_display_round_trip() {
+        for s in ["{}", "{E}", "{E, I, N, R}", "{A, E, I, N, P, R}"] {
+            let f: Fragment = s.parse().unwrap();
+            assert_eq!(f.to_string(), s);
+        }
+        assert!("XYZ".parse::<Fragment>().is_err());
+    }
+
+    #[test]
+    fn enumerations_have_the_right_sizes() {
+        assert_eq!(Fragment::all_over_einr().len(), 16);
+        assert_eq!(Fragment::all().len(), 64);
+        let distinct: std::collections::BTreeSet<_> =
+            Fragment::all_over_einr().into_iter().collect();
+        assert_eq!(distinct.len(), 16);
+    }
+
+    #[test]
+    fn fragment_of_program_matches_feature_detection() {
+        let p = parse_program("S($x) <- R($x), a·$x = $x·a.").unwrap();
+        assert_eq!(Fragment::of_program(&p), "E".parse().unwrap());
+        let p = parse_program(
+            "T($x, $x) <- R($x).\nT($x, $y) <- T($x, $y·a).\nS($x) <- T($x, eps).",
+        )
+        .unwrap();
+        assert_eq!(Fragment::of_program(&p), "AIR".parse().unwrap());
+    }
+}

@@ -1,0 +1,231 @@
+//! Equivalence classes and the Hasse diagram of Figure 1.
+
+use crate::fragment::Fragment;
+use crate::subsumption::subsumed_by;
+use std::fmt::Write as _;
+
+/// Group fragments into equivalence classes of the subsumption relation
+/// (`F1 ≡ F2` iff `F1 ≤ F2` and `F2 ≤ F1`).  Each class lists its members in order.
+pub fn equivalence_classes(fragments: &[Fragment]) -> Vec<Vec<Fragment>> {
+    let mut classes: Vec<Vec<Fragment>> = Vec::new();
+    for &f in fragments {
+        match classes
+            .iter_mut()
+            .find(|c| subsumed_by(f, c[0]) && subsumed_by(c[0], f))
+        {
+            Some(class) => class.push(f),
+            None => classes.push(vec![f]),
+        }
+    }
+    for class in &mut classes {
+        class.sort();
+    }
+    classes.sort();
+    classes
+}
+
+/// The Hasse diagram of the equivalence classes of a set of fragments under
+/// subsumption (Figure 1 of the paper for the 16 fragments over {E, I, N, R}).
+#[derive(Clone, Debug)]
+pub struct HasseDiagram {
+    /// The equivalence classes (the diagram's nodes).
+    pub classes: Vec<Vec<Fragment>>,
+    /// Cover edges `(lower, upper)` as indices into `classes`: the lower class is
+    /// strictly subsumed by the upper one with nothing in between.
+    pub edges: Vec<(usize, usize)>,
+}
+
+impl HasseDiagram {
+    /// Build the diagram for the given fragments.
+    pub fn build(fragments: &[Fragment]) -> HasseDiagram {
+        let classes = equivalence_classes(fragments);
+        let le = |a: usize, b: usize| subsumed_by(classes[a][0], classes[b][0]);
+        let strictly_le = |a: usize, b: usize| a != b && le(a, b);
+        let mut edges = Vec::new();
+        for lower in 0..classes.len() {
+            for upper in 0..classes.len() {
+                if !strictly_le(lower, upper) {
+                    continue;
+                }
+                // Cover edge: nothing strictly in between.
+                let covered = (0..classes.len())
+                    .any(|mid| strictly_le(lower, mid) && strictly_le(mid, upper));
+                if !covered {
+                    edges.push((lower, upper));
+                }
+            }
+        }
+        HasseDiagram { classes, edges }
+    }
+
+    /// A canonical label for a class: its members joined by `=` (as in Figure 1).
+    pub fn class_label(&self, index: usize) -> String {
+        self.classes[index]
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join(" = ")
+    }
+
+    /// Group the classes into levels by longest chain from the bottom, mirroring the
+    /// layered drawing of Figure 1.
+    pub fn levels(&self) -> Vec<Vec<usize>> {
+        let n = self.classes.len();
+        let mut level = vec![0usize; n];
+        // Longest-path layering over the DAG of cover edges.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &(lower, upper) in &self.edges {
+                if level[upper] < level[lower] + 1 {
+                    level[upper] = level[lower] + 1;
+                    changed = true;
+                }
+            }
+        }
+        let max_level = level.iter().copied().max().unwrap_or(0);
+        let mut out = vec![Vec::new(); max_level + 1];
+        for (i, l) in level.iter().enumerate() {
+            out[*l].push(i);
+        }
+        out
+    }
+
+    /// Render the diagram as text, one level per line, bottom level first.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for (depth, level) in self.levels().iter().enumerate() {
+            let labels: Vec<String> = level.iter().map(|i| self.class_label(*i)).collect();
+            let _ = writeln!(out, "level {depth}: {}", labels.join("    "));
+        }
+        let _ = writeln!(out, "cover edges:");
+        for &(lower, upper) in &self.edges {
+            let _ = writeln!(
+                out,
+                "  {}  <  {}",
+                self.class_label(lower),
+                self.class_label(upper)
+            );
+        }
+        out
+    }
+
+    /// Render the diagram in Graphviz DOT format.
+    pub fn to_dot(&self) -> String {
+        let mut out = String::from("digraph hasse {\n  rankdir=BT;\n  node [shape=box];\n");
+        for (i, _) in self.classes.iter().enumerate() {
+            let _ = writeln!(out, "  c{i} [label=\"{}\"];", self.class_label(i));
+        }
+        for &(lower, upper) in &self.edges {
+            let _ = writeln!(out, "  c{lower} -> c{upper};");
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frag(s: &str) -> Fragment {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn figure_1_has_eleven_equivalence_classes() {
+        let classes = equivalence_classes(&Fragment::all_over_einr());
+        assert_eq!(classes.len(), 11);
+        // The merged classes shown in Figure 1.
+        let find = |f: &str| {
+            classes
+                .iter()
+                .find(|c| c.contains(&frag(f)))
+                .cloned()
+                .unwrap_or_default()
+        };
+        assert_eq!(find("E"), vec![frag("E"), frag("I"), frag("EI")]);
+        assert_eq!(find("INR"), vec![frag("INR"), frag("EINR")]);
+        assert_eq!(find("IN"), vec![frag("IN"), frag("EIN")]);
+        assert_eq!(find("IR"), vec![frag("IR"), frag("EIR")]);
+        // Singleton classes.
+        for f in ["", "R", "N", "EN", "NR", "ER", "ENR"] {
+            assert_eq!(find(f).len(), 1, "{f} should be alone in its class");
+        }
+    }
+
+    #[test]
+    fn all_64_fragments_also_collapse_to_eleven_classes() {
+        // Arity and packing are redundant, so the 64 fragments over Φ fall into the
+        // same 11 classes.
+        let classes = equivalence_classes(&Fragment::all());
+        assert_eq!(classes.len(), 11);
+    }
+
+    #[test]
+    fn figure_1_cover_edges() {
+        let diagram = HasseDiagram::build(&Fragment::all_over_einr());
+        assert_eq!(diagram.classes.len(), 11);
+        let index_of = |f: &str| {
+            diagram
+                .classes
+                .iter()
+                .position(|c| c.contains(&frag(f)))
+                .unwrap()
+        };
+        let has_edge = |a: &str, b: &str| {
+            diagram
+                .edges
+                .contains(&(index_of(a), index_of(b)))
+        };
+        // Ascending paths present in Figure 1 (a sample of the cover edges).
+        assert!(has_edge("", "E"));
+        assert!(has_edge("", "N"));
+        assert!(has_edge("", "R"));
+        assert!(has_edge("E", "EN"));
+        assert!(has_edge("E", "ER"));
+        assert!(has_edge("ER", "IR"));
+        assert!(has_edge("N", "EN"));
+        assert!(has_edge("N", "NR"));
+        assert!(has_edge("R", "NR"));
+        assert!(has_edge("R", "ER"));
+        assert!(has_edge("EN", "IN"));
+        assert!(has_edge("ER", "EINR") || has_edge("ER", "ENR"));
+        assert!(has_edge("IN", "INR"));
+        assert!(has_edge("IR", "INR"));
+        assert!(has_edge("ENR", "INR"));
+        // Absent in Figure 1: no edge from {N} directly to the top, no edge between
+        // the incomparable {E, N} and {N, R}.
+        assert!(!has_edge("N", "INR"));
+        assert!(!has_edge("EN", "NR"));
+        assert!(!has_edge("NR", "EN"));
+    }
+
+    #[test]
+    fn the_bottom_level_is_the_empty_fragment_and_the_top_is_the_full_class() {
+        let diagram = HasseDiagram::build(&Fragment::all_over_einr());
+        let levels = diagram.levels();
+        assert_eq!(levels[0], vec![diagram
+            .classes
+            .iter()
+            .position(|c| c.contains(&Fragment::empty()))
+            .unwrap()]);
+        let top = levels.last().unwrap();
+        assert_eq!(top.len(), 1);
+        assert!(diagram.classes[top[0]].contains(&frag("EINR")));
+        // Figure 1 draws four levels above the bottom.
+        assert_eq!(levels.len(), 5);
+    }
+
+    #[test]
+    fn renderings_mention_every_class() {
+        let diagram = HasseDiagram::build(&Fragment::all_over_einr());
+        let text = diagram.render_text();
+        let dot = diagram.to_dot();
+        for class in &diagram.classes {
+            let label = class[0].to_string();
+            assert!(text.contains(&label), "text missing {label}");
+            assert!(dot.contains(&label), "dot missing {label}");
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! # seqdl-fragments — features, fragments, and the expressiveness classification
+//!
+//! This crate implements Sections 3 and 6 of *Expressiveness within Sequence
+//! Datalog* (PODS 2021):
+//!
+//! * [`Feature`] and [`Fragment`] — the six features A, E, I, N, P, R and sets
+//!   thereof;
+//! * [`subsumed_by`] — the five conditions of Theorem 6.1 characterising when
+//!   `F1 ≤ F2`;
+//! * [`equivalence_classes`] and [`HasseDiagram`] — the 11 equivalence classes and
+//!   the Hasse diagram of Figure 1;
+//! * [`rewrite_into`] — the constructive if-direction of Theorem 6.1 (Figure 3):
+//!   chaining the seqdl-rewrite passes to move a program from its own fragment into
+//!   any subsuming fragment;
+//! * [`witnesses`] — the concrete programs the paper's primitivity proofs rest on.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod fragment;
+pub mod hasse;
+pub mod subsumption;
+pub mod witnesses;
+
+pub use fragment::{Feature, Fragment};
+pub use hasse::{equivalence_classes, HasseDiagram};
+pub use subsumption::{rewrite_into, subsumed_by, subsumption_conditions, SubsumptionReport};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn public_api_smoke_test() {
+        let e: Fragment = "E".parse().unwrap();
+        let i: Fragment = "I".parse().unwrap();
+        assert!(subsumed_by(e, i));
+        assert!(subsumed_by(i, e));
+        let classes = equivalence_classes(&Fragment::all_over_einr());
+        assert_eq!(classes.len(), 11);
+    }
+}

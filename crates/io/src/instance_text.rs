@@ -1,0 +1,238 @@
+//! The textual instance format: ground facts, one per line.
+
+use seqdl_core::{Fact, Instance, Path, RelName};
+use seqdl_syntax::parse_rule;
+use std::fmt;
+
+/// Errors raised while parsing an instance file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InstanceParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for InstanceParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "instance parse error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for InstanceParseError {}
+
+/// Render an instance in the textual format: one `@relation` declaration per
+/// relation (so empty relations survive the round trip) followed by one ground fact
+/// per line, both sorted for reproducible output.
+pub fn write_instance(instance: &Instance) -> String {
+    let mut out = String::new();
+    let mut names = instance.relation_names();
+    names.sort();
+    for name in &names {
+        if let Some(relation) = instance.relation(*name) {
+            out.push_str(&format!("@relation {}/{}.\n", name, relation.arity()));
+        }
+    }
+    let mut rendered: Vec<String> = instance.facts().map(|f| render_fact(&f)).collect();
+    rendered.sort();
+    for fact in rendered {
+        out.push_str(&fact);
+        out.push('\n');
+    }
+    out
+}
+
+fn render_fact(fact: &Fact) -> String {
+    if fact.tuple.is_empty() {
+        return format!("{}.", fact.relation);
+    }
+    let args: Vec<String> = fact.tuple.iter().map(Path::to_string).collect();
+    format!("{}({}).", fact.relation, args.join(", "))
+}
+
+/// Parse the textual instance format produced by [`write_instance`].
+///
+/// Lines whose first non-whitespace character is `#` or `%` are comments; blank
+/// lines are ignored.  `@relation R/2.` declares a relation.  Every other line must
+/// be a single ground fact terminated by `.`.
+///
+/// # Errors
+/// Reports the first offending line: syntax errors, non-ground facts, facts with a
+/// body, or arity clashes.
+pub fn parse_instance(text: &str) -> Result<Instance, InstanceParseError> {
+    let mut instance = Instance::new();
+    for (index, raw_line) in text.lines().enumerate() {
+        let line_number = index + 1;
+        let line = raw_line.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+            continue;
+        }
+        if let Some(declaration) = line.strip_prefix("@relation") {
+            let (name, arity) = parse_declaration(declaration).map_err(|message| {
+                InstanceParseError { line: line_number, message }
+            })?;
+            instance.declare_relation(RelName::new(&name), arity);
+            continue;
+        }
+        let fact = parse_fact_line(line).map_err(|message| InstanceParseError {
+            line: line_number,
+            message,
+        })?;
+        instance.insert_fact(fact).map_err(|e| InstanceParseError {
+            line: line_number,
+            message: e.to_string(),
+        })?;
+    }
+    Ok(instance)
+}
+
+fn parse_declaration(rest: &str) -> Result<(String, usize), String> {
+    let rest = rest.trim().trim_end_matches('.');
+    let (name, arity) = rest
+        .split_once('/')
+        .ok_or_else(|| "expected `@relation Name/arity.`".to_string())?;
+    let arity: usize = arity
+        .trim()
+        .parse()
+        .map_err(|_| format!("invalid arity `{}`", arity.trim()))?;
+    let name = name.trim();
+    if name.is_empty() {
+        return Err("empty relation name".to_string());
+    }
+    Ok((name.to_string(), arity))
+}
+
+fn parse_fact_line(line: &str) -> Result<Fact, String> {
+    let rule = parse_rule(line).map_err(|e| e.to_string())?;
+    if !rule.body.is_empty() {
+        return Err("facts must not have a body".to_string());
+    }
+    let mut tuple = Vec::with_capacity(rule.head.args.len());
+    for arg in &rule.head.args {
+        match arg.as_path() {
+            Some(path) => tuple.push(path),
+            None => {
+                return Err(format!(
+                    "component `{arg}` is not ground; instance files may only contain ground facts"
+                ))
+            }
+        }
+    }
+    Ok(Fact::new(rule.head.relation, tuple))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqdl_core::{atom, path_of, rel, Value};
+
+    fn roundtrip(instance: &Instance) -> Instance {
+        parse_instance(&write_instance(instance)).expect("round trip parses")
+    }
+
+    #[test]
+    fn simple_unary_instances_round_trip() {
+        let instance = Instance::unary(
+            rel("R"),
+            [path_of(&["a", "b", "c"]), path_of(&["a"]), Path::empty()],
+        );
+        let back = roundtrip(&instance);
+        assert_eq!(back.unary_paths(rel("R")), instance.unary_paths(rel("R")));
+        assert_eq!(back.fact_count(), 3);
+    }
+
+    #[test]
+    fn higher_arity_and_nullary_facts_round_trip() {
+        let mut instance = Instance::new();
+        instance.declare_relation(rel("D"), 3);
+        instance.declare_relation(rel("Flag"), 0);
+        instance
+            .insert_fact(Fact::new(
+                rel("D"),
+                vec![path_of(&["q0"]), path_of(&["a"]), path_of(&["q1"])],
+            ))
+            .unwrap();
+        instance.insert_fact(Fact::new(rel("Flag"), vec![])).unwrap();
+        let back = roundtrip(&instance);
+        assert!(back.nullary_true(rel("Flag")));
+        assert!(back.contains_fact(&Fact::new(
+            rel("D"),
+            vec![path_of(&["q0"]), path_of(&["a"]), path_of(&["q1"])],
+        )));
+    }
+
+    #[test]
+    fn packed_values_round_trip() {
+        let packed = Path::from_values([
+            Value::Atom(atom("c")),
+            Value::Packed(path_of(&["a", "b"])),
+        ]);
+        let instance = Instance::unary(rel("R"), [packed.clone()]);
+        let back = roundtrip(&instance);
+        assert!(back.unary_paths(rel("R")).contains(&packed));
+    }
+
+    #[test]
+    fn odd_atom_names_round_trip_via_quoting() {
+        let instance = Instance::unary(
+            rel("Log"),
+            [path_of(&["receive-payment", "2020", "has space", "eps"])],
+        );
+        let back = roundtrip(&instance);
+        assert_eq!(back.unary_paths(rel("Log")), instance.unary_paths(rel("Log")));
+    }
+
+    #[test]
+    fn empty_relations_survive_via_declarations() {
+        let mut instance = Instance::new();
+        instance.declare_relation(rel("Empty"), 2);
+        instance.declare_relation(rel("R"), 1);
+        instance.insert_fact(Fact::new(rel("R"), vec![path_of(&["a"])])).unwrap();
+        let back = roundtrip(&instance);
+        assert!(back.relation(rel("Empty")).is_some());
+        assert_eq!(back.relation(rel("Empty")).unwrap().arity(), 2);
+        assert_eq!(back.relation(rel("Empty")).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = "# a comment\n\n% another comment\nR(a·b).\n   \nR(c).\n";
+        let instance = parse_instance(text).unwrap();
+        assert_eq!(instance.unary_paths(rel("R")).len(), 2);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse_instance("R(a).\nR($x).\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("ground"));
+
+        let err = parse_instance("R(a).\nS(b) <- R(a).\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("body"));
+
+        let err = parse_instance("R(a).\nR(a, b).\n").unwrap_err();
+        assert_eq!(err.line, 2, "arity clash is reported on the offending line");
+
+        let err = parse_instance("@relation R.\n").unwrap_err();
+        assert_eq!(err.line, 1);
+
+        let err = parse_instance("@relation R/x.\n").unwrap_err();
+        assert!(err.message.contains("arity"));
+
+        assert!(parse_instance("not a fact\n").is_err());
+    }
+
+    #[test]
+    fn output_is_sorted_and_deterministic() {
+        let mut a = Instance::new();
+        a.declare_relation(rel("B"), 1);
+        a.declare_relation(rel("A"), 1);
+        a.insert_fact(Fact::new(rel("B"), vec![path_of(&["z"])])).unwrap();
+        a.insert_fact(Fact::new(rel("A"), vec![path_of(&["y"])])).unwrap();
+        a.insert_fact(Fact::new(rel("A"), vec![path_of(&["x"])])).unwrap();
+        let first = write_instance(&a);
+        let second = write_instance(&parse_instance(&first).unwrap());
+        assert_eq!(first, second, "writing is idempotent after one round trip");
+    }
+}

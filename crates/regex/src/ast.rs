@@ -1,0 +1,404 @@
+//! The regular-expression AST over atomic values, with a direct matcher.
+
+use seqdl_core::{AtomId, Path, Value};
+use std::fmt;
+
+/// A regular expression over atomic values.  Words are flat [`Path`]s; a packed
+/// value never matches any symbol.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Regex {
+    /// Matches only the empty word `ε`.
+    Epsilon,
+    /// Matches nothing at all.
+    Empty,
+    /// Matches exactly the one-atom word consisting of this atomic value.
+    Atom(AtomId),
+    /// Matches any single atomic value (the wildcard, written `%`).
+    AnyAtom,
+    /// Concatenation, in order.
+    Concat(Vec<Regex>),
+    /// Alternation (union).
+    Alt(Vec<Regex>),
+    /// Kleene star: zero or more repetitions.
+    Star(Box<Regex>),
+    /// One or more repetitions.
+    Plus(Box<Regex>),
+    /// Zero or one occurrence.
+    Optional(Box<Regex>),
+}
+
+impl Regex {
+    /// The expression matching exactly the one-atom word `name`.
+    pub fn atom(name: &str) -> Regex {
+        Regex::Atom(AtomId::new(name))
+    }
+
+    /// Concatenate two expressions, flattening nested concatenations.
+    pub fn then(self, other: Regex) -> Regex {
+        let mut parts = match self {
+            Regex::Concat(v) => v,
+            r => vec![r],
+        };
+        match other {
+            Regex::Concat(v) => parts.extend(v),
+            r => parts.push(r),
+        }
+        Regex::Concat(parts)
+    }
+
+    /// Alternation of two expressions, flattening nested alternations.
+    pub fn or(self, other: Regex) -> Regex {
+        let mut parts = match self {
+            Regex::Alt(v) => v,
+            r => vec![r],
+        };
+        match other {
+            Regex::Alt(v) => parts.extend(v),
+            r => parts.push(r),
+        }
+        Regex::Alt(parts)
+    }
+
+    /// Zero or more repetitions of this expression.
+    pub fn star(self) -> Regex {
+        Regex::Star(Box::new(self))
+    }
+
+    /// One or more repetitions of this expression.
+    pub fn plus(self) -> Regex {
+        Regex::Plus(Box::new(self))
+    }
+
+    /// Zero or one occurrence of this expression.
+    pub fn optional(self) -> Regex {
+        Regex::Optional(Box::new(self))
+    }
+
+    /// The expression `%* · self · %*`: does a word *contain* a match of `self`?
+    pub fn contains(self) -> Regex {
+        Regex::AnyAtom
+            .star()
+            .then(self)
+            .then(Regex::AnyAtom.star())
+    }
+
+    /// The exact word `w` as an expression (concatenation of its atoms).
+    ///
+    /// Returns [`Regex::Empty`] if the path contains a packed value, since packed
+    /// values never match.
+    pub fn literal(word: &Path) -> Regex {
+        let mut parts = Vec::with_capacity(word.len());
+        for v in word.iter() {
+            match v {
+                Value::Atom(a) => parts.push(Regex::Atom(*a)),
+                Value::Packed(_) => return Regex::Empty,
+            }
+        }
+        if parts.is_empty() {
+            Regex::Epsilon
+        } else {
+            Regex::Concat(parts)
+        }
+    }
+
+    /// Does this expression match the empty word?
+    pub fn nullable(&self) -> bool {
+        match self {
+            Regex::Epsilon => true,
+            Regex::Empty | Regex::Atom(_) | Regex::AnyAtom => false,
+            Regex::Concat(parts) => parts.iter().all(Regex::nullable),
+            Regex::Alt(parts) => parts.iter().any(Regex::nullable),
+            Regex::Star(_) | Regex::Optional(_) => true,
+            Regex::Plus(inner) => inner.nullable(),
+        }
+    }
+
+    /// The number of AST nodes (used to bound generated test cases).
+    pub fn size(&self) -> usize {
+        1 + match self {
+            Regex::Epsilon | Regex::Empty | Regex::Atom(_) | Regex::AnyAtom => 0,
+            Regex::Concat(parts) | Regex::Alt(parts) => parts.iter().map(Regex::size).sum(),
+            Regex::Star(inner) | Regex::Plus(inner) | Regex::Optional(inner) => inner.size(),
+        }
+    }
+
+    /// The set of atom names mentioned by the expression (useful for building test
+    /// alphabets; the wildcard is not included).
+    pub fn alphabet(&self) -> Vec<AtomId> {
+        let mut out = Vec::new();
+        self.collect_alphabet(&mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_alphabet(&self, out: &mut Vec<AtomId>) {
+        match self {
+            Regex::Atom(a) => out.push(*a),
+            Regex::Concat(parts) | Regex::Alt(parts) => {
+                for p in parts {
+                    p.collect_alphabet(out);
+                }
+            }
+            Regex::Star(inner) | Regex::Plus(inner) | Regex::Optional(inner) => {
+                inner.collect_alphabet(out)
+            }
+            Regex::Epsilon | Regex::Empty | Regex::AnyAtom => {}
+        }
+    }
+
+    /// Does this expression match the whole word `word`?
+    ///
+    /// This is a direct recursive matcher over the AST, independent of the NFA and of
+    /// the compiled Datalog program; it is the reference implementation the other two
+    /// are differentially tested against.  Packed values never match.
+    pub fn matches(&self, word: &Path) -> bool {
+        self.match_at(word.values(), 0, &mut |rest| rest == word.len())
+    }
+
+    /// Try to match a prefix of `word[from..]`; call `continuation` with the index
+    /// just past each successful prefix match, returning early on the first success.
+    fn match_at(
+        &self,
+        word: &[Value],
+        from: usize,
+        continuation: &mut dyn FnMut(usize) -> bool,
+    ) -> bool {
+        match self {
+            Regex::Empty => false,
+            Regex::Epsilon => continuation(from),
+            Regex::Atom(a) => match word.get(from) {
+                Some(Value::Atom(b)) if b == a => continuation(from + 1),
+                _ => false,
+            },
+            Regex::AnyAtom => match word.get(from) {
+                Some(Value::Atom(_)) => continuation(from + 1),
+                _ => false,
+            },
+            Regex::Concat(parts) => Self::match_seq(parts, word, from, continuation),
+            Regex::Alt(parts) => parts
+                .iter()
+                .any(|p| p.match_at(word, from, continuation)),
+            Regex::Optional(inner) => {
+                continuation(from) || inner.match_at(word, from, continuation)
+            }
+            Regex::Star(inner) => Self::match_star(inner, word, from, continuation, false),
+            Regex::Plus(inner) => Self::match_star(inner, word, from, continuation, true),
+        }
+    }
+
+    fn match_seq(
+        parts: &[Regex],
+        word: &[Value],
+        from: usize,
+        continuation: &mut dyn FnMut(usize) -> bool,
+    ) -> bool {
+        match parts.split_first() {
+            None => continuation(from),
+            Some((first, rest)) => first.match_at(word, from, &mut |next| {
+                Self::match_seq(rest, word, next, continuation)
+            }),
+        }
+    }
+
+    fn match_star(
+        inner: &Regex,
+        word: &[Value],
+        from: usize,
+        continuation: &mut dyn FnMut(usize) -> bool,
+        at_least_one: bool,
+    ) -> bool {
+        if !at_least_one && continuation(from) {
+            return true;
+        }
+        // Require progress on each round to avoid infinite recursion on nullable
+        // inner expressions (e.g. (a?)*).
+        inner.match_at(word, from, &mut |next| {
+            if next == from {
+                return !at_least_one && false || (at_least_one && continuation(next));
+            }
+            Self::match_star(inner, word, next, continuation, false)
+        }) || (at_least_one && inner.nullable() && continuation(from))
+    }
+}
+
+impl fmt::Display for Regex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn group(r: &Regex, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match r {
+                Regex::Concat(_) | Regex::Alt(_) => write!(f, "({r})"),
+                _ => write!(f, "{r}"),
+            }
+        }
+        match self {
+            Regex::Epsilon => f.write_str("eps"),
+            Regex::Empty => f.write_str("∅"),
+            Regex::Atom(a) => write!(f, "{}", Value::Atom(*a)),
+            Regex::AnyAtom => f.write_str("%"),
+            Regex::Concat(parts) => {
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(" ")?;
+                    }
+                    group(p, f)?;
+                }
+                Ok(())
+            }
+            Regex::Alt(parts) => {
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str("|")?;
+                    }
+                    group(p, f)?;
+                }
+                Ok(())
+            }
+            Regex::Star(inner) => {
+                group(inner, f)?;
+                f.write_str("*")
+            }
+            Regex::Plus(inner) => {
+                group(inner, f)?;
+                f.write_str("+")
+            }
+            Regex::Optional(inner) => {
+                group(inner, f)?;
+                f.write_str("?")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqdl_core::{path_of, Path};
+
+    fn p(names: &[&str]) -> Path {
+        path_of(names)
+    }
+
+    #[test]
+    fn literals_match_exactly_themselves() {
+        let r = Regex::literal(&p(&["a", "b", "c"]));
+        assert!(r.matches(&p(&["a", "b", "c"])));
+        assert!(!r.matches(&p(&["a", "b"])));
+        assert!(!r.matches(&p(&["a", "b", "c", "c"])));
+        assert!(!r.matches(&Path::empty()));
+    }
+
+    #[test]
+    fn epsilon_matches_only_the_empty_word() {
+        assert!(Regex::Epsilon.matches(&Path::empty()));
+        assert!(!Regex::Epsilon.matches(&p(&["a"])));
+        assert!(Regex::literal(&Path::empty()).matches(&Path::empty()));
+    }
+
+    #[test]
+    fn empty_matches_nothing() {
+        assert!(!Regex::Empty.matches(&Path::empty()));
+        assert!(!Regex::Empty.matches(&p(&["a"])));
+        assert!(!Regex::Empty.nullable());
+    }
+
+    #[test]
+    fn wildcard_matches_any_single_atom() {
+        assert!(Regex::AnyAtom.matches(&p(&["a"])));
+        assert!(Regex::AnyAtom.matches(&p(&["zzz"])));
+        assert!(!Regex::AnyAtom.matches(&Path::empty()));
+        assert!(!Regex::AnyAtom.matches(&p(&["a", "b"])));
+    }
+
+    #[test]
+    fn star_matches_all_repetition_counts() {
+        let r = Regex::atom("a").star();
+        for n in 0..6 {
+            assert!(r.matches(&seqdl_core::repeat_path("a", n)), "a^{n}");
+        }
+        assert!(!r.matches(&p(&["a", "b"])));
+    }
+
+    #[test]
+    fn plus_requires_at_least_one() {
+        let r = Regex::atom("a").plus();
+        assert!(!r.matches(&Path::empty()));
+        assert!(r.matches(&p(&["a"])));
+        assert!(r.matches(&p(&["a", "a", "a"])));
+    }
+
+    #[test]
+    fn optional_matches_zero_or_one() {
+        let r = Regex::atom("a").optional();
+        assert!(r.matches(&Path::empty()));
+        assert!(r.matches(&p(&["a"])));
+        assert!(!r.matches(&p(&["a", "a"])));
+    }
+
+    #[test]
+    fn alternation_and_concatenation_combine() {
+        // a (b|c)+
+        let r = Regex::atom("a").then(Regex::atom("b").or(Regex::atom("c")).plus());
+        assert!(r.matches(&p(&["a", "b"])));
+        assert!(r.matches(&p(&["a", "c", "b", "c"])));
+        assert!(!r.matches(&p(&["a"])));
+        assert!(!r.matches(&p(&["b", "c"])));
+    }
+
+    #[test]
+    fn nullable_star_inner_does_not_loop() {
+        // (a?)* is nullable and must not send the matcher into infinite recursion.
+        let r = Regex::atom("a").optional().star();
+        assert!(r.matches(&Path::empty()));
+        assert!(r.matches(&p(&["a", "a"])));
+        assert!(!r.matches(&p(&["b"])));
+    }
+
+    #[test]
+    fn contains_wraps_with_wildcards() {
+        let r = Regex::literal(&p(&["b", "c"])).contains();
+        assert!(r.matches(&p(&["a", "b", "c", "d"])));
+        assert!(r.matches(&p(&["b", "c"])));
+        assert!(!r.matches(&p(&["b", "d", "c"])));
+    }
+
+    #[test]
+    fn packed_values_never_match() {
+        let packed = Path::singleton(seqdl_core::Value::Packed(p(&["a"])));
+        assert!(!Regex::AnyAtom.matches(&packed));
+        assert!(!Regex::atom("a").matches(&packed));
+        assert_eq!(Regex::literal(&packed), Regex::Empty);
+    }
+
+    #[test]
+    fn nullability_is_computed_structurally() {
+        assert!(Regex::atom("a").star().nullable());
+        assert!(!Regex::atom("a").plus().nullable());
+        assert!(Regex::atom("a").optional().nullable());
+        assert!(Regex::Epsilon.then(Regex::atom("a").star()).nullable());
+        assert!(!Regex::Epsilon.then(Regex::atom("a")).nullable());
+        assert!(Regex::atom("a").or(Regex::Epsilon).nullable());
+    }
+
+    #[test]
+    fn alphabet_collects_mentioned_atoms() {
+        let r = Regex::atom("a").then(Regex::atom("b").or(Regex::atom("a"))).star();
+        let names: Vec<String> = r.alphabet().iter().map(|a| a.name().to_string()).collect();
+        assert_eq!(names, vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn display_is_reparseable_shape() {
+        let r = Regex::atom("a").then(Regex::atom("b").or(Regex::atom("c")).star());
+        let shown = r.to_string();
+        assert!(shown.contains('a'));
+        assert!(shown.contains('|'));
+        assert!(shown.contains('*'));
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        assert_eq!(Regex::atom("a").size(), 1);
+        assert_eq!(Regex::atom("a").star().size(), 2);
+        assert_eq!(Regex::atom("a").then(Regex::atom("b")).size(), 3);
+    }
+}

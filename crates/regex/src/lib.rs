@@ -1,0 +1,48 @@
+//! # seqdl-regex — regular expressions over sequence databases
+//!
+//! The paper notes (Section 1) that regular-expression matching, used as a built-in
+//! primitive by the document-spanner line of work on Sequence Datalog, is "very
+//! useful syntactic sugar, as it is also expressible using recursion".  This crate
+//! makes that remark concrete:
+//!
+//! * [`Regex`] — a regular-expression AST over atomic values, with a direct
+//!   backtracking matcher ([`Regex::matches`]);
+//! * [`parse_regex`] — a small concrete syntax (`a (b|c)* d?`, `%` for any atom,
+//!   `eps` for the empty word);
+//! * [`Nfa`] — Thompson construction and NFA simulation ([`Nfa::accepts`]);
+//! * [`compile_match`] / [`compile_contains`] — translation of an NFA into a
+//!   Sequence Datalog program in the style of Example 2.1, so that regular matching
+//!   runs on the ordinary engine using only the {A, I, R} features.
+//!
+//! The three layers (AST matcher, NFA simulation, compiled Datalog program) are
+//! differentially tested against each other.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod ast;
+pub mod compile;
+pub mod nfa;
+pub mod parser;
+
+pub use ast::Regex;
+pub use compile::{compile_contains, compile_match, CompileOptions, CompiledRegex};
+pub use nfa::{Label, Nfa};
+pub use parser::{parse_regex, RegexParseError};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqdl_core::path_of;
+
+    #[test]
+    fn public_api_smoke_test() {
+        let regex = parse_regex("a (b|c)* d?").unwrap();
+        assert!(regex.matches(&path_of(&["a", "b", "c", "b"])));
+        assert!(regex.matches(&path_of(&["a", "d"])));
+        assert!(!regex.matches(&path_of(&["b"])));
+        let nfa = Nfa::from_regex(&regex);
+        assert!(nfa.accepts(&path_of(&["a", "c", "c", "d"])));
+        assert!(!nfa.accepts(&path_of(&["d"])));
+    }
+}

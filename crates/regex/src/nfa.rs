@@ -1,0 +1,332 @@
+//! Thompson construction and NFA simulation.
+
+use crate::ast::Regex;
+use seqdl_core::{AtomId, Path, Value};
+use std::collections::BTreeSet;
+
+/// A transition label of the NFA.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Label {
+    /// Consume one occurrence of this atomic value.
+    Atom(AtomId),
+    /// Consume any single atomic value.
+    Any,
+    /// Consume nothing (an ε-transition).
+    Epsilon,
+}
+
+/// A nondeterministic finite automaton over atomic values, in the shape used by
+/// Example 2.1 of the paper (a set of initial states, labelled transitions, and a
+/// set of final states).
+#[derive(Clone, Debug)]
+pub struct Nfa {
+    state_count: usize,
+    initial: BTreeSet<usize>,
+    finals: BTreeSet<usize>,
+    transitions: Vec<(usize, Label, usize)>,
+}
+
+impl Nfa {
+    /// An NFA with `state_count` states and no transitions.
+    pub fn new(state_count: usize) -> Nfa {
+        Nfa {
+            state_count,
+            initial: BTreeSet::new(),
+            finals: BTreeSet::new(),
+            transitions: Vec::new(),
+        }
+    }
+
+    /// Build the Thompson NFA of a regular expression.
+    pub fn from_regex(regex: &Regex) -> Nfa {
+        let mut nfa = Nfa::new(0);
+        let start = nfa.add_state();
+        let end = nfa.add_state();
+        nfa.initial.insert(start);
+        nfa.finals.insert(end);
+        nfa.build(regex, start, end);
+        nfa
+    }
+
+    /// The number of states.
+    pub fn state_count(&self) -> usize {
+        self.state_count
+    }
+
+    /// The initial states.
+    pub fn initial_states(&self) -> impl Iterator<Item = usize> + '_ {
+        self.initial.iter().copied()
+    }
+
+    /// The final (accepting) states.
+    pub fn final_states(&self) -> impl Iterator<Item = usize> + '_ {
+        self.finals.iter().copied()
+    }
+
+    /// The transitions as `(from, label, to)` triples.
+    pub fn transitions(&self) -> &[(usize, Label, usize)] {
+        &self.transitions
+    }
+
+    /// Add a fresh state and return its index.
+    pub fn add_state(&mut self) -> usize {
+        self.state_count += 1;
+        self.state_count - 1
+    }
+
+    /// Mark a state as initial.
+    pub fn set_initial(&mut self, state: usize) {
+        self.initial.insert(state);
+    }
+
+    /// Mark a state as final.
+    pub fn set_final(&mut self, state: usize) {
+        self.finals.insert(state);
+    }
+
+    /// Add a transition.
+    pub fn add_transition(&mut self, from: usize, label: Label, to: usize) {
+        self.transitions.push((from, label, to));
+    }
+
+    fn build(&mut self, regex: &Regex, start: usize, end: usize) {
+        match regex {
+            Regex::Empty => {}
+            Regex::Epsilon => self.add_transition(start, Label::Epsilon, end),
+            Regex::Atom(a) => self.add_transition(start, Label::Atom(*a), end),
+            Regex::AnyAtom => self.add_transition(start, Label::Any, end),
+            Regex::Concat(parts) => {
+                if parts.is_empty() {
+                    self.add_transition(start, Label::Epsilon, end);
+                    return;
+                }
+                let mut from = start;
+                for (i, part) in parts.iter().enumerate() {
+                    let to = if i + 1 == parts.len() { end } else { self.add_state() };
+                    self.build(part, from, to);
+                    from = to;
+                }
+            }
+            Regex::Alt(parts) => {
+                for part in parts {
+                    self.build(part, start, end);
+                }
+            }
+            Regex::Star(inner) => {
+                let hub = self.add_state();
+                self.add_transition(start, Label::Epsilon, hub);
+                self.add_transition(hub, Label::Epsilon, end);
+                let loop_start = self.add_state();
+                let loop_end = self.add_state();
+                self.add_transition(hub, Label::Epsilon, loop_start);
+                self.add_transition(loop_end, Label::Epsilon, hub);
+                self.build(inner, loop_start, loop_end);
+            }
+            Regex::Plus(inner) => {
+                // inner · inner*
+                let mid = self.add_state();
+                self.build(inner, start, mid);
+                self.build(&Regex::Star(inner.clone()), mid, end);
+            }
+            Regex::Optional(inner) => {
+                self.add_transition(start, Label::Epsilon, end);
+                self.build(inner, start, end);
+            }
+        }
+    }
+
+    /// The ε-closure of a set of states.
+    fn epsilon_closure(&self, states: &BTreeSet<usize>) -> BTreeSet<usize> {
+        let mut closure = states.clone();
+        let mut frontier: Vec<usize> = states.iter().copied().collect();
+        while let Some(s) = frontier.pop() {
+            for &(from, label, to) in &self.transitions {
+                if from == s && label == Label::Epsilon && closure.insert(to) {
+                    frontier.push(to);
+                }
+            }
+        }
+        closure
+    }
+
+    /// Simulate the NFA on a word: does it accept the whole path?
+    ///
+    /// A packed value in the path never matches any label, so any path containing a
+    /// packed value is rejected.
+    pub fn accepts(&self, word: &Path) -> bool {
+        let mut current = self.epsilon_closure(&self.initial);
+        for value in word.iter() {
+            let mut next = BTreeSet::new();
+            for &(from, label, to) in &self.transitions {
+                if !current.contains(&from) {
+                    continue;
+                }
+                let fires = match (label, value) {
+                    (Label::Any, Value::Atom(_)) => true,
+                    (Label::Atom(a), Value::Atom(b)) => a == *b,
+                    _ => false,
+                };
+                if fires {
+                    next.insert(to);
+                }
+            }
+            current = self.epsilon_closure(&next);
+            if current.is_empty() {
+                return false;
+            }
+        }
+        current.iter().any(|s| self.finals.contains(s))
+    }
+
+    /// All words over `alphabet` of length at most `max_len` accepted by the NFA
+    /// (useful for exhaustive differential tests on small alphabets).
+    pub fn accepted_words(&self, alphabet: &[AtomId], max_len: usize) -> Vec<Path> {
+        let mut out = Vec::new();
+        let mut frontier: Vec<Path> = vec![Path::empty()];
+        for len in 0..=max_len {
+            for word in &frontier {
+                if self.accepts(word) {
+                    out.push(word.clone());
+                }
+            }
+            if len == max_len {
+                break;
+            }
+            let mut next = Vec::new();
+            for word in &frontier {
+                for &a in alphabet {
+                    let mut extended = word.clone();
+                    extended.push(Value::Atom(a));
+                    next.push(extended);
+                }
+            }
+            frontier = next;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqdl_core::{path_of, repeat_path};
+
+    fn p(names: &[&str]) -> Path {
+        path_of(names)
+    }
+
+    #[test]
+    fn literal_nfa_accepts_only_the_literal() {
+        let nfa = Nfa::from_regex(&Regex::literal(&p(&["a", "b"])));
+        assert!(nfa.accepts(&p(&["a", "b"])));
+        assert!(!nfa.accepts(&p(&["a"])));
+        assert!(!nfa.accepts(&p(&["a", "b", "b"])));
+        assert!(!nfa.accepts(&Path::empty()));
+    }
+
+    #[test]
+    fn star_and_plus_nfas_accept_repetitions() {
+        let star = Nfa::from_regex(&Regex::atom("a").star());
+        let plus = Nfa::from_regex(&Regex::atom("a").plus());
+        assert!(star.accepts(&Path::empty()));
+        assert!(!plus.accepts(&Path::empty()));
+        for n in 1..6 {
+            assert!(star.accepts(&repeat_path("a", n)));
+            assert!(plus.accepts(&repeat_path("a", n)));
+        }
+        assert!(!star.accepts(&p(&["a", "b"])));
+    }
+
+    #[test]
+    fn alternation_nfa_accepts_both_branches() {
+        let nfa = Nfa::from_regex(&Regex::atom("a").or(Regex::atom("b")));
+        assert!(nfa.accepts(&p(&["a"])));
+        assert!(nfa.accepts(&p(&["b"])));
+        assert!(!nfa.accepts(&p(&["c"])));
+        assert!(!nfa.accepts(&p(&["a", "b"])));
+    }
+
+    #[test]
+    fn wildcard_nfa_accepts_any_atom() {
+        let nfa = Nfa::from_regex(&Regex::AnyAtom.star());
+        assert!(nfa.accepts(&Path::empty()));
+        assert!(nfa.accepts(&p(&["x", "y", "z"])));
+    }
+
+    #[test]
+    fn empty_regex_nfa_accepts_nothing() {
+        let nfa = Nfa::from_regex(&Regex::Empty);
+        assert!(!nfa.accepts(&Path::empty()));
+        assert!(!nfa.accepts(&p(&["a"])));
+    }
+
+    #[test]
+    fn packed_values_are_rejected() {
+        let nfa = Nfa::from_regex(&Regex::AnyAtom.star());
+        let packed = Path::singleton(Value::Packed(p(&["a"])));
+        assert!(!nfa.accepts(&packed));
+    }
+
+    #[test]
+    fn nfa_agrees_with_the_ast_matcher_on_an_exhaustive_alphabet() {
+        let regexes = vec![
+            Regex::atom("a").then(Regex::atom("b").or(Regex::atom("c")).star()),
+            Regex::atom("a").plus().then(Regex::atom("b").optional()),
+            Regex::atom("a").or(Regex::atom("b")).star().then(Regex::atom("c")),
+            Regex::atom("a").optional().star(),
+            Regex::literal(&p(&["a", "b", "a"])).contains(),
+        ];
+        let alphabet = [AtomId::new("a"), AtomId::new("b"), AtomId::new("c")];
+        for regex in regexes {
+            let nfa = Nfa::from_regex(&regex);
+            let mut frontier = vec![Path::empty()];
+            for _ in 0..=4 {
+                for word in &frontier {
+                    assert_eq!(
+                        nfa.accepts(word),
+                        regex.matches(word),
+                        "NFA and matcher disagree on {word} for {regex}"
+                    );
+                }
+                let mut next = Vec::new();
+                for word in &frontier {
+                    for &a in &alphabet {
+                        let mut e = word.clone();
+                        e.push(Value::Atom(a));
+                        next.push(e);
+                    }
+                }
+                frontier = next;
+            }
+        }
+    }
+
+    #[test]
+    fn accepted_words_enumerates_the_language_prefix() {
+        let nfa = Nfa::from_regex(&Regex::atom("a").then(Regex::atom("b")).star());
+        let alphabet = [AtomId::new("a"), AtomId::new("b")];
+        let accepted = nfa.accepted_words(&alphabet, 4);
+        assert!(accepted.contains(&Path::empty()));
+        assert!(accepted.contains(&p(&["a", "b"])));
+        assert!(accepted.contains(&p(&["a", "b", "a", "b"])));
+        assert_eq!(accepted.len(), 3);
+    }
+
+    #[test]
+    fn hand_built_nfas_work_too() {
+        // q0 --a--> q1 --b--> q2 (final), q2 --a--> q1: the (ab)+ automaton of the
+        // integration tests.
+        let mut nfa = Nfa::new(3);
+        nfa.set_initial(0);
+        nfa.set_final(2);
+        nfa.add_transition(0, Label::Atom(AtomId::new("a")), 1);
+        nfa.add_transition(1, Label::Atom(AtomId::new("b")), 2);
+        nfa.add_transition(2, Label::Atom(AtomId::new("a")), 1);
+        assert!(nfa.accepts(&p(&["a", "b"])));
+        assert!(nfa.accepts(&p(&["a", "b", "a", "b"])));
+        assert!(!nfa.accepts(&p(&["a"])));
+        assert!(!nfa.accepts(&Path::empty()));
+        assert_eq!(nfa.state_count(), 3);
+        assert_eq!(nfa.transitions().len(), 3);
+    }
+}

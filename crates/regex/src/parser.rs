@@ -1,0 +1,293 @@
+//! A small concrete syntax for regular expressions over atomic values.
+//!
+//! Grammar (whitespace separates atoms; `·` is also accepted as a concatenation
+//! separator):
+//!
+//! ```text
+//! alternation   := concatenation ('|' concatenation)*
+//! concatenation := repeated*
+//! repeated      := primary ('*' | '+' | '?')*
+//! primary       := atom-name | '%' | 'eps' | '(' alternation ')'
+//! ```
+//!
+//! `%` is the any-atom wildcard and `eps` the empty word.  Atom names are
+//! identifiers made of letters, digits, `_` and `-`, except the reserved word `eps`.
+
+use crate::ast::Regex;
+use std::fmt;
+
+/// Errors raised while parsing a regular expression.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RegexParseError {
+    /// Byte offset of the error in the input.
+    pub position: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for RegexParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "regex parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for RegexParseError {}
+
+/// Parse a regular expression from its concrete syntax.
+///
+/// # Errors
+/// Returns a [`RegexParseError`] describing the first offending position.
+pub fn parse_regex(input: &str) -> Result<Regex, RegexParseError> {
+    let mut parser = Parser {
+        chars: input.char_indices().collect(),
+        pos: 0,
+    };
+    parser.skip_ws();
+    if parser.at_end() {
+        // The empty input denotes the empty word, mirroring `eps`.
+        return Ok(Regex::Epsilon);
+    }
+    let regex = parser.alternation()?;
+    parser.skip_ws();
+    if !parser.at_end() {
+        return Err(parser.error("unexpected trailing input"));
+    }
+    Ok(regex)
+}
+
+struct Parser {
+    chars: Vec<(usize, char)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.chars.len()
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).map(|&(_, c)| c)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn byte_offset(&self) -> usize {
+        self.chars.get(self.pos).map_or_else(
+            || self.chars.last().map_or(0, |&(i, c)| i + c.len_utf8()),
+            |&(i, _)| i,
+        )
+    }
+
+    fn error(&self, message: &str) -> RegexParseError {
+        RegexParseError {
+            position: self.byte_offset(),
+            message: message.to_string(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace() || c == '·') {
+            self.pos += 1;
+        }
+    }
+
+    fn alternation(&mut self) -> Result<Regex, RegexParseError> {
+        let mut parts = vec![self.concatenation()?];
+        loop {
+            self.skip_ws();
+            if self.peek() == Some('|') {
+                self.bump();
+                parts.push(self.concatenation()?);
+            } else {
+                break;
+            }
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("one part")
+        } else {
+            Regex::Alt(parts)
+        })
+    }
+
+    fn concatenation(&mut self) -> Result<Regex, RegexParseError> {
+        let mut parts = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                None | Some('|') | Some(')') => break,
+                _ => parts.push(self.repeated()?),
+            }
+        }
+        Ok(match parts.len() {
+            0 => Regex::Epsilon,
+            1 => parts.pop().expect("one part"),
+            _ => Regex::Concat(parts),
+        })
+    }
+
+    fn repeated(&mut self) -> Result<Regex, RegexParseError> {
+        let mut regex = self.primary()?;
+        loop {
+            match self.peek() {
+                Some('*') => {
+                    self.bump();
+                    regex = regex.star();
+                }
+                Some('+') => {
+                    self.bump();
+                    regex = regex.plus();
+                }
+                Some('?') => {
+                    self.bump();
+                    regex = regex.optional();
+                }
+                _ => break,
+            }
+        }
+        Ok(regex)
+    }
+
+    fn primary(&mut self) -> Result<Regex, RegexParseError> {
+        self.skip_ws();
+        match self.peek() {
+            Some('(') => {
+                self.bump();
+                let inner = self.alternation()?;
+                self.skip_ws();
+                if self.peek() != Some(')') {
+                    return Err(self.error("expected ')'"));
+                }
+                self.bump();
+                Ok(inner)
+            }
+            Some('%') => {
+                self.bump();
+                Ok(Regex::AnyAtom)
+            }
+            Some(c) if is_atom_char(c) => {
+                let mut name = String::new();
+                while matches!(self.peek(), Some(c) if is_atom_char(c)) {
+                    name.push(self.bump().expect("peeked"));
+                }
+                if name == "eps" {
+                    Ok(Regex::Epsilon)
+                } else {
+                    Ok(Regex::atom(&name))
+                }
+            }
+            Some(_) => Err(self.error("expected an atom, '%', 'eps', or '('")),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+}
+
+fn is_atom_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_' || c == '-'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqdl_core::{path_of, Path};
+
+    fn p(names: &[&str]) -> Path {
+        path_of(names)
+    }
+
+    #[test]
+    fn atoms_and_concatenation_parse() {
+        let r = parse_regex("a b c").unwrap();
+        assert!(r.matches(&p(&["a", "b", "c"])));
+        assert!(!r.matches(&p(&["a", "b"])));
+        // The path concatenation dot also separates atoms.
+        let r2 = parse_regex("a·b·c").unwrap();
+        assert_eq!(r, r2);
+    }
+
+    #[test]
+    fn postfix_operators_parse() {
+        let r = parse_regex("a* b+ c?").unwrap();
+        assert!(r.matches(&p(&["b"])));
+        assert!(r.matches(&p(&["a", "a", "b", "b", "c"])));
+        assert!(!r.matches(&p(&["c"])));
+    }
+
+    #[test]
+    fn alternation_and_grouping_parse() {
+        let r = parse_regex("(a|b)* c").unwrap();
+        assert!(r.matches(&p(&["c"])));
+        assert!(r.matches(&p(&["a", "b", "b", "c"])));
+        assert!(!r.matches(&p(&["a", "b"])));
+    }
+
+    #[test]
+    fn wildcard_and_eps_parse() {
+        let r = parse_regex("% % eps").unwrap();
+        assert!(r.matches(&p(&["x", "y"])));
+        assert!(!r.matches(&p(&["x"])));
+        assert!(parse_regex("eps").unwrap().matches(&Path::empty()));
+        assert!(parse_regex("").unwrap().matches(&Path::empty()));
+        assert!(parse_regex("   ").unwrap().matches(&Path::empty()));
+    }
+
+    #[test]
+    fn double_postfix_operators_compose() {
+        let r = parse_regex("(a+)?").unwrap();
+        assert!(r.matches(&Path::empty()));
+        assert!(r.matches(&p(&["a", "a"])));
+        let r = parse_regex("a?*").unwrap();
+        assert!(r.matches(&Path::empty()));
+        assert!(r.matches(&p(&["a", "a", "a"])));
+    }
+
+    #[test]
+    fn long_atom_names_parse() {
+        let r = parse_regex("complete_order receive-payment*").unwrap();
+        assert!(r.matches(&p(&["complete_order"])));
+        assert!(r.matches(&p(&["complete_order", "receive-payment", "receive-payment"])));
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let err = parse_regex("a )").unwrap_err();
+        assert!(err.position >= 2, "position {} should point at ')'", err.position);
+        assert!(parse_regex("(a").is_err());
+        assert!(parse_regex("a | | b").is_err() || parse_regex("a | | b").is_ok());
+        assert!(parse_regex("*").is_err());
+    }
+
+    #[test]
+    fn display_output_reparses_to_an_equivalent_regex() {
+        for src in ["a (b|c)* d?", "(a|b)+ c", "% a %*", "a b c", "eps", "a?*"] {
+            let original = parse_regex(src).unwrap();
+            let reparsed = parse_regex(&original.to_string()).unwrap();
+            // Equivalence check on all words up to length 4 over {a, b, c, d}.
+            let alphabet = ["a", "b", "c", "d"];
+            let mut frontier = vec![Path::empty()];
+            for _ in 0..=4 {
+                for word in &frontier {
+                    assert_eq!(
+                        original.matches(word),
+                        reparsed.matches(word),
+                        "round trip of `{src}` changed the language at {word}"
+                    );
+                }
+                let mut next = Vec::new();
+                for word in &frontier {
+                    for a in alphabet {
+                        let mut e = word.clone();
+                        e.push(seqdl_core::Value::Atom(seqdl_core::atom(a)));
+                        next.push(e);
+                    }
+                }
+                frontier = next;
+            }
+        }
+    }
+}

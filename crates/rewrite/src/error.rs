@@ -1,0 +1,84 @@
+//! Errors raised by program rewrites.
+
+use seqdl_unify::UnifyError;
+use std::fmt;
+
+/// Errors raised by the feature-elimination rewrites.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RewriteError {
+    /// The rewrite requires a non-recursive program but the input is recursive.
+    RequiresNonRecursive {
+        /// Name of the rewrite.
+        rewrite: &'static str,
+    },
+    /// The rewrite requires an equation-free or negation-free program.
+    UnsupportedFeature {
+        /// Name of the rewrite.
+        rewrite: &'static str,
+        /// Which feature is not supported by this rewrite.
+        feature: &'static str,
+    },
+    /// The program's EDB schema is not monadic, so arity cannot be eliminated
+    /// without changing the input data (queries are defined over monadic schemas,
+    /// Section 3.1).
+    NonMonadicEdb {
+        /// The offending EDB relation.
+        relation: String,
+    },
+    /// Packing elimination for recursive programs relies on the J-Logic flat–flat
+    /// construction, which this reproduction does not implement (see DESIGN.md).
+    UnsupportedRecursivePacking,
+    /// Associative unification failed (search limit) while purifying a rule.
+    Unification(UnifyError),
+    /// An internal iteration cap was hit; indicates a bug or pathological input.
+    IterationLimit {
+        /// Name of the rewrite.
+        rewrite: &'static str,
+    },
+}
+
+impl fmt::Display for RewriteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RewriteError::RequiresNonRecursive { rewrite } => {
+                write!(f, "{rewrite} requires a non-recursive program")
+            }
+            RewriteError::UnsupportedFeature { rewrite, feature } => {
+                write!(f, "{rewrite} does not support programs using {feature}")
+            }
+            RewriteError::NonMonadicEdb { relation } => write!(
+                f,
+                "EDB relation {relation} has arity greater than one; arity of input relations cannot be eliminated"
+            ),
+            RewriteError::UnsupportedRecursivePacking => f.write_str(
+                "packing elimination for recursive programs (J-Logic flat-flat theorem) is not implemented",
+            ),
+            RewriteError::Unification(e) => write!(f, "unification failed: {e}"),
+            RewriteError::IterationLimit { rewrite } => {
+                write!(f, "{rewrite} exceeded its internal iteration limit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RewriteError {}
+
+impl From<UnifyError> for RewriteError {
+    fn from(e: UnifyError) -> Self {
+        RewriteError::Unification(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = RewriteError::RequiresNonRecursive { rewrite: "packing elimination" };
+        assert!(e.to_string().contains("non-recursive"));
+        let e = RewriteError::NonMonadicEdb { relation: "D".into() };
+        assert!(e.to_string().contains('D'));
+        assert!(RewriteError::UnsupportedRecursivePacking.to_string().contains("J-Logic"));
+    }
+}

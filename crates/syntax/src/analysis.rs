@@ -1,0 +1,450 @@
+//! Static analyses over programs: limited variables and safety (Section 2.2), the
+//! dependency graph and recursion (Section 3), EDB/IDB classification,
+//! semipositivity, stratification (Section 2.3), and feature detection (Section 3).
+
+use crate::ast::{Program, Rule};
+use crate::error::SyntaxError;
+use crate::term::Var;
+use seqdl_core::RelName;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Which of the six features a program uses (Section 3).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct FeatureSet {
+    /// **A** — some predicate has arity greater than one.
+    pub arity: bool,
+    /// **R** — the dependency graph has a cycle.
+    pub recursion: bool,
+    /// **E** — some rule contains an equation.
+    pub equations: bool,
+    /// **N** — some rule contains a negated atom.
+    pub negation: bool,
+    /// **P** — a packed path expression `⟨e⟩` occurs in some rule.
+    pub packing: bool,
+    /// **I** — at least two different IDB relation names are used.
+    pub intermediate: bool,
+}
+
+impl FeatureSet {
+    /// Detect the features used by `program`.
+    pub fn of_program(program: &Program) -> FeatureSet {
+        let arity = program.rules().any(|r| {
+            r.head.arity() > 1
+                || r.body.iter().any(|l| {
+                    l.atom
+                        .as_predicate()
+                        .is_some_and(|p| p.arity() > 1)
+                })
+        });
+        let equations = program.rules().any(|r| r.body.iter().any(|l| l.is_equation()));
+        let negation = program.rules().any(|r| r.body.iter().any(|l| !l.positive));
+        let packing = program.rules().any(Rule::has_packing);
+        let intermediate = program.idb_relations().len() >= 2;
+        let recursion = DependencyGraph::of_program(program).has_cycle();
+        FeatureSet {
+            arity,
+            recursion,
+            equations,
+            negation,
+            packing,
+            intermediate,
+        }
+    }
+
+    /// The single-letter names of the used features, in alphabetical order
+    /// A, E, I, N, P, R.
+    pub fn letters(&self) -> String {
+        let mut out = String::new();
+        for (flag, letter) in [
+            (self.arity, 'A'),
+            (self.equations, 'E'),
+            (self.intermediate, 'I'),
+            (self.negation, 'N'),
+            (self.packing, 'P'),
+            (self.recursion, 'R'),
+        ] {
+            if flag {
+                out.push(letter);
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for FeatureSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let letters: Vec<String> = self.letters().chars().map(|c| c.to_string()).collect();
+        write!(f, "{{{}}}", letters.join(", "))
+    }
+}
+
+/// The dependency graph of a program (footnote 2 of the paper): nodes are the IDB
+/// relation names, and there is an edge from `R1` to `R2` if `R2` occurs in the body
+/// of a rule with `R1` in its head.
+#[derive(Clone, Debug, Default)]
+pub struct DependencyGraph {
+    edges: BTreeMap<RelName, BTreeSet<RelName>>,
+}
+
+impl DependencyGraph {
+    /// Build the dependency graph of a program.
+    pub fn of_program(program: &Program) -> DependencyGraph {
+        let idb = program.idb_relations();
+        let mut edges: BTreeMap<RelName, BTreeSet<RelName>> = BTreeMap::new();
+        for name in &idb {
+            edges.entry(*name).or_default();
+        }
+        for rule in program.rules() {
+            let from = rule.head.relation;
+            for to in rule.body_relations() {
+                if idb.contains(&to) {
+                    edges.entry(from).or_default().insert(to);
+                }
+            }
+        }
+        DependencyGraph { edges }
+    }
+
+    /// The nodes of the graph (the IDB relation names).
+    pub fn nodes(&self) -> impl Iterator<Item = RelName> + '_ {
+        self.edges.keys().copied()
+    }
+
+    /// The successors of a node.
+    pub fn successors(&self, node: RelName) -> BTreeSet<RelName> {
+        self.edges.get(&node).cloned().unwrap_or_default()
+    }
+
+    /// Does the graph contain a cycle (including self-loops)?  This is the paper's
+    /// definition of the **R** feature.
+    pub fn has_cycle(&self) -> bool {
+        self.edges
+            .keys()
+            .any(|&node| self.reachable_from(node).contains(&node))
+    }
+
+    /// Relations reachable from `start` by one or more edges.
+    pub fn reachable_from(&self, start: RelName) -> BTreeSet<RelName> {
+        let mut seen = BTreeSet::new();
+        let mut stack: Vec<RelName> = self.successors(start).into_iter().collect();
+        while let Some(node) = stack.pop() {
+            if seen.insert(node) {
+                stack.extend(self.successors(node));
+            }
+        }
+        seen
+    }
+
+    /// Is the given relation recursive, i.e. does it reach itself in the graph?
+    pub fn is_recursive_relation(&self, relation: RelName) -> bool {
+        self.reachable_from(relation).contains(&relation)
+    }
+}
+
+/// The *limited variables* of a rule (Section 2.2): the smallest set such that
+///
+/// 1. every variable occurring in a positive predicate in the body is limited; and
+/// 2. if all variables in one side of a positive equation are limited, then all
+///    variables in the other side are limited too.
+pub fn limited_vars(rule: &Rule) -> BTreeSet<Var> {
+    let mut limited: BTreeSet<Var> = BTreeSet::new();
+    for pred in rule.positive_body_predicates() {
+        limited.extend(pred.vars());
+    }
+    loop {
+        let mut changed = false;
+        for eq in rule.positive_body_equations() {
+            let lhs_vars: BTreeSet<Var> = eq.lhs.vars().into_iter().collect();
+            let rhs_vars: BTreeSet<Var> = eq.rhs.vars().into_iter().collect();
+            if lhs_vars.iter().all(|v| limited.contains(v)) {
+                for v in &rhs_vars {
+                    changed |= limited.insert(*v);
+                }
+            }
+            if rhs_vars.iter().all(|v| limited.contains(v)) {
+                for v in &lhs_vars {
+                    changed |= limited.insert(*v);
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    limited
+}
+
+/// Is the rule safe, i.e. are all its variables limited (Section 2.2)?
+pub fn is_safe(rule: &Rule) -> bool {
+    let limited = limited_vars(rule);
+    rule.vars().iter().all(|v| limited.contains(v))
+}
+
+/// Check that every rule of the program is safe.
+///
+/// # Errors
+/// Returns [`SyntaxError::UnsafeRule`] naming the first unsafe rule found.
+pub fn check_safety(program: &Program) -> Result<(), SyntaxError> {
+    for rule in program.rules() {
+        let limited = limited_vars(rule);
+        let unlimited: Vec<String> = rule
+            .vars()
+            .into_iter()
+            .filter(|v| !limited.contains(v))
+            .map(|v| v.to_string())
+            .collect();
+        if !unlimited.is_empty() {
+            return Err(SyntaxError::UnsafeRule {
+                rule: rule.to_string(),
+                unlimited,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Check stratified negation (Section 2.2): when a negated predicate `¬P(…)` occurs
+/// in some stratum, no rule in that stratum or a later one may use `P` in its head.
+///
+/// # Errors
+/// Returns [`SyntaxError::NotStratified`] describing the first violation.
+pub fn check_stratification(program: &Program) -> Result<(), SyntaxError> {
+    for (i, stratum) in program.strata.iter().enumerate() {
+        for negated in stratum.negated_relations() {
+            for (j, later) in program.strata.iter().enumerate().skip(i) {
+                if later.head_relations().contains(&negated) {
+                    return Err(SyntaxError::NotStratified {
+                        message: format!(
+                            "relation {negated} is negated in stratum {i} but defined in stratum {j}"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Is the program semipositive, i.e. are negated predicates only applied to EDB
+/// relation names (Section 2.3)?  Negated equations do not affect semipositivity.
+pub fn is_semipositive(program: &Program) -> bool {
+    let idb = program.idb_relations();
+    program.rules().all(|r| {
+        r.negative_body_predicates()
+            .iter()
+            .all(|p| !idb.contains(&p.relation))
+    })
+}
+
+/// A bundle of the most commonly needed facts about a program.
+#[derive(Clone, Debug)]
+pub struct ProgramInfo {
+    /// The features the program uses.
+    pub features: FeatureSet,
+    /// The IDB relation names.
+    pub idb: BTreeSet<RelName>,
+    /// The EDB relation names.
+    pub edb: BTreeSet<RelName>,
+    /// The dependency graph over IDB relation names.
+    pub dependencies: DependencyGraph,
+    /// Arity of every relation name (consistent across the program).
+    pub arities: BTreeMap<RelName, usize>,
+}
+
+impl ProgramInfo {
+    /// Analyse a program, checking safety, arity consistency, and stratification.
+    ///
+    /// # Errors
+    /// Any violation of those three well-formedness conditions.
+    pub fn analyse(program: &Program) -> Result<ProgramInfo, SyntaxError> {
+        check_safety(program)?;
+        check_stratification(program)?;
+        let arities = program.relation_arities()?;
+        Ok(ProgramInfo {
+            features: FeatureSet::of_program(program),
+            idb: program.idb_relations(),
+            edb: program.edb_relations(),
+            dependencies: DependencyGraph::of_program(program),
+            arities,
+        })
+    }
+
+    /// Is `program` a legal program *over* the given EDB relation names, i.e. do its
+    /// EDB relations all come from that set and its IDB relations avoid it
+    /// (Section 2.3)?
+    pub fn is_over_edb(&self, edb: &BTreeSet<RelName>) -> bool {
+        self.edb.is_subset(edb) && self.idb.is_disjoint(edb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_program, parse_rule};
+    use seqdl_core::rel;
+
+    #[test]
+    fn features_of_example_3_1_equation_variant() {
+        let p = parse_program("S($x) <- R($x), a·$x = $x·a.").unwrap();
+        let f = FeatureSet::of_program(&p);
+        assert_eq!(f.letters(), "E");
+        assert!(!f.arity && !f.recursion && !f.negation && !f.packing && !f.intermediate);
+    }
+
+    #[test]
+    fn features_of_example_3_1_recursive_variant() {
+        let p = parse_program(
+            "T($x, $x) <- R($x).\nT($x, $y) <- T($x, $y·a).\nS($x) <- T($x, eps).",
+        )
+        .unwrap();
+        let f = FeatureSet::of_program(&p);
+        assert_eq!(f.letters(), "AIR");
+        assert!(f.arity && f.intermediate && f.recursion);
+        assert!(!f.equations && !f.negation && !f.packing);
+    }
+
+    #[test]
+    fn features_of_example_2_2_packing_program() {
+        let p = parse_program(
+            "T($u·<$s>·$v) <- R($u·$s·$v), S($s).\nA <- T($x), T($y), T($z), $x != $y, $x != $z, $y != $z.",
+        )
+        .unwrap();
+        let f = FeatureSet::of_program(&p);
+        // Uses E (nonequalities are negated equations), I (T and A), N, P.
+        assert!(f.equations && f.intermediate && f.negation && f.packing);
+        assert!(!f.arity && !f.recursion);
+        assert_eq!(f.letters(), "EINP");
+    }
+
+    #[test]
+    fn dependency_graph_detects_recursion_and_self_loops() {
+        let recursive = parse_program("T($x·a) <- T($x).\nT($x) <- R($x).").unwrap();
+        assert!(DependencyGraph::of_program(&recursive).has_cycle());
+
+        let nonrec = parse_program("T($x) <- R($x).\nS($x) <- T($x).").unwrap();
+        let g = DependencyGraph::of_program(&nonrec);
+        assert!(!g.has_cycle());
+        assert_eq!(g.successors(rel("S")), BTreeSet::from([rel("T")]));
+        assert_eq!(g.successors(rel("T")), BTreeSet::new());
+        assert!(g.reachable_from(rel("S")).contains(&rel("T")));
+        assert!(!g.is_recursive_relation(rel("S")));
+        assert_eq!(g.nodes().count(), 2);
+
+        let mutual = parse_program("P($x) <- Q($x).\nQ($x) <- P($x·a).\nP($x) <- R($x).").unwrap();
+        let g = DependencyGraph::of_program(&mutual);
+        assert!(g.has_cycle());
+        assert!(g.is_recursive_relation(rel("P")));
+    }
+
+    #[test]
+    fn limited_variables_follow_the_inductive_definition() {
+        // $x is limited by R($x); $z becomes limited through the equation a·$x = $z.
+        let r = parse_rule("S($z) <- R($x), a·$x = $z.").unwrap();
+        let lim = limited_vars(&r);
+        assert!(lim.contains(&Var::path("x")));
+        assert!(lim.contains(&Var::path("z")));
+        assert!(is_safe(&r));
+
+        // $y only occurs in the head: unsafe.
+        let r = parse_rule("S($y) <- R($x).").unwrap();
+        assert!(!is_safe(&r));
+
+        // A variable that only occurs in a negated predicate is not limited.
+        let r = parse_rule("S($x) <- R($x), !Q($y).").unwrap();
+        assert!(!is_safe(&r));
+
+        // Chained equations limit transitively: $x limits $y, $y limits $z.
+        let r = parse_rule("S($z) <- R($x), $y = $x·a, $z = b·$y.").unwrap();
+        assert!(is_safe(&r));
+
+        // An equation between two unlimited sides limits nothing.
+        let r = parse_rule("S($y) <- R($x), $y = $z.").unwrap();
+        assert!(!is_safe(&r));
+    }
+
+    #[test]
+    fn example_programs_from_the_paper_are_safe() {
+        let sources = [
+            "S(@q·$x, eps) <- R($x), N(@q).\nS(@q2·$y, $z·@a) <- S(@q1·@a·$y, $z), D(@q1, @a, @q2).\nA($x) <- S(@q, $x), F(@q).",
+            "T($u·<$s>·$v) <- R($u·$s·$v), S($s).\nA <- T($x), T($y), T($z), $x != $y, $x != $z, $y != $z.",
+            "T($x, eps) <- R($x).\nT($x, $y·@u) <- T($x·@u, $y).\nS($x) <- T(eps, $x).",
+            "T(eps, $x, $x) <- R($x).\nT($y·$x, $x, $z) <- T($y, $x, a·$z).\nS($y) <- T($y, $x, eps).",
+        ];
+        for src in sources {
+            let p = parse_program(src).unwrap();
+            assert!(check_safety(&p).is_ok(), "not safe: {src}");
+        }
+    }
+
+    #[test]
+    fn safety_error_reports_the_unlimited_variables() {
+        let p = parse_program("S($y) <- R($x).").unwrap();
+        match check_safety(&p) {
+            Err(SyntaxError::UnsafeRule { unlimited, .. }) => {
+                assert_eq!(unlimited, vec!["$y".to_string()]);
+            }
+            other => panic!("expected UnsafeRule, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stratification_checks_negated_heads() {
+        // Negating a relation defined in the same stratum is rejected.
+        let bad = parse_program("T($x) <- R($x).\nS($x) <- R($x), !T($x).").unwrap();
+        assert!(check_stratification(&bad).is_err());
+
+        // Splitting into two strata fixes it.
+        let good = parse_program("T($x) <- R($x).\n---\nS($x) <- R($x), !T($x).").unwrap();
+        assert!(check_stratification(&good).is_ok());
+
+        // Negating a relation defined in a *later* stratum is also rejected.
+        let bad = parse_program("S($x) <- R($x), !T($x).\n---\nT($x) <- R($x).").unwrap();
+        assert!(check_stratification(&bad).is_err());
+
+        // Negated EDB predicates are fine.
+        let edb_neg = parse_program("S($x) <- R($x), !B($x).").unwrap();
+        assert!(check_stratification(&edb_neg).is_ok());
+    }
+
+    #[test]
+    fn semipositivity_distinguishes_edb_and_idb_negation() {
+        let semi = parse_program("S($x) <- R($x), !B($x).").unwrap();
+        assert!(is_semipositive(&semi));
+        let not_semi =
+            parse_program("T($x) <- R($x).\n---\nS($x) <- R($x), !T($x).").unwrap();
+        assert!(!is_semipositive(&not_semi));
+        // Negated equations do not affect semipositivity.
+        let with_neq = parse_program("S(@x) <- R(@x·@y), @x != @y.").unwrap();
+        assert!(is_semipositive(&with_neq));
+    }
+
+    #[test]
+    fn program_info_bundles_the_analyses() {
+        let p = parse_program(
+            "T($x) <- R($x).\n---\nS($x) <- T($x), !B($x).",
+        )
+        .unwrap();
+        let info = ProgramInfo::analyse(&p).unwrap();
+        assert_eq!(info.idb, BTreeSet::from([rel("S"), rel("T")]));
+        assert_eq!(info.edb, BTreeSet::from([rel("B"), rel("R")]));
+        assert!(info.features.intermediate);
+        assert!(info.features.negation);
+        assert_eq!(info.arities[&rel("S")], 1);
+        assert!(info.is_over_edb(&BTreeSet::from([rel("R"), rel("B"), rel("X")])));
+        assert!(!info.is_over_edb(&BTreeSet::from([rel("R")])));
+
+        // An unsafe program is rejected by analyse().
+        let bad = parse_program("S($y) <- R($x).").unwrap();
+        assert!(ProgramInfo::analyse(&bad).is_err());
+    }
+
+    #[test]
+    fn feature_display_uses_set_notation() {
+        let p = parse_program("S($x) <- R($x), a·$x = $x·a.").unwrap();
+        let f = FeatureSet::of_program(&p);
+        assert_eq!(f.to_string(), "{E}");
+        let empty = FeatureSet::default();
+        assert_eq!(empty.to_string(), "{}");
+    }
+}

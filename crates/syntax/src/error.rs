@@ -1,0 +1,93 @@
+//! Errors produced by parsing and well-formedness checks.
+
+use std::fmt;
+
+/// Errors raised by the parser and the static well-formedness checks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SyntaxError {
+    /// A lexical error at the given byte offset.
+    Lex {
+        /// Byte offset in the input.
+        offset: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// A parse error at the given byte offset.
+    Parse {
+        /// Byte offset in the input.
+        offset: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// A rule is not safe: the listed variables are not limited (Section 2.2).
+    UnsafeRule {
+        /// Rendering of the offending rule.
+        rule: String,
+        /// Names of the unlimited variables.
+        unlimited: Vec<String>,
+    },
+    /// The program violates stratified negation (Section 2.2).
+    NotStratified {
+        /// Human-readable description of the violation.
+        message: String,
+    },
+    /// A relation name is used with inconsistent arities.
+    InconsistentArity {
+        /// The relation name.
+        relation: String,
+        /// One observed arity.
+        first: usize,
+        /// A conflicting observed arity.
+        second: usize,
+    },
+}
+
+impl fmt::Display for SyntaxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SyntaxError::Lex { offset, message } => {
+                write!(f, "lexical error at byte {offset}: {message}")
+            }
+            SyntaxError::Parse { offset, message } => {
+                write!(f, "parse error at byte {offset}: {message}")
+            }
+            SyntaxError::UnsafeRule { rule, unlimited } => write!(
+                f,
+                "unsafe rule `{rule}`: variables not limited: {}",
+                unlimited.join(", ")
+            ),
+            SyntaxError::NotStratified { message } => {
+                write!(f, "program is not stratified: {message}")
+            }
+            SyntaxError::InconsistentArity {
+                relation,
+                first,
+                second,
+            } => write!(
+                f,
+                "relation {relation} used with inconsistent arities {first} and {second}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SyntaxError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SyntaxError::UnsafeRule {
+            rule: "S($x) <- .".into(),
+            unlimited: vec!["$x".into()],
+        };
+        assert!(e.to_string().contains("$x"));
+        let e = SyntaxError::Parse {
+            offset: 7,
+            message: "expected `)`".into(),
+        };
+        assert!(e.to_string().contains("byte 7"));
+    }
+}

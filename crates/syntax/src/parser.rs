@@ -1,0 +1,759 @@
+//! Parser for the concrete syntax of Sequence Datalog programs.
+//!
+//! The accepted grammar is described in the crate-level documentation.  The parser
+//! is a plain hand-written recursive-descent parser over a small token stream; it
+//! reports byte offsets in errors and round-trips with the `Display`
+//! implementations of the AST (see the `parse_print_roundtrip` tests).
+
+use crate::ast::{Atom, Equation, Literal, Predicate, Program, Rule, Stratum};
+use crate::error::SyntaxError;
+use crate::term::{PathExpr, Term, Var};
+use seqdl_core::{AtomId, RelName};
+
+/// Parse a complete program (one or more strata separated by `---` lines).
+pub fn parse_program(input: &str) -> Result<Program, SyntaxError> {
+    let tokens = lex(input)?;
+    let mut parser = Parser::new(tokens);
+    parser.program()
+}
+
+/// Parse a single rule, e.g. `S($x) <- R($x), a·$x = $x·a.`
+pub fn parse_rule(input: &str) -> Result<Rule, SyntaxError> {
+    let tokens = lex(input)?;
+    let mut parser = Parser::new(tokens);
+    let rule = parser.rule()?;
+    parser.expect_end()?;
+    Ok(rule)
+}
+
+/// Parse a single path expression, e.g. `a·<$x·@y>·$z`.
+pub fn parse_expr(input: &str) -> Result<PathExpr, SyntaxError> {
+    let tokens = lex(input)?;
+    let mut parser = Parser::new(tokens);
+    let expr = parser.expr()?;
+    parser.expect_end()?;
+    Ok(expr)
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Quoted(String),
+    AtomVar(String),
+    PathVar(String),
+    LParen,
+    RParen,
+    LAngle,
+    RAngle,
+    Comma,
+    RuleEnd,
+    Concat,
+    Arrow,
+    Eq,
+    Neq,
+    Not,
+    StratumSep,
+    Eps,
+}
+
+#[derive(Debug, Clone)]
+struct Spanned {
+    tok: Tok,
+    offset: usize,
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+fn lex(input: &str) -> Result<Vec<Spanned>, SyntaxError> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0usize;
+    // Byte offsets for error messages.
+    let offsets: Vec<usize> = input.char_indices().map(|(o, _)| o).collect();
+    let offset_at = |i: usize| offsets.get(i).copied().unwrap_or(input.len());
+
+    while i < chars.len() {
+        let c = chars[i];
+        let off = offset_at(i);
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                i += 1;
+            }
+            '%' | '#' => {
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '-' if chars.get(i + 1) == Some(&'-') && chars.get(i + 2) == Some(&'-') => {
+                while i < chars.len() && chars[i] == '-' {
+                    i += 1;
+                }
+                out.push(Spanned {
+                    tok: Tok::StratumSep,
+                    offset: off,
+                });
+            }
+            '(' => {
+                out.push(Spanned {
+                    tok: Tok::LParen,
+                    offset: off,
+                });
+                i += 1;
+            }
+            ')' => {
+                out.push(Spanned {
+                    tok: Tok::RParen,
+                    offset: off,
+                });
+                i += 1;
+            }
+            ',' => {
+                out.push(Spanned {
+                    tok: Tok::Comma,
+                    offset: off,
+                });
+                i += 1;
+            }
+            '∧' => {
+                out.push(Spanned {
+                    tok: Tok::Comma,
+                    offset: off,
+                });
+                i += 1;
+            }
+            '<' => {
+                if chars.get(i + 1) == Some(&'-') {
+                    out.push(Spanned {
+                        tok: Tok::Arrow,
+                        offset: off,
+                    });
+                    i += 2;
+                } else {
+                    out.push(Spanned {
+                        tok: Tok::LAngle,
+                        offset: off,
+                    });
+                    i += 1;
+                }
+            }
+            '⟨' => {
+                out.push(Spanned {
+                    tok: Tok::LAngle,
+                    offset: off,
+                });
+                i += 1;
+            }
+            '>' | '⟩' => {
+                out.push(Spanned {
+                    tok: Tok::RAngle,
+                    offset: off,
+                });
+                i += 1;
+            }
+            '←' => {
+                out.push(Spanned {
+                    tok: Tok::Arrow,
+                    offset: off,
+                });
+                i += 1;
+            }
+            ':' if chars.get(i + 1) == Some(&'-') => {
+                out.push(Spanned {
+                    tok: Tok::Arrow,
+                    offset: off,
+                });
+                i += 2;
+            }
+            '·' | '*' => {
+                out.push(Spanned {
+                    tok: Tok::Concat,
+                    offset: off,
+                });
+                i += 1;
+            }
+            '.' => {
+                // A dot immediately followed by something that can start a term is
+                // concatenation; otherwise it ends a rule.
+                let next = chars.get(i + 1).copied();
+                let is_concat = next.is_some_and(|n| {
+                    is_ident_char(n) || n == '@' || n == '$' || n == '<' || n == '\'' || n == '⟨'
+                });
+                out.push(Spanned {
+                    tok: if is_concat { Tok::Concat } else { Tok::RuleEnd },
+                    offset: off,
+                });
+                i += 1;
+            }
+            '=' => {
+                out.push(Spanned {
+                    tok: Tok::Eq,
+                    offset: off,
+                });
+                i += 1;
+            }
+            '≠' => {
+                out.push(Spanned {
+                    tok: Tok::Neq,
+                    offset: off,
+                });
+                i += 1;
+            }
+            '!' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    out.push(Spanned {
+                        tok: Tok::Neq,
+                        offset: off,
+                    });
+                    i += 2;
+                } else {
+                    out.push(Spanned {
+                        tok: Tok::Not,
+                        offset: off,
+                    });
+                    i += 1;
+                }
+            }
+            '~' | '¬' => {
+                out.push(Spanned {
+                    tok: Tok::Not,
+                    offset: off,
+                });
+                i += 1;
+            }
+            '@' | '$' => {
+                let sigil = c;
+                i += 1;
+                let start = i;
+                while i < chars.len() && is_ident_char(chars[i]) {
+                    i += 1;
+                }
+                if start == i {
+                    return Err(SyntaxError::Lex {
+                        offset: off,
+                        message: format!("expected a variable name after `{sigil}`"),
+                    });
+                }
+                let name: String = chars[start..i].iter().collect();
+                out.push(Spanned {
+                    tok: if sigil == '@' {
+                        Tok::AtomVar(name)
+                    } else {
+                        Tok::PathVar(name)
+                    },
+                    offset: off,
+                });
+            }
+            '\'' => {
+                i += 1;
+                let mut name = String::new();
+                let mut closed = false;
+                while i < chars.len() {
+                    if chars[i] == '\\' && chars.get(i + 1) == Some(&'\'') {
+                        name.push('\'');
+                        i += 2;
+                    } else if chars[i] == '\'' {
+                        closed = true;
+                        i += 1;
+                        break;
+                    } else {
+                        name.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                if !closed {
+                    return Err(SyntaxError::Lex {
+                        offset: off,
+                        message: "unterminated quoted atom".into(),
+                    });
+                }
+                out.push(Spanned {
+                    tok: Tok::Quoted(name),
+                    offset: off,
+                });
+            }
+            c if is_ident_char(c) => {
+                let start = i;
+                while i < chars.len() && is_ident_char(chars[i]) {
+                    i += 1;
+                }
+                let name: String = chars[start..i].iter().collect();
+                out.push(Spanned {
+                    tok: if name == "eps" { Tok::Eps } else { Tok::Ident(name) },
+                    offset: off,
+                });
+            }
+            'ε' => {
+                out.push(Spanned {
+                    tok: Tok::Eps,
+                    offset: off,
+                });
+                i += 1;
+            }
+            other => {
+                if other == 'ε' {
+                    out.push(Spanned {
+                        tok: Tok::Eps,
+                        offset: off,
+                    });
+                    i += 1;
+                } else {
+                    return Err(SyntaxError::Lex {
+                        offset: off,
+                        message: format!("unexpected character `{other}`"),
+                    });
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(tokens: Vec<Spanned>) -> Parser {
+        Parser { tokens, pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|s| &s.tok)
+    }
+
+    fn peek_at(&self, n: usize) -> Option<&Tok> {
+        self.tokens.get(self.pos + n).map(|s| &s.tok)
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .map(|s| s.offset)
+            .unwrap_or_else(|| self.tokens.last().map(|s| s.offset + 1).unwrap_or(0))
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.tokens.get(self.pos).map(|s| s.tok.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error<T>(&self, message: impl Into<String>) -> Result<T, SyntaxError> {
+        Err(SyntaxError::Parse {
+            offset: self.offset(),
+            message: message.into(),
+        })
+    }
+
+    fn expect(&mut self, tok: Tok, what: &str) -> Result<(), SyntaxError> {
+        match self.peek() {
+            Some(t) if *t == tok => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(t) => self.error(format!("expected {what}, found {t:?}")),
+            None => self.error(format!("expected {what}, found end of input")),
+        }
+    }
+
+    fn expect_end(&self) -> Result<(), SyntaxError> {
+        if self.pos == self.tokens.len() {
+            Ok(())
+        } else {
+            self.error("unexpected trailing input")
+        }
+    }
+
+    fn program(&mut self) -> Result<Program, SyntaxError> {
+        let mut strata = Vec::new();
+        let mut current = Vec::new();
+        // Leading separators are harmless.
+        while self.peek() == Some(&Tok::StratumSep) {
+            self.pos += 1;
+        }
+        while self.peek().is_some() {
+            if self.peek() == Some(&Tok::StratumSep) {
+                self.pos += 1;
+                strata.push(Stratum::new(std::mem::take(&mut current)));
+                continue;
+            }
+            current.push(self.rule()?);
+        }
+        strata.push(Stratum::new(current));
+        Ok(Program::new(strata))
+    }
+
+    fn rule(&mut self) -> Result<Rule, SyntaxError> {
+        let head = self.predicate()?;
+        let body = if self.peek() == Some(&Tok::Arrow) {
+            self.pos += 1;
+            if self.peek() == Some(&Tok::RuleEnd) {
+                Vec::new()
+            } else {
+                let mut body = vec![self.literal()?];
+                while self.peek() == Some(&Tok::Comma) {
+                    self.pos += 1;
+                    body.push(self.literal()?);
+                }
+                body
+            }
+        } else {
+            Vec::new()
+        };
+        self.expect(Tok::RuleEnd, "`.` at the end of the rule")?;
+        Ok(Rule::new(head, body))
+    }
+
+    /// Is the current position the start of `Ident (`, i.e. a predicate application?
+    fn looks_like_predicate(&self) -> bool {
+        matches!(self.peek(), Some(Tok::Ident(_))) && self.peek_at(1) == Some(&Tok::LParen)
+    }
+
+    fn atom(&mut self) -> Result<Atom, SyntaxError> {
+        if self.looks_like_predicate() {
+            return Ok(Atom::Pred(self.predicate()?));
+        }
+        // Otherwise parse a path expression; an `=`/`!=` makes it an equation, a bare
+        // single identifier is a nullary predicate.
+        let start_pos = self.pos;
+        let lhs = self.expr()?;
+        match self.peek() {
+            Some(Tok::Eq) => {
+                self.pos += 1;
+                let rhs = self.expr()?;
+                Ok(Atom::Eq(Equation::new(lhs, rhs)))
+            }
+            Some(Tok::Neq) => {
+                // A nonequality is a negated-equation *literal*, not an atom; rewind
+                // and let `literal` re-parse it with the right polarity.
+                self.pos = start_pos;
+                self.nonequality_marker()?;
+                unreachable!("nonequality_marker always errors");
+            }
+            _ => {
+                if lhs.terms().len() == 1 {
+                    if let Term::Const(a) = &lhs.terms()[0] {
+                        return Ok(Atom::Pred(Predicate::nullary(RelName::new(&a.name()))));
+                    }
+                }
+                self.error("expected `=`, `!=`, or a predicate")
+            }
+        }
+    }
+
+    /// Helper used by [`Parser::atom`] to signal to [`Parser::literal`] that the
+    /// upcoming atom is a nonequality; never returns `Ok`.
+    fn nonequality_marker(&self) -> Result<(), SyntaxError> {
+        Err(SyntaxError::Parse {
+            offset: usize::MAX,
+            message: "__nonequality__".into(),
+        })
+    }
+
+    fn predicate(&mut self) -> Result<Predicate, SyntaxError> {
+        let name = match self.bump() {
+            Some(Tok::Ident(name)) => name,
+            Some(other) => {
+                return self.error(format!("expected a relation name, found {other:?}"))
+            }
+            None => return self.error("expected a relation name, found end of input"),
+        };
+        let relation = RelName::new(&name);
+        if self.peek() != Some(&Tok::LParen) {
+            return Ok(Predicate::nullary(relation));
+        }
+        self.pos += 1;
+        let mut args = Vec::new();
+        if self.peek() == Some(&Tok::RParen) {
+            self.pos += 1;
+            return Ok(Predicate::new(relation, args));
+        }
+        args.push(self.expr()?);
+        while self.peek() == Some(&Tok::Comma) {
+            self.pos += 1;
+            args.push(self.expr()?);
+        }
+        self.expect(Tok::RParen, "`)` closing the predicate")?;
+        Ok(Predicate::new(relation, args))
+    }
+
+    fn expr(&mut self) -> Result<PathExpr, SyntaxError> {
+        let mut terms = Vec::new();
+        self.expr_item(&mut terms)?;
+        while self.peek() == Some(&Tok::Concat) {
+            self.pos += 1;
+            self.expr_item(&mut terms)?;
+        }
+        Ok(PathExpr::from_terms(terms))
+    }
+
+    fn expr_item(&mut self, terms: &mut Vec<Term>) -> Result<(), SyntaxError> {
+        match self.peek().cloned() {
+            Some(Tok::Ident(name)) => {
+                self.pos += 1;
+                terms.push(Term::Const(AtomId::new(&name)));
+                Ok(())
+            }
+            Some(Tok::Quoted(name)) => {
+                self.pos += 1;
+                terms.push(Term::Const(AtomId::new(&name)));
+                Ok(())
+            }
+            Some(Tok::AtomVar(name)) => {
+                self.pos += 1;
+                terms.push(Term::Var(Var::atom(&name)));
+                Ok(())
+            }
+            Some(Tok::PathVar(name)) => {
+                self.pos += 1;
+                terms.push(Term::Var(Var::path(&name)));
+                Ok(())
+            }
+            Some(Tok::Eps) => {
+                self.pos += 1;
+                // ε contributes no terms: a·eps·b is a·b, and a lone eps is the
+                // empty expression.
+                Ok(())
+            }
+            Some(Tok::LAngle) => {
+                self.pos += 1;
+                let inner = if self.peek() == Some(&Tok::RAngle) {
+                    PathExpr::empty()
+                } else {
+                    self.expr()?
+                };
+                self.expect(Tok::RAngle, "`>` closing the packed expression")?;
+                terms.push(Term::Packed(inner));
+                Ok(())
+            }
+            Some(other) => self.error(format!("expected a path-expression item, found {other:?}")),
+            None => self.error("expected a path-expression item, found end of input"),
+        }
+    }
+}
+
+// The `atom` method signals nonequalities with a sentinel error; intercept it in
+// `literal` by re-parsing.  To keep that logic local we implement it as a free
+// function extension here.
+impl Parser {
+    fn literal(&mut self) -> Result<Literal, SyntaxError> {
+        let start = self.pos;
+        match self.literal_inner() {
+            Ok(l) => Ok(l),
+            Err(SyntaxError::Parse { offset, message })
+                if offset == usize::MAX && message == "__nonequality__" =>
+            {
+                self.pos = start;
+                let lhs = self.expr()?;
+                self.expect(Tok::Neq, "`!=`")?;
+                let rhs = self.expr()?;
+                Ok(Literal::neq(lhs, rhs))
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn literal_inner(&mut self) -> Result<Literal, SyntaxError> {
+        if self.peek() == Some(&Tok::Not) {
+            self.pos += 1;
+            if self.peek() == Some(&Tok::LParen) && !self.looks_like_predicate() {
+                self.pos += 1;
+                let lhs = self.expr()?;
+                self.expect(Tok::Eq, "`=` inside negated equation")?;
+                let rhs = self.expr()?;
+                self.expect(Tok::RParen, "`)` after negated equation")?;
+                return Ok(Literal::neq(lhs, rhs));
+            }
+            let atom = self.atom()?;
+            return Ok(Literal::negative(atom));
+        }
+        let atom = self.atom()?;
+        Ok(Literal::positive(atom))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::VarKind;
+
+    #[test]
+    fn parses_example_3_1_only_as() {
+        let p = parse_program("S($x) <- R($x), a·$x = $x·a.").unwrap();
+        assert_eq!(p.rule_count(), 1);
+        let rule = p.rules().next().unwrap();
+        assert_eq!(rule.head.relation.name(), "S");
+        assert_eq!(rule.positive_body_equations().len(), 1);
+        assert_eq!(rule.to_string(), "S($x) <- R($x), a·$x = $x·a.");
+    }
+
+    #[test]
+    fn parses_ascii_dot_concatenation() {
+        let p = parse_program("S($x) <- R($x), a.$x = $x.a.").unwrap();
+        assert_eq!(p.rules().next().unwrap().to_string(), "S($x) <- R($x), a·$x = $x·a.");
+    }
+
+    #[test]
+    fn parses_example_2_1_nfa_program() {
+        let text = "
+            S(@q·$x, eps) <- R($x), N(@q).
+            S(@q2·$y, $z·@a) <- S(@q1·@a·$y, $z), D(@q1, @a, @q2).
+            A($x) <- S(@q, $x), F(@q).
+        ";
+        let p = parse_program(text).unwrap();
+        assert_eq!(p.rule_count(), 3);
+        let arities = p.relation_arities().unwrap();
+        assert_eq!(arities[&RelName::new("D")], 3);
+        assert_eq!(arities[&RelName::new("S")], 2);
+        assert_eq!(arities[&RelName::new("A")], 1);
+    }
+
+    #[test]
+    fn parses_example_2_2_packing_and_nonequalities() {
+        let text = "
+            T($u·<$s>·$v) <- R($u·$s·$v), S($s).
+            A <- T($x), T($y), T($z), $x != $y, $x != $z, $y != $z.
+        ";
+        let p = parse_program(text).unwrap();
+        assert_eq!(p.rule_count(), 2);
+        let rules: Vec<_> = p.rules().collect();
+        assert!(rules[0].has_packing());
+        assert_eq!(rules[1].negative_body_equations().len(), 3);
+        assert_eq!(rules[1].head.arity(), 0);
+    }
+
+    #[test]
+    fn parses_negated_predicates_and_parenthesised_nonequalities() {
+        let text = "
+            W(@x) <- R(@x·@y), !B(@y).
+            S(@x) <- R(@x·@y), ¬W(@x).
+            U($x, $y) <- U($x, @a·$y·@b), ¬(@a=@b).
+        ";
+        let p = parse_program(text).unwrap();
+        let rules: Vec<_> = p.rules().collect();
+        assert_eq!(rules[0].negative_body_predicates().len(), 1);
+        assert_eq!(rules[1].negative_body_predicates().len(), 1);
+        assert_eq!(rules[2].negative_body_equations().len(), 1);
+    }
+
+    #[test]
+    fn parses_strata_separated_by_dashes() {
+        let text = "
+            T($x) <- R($x).
+            ---
+            S($x) <- R($x), !T($x).
+        ";
+        let p = parse_program(text).unwrap();
+        assert_eq!(p.stratum_count(), 2);
+        assert_eq!(p.strata[0].rules.len(), 1);
+        assert_eq!(p.strata[1].rules.len(), 1);
+    }
+
+    #[test]
+    fn parses_facts_and_nullary_heads() {
+        let p = parse_program("T(a). A <- T($x).").unwrap();
+        let rules: Vec<_> = p.rules().collect();
+        assert!(rules[0].body.is_empty());
+        assert_eq!(rules[1].head.arity(), 0);
+    }
+
+    #[test]
+    fn parses_packed_and_nested_expressions() {
+        let e = parse_expr("@a·<<$x·$y>·$z>·<eps>").unwrap();
+        assert_eq!(e.to_string(), "@a·<<$x·$y>·$z>·<eps>");
+        assert_eq!(e.packing_depth(), 2);
+        assert_eq!(e.len(), 3);
+    }
+
+    #[test]
+    fn eps_means_the_empty_expression() {
+        assert!(parse_expr("eps").unwrap().is_empty());
+        assert_eq!(parse_expr("a·eps·b").unwrap().to_string(), "a·b");
+        let r = parse_rule("T($x, eps) <- R($x).").unwrap();
+        assert!(r.head.args[1].is_empty());
+    }
+
+    #[test]
+    fn quoted_atoms_allow_arbitrary_names() {
+        let e = parse_expr("'complete order'·'receive payment'").unwrap();
+        assert_eq!(e.len(), 2);
+        assert_eq!(e.to_string(), "'complete order'·'receive payment'");
+    }
+
+    #[test]
+    fn variables_have_kinds() {
+        let e = parse_expr("@q·$x").unwrap();
+        let vars = e.vars();
+        assert_eq!(vars[0].kind, VarKind::Atom);
+        assert_eq!(vars[1].kind, VarKind::Path);
+    }
+
+    #[test]
+    fn comments_are_ignored() {
+        let text = "
+            % a comment
+            # another comment
+            // yet another
+            S($x) <- R($x). % trailing comment
+        ";
+        assert_eq!(parse_program(text).unwrap().rule_count(), 1);
+    }
+
+    #[test]
+    fn alternative_arrows_are_accepted() {
+        assert!(parse_rule("S($x) :- R($x).").is_ok());
+        assert!(parse_rule("S($x) ← R($x).").is_ok());
+    }
+
+    #[test]
+    fn lex_and_parse_errors_are_reported_with_offsets() {
+        assert!(matches!(
+            parse_program("S($x) <- R($x)"),
+            Err(SyntaxError::Parse { .. })
+        ));
+        assert!(matches!(
+            parse_program("S(&x) <- R($x)."),
+            Err(SyntaxError::Lex { .. })
+        ));
+        assert!(matches!(
+            parse_expr("'unterminated"),
+            Err(SyntaxError::Lex { .. })
+        ));
+        assert!(matches!(parse_expr("a ="), Err(SyntaxError::Parse { .. })));
+    }
+
+    #[test]
+    fn parse_print_roundtrip_on_paper_programs() {
+        let sources = [
+            "S($x) <- R($x), a·$x = $x·a.",
+            "T($x, $x) <- R($x).\nT($x, $y) <- T($x, $y·a).\nS($x) <- T($x, eps).",
+            "T($x·a·a·$x·b) <- R($x).\nS($x) <- T(a·$x·a·b·$x).",
+            "W(@x) <- R(@x·@y), !B(@y).\nS(@x) <- R(@x·@y), !W(@x).",
+        ];
+        for src in sources {
+            let p1 = parse_program(src).unwrap();
+            let printed = p1.to_string();
+            let p2 = parse_program(&printed).unwrap();
+            assert_eq!(p1, p2, "round-trip failed for `{src}` -> `{printed}`");
+        }
+    }
+
+    #[test]
+    fn empty_strata_are_allowed() {
+        let p = parse_program("---\nS($x) <- R($x).").unwrap();
+        assert_eq!(p.stratum_count(), 1);
+        let p = parse_program("S($x) <- R($x).\n---\n").unwrap();
+        assert_eq!(p.stratum_count(), 2);
+        assert!(p.strata[1].rules.is_empty());
+    }
+}

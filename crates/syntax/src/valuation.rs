@@ -1,0 +1,260 @@
+//! Valuations: assignments of atomic values to atomic variables and paths to path
+//! variables (Section 2.3).
+
+use crate::term::{PathExpr, Term, Var, VarKind};
+use seqdl_core::{AtomId, Path, Value};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// What a variable is bound to: an atomic value (for `@x`) or a path (for `$x`).
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum Binding {
+    /// Binding of an atomic variable.
+    Atom(AtomId),
+    /// Binding of a path variable.
+    Path(Path),
+}
+
+impl Binding {
+    /// View the binding as a path (an atomic value is the length-1 path holding it).
+    pub fn as_path(&self) -> Path {
+        match self {
+            Binding::Atom(a) => Path::singleton(Value::Atom(*a)),
+            Binding::Path(p) => p.clone(),
+        }
+    }
+
+    /// Does the binding's shape fit the given variable kind?
+    pub fn fits(&self, kind: VarKind) -> bool {
+        match (self, kind) {
+            (Binding::Atom(_), VarKind::Atom) => true,
+            (Binding::Path(_), VarKind::Path) => true,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Binding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Binding::Atom(a) => write!(f, "{}", Value::Atom(*a)),
+            Binding::Path(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+/// A valuation ν: a finite map from variables to bindings of the right kind.
+///
+/// A valuation is *appropriate* for a syntactic construct if it is defined on all
+/// variables of that construct; [`Valuation::apply`] returns `None` otherwise.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Valuation {
+    map: BTreeMap<Var, Binding>,
+}
+
+impl Valuation {
+    /// The empty valuation.
+    pub fn new() -> Valuation {
+        Valuation::default()
+    }
+
+    /// Bind `var` to `binding`.
+    ///
+    /// # Panics
+    /// Panics if the binding's shape does not fit the variable's kind (this is a
+    /// programming error in the caller, never a data error).
+    pub fn bind(&mut self, var: Var, binding: Binding) {
+        assert!(
+            binding.fits(var.kind),
+            "binding {binding} does not fit variable {var}"
+        );
+        self.map.insert(var, binding);
+    }
+
+    /// Bind an atomic variable to an atomic value.
+    pub fn bind_atom(&mut self, var: Var, value: AtomId) {
+        self.bind(var, Binding::Atom(value));
+    }
+
+    /// Bind a path variable to a path.
+    pub fn bind_path(&mut self, var: Var, path: Path) {
+        self.bind(var, Binding::Path(path));
+    }
+
+    /// A copy of this valuation with one extra binding.
+    pub fn extended(&self, var: Var, binding: Binding) -> Valuation {
+        let mut out = self.clone();
+        out.bind(var, binding);
+        out
+    }
+
+    /// The binding of `var`, if any.
+    pub fn get(&self, var: Var) -> Option<&Binding> {
+        self.map.get(&var)
+    }
+
+    /// Is `var` bound?
+    pub fn contains(&self, var: Var) -> bool {
+        self.map.contains_key(&var)
+    }
+
+    /// Number of bound variables.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Is the valuation empty?
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterate over `(variable, binding)` pairs in variable order.
+    pub fn iter(&self) -> impl Iterator<Item = (Var, &Binding)> + '_ {
+        self.map.iter().map(|(v, b)| (*v, b))
+    }
+
+    /// Is this valuation appropriate for (defined on all variables of) `expr`?
+    pub fn is_appropriate_for(&self, expr: &PathExpr) -> bool {
+        expr.vars().iter().all(|v| self.contains(*v))
+    }
+
+    /// Apply the valuation to a path expression, producing the denoted path.
+    ///
+    /// Returns `None` if some variable of the expression is unbound.
+    pub fn apply(&self, expr: &PathExpr) -> Option<Path> {
+        let mut values = Vec::new();
+        self.apply_into(expr, &mut values)?;
+        Some(Path::from_values(values))
+    }
+
+    fn apply_into(&self, expr: &PathExpr, out: &mut Vec<Value>) -> Option<()> {
+        for term in expr.terms() {
+            match term {
+                Term::Const(a) => out.push(Value::Atom(*a)),
+                Term::Var(v) => match self.map.get(v)? {
+                    Binding::Atom(a) => out.push(Value::Atom(*a)),
+                    Binding::Path(p) => out.extend(p.iter().cloned()),
+                },
+                Term::Packed(inner) => {
+                    let mut nested = Vec::new();
+                    self.apply_into(inner, &mut nested)?;
+                    out.push(Value::Packed(Path::from_values(nested)));
+                }
+            }
+        }
+        Some(())
+    }
+
+    /// Restrict the valuation to the given variables.
+    pub fn restricted_to(&self, vars: &[Var]) -> Valuation {
+        Valuation {
+            map: self
+                .map
+                .iter()
+                .filter(|(v, _)| vars.contains(v))
+                .map(|(v, b)| (*v, b.clone()))
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Display for Valuation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("{")?;
+        for (i, (v, b)) in self.map.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{v} -> {b}")?;
+        }
+        f.write_str("}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqdl_core::{atom, path_of};
+
+    #[test]
+    fn applying_a_valuation_substitutes_and_flattens() {
+        // ν($x) = b·c, ν(@q) = q0; apply to @q·$x·a.
+        let x = Var::path("x");
+        let q = Var::atom("q");
+        let mut nu = Valuation::new();
+        nu.bind_path(x, path_of(&["b", "c"]));
+        nu.bind_atom(q, atom("q0"));
+        let e = PathExpr::from_terms([
+            Term::Var(q),
+            Term::Var(x),
+            Term::constant("a"),
+        ]);
+        assert!(nu.is_appropriate_for(&e));
+        assert_eq!(nu.apply(&e), Some(path_of(&["q0", "b", "c", "a"])));
+    }
+
+    #[test]
+    fn packing_in_expressions_packs_the_result() {
+        let x = Var::path("x");
+        let mut nu = Valuation::new();
+        nu.bind_path(x, path_of(&["a", "b"]));
+        let e = PathExpr::from_terms([Term::constant("c"), Term::Packed(PathExpr::var(x))]);
+        let p = nu.apply(&e).unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.to_string(), "c·<a·b>");
+    }
+
+    #[test]
+    fn missing_bindings_make_apply_fail() {
+        let e = PathExpr::var(Var::path("unbound"));
+        let nu = Valuation::new();
+        assert!(!nu.is_appropriate_for(&e));
+        assert_eq!(nu.apply(&e), None);
+    }
+
+    #[test]
+    fn empty_path_binding_vanishes_in_concatenation() {
+        let x = Var::path("x");
+        let mut nu = Valuation::new();
+        nu.bind_path(x, Path::empty());
+        let e = PathExpr::from_terms([Term::constant("a"), Term::Var(x), Term::constant("b")]);
+        assert_eq!(nu.apply(&e), Some(path_of(&["a", "b"])));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn binding_kind_mismatch_panics() {
+        let mut nu = Valuation::new();
+        nu.bind(Var::atom("x"), Binding::Path(path_of(&["a", "b"])));
+    }
+
+    #[test]
+    fn extended_and_restricted() {
+        let x = Var::path("x");
+        let y = Var::path("y");
+        let mut nu = Valuation::new();
+        nu.bind_path(x, path_of(&["a"]));
+        let nu2 = nu.extended(y, Binding::Path(path_of(&["b"])));
+        assert_eq!(nu2.len(), 2);
+        assert_eq!(nu.len(), 1);
+        let only_y = nu2.restricted_to(&[y]);
+        assert!(only_y.contains(y));
+        assert!(!only_y.contains(x));
+    }
+
+    #[test]
+    fn binding_as_path_identifies_values_with_singletons() {
+        assert_eq!(
+            Binding::Atom(atom("a")).as_path(),
+            Path::singleton(Value::Atom(atom("a")))
+        );
+        assert_eq!(Binding::Path(Path::empty()).as_path(), Path::empty());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let mut nu = Valuation::new();
+        nu.bind_atom(Var::atom("q"), atom("q0"));
+        assert_eq!(nu.to_string(), "{@q -> q0}");
+    }
+}

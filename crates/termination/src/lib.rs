@@ -1,0 +1,46 @@
+//! # seqdl-termination — conservative termination analysis
+//!
+//! The paper only considers programs that always terminate (Section 2.3) and refers
+//! to Bonner and Mecca's work on termination guarantees for Sequence Datalog.  This
+//! crate provides a *conservative, syntactic* analysis that certifies termination
+//! for a useful class of programs and reports the offending rules otherwise:
+//!
+//! * **Nonrecursive** programs always terminate (cf. Lemma 5.1: output lengths are
+//!   even linearly bounded).
+//! * **Size-non-increasing recursion**: in every recursive rule, the head does not
+//!   mention more constants or variable occurrences than some positive body
+//!   predicate from the same recursive clique.  Derived facts then never grow, so
+//!   only finitely many facts over the active atoms are derivable.
+//! * **Rank-decreasing recursion**: some argument position strictly shrinks in every
+//!   recursive rule of the clique (the squaring query of Theorem 5.3 and the NFA
+//!   program of Example 2.1 are certified this way).
+//!
+//! Programs outside these classes — such as the diverging Example 2.3 — receive the
+//! verdict [`Verdict::Unknown`]; the engine's resource limits remain the safety net
+//! at evaluation time.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod analysis;
+pub mod measure;
+
+pub use analysis::{analyse, guaranteed_terminating, CliqueReport, Guarantee, TerminationReport, Verdict};
+pub use measure::Measure;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqdl_syntax::parse_program;
+
+    #[test]
+    fn public_api_smoke_test() {
+        let terminating = parse_program("S($x) <- R($x), a·$x = $x·a.").unwrap();
+        assert!(guaranteed_terminating(&terminating));
+
+        let diverging = parse_program("T(a).\nT(a·$x) <- T($x).").unwrap();
+        assert!(!guaranteed_terminating(&diverging));
+        let report = analyse(&diverging);
+        assert_eq!(report.verdict, Verdict::Unknown);
+    }
+}

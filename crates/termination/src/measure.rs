@@ -1,0 +1,150 @@
+//! Symbolic size measures of path expressions.
+//!
+//! The measure of a path expression tracks how long its instantiations can get:
+//! constants, atomic variables, and packing brackets each contribute exactly one
+//! value under every valuation (they are *bounded* occurrences), while each path
+//! variable occurrence contributes the length of whatever path the valuation assigns
+//! to it.  Comparing measures therefore compares instantiation lengths uniformly
+//! over all valuations, which is what the termination criteria of
+//! [`crate::analysis`] rely on.
+
+use seqdl_syntax::{PathExpr, Predicate, Term, Var};
+use std::collections::BTreeMap;
+
+/// A symbolic size: bounded occurrences plus a multiset of path-variable
+/// occurrences.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Measure {
+    /// Number of occurrences that contribute exactly one value under any valuation:
+    /// constants, atomic variables, and packing brackets.
+    pub bounded: usize,
+    /// How often each *path* variable occurs.
+    pub path_var_occurrences: BTreeMap<Var, usize>,
+}
+
+impl Measure {
+    /// The measure of a single path expression.
+    pub fn of_expr(expr: &PathExpr) -> Measure {
+        let mut measure = Measure::default();
+        measure.add_expr(expr);
+        measure
+    }
+
+    /// The combined measure of all components of a predicate.
+    pub fn of_predicate(predicate: &Predicate) -> Measure {
+        let mut measure = Measure::default();
+        for arg in &predicate.args {
+            measure.add_expr(arg);
+        }
+        measure
+    }
+
+    fn add_expr(&mut self, expr: &PathExpr) {
+        for term in expr.terms() {
+            match term {
+                Term::Const(_) => self.bounded += 1,
+                Term::Var(v) if v.is_atom_var() => self.bounded += 1,
+                Term::Var(v) => *self.path_var_occurrences.entry(*v).or_insert(0) += 1,
+                Term::Packed(inner) => {
+                    // The bracket itself occupies one value slot.
+                    self.bounded += 1;
+                    self.add_expr(inner);
+                }
+            }
+        }
+    }
+
+    /// Total number of occurrences (bounded plus path-variable occurrences).
+    pub fn total(&self) -> usize {
+        self.bounded + self.path_var_occurrences.values().sum::<usize>()
+    }
+
+    /// Componentwise comparison: `self` never instantiates to something longer than
+    /// `other` — no more bounded occurrences, and no path variable occurs more
+    /// often.  Path variables absent from `other` must be absent from `self`.
+    pub fn le(&self, other: &Measure) -> bool {
+        if self.bounded > other.bounded {
+            return false;
+        }
+        self.path_var_occurrences
+            .iter()
+            .all(|(v, n)| other.path_var_occurrences.get(v).copied().unwrap_or(0) >= *n)
+    }
+
+    /// Strict comparison: [`Measure::le`] and strictly fewer total occurrences.
+    pub fn lt(&self, other: &Measure) -> bool {
+        self.le(other) && self.total() < other.total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqdl_core::rel;
+    use seqdl_syntax::parse_expr;
+
+    fn m(src: &str) -> Measure {
+        Measure::of_expr(&parse_expr(src).unwrap())
+    }
+
+    #[test]
+    fn constants_and_variables_are_counted_with_multiplicity() {
+        let measure = m("a·$x·b·$x·@y");
+        assert_eq!(measure.bounded, 3, "a, b and the atomic variable @y are bounded");
+        assert_eq!(measure.path_var_occurrences.len(), 1);
+        assert_eq!(measure.total(), 5);
+    }
+
+    #[test]
+    fn the_empty_expression_has_the_zero_measure() {
+        let measure = m("eps");
+        assert_eq!(measure, Measure::default());
+        assert_eq!(measure.total(), 0);
+    }
+
+    #[test]
+    fn atomic_variables_count_like_constants() {
+        assert!(m("@x").le(&m("a")));
+        assert!(m("a").le(&m("@x")));
+        assert!(m("@x·$y").le(&m("@z·@w·$y")));
+        assert!(!m("@x·@y").le(&m("@z")));
+    }
+
+    #[test]
+    fn packing_counts_the_bracket_and_the_contents() {
+        let measure = m("<a·$x>·b");
+        assert_eq!(measure.bounded, 3); // bracket + a + b
+        assert_eq!(measure.total(), 4);
+    }
+
+    #[test]
+    fn le_is_a_partial_order_on_small_examples() {
+        assert!(m("$x").le(&m("$x·a")));
+        assert!(m("$x").le(&m("$x")));
+        assert!(!m("$x·a").le(&m("$x")));
+        assert!(!m("$x·$x").le(&m("$x")));
+        assert!(m("$x·$y").le(&m("$y·a·$x")));
+        assert!(!m("$z").le(&m("$x·$y")));
+        assert!(m("a").le(&m("b")), "bounded occurrences are compared by count, not identity");
+    }
+
+    #[test]
+    fn lt_requires_a_strict_total_decrease() {
+        assert!(m("$z").lt(&m("a·$z")));
+        assert!(!m("$z").lt(&m("$z")));
+        assert!(!m("a·$z").lt(&m("a·$z")));
+        assert!(m("eps").lt(&m("a")));
+        assert!(m("@a").lt(&m("@a·@b")));
+    }
+
+    #[test]
+    fn predicate_measures_sum_over_components() {
+        let predicate = seqdl_syntax::Predicate::new(
+            rel("T"),
+            vec![parse_expr("$x·a").unwrap(), parse_expr("$y").unwrap()],
+        );
+        let measure = Measure::of_predicate(&predicate);
+        assert_eq!(measure.bounded, 1);
+        assert_eq!(measure.total(), 3);
+    }
+}

@@ -1,0 +1,603 @@
+//! The extended pig-pug rewriting procedure (Sections 4.3.1 and 4.3.2).
+
+use crate::subst::Substitution;
+use crate::tree::{NodeStatus, SearchTree};
+use seqdl_syntax::{Equation, PathExpr, Term, Var, VarKind};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Options bounding the pig-pug search.
+///
+/// On one-sided nonlinear equations the procedure terminates on its own; the limits
+/// exist so that other inputs (such as `$x·a = a·$x`, whose solution set has no
+/// finite complete representation by substitutions) fail loudly instead of looping.
+#[derive(Clone, Copy, Debug)]
+pub struct SolveOptions {
+    /// Maximum number of search-tree nodes before giving up.
+    pub max_nodes: usize,
+    /// Maximum branch depth before giving up.
+    pub max_depth: usize,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        SolveOptions {
+            max_nodes: 50_000,
+            max_depth: 500,
+        }
+    }
+}
+
+/// Errors raised by the unification procedure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UnifyError {
+    /// The search exceeded the configured node or depth limit.
+    SearchLimit {
+        /// Number of nodes explored when the limit was hit.
+        nodes: usize,
+    },
+    /// The empty-word closure would need to enumerate too many subsets.
+    TooManyVariables {
+        /// Number of path variables in the equation.
+        count: usize,
+    },
+}
+
+impl fmt::Display for UnifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnifyError::SearchLimit { nodes } => {
+                write!(f, "associative unification exceeded the search limit after {nodes} nodes")
+            }
+            UnifyError::TooManyVariables { count } => write!(
+                f,
+                "empty-word closure over {count} path variables is too large"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for UnifyError {}
+
+/// The result of a pig-pug run: the complete set of symbolic solutions (restricted
+/// to the variables of the input equation, de-duplicated) and the search tree.
+#[derive(Clone, Debug)]
+pub struct SolutionSet {
+    /// The symbolic solutions, one per successful branch (de-duplicated).
+    pub solutions: Vec<Substitution>,
+    /// The search tree explored by the procedure.
+    pub tree: SearchTree,
+}
+
+impl SolutionSet {
+    /// Is the equation unsatisfiable under nonempty-word semantics?
+    pub fn is_unsatisfiable(&self) -> bool {
+        self.solutions.is_empty()
+    }
+}
+
+/// Is the equation *one-sided nonlinear*: does every variable that occurs more than
+/// once (counting both sides) occur in only one side?  Pig-pug terminates on such
+/// equations \[Durán et al. 2018\].
+pub fn is_one_sided_nonlinear(eq: &Equation) -> bool {
+    let lhs_occ = eq.lhs.var_occurrences();
+    let rhs_occ = eq.rhs.var_occurrences();
+    let all_vars: BTreeSet<Var> = lhs_occ.iter().chain(rhs_occ.iter()).copied().collect();
+    for v in all_vars {
+        let in_lhs = lhs_occ.iter().filter(|x| **x == v).count();
+        let in_rhs = rhs_occ.iter().filter(|x| **x == v).count();
+        if in_lhs + in_rhs > 1 && in_lhs > 0 && in_rhs > 0 {
+            return false;
+        }
+    }
+    true
+}
+
+/// Solve an equation under the classical *nonempty-word* semantics: variables range
+/// over nonempty paths (atomic variables over atomic values).
+///
+/// Returns the complete set of symbolic solutions and the search tree.
+///
+/// # Errors
+/// [`UnifyError::SearchLimit`] if the search exceeds the configured bounds.
+pub fn solve(eq: &Equation, options: &SolveOptions) -> Result<SolutionSet, UnifyError> {
+    let mut tree = SearchTree::with_root(eq.clone());
+    let original_vars = eq.vars();
+    let mut solutions: Vec<Substitution> = Vec::new();
+    // Depth-first work list of (node id, depth).
+    let mut work: Vec<(usize, usize)> = vec![(tree.root(), 0)];
+
+    while let Some((node_id, depth)) = work.pop() {
+        if tree.len() > options.max_nodes || depth > options.max_depth {
+            return Err(UnifyError::SearchLimit { nodes: tree.len() });
+        }
+        let equation = tree.node(node_id).equation.clone();
+        match step(&equation, options)? {
+            StepResult::Success => {
+                tree.set_status(node_id, NodeStatus::Success);
+                let branch = tree.branch_substitution(node_id);
+                let restricted = branch.restricted_to(&original_vars);
+                if !solutions.contains(&restricted) {
+                    solutions.push(restricted);
+                }
+            }
+            StepResult::Failure => {
+                tree.set_status(node_id, NodeStatus::Failure);
+            }
+            StepResult::Children(children) => {
+                if children.is_empty() {
+                    tree.set_status(node_id, NodeStatus::Failure);
+                } else {
+                    for (step_subst, child_eq) in children {
+                        let child_id = tree.add_child(node_id, step_subst, child_eq);
+                        work.push((child_id, depth + 1));
+                    }
+                }
+            }
+        }
+    }
+
+    // Keep only genuine symbolic solutions (defensive; every branch composition
+    // should already solve the equation).
+    solutions.retain(|s| s.solves(eq));
+    Ok(SolutionSet { solutions, tree })
+}
+
+/// Solve an equation allowing variables to denote the *empty* path, using the
+/// closure of footnote 4: for every subset `Y` of the path variables, solve the
+/// equation with the variables of `Y` replaced by `ε` and extend each solution by
+/// `Y ↦ ε`.  Atomic variables always denote atomic values and are never emptied.
+///
+/// # Errors
+/// [`UnifyError::TooManyVariables`] if the equation has more than 16 path variables,
+/// and any error of [`solve`].
+pub fn solve_allowing_empty(
+    eq: &Equation,
+    options: &SolveOptions,
+) -> Result<Vec<Substitution>, UnifyError> {
+    let path_vars: Vec<Var> = eq
+        .vars()
+        .into_iter()
+        .filter(|v| v.kind == VarKind::Path)
+        .collect();
+    if path_vars.len() > 16 {
+        return Err(UnifyError::TooManyVariables {
+            count: path_vars.len(),
+        });
+    }
+    let mut all: Vec<Substitution> = Vec::new();
+    for mask in 0u32..(1u32 << path_vars.len()) {
+        let emptied: Vec<Var> = path_vars
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, v)| *v)
+            .collect();
+        let empty_map: std::collections::BTreeMap<Var, PathExpr> = emptied
+            .iter()
+            .map(|v| (*v, PathExpr::empty()))
+            .collect();
+        let eq_y = Equation::new(eq.lhs.substitute(&empty_map), eq.rhs.substitute(&empty_map));
+        let base = solve(&eq_y, options)?;
+        for sol in base.solutions {
+            let mut extended = sol;
+            for v in &emptied {
+                extended.bind(*v, PathExpr::empty());
+            }
+            if extended.solves(eq) && !all.contains(&extended) {
+                all.push(extended);
+            }
+        }
+    }
+    Ok(all)
+}
+
+enum StepResult {
+    Success,
+    Failure,
+    Children(Vec<(Option<Substitution>, Equation)>),
+}
+
+/// Apply one step of the (extended) rewriting relation to an equation.
+fn step(eq: &Equation, options: &SolveOptions) -> Result<StepResult, UnifyError> {
+    let lhs = eq.lhs.terms();
+    let rhs = eq.rhs.terms();
+    match (lhs.first(), rhs.first()) {
+        (None, None) => return Ok(StepResult::Success),
+        (None, Some(_)) | (Some(_), None) => return Ok(StepResult::Failure),
+        _ => {}
+    }
+    let l = lhs[0].clone();
+    let r = rhs[0].clone();
+    let rest_l = PathExpr::from_terms(lhs[1..].iter().cloned());
+    let rest_r = PathExpr::from_terms(rhs[1..].iter().cloned());
+
+    // Cancellation rule: identical first symbols cancel.
+    if l == r {
+        return Ok(StepResult::Children(vec![(
+            None,
+            Equation::new(rest_l, rest_r),
+        )]));
+    }
+
+    let single = |t: Term| PathExpr::singleton(t);
+    let child = |rho: Substitution, new_lhs: PathExpr, new_rhs: PathExpr| {
+        (Some(rho), Equation::new(new_lhs, new_rhs))
+    };
+
+    let result = match (&l, &r) {
+        // --- classical word-equation rules -------------------------------------
+        // (a)-(c): two distinct path variables at the front.
+        (Term::Var(x), Term::Var(y)) if x.is_path_var() && y.is_path_var() => {
+            let mut children = Vec::new();
+            // (a) x ↦ y·x : x denotes more than y.
+            let rho_a = Substitution::single(*x, single(Term::Var(*y)).concat(&single(Term::Var(*x))));
+            children.push(child(
+                rho_a.clone(),
+                single(Term::Var(*x)).concat(&rho_a.apply(&rest_l)),
+                rho_a.apply(&rest_r),
+            ));
+            // (b) x ↦ y : both denote the same.
+            let rho_b = Substitution::single(*x, single(Term::Var(*y)));
+            children.push(child(
+                rho_b.clone(),
+                rho_b.apply(&rest_l),
+                rho_b.apply(&rest_r),
+            ));
+            // (c) y ↦ x·y : y denotes more than x.
+            let rho_c = Substitution::single(*y, single(Term::Var(*x)).concat(&single(Term::Var(*y))));
+            children.push(child(
+                rho_c.clone(),
+                rho_c.apply(&rest_l),
+                single(Term::Var(*y)).concat(&rho_c.apply(&rest_r)),
+            ));
+            StepResult::Children(children)
+        }
+        // (d)-(e): path variable vs constant.
+        (Term::Var(x), Term::Const(a)) if x.is_path_var() => {
+            let mut children = Vec::new();
+            let rho_d = Substitution::single(*x, single(Term::Const(*a)).concat(&single(Term::Var(*x))));
+            children.push(child(
+                rho_d.clone(),
+                single(Term::Var(*x)).concat(&rho_d.apply(&rest_l)),
+                rho_d.apply(&rest_r),
+            ));
+            let rho_e = Substitution::single(*x, single(Term::Const(*a)));
+            children.push(child(
+                rho_e.clone(),
+                rho_e.apply(&rest_l),
+                rho_e.apply(&rest_r),
+            ));
+            StepResult::Children(children)
+        }
+        // (f)-(g): constant vs path variable.
+        (Term::Const(a), Term::Var(y)) if y.is_path_var() => {
+            let mut children = Vec::new();
+            let rho_f = Substitution::single(*y, single(Term::Const(*a)).concat(&single(Term::Var(*y))));
+            children.push(child(
+                rho_f.clone(),
+                rho_f.apply(&rest_l),
+                single(Term::Var(*y)).concat(&rho_f.apply(&rest_r)),
+            ));
+            let rho_g = Substitution::single(*y, single(Term::Const(*a)));
+            children.push(child(
+                rho_g.clone(),
+                rho_g.apply(&rest_l),
+                rho_g.apply(&rest_r),
+            ));
+            StepResult::Children(children)
+        }
+        // Distinct constants at the front: failure leaf.
+        (Term::Const(_), Term::Const(_)) => StepResult::Failure,
+
+        // --- extension rules of Section 4.3.2 ----------------------------------
+        // (h): two distinct atomic variables must coincide.
+        (Term::Var(x), Term::Var(y)) if x.is_atom_var() && y.is_atom_var() => {
+            let rho = Substitution::single(*x, single(Term::Var(*y)));
+            StepResult::Children(vec![child(
+                rho.clone(),
+                rho.apply(&rest_l),
+                rho.apply(&rest_r),
+            )])
+        }
+        // Atomic variable vs constant (either orientation): the variable is the
+        // constant.
+        (Term::Var(x), Term::Const(a)) if x.is_atom_var() => {
+            let rho = Substitution::single(*x, single(Term::Const(*a)));
+            StepResult::Children(vec![child(
+                rho.clone(),
+                rho.apply(&rest_l),
+                rho.apply(&rest_r),
+            )])
+        }
+        (Term::Const(a), Term::Var(y)) if y.is_atom_var() => {
+            let rho = Substitution::single(*y, single(Term::Const(*a)));
+            StepResult::Children(vec![child(
+                rho.clone(),
+                rho.apply(&rest_l),
+                rho.apply(&rest_r),
+            )])
+        }
+        // (i): atomic variable vs path variable.
+        (Term::Var(x), Term::Var(y)) if x.is_atom_var() && y.is_path_var() => {
+            let mut children = Vec::new();
+            let rho1 = Substitution::single(*y, single(Term::Var(*x)).concat(&single(Term::Var(*y))));
+            children.push(child(
+                rho1.clone(),
+                rho1.apply(&rest_l),
+                single(Term::Var(*y)).concat(&rho1.apply(&rest_r)),
+            ));
+            let rho2 = Substitution::single(*y, single(Term::Var(*x)));
+            children.push(child(
+                rho2.clone(),
+                rho2.apply(&rest_l),
+                rho2.apply(&rest_r),
+            ));
+            StepResult::Children(children)
+        }
+        // (j): path variable vs atomic variable.
+        (Term::Var(x), Term::Var(y)) if x.is_path_var() && y.is_atom_var() => {
+            let mut children = Vec::new();
+            let rho1 = Substitution::single(*x, single(Term::Var(*y)).concat(&single(Term::Var(*x))));
+            children.push(child(
+                rho1.clone(),
+                single(Term::Var(*x)).concat(&rho1.apply(&rest_l)),
+                rho1.apply(&rest_r),
+            ));
+            let rho2 = Substitution::single(*x, single(Term::Var(*y)));
+            children.push(child(
+                rho2.clone(),
+                rho2.apply(&rest_l),
+                rho2.apply(&rest_r),
+            ));
+            StepResult::Children(children)
+        }
+        // (k): two packed expressions at the front — solve the inner equation first.
+        (Term::Packed(w1), Term::Packed(w3)) => {
+            let inner = Equation::new(w1.clone(), w3.clone());
+            let inner_solutions = solve_allowing_empty(&inner, options)?;
+            let children = inner_solutions
+                .into_iter()
+                .map(|rho| {
+                    (
+                        Some(rho.clone()),
+                        Equation::new(rho.apply(&rest_l), rho.apply(&rest_r)),
+                    )
+                })
+                .collect();
+            StepResult::Children(children)
+        }
+        // (l): packed expression vs path variable.
+        (Term::Packed(w1), Term::Var(y)) if y.is_path_var() => {
+            let packed = PathExpr::singleton(Term::Packed(w1.clone()));
+            let mut children = Vec::new();
+            let rho1 = Substitution::single(*y, packed.concat(&single(Term::Var(*y))));
+            children.push(child(
+                rho1.clone(),
+                rho1.apply(&rest_l),
+                single(Term::Var(*y)).concat(&rho1.apply(&rest_r)),
+            ));
+            let rho2 = Substitution::single(*y, packed);
+            children.push(child(
+                rho2.clone(),
+                rho2.apply(&rest_l),
+                rho2.apply(&rest_r),
+            ));
+            StepResult::Children(children)
+        }
+        // (m): path variable vs packed expression.
+        (Term::Var(x), Term::Packed(w2)) if x.is_path_var() => {
+            let packed = PathExpr::singleton(Term::Packed(w2.clone()));
+            let mut children = Vec::new();
+            let rho1 = Substitution::single(*x, packed.concat(&single(Term::Var(*x))));
+            children.push(child(
+                rho1.clone(),
+                single(Term::Var(*x)).concat(&rho1.apply(&rest_l)),
+                rho1.apply(&rest_r),
+            ));
+            let rho2 = Substitution::single(*x, packed);
+            children.push(child(
+                rho2.clone(),
+                rho2.apply(&rest_l),
+                rho2.apply(&rest_r),
+            ));
+            StepResult::Children(children)
+        }
+        // Atomic variable or constant vs packed expression (either orientation):
+        // never satisfiable (extra non-successful leaves of Section 4.3.2).
+        (Term::Var(x), Term::Packed(_)) if x.is_atom_var() => StepResult::Failure,
+        (Term::Packed(_), Term::Var(y)) if y.is_atom_var() => StepResult::Failure,
+        (Term::Const(_), Term::Packed(_)) | (Term::Packed(_), Term::Const(_)) => {
+            StepResult::Failure
+        }
+        // All cases are covered above; the compiler cannot see that.
+        _ => unreachable!("unhandled pig-pug case: {l} vs {r}"),
+    };
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqdl_syntax::parse_expr;
+
+    fn eq(l: &str, r: &str) -> Equation {
+        Equation::new(parse_expr(l).unwrap(), parse_expr(r).unwrap())
+    }
+
+    fn solve_ok(l: &str, r: &str) -> SolutionSet {
+        solve(&eq(l, r), &SolveOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn ground_equations_are_checked_directly() {
+        assert_eq!(solve_ok("a·b", "a·b").solutions.len(), 1);
+        assert!(solve_ok("a·b", "a·b").solutions[0].is_identity());
+        assert!(solve_ok("a·b", "a·c").is_unsatisfiable());
+        assert!(solve_ok("a·b", "a").is_unsatisfiable());
+        assert_eq!(solve_ok("eps", "eps").solutions.len(), 1);
+        assert!(solve_ok("<a>", "a").is_unsatisfiable());
+        assert_eq!(solve_ok("<a·b>", "<a·b>").solutions.len(), 1);
+    }
+
+    #[test]
+    fn simple_variable_equations() {
+        // $x = a·b has exactly one solution.
+        let s = solve_ok("$x", "a·b");
+        assert_eq!(s.solutions.len(), 1);
+        assert_eq!(
+            s.solutions[0].get(Var::path("x")),
+            Some(&parse_expr("a·b").unwrap())
+        );
+        // @x = a.
+        let s = solve_ok("@x", "a");
+        assert_eq!(s.solutions.len(), 1);
+        // @x = a·b is unsatisfiable (atomic variables denote single atoms).
+        assert!(solve_ok("@x", "a·b").is_unsatisfiable());
+        // @x = <a> is unsatisfiable (atomic variables denote atomic values).
+        assert!(solve_ok("@x", "<a>").is_unsatisfiable());
+    }
+
+    #[test]
+    fn splitting_a_ground_word_between_two_variables() {
+        // $x·$y = a·b·c under nonempty semantics: (a)(b·c) and (a·b)(c).
+        let s = solve_ok("$x·$y", "a·b·c");
+        assert_eq!(s.solutions.len(), 2);
+        for sol in &s.solutions {
+            assert!(sol.solves(&eq("$x·$y", "a·b·c")));
+        }
+        // Allowing empty adds (ε)(a·b·c) and (a·b·c)(ε).
+        let all = solve_allowing_empty(&eq("$x·$y", "a·b·c"), &SolveOptions::default()).unwrap();
+        assert_eq!(all.len(), 4);
+    }
+
+    #[test]
+    fn one_sided_nonlinearity_detection() {
+        assert!(!is_one_sided_nonlinear(&eq("$x·a", "a·$x")));
+        assert!(is_one_sided_nonlinear(&eq("$x·<@y·$z>·@w", "$u·$v·$u")));
+        assert!(is_one_sided_nonlinear(&eq("$x·$x", "a·b·c·d")));
+        assert!(is_one_sided_nonlinear(&eq("$x", "$y")));
+        assert!(!is_one_sided_nonlinear(&eq("$x·$y·$x", "$z·$x")));
+    }
+
+    #[test]
+    fn nonlinear_same_side_repetition_terminates() {
+        // $x·$x = a·b·a·b: the only nonempty solution is $x = a·b.
+        let s = solve_ok("$x·$x", "a·b·a·b");
+        assert_eq!(s.solutions.len(), 1);
+        assert_eq!(
+            s.solutions[0].get(Var::path("x")),
+            Some(&parse_expr("a·b").unwrap())
+        );
+        // $x·$x = a·b·a is unsatisfiable.
+        assert!(solve_ok("$x·$x", "a·b·a").is_unsatisfiable());
+    }
+
+    #[test]
+    fn figure_2_equation_has_exactly_four_symbolic_solutions() {
+        // Example 4.8 / Figure 2: $x·⟨@y·$z⟩·@w = $u·$v·$u.
+        let equation = eq("$x·<@y·$z>·@w", "$u·$v·$u");
+        let s = solve(&equation, &SolveOptions::default()).unwrap();
+        assert_eq!(s.solutions.len(), 4, "solutions: {:#?}", s.solutions);
+        for sol in &s.solutions {
+            assert!(sol.solves(&equation));
+        }
+        // The first solution listed in the paper must be among them.
+        let expected: Substitution = [
+            (Var::path("x"), parse_expr("@w").unwrap()),
+            (Var::path("u"), parse_expr("@w").unwrap()),
+            (Var::path("v"), parse_expr("<@y·$z>").unwrap()),
+        ]
+        .into_iter()
+        .collect();
+        assert!(
+            s.solutions.contains(&expected),
+            "missing the paper's first solution; got {:#?}",
+            s.solutions
+        );
+        // The tree has exactly four successful branches (the bold edges of Fig. 2).
+        assert_eq!(s.tree.success_count(), 4);
+        assert!(s.tree.failure_count() > 0);
+    }
+
+    #[test]
+    fn packing_structure_mismatches_fail() {
+        assert!(solve_ok("<$x>", "a·<$y>").is_unsatisfiable());
+        assert!(solve_ok("<a>·b", "<a>·c").is_unsatisfiable());
+        // Inner packing is solved recursively (rule (k)).
+        let s = solve_ok("<$x>·b", "<a·c>·b");
+        assert_eq!(s.solutions.len(), 1);
+        assert_eq!(
+            s.solutions[0].get(Var::path("x")),
+            Some(&parse_expr("a·c").unwrap())
+        );
+        // Nested packing.
+        let s = solve_ok("<<$x>>", "<<a>>");
+        assert_eq!(s.solutions.len(), 1);
+    }
+
+    #[test]
+    fn atomic_variables_inside_word_equations() {
+        // @a·$y = b·c·d: @a must be b and $y the rest.
+        let s = solve_ok("@a·$y", "b·c·d");
+        assert_eq!(s.solutions.len(), 1);
+        assert_eq!(
+            s.solutions[0].get(Var::atom("a")),
+            Some(&parse_expr("b").unwrap())
+        );
+        assert_eq!(
+            s.solutions[0].get(Var::path("y")),
+            Some(&parse_expr("c·d").unwrap())
+        );
+        // Two atomic variables: @a·@b = c·c.
+        let s = solve_ok("@a·@b", "c·c");
+        assert_eq!(s.solutions.len(), 1);
+    }
+
+    #[test]
+    fn non_terminating_equation_hits_the_search_limit() {
+        let opts = SolveOptions {
+            max_nodes: 500,
+            max_depth: 50,
+        };
+        let err = solve(&eq("$x·a", "a·$x"), &opts).unwrap_err();
+        assert!(matches!(err, UnifyError::SearchLimit { .. }));
+    }
+
+    #[test]
+    fn empty_word_closure_rejects_huge_variable_counts() {
+        let lhs: String = (0..17).map(|i| format!("$v{i}")).collect::<Vec<_>>().join("·");
+        let equation = eq(&lhs, "a");
+        assert!(matches!(
+            solve_allowing_empty(&equation, &SolveOptions::default()),
+            Err(UnifyError::TooManyVariables { count: 17 })
+        ));
+    }
+
+    #[test]
+    fn empty_word_closure_finds_empty_assignments() {
+        // $x·a = a under nonempty semantics is unsatisfiable, but with empties
+        // $x ↦ ε works.
+        assert!(solve_ok("$x·a", "a").is_unsatisfiable());
+        let all = solve_allowing_empty(&eq("$x·a", "a"), &SolveOptions::default()).unwrap();
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].get(Var::path("x")), Some(&PathExpr::empty()));
+    }
+
+    #[test]
+    fn all_solutions_returned_are_symbolic_solutions() {
+        let cases = [
+            ("$x·$y·$x", "a·b·a"),
+            ("$x·b·$y", "a·b·c·b·e"),
+            ("@p·$x·@q", "a·b·c·d"),
+            ("<@a>·$x", "<@b>·c·d"),
+        ];
+        for (l, r) in cases {
+            let equation = eq(l, r);
+            let s = solve(&equation, &SolveOptions::default()).unwrap();
+            for sol in &s.solutions {
+                assert!(sol.solves(&equation), "{sol} does not solve {l} = {r}");
+            }
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! # seqdl-wgen — workload generators
+//!
+//! Deterministic, seedable generators for the workloads used by the benchmark
+//! harness and the examples.  The paper is a theory paper with no evaluation
+//! datasets; these generators synthesise inputs for the application domains its
+//! introduction motivates (process mining, graph paths, JSON-style records) plus the
+//! string families its proofs use (`a^n`, `a^n b^n`, random strings over a small
+//! alphabet).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod programs;
+
+pub use programs::{ProgramConfig, ProgramGenerator};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use seqdl_core::{path_of, repeat_path, Fact, Instance, Path, RelName, Value};
+
+/// A seeded workload generator.
+#[derive(Clone, Debug)]
+pub struct Workloads {
+    seed: u64,
+}
+
+impl Workloads {
+    /// A generator with the given seed; equal seeds produce equal workloads.
+    pub fn new(seed: u64) -> Workloads {
+        Workloads { seed }
+    }
+
+    fn rng(&self, salt: u64) -> StdRng {
+        StdRng::seed_from_u64(self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ salt)
+    }
+
+    /// The instance `{R(a^n)}` used by the squaring and only-a's experiments.
+    pub fn a_power(&self, relation: RelName, n: usize) -> Instance {
+        Instance::unary(relation, [repeat_path("a", n)])
+    }
+
+    /// The instance `{R(a^n·b^n)}` (Example 4.6 style inputs).
+    pub fn a_then_b(&self, relation: RelName, n: usize) -> Instance {
+        let mut p = repeat_path("a", n);
+        p.extend(repeat_path("b", n).into_iter());
+        Instance::unary(relation, [p])
+    }
+
+    /// A random flat string over an alphabet of `alphabet` letters (`x0`, `x1`, …).
+    pub fn random_string(&self, len: usize, alphabet: usize, salt: u64) -> Path {
+        let mut rng = self.rng(salt);
+        Path::from_values((0..len).map(|_| {
+            Value::atom(&format!("x{}", rng.gen_range(0..alphabet.max(1))))
+        }))
+    }
+
+    /// A unary relation of `count` random strings of length up to `max_len`.
+    pub fn random_strings(
+        &self,
+        relation: RelName,
+        count: usize,
+        max_len: usize,
+        alphabet: usize,
+    ) -> Instance {
+        let mut rng = self.rng(1);
+        let paths = (0..count).map(|i| {
+            let len = rng.gen_range(0..=max_len);
+            self.random_string(len, alphabet, 1000 + i as u64)
+        });
+        Instance::unary(relation, paths)
+    }
+
+    /// A random NFA over `states` states and `alphabet` letters, as the relations
+    /// `N` (initial), `D` (transitions), `F` (final) of Example 2.1, together with a
+    /// unary relation `R` of `word_count` random input words of length `word_len`.
+    pub fn nfa_instance(
+        &self,
+        states: usize,
+        alphabet: usize,
+        word_count: usize,
+        word_len: usize,
+    ) -> Instance {
+        let mut rng = self.rng(2);
+        let mut inst = Instance::new();
+        let state = |i: usize| path_of(&[format!("q{i}").as_str()]);
+        let letter = |i: usize| path_of(&[format!("x{i}").as_str()]);
+        inst.insert_fact(Fact::new(RelName::new("N"), vec![state(0)]))
+            .expect("fresh instance");
+        inst.insert_fact(Fact::new(RelName::new("F"), vec![state(states.saturating_sub(1))]))
+            .expect("fresh instance");
+        // Roughly two outgoing transitions per (state, letter) pair on average.
+        for q in 0..states {
+            for a in 0..alphabet {
+                for _ in 0..2 {
+                    if rng.gen_bool(0.7) {
+                        let to = rng.gen_range(0..states);
+                        inst.insert_fact(Fact::new(
+                            RelName::new("D"),
+                            vec![state(q), letter(a), state(to)],
+                        ))
+                        .expect("arity is consistent");
+                    }
+                }
+            }
+        }
+        for i in 0..word_count {
+            let word = self.random_string(word_len, alphabet, 2000 + i as u64);
+            inst.insert_fact(Fact::new(RelName::new("R"), vec![word]))
+                .expect("arity is consistent");
+        }
+        inst
+    }
+
+    /// A random directed graph on `nodes` nodes with `edges` edges, encoded as
+    /// length-2 paths in the unary relation `R` (Section 5.1.1), with nodes named
+    /// `a`, `b`, `n2`, `n3`, … so that the reachability witness query `a →* b`
+    /// applies.
+    pub fn digraph_instance(&self, nodes: usize, edges: usize) -> Instance {
+        let mut rng = self.rng(3);
+        let name = |i: usize| match i {
+            0 => "a".to_string(),
+            1 => "b".to_string(),
+            _ => format!("n{i}"),
+        };
+        let mut inst = Instance::new();
+        inst.declare_relation(RelName::new("R"), 1);
+        for _ in 0..edges {
+            let from = rng.gen_range(0..nodes.max(2));
+            let to = rng.gen_range(0..nodes.max(2));
+            inst.insert_fact(Fact::new(
+                RelName::new("R"),
+                vec![path_of(&[name(from).as_str(), name(to).as_str()])],
+            ))
+            .expect("arity is consistent");
+        }
+        inst
+    }
+
+    /// A process-mining event log: `traces` traces of length up to `max_len` over a
+    /// small activity vocabulary, in the unary relation `Log`.  Roughly half the
+    /// traces violate the "every 'order' is eventually followed by 'pay'" policy.
+    pub fn event_log(&self, traces: usize, max_len: usize) -> Instance {
+        let mut rng = self.rng(4);
+        let activities = ["start", "order", "ship", "pay", "close"];
+        let paths = (0..traces).map(|_| {
+            let len = rng.gen_range(2..=max_len.max(2));
+            let mut events: Vec<&str> = (0..len)
+                .map(|_| activities[rng.gen_range(0..activities.len())])
+                .collect();
+            if rng.gen_bool(0.5) {
+                // Make the trace compliant: append a final payment.
+                events.push("pay");
+            }
+            path_of(&events)
+        });
+        Instance::unary(RelName::new("Log"), paths)
+    }
+
+    /// The JSON-motivated "Sales" relation of the introduction: item·year·value
+    /// triples as length-3 paths in the unary relation `Sales`.
+    pub fn sales_instance(&self, items: usize, years: usize) -> Instance {
+        let mut rng = self.rng(5);
+        let mut inst = Instance::new();
+        inst.declare_relation(RelName::new("Sales"), 1);
+        for i in 0..items {
+            for y in 0..years {
+                let value = rng.gen_range(0..1000u32);
+                inst.insert_fact(Fact::new(
+                    RelName::new("Sales"),
+                    vec![path_of(&[
+                        format!("item{i}").as_str(),
+                        format!("{}", 2020 + y).as_str(),
+                        format!("{value}").as_str(),
+                    ])],
+                ))
+                .expect("arity is consistent");
+            }
+        }
+        inst
+    }
+
+    /// A random flat instance over a monadic schema: `relations` unary relations
+    /// `R0, R1, …`, each with `per_relation` random strings.
+    pub fn random_flat_instance(
+        &self,
+        relations: usize,
+        per_relation: usize,
+        max_len: usize,
+        alphabet: usize,
+    ) -> Instance {
+        let mut inst = Instance::new();
+        let mut rng = self.rng(6);
+        for r in 0..relations {
+            let relation = RelName::new(&format!("R{r}"));
+            inst.declare_relation(relation, 1);
+            for i in 0..per_relation {
+                let len = rng.gen_range(0..=max_len);
+                let path = self.random_string(len, alphabet, (r * 10_000 + i) as u64);
+                inst.insert_fact(Fact::new(relation, vec![path]))
+                    .expect("arity is consistent");
+            }
+        }
+        inst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqdl_core::rel;
+
+    #[test]
+    fn generators_are_deterministic_in_the_seed() {
+        let a = Workloads::new(7);
+        let b = Workloads::new(7);
+        let c = Workloads::new(8);
+        assert_eq!(
+            a.random_strings(rel("R"), 10, 8, 3),
+            b.random_strings(rel("R"), 10, 8, 3)
+        );
+        assert_ne!(
+            a.random_strings(rel("R"), 10, 8, 3),
+            c.random_strings(rel("R"), 10, 8, 3)
+        );
+        assert_eq!(a.nfa_instance(4, 2, 5, 6), b.nfa_instance(4, 2, 5, 6));
+        assert_eq!(a.digraph_instance(10, 20), b.digraph_instance(10, 20));
+    }
+
+    #[test]
+    fn string_families_have_the_right_shape() {
+        let w = Workloads::new(1);
+        assert_eq!(w.a_power(rel("R"), 5).unary_paths(rel("R")).len(), 1);
+        assert_eq!(w.a_power(rel("R"), 5).max_path_len(), 5);
+        let ab = w.a_then_b(rel("R"), 3);
+        let path = ab.unary_paths(rel("R")).into_iter().next().unwrap();
+        assert_eq!(path.len(), 6);
+        assert_eq!(path.to_string(), "a·a·a·b·b·b");
+        assert_eq!(w.random_string(12, 2, 0).len(), 12);
+        assert!(w.random_string(12, 2, 0).is_flat());
+    }
+
+    #[test]
+    fn nfa_instances_have_the_example_2_1_schema() {
+        let w = Workloads::new(3);
+        let inst = w.nfa_instance(5, 2, 4, 8);
+        let schema = inst.schema();
+        assert_eq!(schema.arity(rel("N")), Some(1));
+        assert_eq!(schema.arity(rel("D")), Some(3));
+        assert_eq!(schema.arity(rel("F")), Some(1));
+        assert_eq!(schema.arity(rel("R")), Some(1));
+        assert_eq!(inst.unary_paths(rel("R")).len(), 4);
+        assert!(inst.is_flat());
+    }
+
+    #[test]
+    fn digraphs_are_two_bounded_and_flat() {
+        let w = Workloads::new(4);
+        let inst = w.digraph_instance(12, 30);
+        assert!(inst.is_flat());
+        assert!(inst.is_two_bounded());
+    }
+
+    #[test]
+    fn event_logs_and_sales_have_expected_relations() {
+        let w = Workloads::new(5);
+        let log = w.event_log(10, 6);
+        assert_eq!(log.unary_paths(rel("Log")).len(), 10);
+        let sales = w.sales_instance(3, 2);
+        assert_eq!(sales.unary_paths(rel("Sales")).len(), 6);
+        assert!(sales
+            .unary_paths(rel("Sales"))
+            .iter()
+            .all(|p| p.len() == 3));
+    }
+
+    #[test]
+    fn random_flat_instances_cover_the_requested_schema() {
+        let w = Workloads::new(6);
+        let inst = w.random_flat_instance(3, 5, 6, 2);
+        assert_eq!(inst.relation_names().len(), 3);
+        assert!(inst.is_flat());
+        assert_eq!(inst.fact_count() <= 15, true);
+        assert_eq!(inst.schema().is_monadic(), true);
+    }
+}

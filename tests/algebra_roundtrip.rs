@@ -1,0 +1,252 @@
+//! Integration tests for the sequence relational algebra of Section 7 and the
+//! equivalence with nonrecursive Sequence Datalog (Theorem 7.1).
+
+use sequence_datalog::algebra::{algebra_to_datalog, col, datalog_to_algebra, eval, AlgebraExpr};
+use sequence_datalog::prelude::*;
+use sequence_datalog::syntax::PathExpr;
+use sequence_datalog::wgen::Workloads;
+use std::collections::BTreeSet;
+
+fn p(spec: &str) -> Path {
+    if spec.is_empty() {
+        Path::empty()
+    } else {
+        path_of(&spec.split('·').collect::<Vec<_>>())
+    }
+}
+
+fn unary_instance(rel_name: &str, paths: &[&str]) -> Instance {
+    Instance::unary(rel(rel_name), paths.iter().map(|s| p(s)).collect::<Vec<_>>())
+}
+
+// ---------------------------------------------------------------------------
+// Operator semantics
+// ---------------------------------------------------------------------------
+
+#[test]
+fn selection_with_path_expressions() {
+    // σ_{$1·a = a·$1}(R): the "only a's" query as an algebra expression.
+    let input = unary_instance("R", &["a·a·a", "a", "", "a·b", "b"]);
+    let a = PathExpr::constant("a");
+    let expr = AlgebraExpr::select(
+        AlgebraExpr::relation(rel("R"), 1),
+        col(1).concat(&a),
+        a.concat(&col(1)),
+    );
+    let out = eval(&expr, &input).unwrap();
+    let paths: BTreeSet<Path> = out.into_iter().map(|t| t[0].clone()).collect();
+    assert_eq!(paths, [p("a·a·a"), p("a"), p("")].into_iter().collect());
+}
+
+#[test]
+fn generalized_projection_builds_new_paths() {
+    // π_{$1·$1, c}(R) duplicates each path and adds a constant column.
+    let input = unary_instance("R", &["x·y", "z"]);
+    let expr = AlgebraExpr::project(
+        AlgebraExpr::relation(rel("R"), 1),
+        vec![col(1).concat(&col(1)), PathExpr::constant("c")],
+    );
+    let out = eval(&expr, &input).unwrap();
+    assert_eq!(out.len(), 2);
+    for t in &out {
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[1], p("c"));
+        assert_eq!(t[0].len() % 2, 0);
+    }
+    assert!(out.iter().any(|t| t[0] == p("x·y·x·y")));
+    assert!(out.iter().any(|t| t[0] == p("z·z")));
+}
+
+#[test]
+fn union_difference_product_have_classical_semantics() {
+    let r = unary_instance("R", &["a", "b"]);
+    let mut input = r.clone();
+    input.declare_relation(rel("S"), 1);
+    input.insert_fact(Fact::new(rel("S"), vec![p("b")])).unwrap();
+    input.insert_fact(Fact::new(rel("S"), vec![p("c")])).unwrap();
+
+    let r_expr = AlgebraExpr::relation(rel("R"), 1);
+    let s_expr = AlgebraExpr::relation(rel("S"), 1);
+
+    let union = eval(&AlgebraExpr::union(r_expr.clone(), s_expr.clone()), &input).unwrap();
+    assert_eq!(union.len(), 3);
+
+    let difference = eval(&AlgebraExpr::difference(r_expr.clone(), s_expr.clone()), &input).unwrap();
+    let diff_paths: BTreeSet<Path> = difference.into_iter().map(|t| t[0].clone()).collect();
+    assert_eq!(diff_paths, [p("a")].into_iter().collect());
+
+    let product = eval(&AlgebraExpr::product(r_expr, s_expr), &input).unwrap();
+    assert_eq!(product.len(), 4);
+    assert!(product.iter().all(|t| t.len() == 2));
+}
+
+#[test]
+fn unpack_extracts_packed_components() {
+    // Build an instance with a packed value ⟨a·b⟩ in column 1 by evaluating a
+    // projection that packs, then unpack it again.
+    let input = unary_instance("R", &["a·b", "c"]);
+    let pack = AlgebraExpr::project(AlgebraExpr::relation(rel("R"), 1), vec![col(1).packed()]);
+    let packed = eval(&pack, &input).unwrap();
+    assert!(packed.iter().all(|t| t[0].len() == 1 && !t[0].is_flat()));
+
+    // Round-trip: UNPACK_1(π_{⟨$1⟩}(R)) = R.
+    let unpack = AlgebraExpr::unpack(pack, 1);
+    let out = eval(&unpack, &input).unwrap();
+    let paths: BTreeSet<Path> = out.into_iter().map(|t| t[0].clone()).collect();
+    assert_eq!(paths, input.unary_paths(rel("R")));
+}
+
+#[test]
+fn substrings_enumerates_all_substrings() {
+    let input = unary_instance("R", &["a·b·c"]);
+    let expr = AlgebraExpr::substrings(AlgebraExpr::relation(rel("R"), 1), 1);
+    let out = eval(&expr, &input).unwrap();
+    // Substrings of a·b·c: ε, a, b, c, a·b, b·c, a·b·c  (7 distinct).
+    let subs: BTreeSet<Path> = out.iter().map(|t| t[1].clone()).collect();
+    assert_eq!(subs.len(), 7);
+    for s in ["", "a", "b", "c", "a·b", "b·c", "a·b·c"] {
+        assert!(subs.contains(&p(s)), "missing substring {s}");
+    }
+    assert!(!subs.contains(&p("a·c")), "a·c is not a contiguous substring");
+    // The original column is preserved.
+    assert!(out.iter().all(|t| t[0] == p("a·b·c") && t.len() == 2));
+}
+
+#[test]
+fn arity_mismatch_is_an_error() {
+    let input = unary_instance("R", &["a"]);
+    let expr = AlgebraExpr::relation(rel("R"), 2);
+    assert!(eval(&expr, &input).is_err());
+}
+
+#[test]
+fn column_helper_builds_distinct_column_variables() {
+    assert_ne!(col(1), col(2));
+    assert_eq!(col(3), col(3));
+    let concat: PathExpr = col(1).concat(&col(2));
+    assert_eq!(concat.terms().len(), 2);
+    assert_eq!(concat.vars().len(), 2);
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 7.1 — both translation directions
+// ---------------------------------------------------------------------------
+
+/// Evaluate an algebra expression and a Datalog program on the same instance and
+/// compare the unary output.
+fn assert_algebra_matches_datalog(
+    expr: &AlgebraExpr,
+    program: &Program,
+    output: RelName,
+    input: &Instance,
+) {
+    let algebra_out: BTreeSet<Path> = eval(expr, input)
+        .expect("algebra evaluation succeeds")
+        .into_iter()
+        .map(|t| {
+            assert_eq!(t.len(), 1, "expected a unary result");
+            t[0].clone()
+        })
+        .collect();
+    let datalog_out = run_unary_query(program, input, output).expect("datalog evaluation succeeds");
+    assert_eq!(algebra_out, datalog_out);
+}
+
+#[test]
+fn algebra_to_datalog_preserves_semantics() {
+    // (σ_{$1·a=a·$1}(R) ∪ S) − T, all unary.
+    let a = PathExpr::constant("a");
+    let expr = AlgebraExpr::difference(
+        AlgebraExpr::union(
+            AlgebraExpr::select(
+                AlgebraExpr::relation(rel("R"), 1),
+                col(1).concat(&a),
+                a.concat(&col(1)),
+            ),
+            AlgebraExpr::relation(rel("S"), 1),
+        ),
+        AlgebraExpr::relation(rel("T"), 1),
+    );
+    let program = algebra_to_datalog(&expr, rel("Out")).expect("translation succeeds");
+
+    let mut input = unary_instance("R", &["a·a", "a·b", ""]);
+    input.declare_relation(rel("S"), 1);
+    input.declare_relation(rel("T"), 1);
+    input.insert_fact(Fact::new(rel("S"), vec![p("q")])).unwrap();
+    input.insert_fact(Fact::new(rel("S"), vec![p("a·a")])).unwrap();
+    input.insert_fact(Fact::new(rel("T"), vec![p("")])).unwrap();
+
+    assert_algebra_matches_datalog(&expr, &program, rel("Out"), &input);
+    let out = run_unary_query(&program, &input, rel("Out")).unwrap();
+    assert_eq!(out, [p("a·a"), p("q")].into_iter().collect());
+}
+
+#[test]
+fn datalog_to_algebra_on_nonrecursive_witnesses() {
+    use sequence_datalog::fragments::witnesses;
+    let cases = vec![
+        (witnesses::only_as_intermediate(), "only-as-intermediate"),
+        (witnesses::only_black_successors(), "only-black-successors"),
+    ];
+    let w = Workloads::new(77);
+    for (witness, label) in cases {
+        let expr = datalog_to_algebra(&witness.program, witness.output)
+            .unwrap_or_else(|e| panic!("{label}: translation failed: {e}"));
+        let mut inputs = vec![
+            unary_instance("R", &["a·a·a", "a·b", "", "b·b"]),
+            w.random_strings(rel("R"), 6, 4, 1),
+            w.digraph_instance(6, 10),
+        ];
+        for inst in &mut inputs {
+            if inst.relation(rel("B")).is_none() {
+                inst.declare_relation(rel("B"), 1);
+                inst.insert_fact(Fact::new(rel("B"), vec![p("a")])).unwrap();
+                inst.insert_fact(Fact::new(rel("B"), vec![p("b")])).unwrap();
+            }
+        }
+        for (i, input) in inputs.iter().enumerate() {
+            let algebra_out: BTreeSet<Path> = eval(&expr, input)
+                .unwrap_or_else(|e| panic!("{label}: algebra eval failed on input {i}: {e}"))
+                .into_iter()
+                .filter(|t| t.len() == 1)
+                .map(|t| t[0].clone())
+                .collect();
+            let datalog_out = run_unary_query(&witness.program, input, witness.output).unwrap();
+            assert_eq!(algebra_out, datalog_out, "{label}: disagreement on input {i}");
+        }
+    }
+}
+
+#[test]
+fn datalog_to_algebra_round_trip_through_datalog_again() {
+    // Datalog → algebra → Datalog: all three must agree.
+    let program = parse_program("T(a·$x, $x) <- R($x).\nS($x) <- T($x·a, $x).").unwrap();
+    let expr = datalog_to_algebra(&program, rel("S")).expect("to algebra");
+    let back = algebra_to_datalog(&expr, rel("S2")).expect("back to datalog");
+
+    let inputs = [
+        unary_instance("R", &["a·a·a·a", "a", "", "b·a", "a·b"]),
+        Workloads::new(5).random_strings(rel("R"), 8, 5, 2),
+    ];
+    for input in &inputs {
+        let direct = run_unary_query(&program, input, rel("S")).unwrap();
+        let via_algebra: BTreeSet<Path> = eval(&expr, input)
+            .unwrap()
+            .into_iter()
+            .map(|t| t[0].clone())
+            .collect();
+        let via_roundtrip = run_unary_query(&back, input, rel("S2")).unwrap();
+        assert_eq!(direct, via_algebra);
+        assert_eq!(direct, via_roundtrip);
+    }
+}
+
+#[test]
+fn datalog_to_algebra_rejects_recursion() {
+    use sequence_datalog::fragments::witnesses;
+    let w = witnesses::squaring();
+    assert!(
+        datalog_to_algebra(&w.program, w.output).is_err(),
+        "Theorem 7.1 covers only nonrecursive programs"
+    );
+}

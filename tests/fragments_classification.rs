@@ -1,0 +1,229 @@
+//! Integration tests for the fragment classification of Section 6: the Theorem 6.1
+//! subsumption test, the 11 equivalence classes, and the Hasse diagram of Figure 1.
+
+use sequence_datalog::fragments::{equivalence_classes, subsumption_conditions};
+use sequence_datalog::prelude::*;
+
+/// The 11 equivalence classes of Figure 1, written as sets of letters over {E,I,N,R}.
+/// Each inner list is one class (order of members irrelevant).
+fn figure1_classes() -> Vec<Vec<&'static str>> {
+    vec![
+        vec![""],
+        vec!["N"],
+        vec!["E", "I", "EI"],
+        vec!["R"],
+        vec!["EN"],
+        vec!["NR"],
+        vec!["ER"],
+        vec!["IN", "EIN"],
+        vec!["ENR"],
+        vec!["IR", "EIR"],
+        vec!["INR", "EINR"],
+    ]
+}
+
+fn frag(letters: &str) -> Fragment {
+    Fragment::from_features(letters.chars().map(|c| Feature::from_letter(c).unwrap()))
+}
+
+#[test]
+fn there_are_exactly_sixteen_einr_fragments_and_eleven_classes() {
+    let fragments = Fragment::all_over_einr();
+    assert_eq!(fragments.len(), 16);
+    let classes = equivalence_classes(&fragments);
+    assert_eq!(classes.len(), 11, "Figure 1 shows 11 equivalence classes");
+}
+
+#[test]
+fn equivalence_classes_match_figure_1_exactly() {
+    let fragments = Fragment::all_over_einr();
+    let classes = equivalence_classes(&fragments);
+    let expected = figure1_classes();
+    assert_eq!(classes.len(), expected.len());
+    for members in expected {
+        let class_fragments: Vec<Fragment> = members.iter().map(|m| frag(m)).collect();
+        // Find the computed class containing the first member and check set equality.
+        let first = class_fragments[0];
+        let found = classes
+            .iter()
+            .find(|c| c.contains(&first))
+            .unwrap_or_else(|| panic!("no class contains {first}"));
+        let mut found_sorted = found.clone();
+        found_sorted.sort();
+        let mut expected_sorted = class_fragments.clone();
+        expected_sorted.sort();
+        assert_eq!(
+            found_sorted, expected_sorted,
+            "class of {first} does not match Figure 1"
+        );
+    }
+}
+
+#[test]
+fn arity_and_packing_are_redundant_for_classification() {
+    // Over all 64 fragments, adding A and/or P to a fragment never changes its class:
+    // the number of classes stays 11.
+    let all = Fragment::all();
+    assert_eq!(all.len(), 64);
+    let classes = equivalence_classes(&all);
+    assert_eq!(classes.len(), 11, "A and P never add expressive power");
+    // Moreover, every fragment is equivalent to its A/P-free "hat".
+    for f in all {
+        assert!(subsumed_by(f, f.hat()), "{f} not subsumed by its hat");
+        assert!(subsumed_by(f.hat(), f), "hat of {f} not subsumed by {f}");
+    }
+}
+
+#[test]
+fn subsumption_is_a_preorder() {
+    let all = Fragment::all_over_einr();
+    for &a in &all {
+        assert!(subsumed_by(a, a), "reflexivity fails for {a}");
+        for &b in &all {
+            for &c in &all {
+                if subsumed_by(a, b) && subsumed_by(b, c) {
+                    assert!(subsumed_by(a, c), "transitivity fails: {a} ≤ {b} ≤ {c}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn subsumption_matches_the_ascending_paths_of_figure_1() {
+    // Spot-check the subsumptions and non-subsumptions that Figure 1 shows directly.
+    let le = |a: &str, b: &str| subsumed_by(frag(a), frag(b));
+
+    // Equivalences drawn with "=" in the figure.
+    assert!(le("E", "I") && le("I", "E"));
+    assert!(le("EI", "I") && le("I", "EI"));
+    assert!(le("IN", "EIN") && le("EIN", "IN"));
+    assert!(le("IR", "EIR") && le("EIR", "IR"));
+    assert!(le("INR", "EINR") && le("EINR", "INR"));
+
+    // Ascending paths (strict subsumptions).
+    assert!(le("", "N") && !le("N", ""));
+    assert!(le("", "E") && !le("E", ""));
+    assert!(le("", "R") && !le("R", ""));
+    assert!(le("N", "EN") && !le("EN", "N"));
+    assert!(le("N", "NR") && !le("NR", "N"));
+    assert!(le("E", "EN") && !le("EN", "E"));
+    assert!(le("E", "ER") && !le("ER", "E"));
+    assert!(le("R", "NR") && !le("NR", "R"));
+    assert!(le("R", "ER") && !le("ER", "R"));
+    assert!(le("EN", "IN") && !le("IN", "EN"));
+    assert!(le("EN", "ENR") && !le("ENR", "EN"));
+    assert!(le("NR", "ENR") && !le("ENR", "NR"));
+    assert!(le("ER", "ENR") && !le("ENR", "ER"));
+    assert!(le("ER", "IR") && !le("IR", "ER"));
+    assert!(le("IN", "INR") && !le("INR", "IN"));
+    assert!(le("ENR", "INR") && !le("INR", "ENR"));
+    assert!(le("IR", "INR") && !le("INR", "IR"));
+
+    // Absence of a path means non-subsumption (incomparable pairs).
+    assert!(!le("N", "E") && !le("E", "N"));
+    assert!(!le("N", "R") && !le("R", "N"));
+    assert!(!le("E", "R") && !le("R", "E"));
+    assert!(!le("EN", "ER") && !le("ER", "EN"));
+    assert!(!le("EN", "NR") && !le("NR", "EN"));
+    assert!(!le("ER", "NR") && !le("NR", "ER"));
+    assert!(!le("IN", "ENR") && !le("ENR", "IN"));
+    assert!(!le("IN", "IR") && !le("IR", "IN"));
+    assert!(!le("IR", "ENR") && !le("ENR", "IR"));
+
+    // The "top" and "bottom" of the diagram.
+    for other in ["N", "E", "R", "EN", "NR", "ER", "IN", "ENR", "IR", "INR"] {
+        assert!(le("", other), "{{}} ≤ {other}");
+        assert!(le(other, "INR"), "{other} ≤ {{I,N,R}}");
+    }
+}
+
+#[test]
+fn the_five_conditions_of_theorem_6_1_explain_every_failure() {
+    // For every pair, subsumed_by must agree with the conjunction of the five
+    // conditions, and a failing pair must report at least one failing condition.
+    for f1 in Fragment::all() {
+        for f2 in Fragment::all() {
+            let report = subsumption_conditions(f1, f2);
+            assert_eq!(
+                report.holds(),
+                subsumed_by(f1, f2),
+                "report and subsumed_by disagree on {f1} ≤ {f2}"
+            );
+            if !report.holds() {
+                assert!(
+                    !report.failing_conditions().is_empty(),
+                    "{f1} ≰ {f2} but no failing condition reported"
+                );
+                for c in report.failing_conditions() {
+                    assert!((1..=5).contains(&c), "condition indices are 1..=5");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn hasse_diagram_has_figure_1_shape() {
+    let diagram = HasseDiagram::build(&Fragment::all_over_einr());
+    assert_eq!(diagram.classes.len(), 11);
+    // Figure 1 is drawn in 5 levels: {}, then {N}/{E}/{R}, then {E,N}/{N,R}/{E,R},
+    // then {I,N}/{E,N,R}/{I,R}, then {I,N,R} at the top.
+    let levels = diagram.levels();
+    assert_eq!(levels.len(), 5, "Figure 1 has five levels");
+    let sizes: Vec<usize> = levels.iter().map(Vec::len).collect();
+    assert_eq!(sizes, vec![1, 3, 3, 3, 1]);
+    // The DOT rendering mentions every class label.
+    let dot = diagram.to_dot();
+    for i in 0..diagram.classes.len() {
+        assert!(dot.contains(&diagram.class_label(i)), "DOT output misses a class");
+    }
+    // The textual rendering is non-empty and mentions the top class.
+    let text = diagram.render_text();
+    assert!(text.contains("{I, N, R}") || text.contains("{I,N,R}"));
+}
+
+#[test]
+fn witness_programs_live_in_their_documented_fragments() {
+    use sequence_datalog::fragments::witnesses;
+    let expect = |w: &witnesses::Witness, letters: &str| {
+        let actual = Fragment::of_program(&w.program);
+        assert_eq!(actual, frag(letters), "{} should be in {{{letters}}}", w.name);
+    };
+    expect(&witnesses::only_as_equation(), "E");
+    expect(&witnesses::only_as_recursion(), "AIR");
+    expect(&witnesses::only_as_intermediate(), "AI");
+    expect(&witnesses::reversal_with_arity(), "AIR");
+    expect(&witnesses::reversal_without_arity(), "IR");
+    expect(&witnesses::squaring(), "AIR");
+    expect(&witnesses::nfa_acceptance(), "AIR");
+    expect(&witnesses::three_occurrences(), "EINP");
+    expect(&witnesses::reachability(), "IR");
+    expect(&witnesses::only_black_successors(), "IN");
+    expect(&witnesses::mirrored_distinct_pairs(), "AEINR");
+}
+
+#[test]
+fn feature_letters_round_trip() {
+    for feature in Feature::ALL {
+        assert_eq!(Feature::from_letter(feature.letter()), Some(feature));
+        assert_eq!(Feature::from_letter(feature.letter().to_ascii_lowercase()), Some(feature));
+    }
+    assert_eq!(Feature::from_letter('X'), None);
+}
+
+#[test]
+fn fragment_set_operations_behave_like_sets() {
+    let einr = frag("EINR");
+    let ei = frag("EI");
+    assert!(ei.is_subset_of(einr));
+    assert!(!einr.is_subset_of(ei));
+    assert_eq!(ei.union(frag("NR")), einr);
+    assert_eq!(einr.without(Feature::Negation).without(Feature::Recursion), ei);
+    assert_eq!(ei.with(Feature::Negation).with(Feature::Recursion), einr);
+    assert_eq!(Fragment::empty().len(), 0);
+    assert!(Fragment::empty().is_empty());
+    assert_eq!(Fragment::full().len(), 6);
+    assert_eq!(frag("AEINPR"), Fragment::full());
+    assert_eq!(frag("AP").hat(), Fragment::empty());
+}

@@ -1,0 +1,207 @@
+//! Property-based tests for the core data model: paths, values, packing, instances.
+
+use proptest::prelude::*;
+use sequence_datalog::core::Schema;
+use sequence_datalog::prelude::*;
+
+/// A strategy for atomic values drawn from a small alphabet.
+fn atom_name() -> impl Strategy<Value = &'static str> {
+    prop_oneof![Just("a"), Just("b"), Just("c"), Just("d")]
+}
+
+/// A strategy for flat paths of length 0..=8.
+fn flat_path() -> impl Strategy<Value = Path> {
+    prop::collection::vec(atom_name(), 0..=8).prop_map(|names| path_of(&names))
+}
+
+/// A strategy for (possibly) packed values: either an atom or a packed flat path.
+fn value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        atom_name().prop_map(|n| Value::Atom(atom(n))),
+        flat_path().prop_map(Value::Packed),
+    ]
+}
+
+/// A strategy for general paths that may contain packed values, nesting depth <= 2.
+fn deep_path() -> impl Strategy<Value = Path> {
+    prop::collection::vec(value(), 0..=6).prop_map(Path::from_values)
+}
+
+proptest! {
+    #[test]
+    fn concatenation_is_associative(a in deep_path(), b in deep_path(), c in deep_path()) {
+        prop_assert_eq!(a.concat(&b).concat(&c), a.concat(&b.concat(&c)));
+    }
+
+    #[test]
+    fn concatenation_length_is_additive(a in deep_path(), b in deep_path()) {
+        prop_assert_eq!(a.concat(&b).len(), a.len() + b.len());
+    }
+
+    #[test]
+    fn empty_path_is_the_concatenation_identity(a in deep_path()) {
+        prop_assert_eq!(a.concat(&Path::empty()), a.clone());
+        prop_assert_eq!(Path::empty().concat(&a), a);
+    }
+
+    #[test]
+    fn subpath_of_full_range_is_identity(a in deep_path()) {
+        prop_assert_eq!(a.subpath(0, a.len()), a.clone());
+        prop_assert_eq!(a.subpath(0, 0), Path::empty());
+    }
+
+    #[test]
+    fn subpaths_concatenate_back(a in deep_path(), cut in 0usize..=6) {
+        let cut = cut.min(a.len());
+        prop_assert_eq!(a.subpath(0, cut).concat(&a.subpath(cut, a.len())), a);
+    }
+
+    #[test]
+    fn substring_count_is_quadratic(a in flat_path()) {
+        // Distinct substrings are at most n(n+1)/2 + 1 (the empty path), with
+        // equality when all positions hold distinct atoms.
+        let n = a.len();
+        let subs = a.substrings();
+        let distinct: std::collections::BTreeSet<Path> = subs.iter().cloned().collect();
+        prop_assert!(distinct.len() <= n * (n + 1) / 2 + 1);
+        prop_assert!(distinct.contains(&Path::empty()));
+        prop_assert!(distinct.contains(&a));
+        // Every reported substring really occurs.
+        for s in &distinct {
+            prop_assert!(a.contains_subpath(s), "{s} is not a substring of {a}");
+        }
+    }
+
+    #[test]
+    fn contains_subpath_agrees_with_windows(a in flat_path(), b in flat_path()) {
+        let occurs = (0..=a.len().saturating_sub(b.len()))
+            .any(|i| a.len() >= b.len() && a.subpath(i, i + b.len()) == b);
+        let occurs = occurs || b.is_empty();
+        prop_assert_eq!(a.contains_subpath(&b), occurs);
+    }
+
+    #[test]
+    fn flatness_matches_value_structure(a in deep_path()) {
+        let expected = a.iter().all(|v| matches!(v, Value::Atom(_)));
+        prop_assert_eq!(a.is_flat(), expected);
+    }
+
+    #[test]
+    fn packing_depth_increases_by_one_when_packed(a in deep_path()) {
+        let packed = Path::singleton(Value::Packed(a.clone()));
+        prop_assert_eq!(packed.packing_depth(), a.packing_depth() + 1);
+        prop_assert!(packed.len() == 1);
+        prop_assert_eq!(packed.is_flat(), false);
+    }
+
+    #[test]
+    fn display_round_trips_length(a in flat_path()) {
+        // The rendered form separates values by "·"; the number of separators is
+        // len - 1 for nonempty flat paths.
+        let shown = a.to_string();
+        if a.is_empty() {
+            prop_assert_eq!(shown.as_str(), "eps");
+        } else {
+            prop_assert_eq!(shown.matches('·').count(), a.len() - 1);
+        }
+    }
+
+    #[test]
+    fn repeat_path_has_requested_length(n in 0usize..=64) {
+        let p = repeat_path("a", n);
+        prop_assert_eq!(p.len(), n);
+        prop_assert!(p.is_flat());
+        prop_assert!(p.iter().all(|v| *v == Value::Atom(atom("a"))));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn instances_deduplicate_facts(paths in prop::collection::vec(flat_path(), 0..12)) {
+        let mut instance = Instance::new();
+        instance.declare_relation(rel("R"), 1);
+        let mut expected = std::collections::BTreeSet::new();
+        for p in &paths {
+            instance.insert_fact(Fact::new(rel("R"), vec![p.clone()])).unwrap();
+            expected.insert(p.clone());
+        }
+        prop_assert_eq!(instance.unary_paths(rel("R")), expected.clone());
+        prop_assert_eq!(instance.fact_count(), expected.len());
+        // Re-inserting never grows the instance.
+        for p in &paths {
+            let inserted = instance.insert_fact(Fact::new(rel("R"), vec![p.clone()])).unwrap();
+            prop_assert!(!inserted);
+        }
+        prop_assert_eq!(instance.fact_count(), expected.len());
+    }
+
+    #[test]
+    fn instance_union_is_commutative_and_idempotent(
+        a in prop::collection::vec(flat_path(), 0..8),
+        b in prop::collection::vec(flat_path(), 0..8),
+    ) {
+        let ia = Instance::unary(rel("R"), a);
+        let ib = Instance::unary(rel("R"), b);
+        let ab = ia.union(&ib).unwrap();
+        let ba = ib.union(&ia).unwrap();
+        prop_assert_eq!(ab.unary_paths(rel("R")), ba.unary_paths(rel("R")));
+        let aa = ia.union(&ia).unwrap();
+        prop_assert_eq!(aa.unary_paths(rel("R")), ia.unary_paths(rel("R")));
+    }
+
+    #[test]
+    fn max_path_len_bounds_every_member(paths in prop::collection::vec(deep_path(), 0..10)) {
+        let instance = Instance::unary(rel("R"), paths.clone());
+        let max = instance.max_path_len();
+        for p in instance.unary_paths(rel("R")) {
+            prop_assert!(p.len() <= max);
+        }
+        if !paths.is_empty() {
+            prop_assert!(paths.iter().any(|p| p.len() == max));
+        }
+    }
+
+    #[test]
+    fn flat_instances_contain_only_flat_paths(paths in prop::collection::vec(deep_path(), 0..10)) {
+        let instance = Instance::unary(rel("R"), paths);
+        let expected = instance.unary_paths(rel("R")).iter().all(Path::is_flat);
+        prop_assert_eq!(instance.is_flat(), expected);
+    }
+
+    #[test]
+    fn two_boundedness_matches_lengths(paths in prop::collection::vec(flat_path(), 0..10)) {
+        let instance = Instance::unary(rel("R"), paths);
+        let expected = instance
+            .unary_paths(rel("R"))
+            .iter()
+            .all(|p| (1..=2).contains(&p.len()));
+        prop_assert_eq!(instance.is_two_bounded(), expected);
+    }
+
+    #[test]
+    fn project_to_schema_keeps_only_declared_relations(
+        a in prop::collection::vec(flat_path(), 0..6),
+        b in prop::collection::vec(flat_path(), 0..6),
+    ) {
+        let mut instance = Instance::unary(rel("R"), a.clone());
+        instance.declare_relation(rel("Q"), 1);
+        for p in &b {
+            instance.insert_fact(Fact::new(rel("Q"), vec![p.clone()])).unwrap();
+        }
+        let mut schema = Schema::new();
+        schema.declare(rel("R"), 1);
+        let projected = instance.project_to_schema(&schema);
+        prop_assert_eq!(projected.unary_paths(rel("R")), instance.unary_paths(rel("R")));
+        prop_assert!(projected.relation(rel("Q")).is_none() || projected.unary_paths(rel("Q")).is_empty());
+    }
+
+    #[test]
+    fn facts_round_trip_through_from_facts(paths in prop::collection::vec(flat_path(), 0..10)) {
+        let original = Instance::unary(rel("R"), paths);
+        let rebuilt = Instance::from_facts(original.facts()).unwrap();
+        prop_assert_eq!(rebuilt.unary_paths(rel("R")), original.unary_paths(rel("R")));
+        prop_assert_eq!(rebuilt.fact_count(), original.fact_count());
+    }
+}

@@ -1,0 +1,220 @@
+//! Property-based tests for associative unification: soundness of symbolic
+//! solutions and completeness against a brute-force ground search on small
+//! alphabets.
+
+use proptest::prelude::*;
+use sequence_datalog::prelude::*;
+use sequence_datalog::syntax::{Equation, PathExpr, Term, Valuation, Var};
+use sequence_datalog::unify::{is_one_sided_nonlinear, solve_allowing_empty, SolveOptions};
+
+// ---------------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------------
+
+const ATOMS: [&str; 2] = ["a", "b"];
+
+fn atom_term() -> impl Strategy<Value = Term> {
+    prop_oneof![Just(Term::constant("a")), Just(Term::constant("b"))]
+}
+
+/// A ground side: a concatenation of constants.
+fn ground_expr(max_len: usize) -> impl Strategy<Value = PathExpr> {
+    prop::collection::vec(atom_term(), 0..=max_len).prop_map(PathExpr::from_terms)
+}
+
+/// A pattern side: constants plus *distinct* path/atomic variables (linear), so the
+/// equation `pattern = ground` is one-sided nonlinear and pig-pug terminates.
+fn linear_pattern(max_len: usize) -> impl Strategy<Value = PathExpr> {
+    prop::collection::vec(0u8..=3, 0..=max_len).prop_map(|kinds| {
+        let mut terms = Vec::new();
+        let mut next_var = 0usize;
+        for k in kinds {
+            match k {
+                0 => terms.push(Term::constant("a")),
+                1 => terms.push(Term::constant("b")),
+                2 => {
+                    terms.push(Term::Var(Var::path(&format!("p{next_var}"))));
+                    next_var += 1;
+                }
+                _ => {
+                    terms.push(Term::Var(Var::atom(&format!("q{next_var}"))));
+                    next_var += 1;
+                }
+            }
+        }
+        PathExpr::from_terms(terms)
+    })
+}
+
+/// Every ground valuation over `vars` mapping path variables to words over {a, b} of
+/// length at most `max_len` and atomic variables to a or b.
+fn enumerate_valuations(vars: &[Var], max_len: usize) -> Vec<Valuation> {
+    let mut out = vec![Valuation::new()];
+    for &v in vars {
+        let mut next = Vec::new();
+        for valuation in &out {
+            if v.is_atom_var() {
+                for name in ATOMS {
+                    let mut extended = valuation.clone();
+                    extended.bind_atom(v, atom(name));
+                    next.push(extended);
+                }
+            } else {
+                for word in words_up_to(max_len) {
+                    let mut extended = valuation.clone();
+                    extended.bind_path(v, word);
+                    next.push(extended);
+                }
+            }
+        }
+        out = next;
+    }
+    out
+}
+
+/// All words over {a, b} of length 0..=n.
+fn words_up_to(n: usize) -> Vec<Path> {
+    let mut out = vec![Path::empty()];
+    let mut frontier = vec![Path::empty()];
+    for _ in 0..n {
+        let mut next = Vec::new();
+        for w in &frontier {
+            for name in ATOMS {
+                let mut e = w.clone();
+                e.push(Value::Atom(atom(name)));
+                out.push(e.clone());
+                next.push(e);
+            }
+        }
+        frontier = next;
+    }
+    out
+}
+
+fn is_ground_solution(eq: &Equation, valuation: &Valuation) -> bool {
+    match (valuation.apply(&eq.lhs), valuation.apply(&eq.rhs)) {
+        (Some(l), Some(r)) => l == r,
+        _ => false,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Soundness (cheap, many cases)
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Soundness: every symbolic solution, applied to both sides, yields the same
+    /// path expression.
+    #[test]
+    fn symbolic_solutions_are_sound(pattern in linear_pattern(5), ground in ground_expr(5)) {
+        let equation = Equation::new(pattern, ground);
+        prop_assume!(is_one_sided_nonlinear(&equation));
+        let solutions = solve_allowing_empty(&equation, &SolveOptions::default()).unwrap();
+        for s in &solutions {
+            prop_assert!(s.solves(&equation), "{} does not solve {}", s, equation);
+        }
+    }
+
+    /// Ground equations (no variables at all) are decided by syntactic equality.
+    #[test]
+    fn ground_equations_are_syntactic_equality(l in ground_expr(5), r in ground_expr(5)) {
+        let equation = Equation::new(l.clone(), r.clone());
+        let solutions = solve_allowing_empty(&equation, &SolveOptions::default()).unwrap();
+        prop_assert_eq!(!solutions.is_empty(), l == r);
+    }
+
+    /// A linear pattern always unifies with any of its own ground instances.
+    #[test]
+    fn linear_patterns_unify_with_their_ground_instances(pattern in linear_pattern(4)) {
+        let vars = pattern.vars();
+        let mut valuation = Valuation::new();
+        for (i, v) in vars.iter().enumerate() {
+            if v.is_atom_var() {
+                valuation.bind_atom(*v, atom(ATOMS[i % 2]));
+            } else {
+                valuation.bind_path(*v, repeat_path(ATOMS[i % 2], i % 3));
+            }
+        }
+        let ground = valuation.apply(&pattern).unwrap();
+        let equation = Equation::new(pattern, PathExpr::from_path(&ground));
+        prop_assume!(is_one_sided_nonlinear(&equation));
+        let solutions = solve_allowing_empty(&equation, &SolveOptions::default()).unwrap();
+        prop_assert!(!solutions.is_empty(), "{} must be satisfiable", equation);
+        for s in &solutions {
+            prop_assert!(s.solves(&equation));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Completeness against brute force (more expensive, fewer cases)
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Decision correctness: the equation has a symbolic solution iff it has a ground
+    /// solution (brute-forced over small valuations — the ground side bounds path
+    /// variable lengths, so length <= 3 suffices).
+    #[test]
+    fn satisfiability_agrees_with_brute_force(pattern in linear_pattern(3), ground in ground_expr(3)) {
+        let equation = Equation::new(pattern, ground);
+        prop_assume!(is_one_sided_nonlinear(&equation));
+        let solutions = solve_allowing_empty(&equation, &SolveOptions::default()).unwrap();
+
+        let vars: Vec<Var> = equation.vars();
+        let brute = enumerate_valuations(&vars, 3)
+            .into_iter()
+            .any(|v| is_ground_solution(&equation, &v));
+        prop_assert_eq!(
+            !solutions.is_empty(),
+            brute,
+            "symbolic and brute-force satisfiability disagree for {}",
+            equation
+        );
+    }
+
+    /// Completeness on ground instantiations: every ground solution is an instance of
+    /// some symbolic solution.
+    #[test]
+    fn every_ground_solution_is_covered(pattern in linear_pattern(2), ground in ground_expr(3)) {
+        let equation = Equation::new(pattern, ground);
+        prop_assume!(is_one_sided_nonlinear(&equation));
+        let solutions = solve_allowing_empty(&equation, &SolveOptions::default()).unwrap();
+        let vars: Vec<Var> = equation.vars();
+
+        'outer: for valuation in enumerate_valuations(&vars, 3) {
+            if !is_ground_solution(&equation, &valuation) {
+                continue;
+            }
+            // Some symbolic solution must specialize to this valuation.
+            for s in &solutions {
+                let residual_vars: Vec<Var> = vars
+                    .iter()
+                    .flat_map(|v| s.get(*v).map(|e| e.vars()).unwrap_or_else(|| vec![*v]))
+                    .collect();
+                for residual in enumerate_valuations(&residual_vars, 3) {
+                    let matches_all = vars.iter().all(|v| {
+                        let expr = s.get(*v).cloned().unwrap_or_else(|| PathExpr::var(*v));
+                        match residual.apply(&expr) {
+                            Some(p) => Some(p) == valuation.apply(&PathExpr::var(*v)),
+                            None => false,
+                        }
+                    });
+                    if matches_all {
+                        continue 'outer;
+                    }
+                }
+            }
+            prop_assert!(
+                false,
+                "ground solution {} of {} is not covered by any of the {} symbolic solutions",
+                valuation,
+                equation,
+                solutions.len()
+            );
+        }
+    }
+}

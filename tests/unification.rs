@@ -1,0 +1,225 @@
+//! Integration tests for associative unification (Section 4.3.1–4.3.2): the pig-pug
+//! procedure, its extension to atomic variables and packing, and Figure 2.
+
+use sequence_datalog::prelude::*;
+use sequence_datalog::syntax::{Equation, PathExpr};
+use sequence_datalog::unify::{
+    is_one_sided_nonlinear, solve, solve_allowing_empty, SolveOptions, Substitution,
+};
+
+fn eq(lhs: &str, rhs: &str) -> Equation {
+    Equation::new(parse_expr(lhs).unwrap(), parse_expr(rhs).unwrap())
+}
+
+/// A valuation-free sanity check: applying a symbolic solution to both sides must
+/// yield syntactically identical path expressions.
+fn assert_all_solutions_solve(equation: &Equation, solutions: &[Substitution]) {
+    for (i, s) in solutions.iter().enumerate() {
+        assert!(
+            s.solves(equation),
+            "solution {i} ({s}) does not solve {equation}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 2
+// ---------------------------------------------------------------------------
+
+#[test]
+fn figure_2_has_exactly_four_symbolic_solutions() {
+    let equation = eq("$x·<@y·$z>·@w", "$u·$v·$u");
+    assert!(is_one_sided_nonlinear(&equation));
+    let result = solve(&equation, &SolveOptions::default()).expect("terminates");
+    assert_eq!(result.solutions.len(), 4, "Figure 2 shows four successful branches");
+    assert_all_solutions_solve(&equation, &result.solutions);
+    assert!(result.tree.success_count() >= 4);
+    assert!(result.tree.failure_count() > 0);
+    assert!(result.tree.len() > result.tree.success_count() + result.tree.failure_count());
+
+    // The paper lists the bindings for $u explicitly; check that each of the four
+    // expected $u bindings appears in some solution.
+    let u = sequence_datalog::syntax::Var::path("u");
+    let u_bindings: Vec<String> = result
+        .solutions
+        .iter()
+        .map(|s| s.get(u).map(|e| e.to_string()).unwrap_or_else(|| "$u".to_string()))
+        .collect();
+    for expected in ["@w", "<@y·$z>·@w"] {
+        assert!(
+            u_bindings.iter().any(|b| b.contains(expected) || b == expected),
+            "no solution binds $u to something containing {expected}: {u_bindings:?}"
+        );
+    }
+}
+
+#[test]
+fn figure_2_search_tree_renders() {
+    let equation = eq("$x·<@y·$z>·@w", "$u·$v·$u");
+    let result = solve(&equation, &SolveOptions::default()).unwrap();
+    let ascii = result.tree.render_ascii();
+    assert!(ascii.contains("$u"), "ASCII rendering mentions the variables");
+    let dot = result.tree.to_dot();
+    assert!(dot.contains("digraph"));
+    assert!(dot.lines().count() > result.tree.len(), "one line per node plus edges");
+}
+
+// ---------------------------------------------------------------------------
+// Word equations (no packing, no atomic variables)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn ground_equations_are_decided_exactly() {
+    let sat = eq("a·b·c", "a·b·c");
+    let solved = solve(&sat, &SolveOptions::default()).unwrap();
+    assert!(!solved.is_unsatisfiable());
+
+    for (l, r) in [("a·b", "a·c"), ("a", "a·b"), ("a·b", "b·a")] {
+        let unsat = eq(l, r);
+        let solved = solve(&unsat, &SolveOptions::default()).unwrap();
+        assert!(solved.is_unsatisfiable(), "{l} = {r} should be unsatisfiable");
+    }
+}
+
+#[test]
+fn one_sided_nonlinearity_is_detected() {
+    // $x occurs twice but only on the left: one-sided nonlinear.
+    assert!(is_one_sided_nonlinear(&eq("$x·$x", "a·$y·b")));
+    // $x occurs on both sides: not one-sided nonlinear.
+    assert!(!is_one_sided_nonlinear(&eq("$x·a", "a·$x")));
+    // All variables occur once: trivially one-sided nonlinear.
+    assert!(is_one_sided_nonlinear(&eq("$x·a·$y", "$u·$v")));
+}
+
+#[test]
+fn simple_word_equation_solutions_are_complete() {
+    // $x·$y = a·b under nonempty-word semantics has exactly one solution
+    // ($x = a, $y = b); allowing empty words adds ($x = ε, $y = a·b) and
+    // ($x = a·b, $y = ε).
+    let equation = eq("$x·$y", "a·b");
+    let nonempty = solve(&equation, &SolveOptions::default()).unwrap();
+    assert_eq!(nonempty.solutions.len(), 1);
+    assert_all_solutions_solve(&equation, &nonempty.solutions);
+
+    let with_empty = solve_allowing_empty(&equation, &SolveOptions::default()).unwrap();
+    assert_eq!(with_empty.len(), 3);
+    assert_all_solutions_solve(&equation, &with_empty);
+}
+
+#[test]
+fn atomic_variables_unify_only_with_single_atoms() {
+    // @x·$y = a·b·c forces @x = a.
+    let equation = eq("@x·$y", "a·b·c");
+    let result = solve(&equation, &SolveOptions::default()).unwrap();
+    assert_eq!(result.solutions.len(), 1);
+    let sol = &result.solutions[0];
+    let x = sequence_datalog::syntax::Var::atom("x");
+    assert_eq!(sol.get(x).unwrap(), &PathExpr::constant("a"));
+    assert_all_solutions_solve(&equation, &result.solutions);
+
+    // @x = a·b has no solution: an atomic variable cannot hold a length-2 path.
+    let unsat = eq("@x", "a·b");
+    assert!(solve(&unsat, &SolveOptions::default()).unwrap().is_unsatisfiable());
+}
+
+#[test]
+fn packing_mismatches_are_unsatisfiable() {
+    // A packed value can never equal an atomic value.
+    for (l, r) in [("<a>", "a"), ("<a·b>", "a·b"), ("@x", "<$y>")] {
+        let equation = eq(l, r);
+        let result = solve_allowing_empty(&equation, &SolveOptions::default()).unwrap();
+        assert!(result.is_empty(), "{l} = {r} should be unsatisfiable");
+    }
+}
+
+#[test]
+fn packed_equations_unify_componentwise() {
+    // ⟨$x·a⟩·$z = ⟨b·$y⟩·c: inside the packing, $x·a = b·$y, outside $z = c.
+    let equation = eq("<$x·a>·$z", "<b·$y>·c");
+    let result = solve_allowing_empty(&equation, &SolveOptions::default()).unwrap();
+    assert!(!result.is_empty());
+    assert_all_solutions_solve(&equation, &result);
+    let z = sequence_datalog::syntax::Var::path("z");
+    for s in &result {
+        assert_eq!(s.get(z).unwrap(), &PathExpr::constant("c"));
+    }
+}
+
+#[test]
+fn nested_packing_unifies_recursively() {
+    let equation = eq("<<$x>·a>", "<<b·c>·a>");
+    let result = solve_allowing_empty(&equation, &SolveOptions::default()).unwrap();
+    assert_eq!(result.len(), 1);
+    assert_all_solutions_solve(&equation, &result);
+}
+
+#[test]
+fn non_terminating_equations_are_reported_not_looped() {
+    // $x·a = a·$x is the paper's example of an equation with no finite complete set
+    // of symbolic solutions; the solver must give up with an error instead of
+    // diverging (it is not one-sided nonlinear).
+    let equation = eq("$x·a", "a·$x");
+    assert!(!is_one_sided_nonlinear(&equation));
+    let opts = SolveOptions::default();
+    match solve(&equation, &opts) {
+        Err(_) => {}
+        Ok(result) => {
+            // If the implementation chooses to answer anyway (bounded search), the
+            // solutions it does return must still be genuine solutions.
+            assert_all_solutions_solve(&equation, &result.solutions);
+        }
+    }
+}
+
+#[test]
+fn empty_word_closure_subsumes_nonempty_solutions() {
+    // Every nonempty-semantics solution must also appear (up to renaming) when the
+    // empty word is allowed (footnote 4).
+    let equation = eq("$x·<@y·$z>·@w", "$u·$v·$u");
+    let nonempty = solve(&equation, &SolveOptions::default()).unwrap();
+    let with_empty = solve_allowing_empty(&equation, &SolveOptions::default()).unwrap();
+    assert!(with_empty.len() >= nonempty.solutions.len());
+    assert_all_solutions_solve(&equation, &with_empty);
+}
+
+#[test]
+fn solutions_specialize_to_ground_solutions() {
+    // Take each symbolic solution of $x·$y = a·b·$z and ground the remaining
+    // variables with concrete paths; the two sides must evaluate to the same path.
+    use sequence_datalog::syntax::Valuation;
+    let equation = eq("$x·$y", "a·b·$z");
+    let result = solve_allowing_empty(&equation, &SolveOptions::default()).unwrap();
+    assert!(!result.is_empty());
+    for s in &result {
+        let lhs = s.apply(&equation.lhs);
+        let rhs = s.apply(&equation.rhs);
+        // Ground every remaining variable by a fixed path.
+        let mut valuation = Valuation::new();
+        for v in lhs.vars().into_iter().chain(rhs.vars()) {
+            if v.is_atom_var() {
+                valuation.bind_atom(v, sequence_datalog::core::atom("k"));
+            } else {
+                valuation.bind_path(v, path_of(&["k", "k"]));
+            }
+        }
+        let l = valuation.apply(&lhs).expect("fully bound");
+        let r = valuation.apply(&rhs).expect("fully bound");
+        assert_eq!(l, r, "grounded instantiation of {s} differs");
+    }
+}
+
+#[test]
+fn substitution_composition_is_associative_in_effect() {
+    let s1 = Substitution::single(
+        sequence_datalog::syntax::Var::path("x"),
+        parse_expr("$y·a").unwrap(),
+    );
+    let s2 = Substitution::single(
+        sequence_datalog::syntax::Var::path("y"),
+        parse_expr("b").unwrap(),
+    );
+    let composed = s1.then(&s2);
+    let expr = parse_expr("$x·$y").unwrap();
+    assert_eq!(composed.apply(&expr), s2.apply(&s1.apply(&expr)));
+    assert_eq!(composed.apply(&expr).to_string(), "b·a·b");
+}
