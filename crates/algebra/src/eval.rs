@@ -173,7 +173,9 @@ mod tests {
         let e = AlgebraExpr::relation(rel("E"), 2);
         assert_eq!(eval(&e, &inst).unwrap().len(), 3);
         // Missing relations evaluate to the empty set.
-        assert!(eval(&AlgebraExpr::relation(rel("Zzz"), 2), &inst).unwrap().is_empty());
+        assert!(eval(&AlgebraExpr::relation(rel("Zzz"), 2), &inst)
+            .unwrap()
+            .is_empty());
 
         let c = AlgebraExpr::constant(2, vec![vec![path_of(&["a"]), path_of(&["b"])]]);
         let union = AlgebraExpr::union(e.clone(), c.clone());
@@ -182,10 +184,7 @@ mod tests {
         assert_eq!(eval(&diff, &inst).unwrap().len(), 2);
         let prod = AlgebraExpr::product(e.clone(), c);
         assert_eq!(eval(&prod, &inst).unwrap().len(), 3);
-        assert_eq!(
-            eval(&prod, &inst).unwrap().iter().next().unwrap().len(),
-            4
-        );
+        assert_eq!(eval(&prod, &inst).unwrap().iter().next().unwrap().len(), 4);
     }
 
     #[test]
@@ -196,7 +195,11 @@ mod tests {
         let eq = AlgebraExpr::select(e.clone(), col(1), col(2));
         assert_eq!(eval(&eq, &inst).unwrap().len(), 1);
         // Path-expression selection: tuples where $1·$2 = a·b.
-        let cat = AlgebraExpr::select(e.clone(), parse_expr("$1·$2").unwrap(), parse_expr("a·b").unwrap());
+        let cat = AlgebraExpr::select(
+            e.clone(),
+            parse_expr("$1·$2").unwrap(),
+            parse_expr("a·b").unwrap(),
+        );
         assert_eq!(eval(&cat, &inst).unwrap().len(), 1);
         // Selecting on a constant: σ_{$1=a}.
         let const_sel = AlgebraExpr::select(e, col(1), parse_expr("a").unwrap());
@@ -250,11 +253,7 @@ mod tests {
     #[test]
     fn errors_are_reported() {
         let inst = sample();
-        let bad_select = AlgebraExpr::select(
-            AlgebraExpr::relation(rel("E"), 2),
-            col(3),
-            col(1),
-        );
+        let bad_select = AlgebraExpr::select(AlgebraExpr::relation(rel("E"), 2), col(3), col(1));
         assert!(matches!(
             eval(&bad_select, &inst),
             Err(AlgebraError::BadColumnVariable { .. })

@@ -197,7 +197,10 @@ impl AlgebraExpr {
             AlgebraExpr::Union(a, b) | AlgebraExpr::Difference(a, b) => {
                 let (la, lb) = (a.arity()?, b.arity()?);
                 if la != lb {
-                    return Err(AlgebraError::ArityMismatch { left: la, right: lb });
+                    return Err(AlgebraError::ArityMismatch {
+                        left: la,
+                        right: lb,
+                    });
                 }
                 Ok(la)
             }
@@ -207,14 +210,20 @@ impl AlgebraExpr {
             AlgebraExpr::Unpack { input, column } => {
                 let n = input.arity()?;
                 if *column == 0 || *column > n {
-                    return Err(AlgebraError::ColumnOutOfRange { column: *column, arity: n });
+                    return Err(AlgebraError::ColumnOutOfRange {
+                        column: *column,
+                        arity: n,
+                    });
                 }
                 Ok(n)
             }
             AlgebraExpr::Substrings { input, column } => {
                 let n = input.arity()?;
                 if *column == 0 || *column > n {
-                    return Err(AlgebraError::ColumnOutOfRange { column: *column, arity: n });
+                    return Err(AlgebraError::ColumnOutOfRange {
+                        column: *column,
+                        arity: n,
+                    });
                 }
                 Ok(n + 1)
             }
@@ -266,11 +275,16 @@ mod tests {
         let r = AlgebraExpr::relation(rel("R"), 2);
         let s = AlgebraExpr::relation(rel("S"), 2);
         assert_eq!(AlgebraExpr::union(r.clone(), s.clone()).arity().unwrap(), 2);
-        assert_eq!(AlgebraExpr::product(r.clone(), s.clone()).arity().unwrap(), 4);
+        assert_eq!(
+            AlgebraExpr::product(r.clone(), s.clone()).arity().unwrap(),
+            4
+        );
         assert_eq!(AlgebraExpr::substrings(r.clone(), 1).arity().unwrap(), 3);
         assert_eq!(AlgebraExpr::unpack(r.clone(), 2).arity().unwrap(), 2);
         assert_eq!(
-            AlgebraExpr::project(r.clone(), vec![col(1)]).arity().unwrap(),
+            AlgebraExpr::project(r.clone(), vec![col(1)])
+                .arity()
+                .unwrap(),
             1
         );
         let mismatched = AlgebraExpr::union(r.clone(), AlgebraExpr::relation(rel("T"), 3));

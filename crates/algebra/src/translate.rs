@@ -4,9 +4,7 @@
 use crate::expr::{col, AlgebraError, AlgebraExpr};
 use seqdl_core::RelName;
 use seqdl_rewrite::{classify_rule, to_normal_form, NormalForm};
-use seqdl_syntax::{
-    Literal, PathExpr, Predicate, Program, Rule, Stratum, Term, Var,
-};
+use seqdl_syntax::{Literal, PathExpr, Predicate, Program, Rule, Stratum, Term, Var};
 use std::collections::BTreeMap;
 
 // ---------------------------------------------------------------------------
@@ -33,10 +31,7 @@ pub fn algebra_to_datalog(expr: &AlgebraExpr, output: RelName) -> Result<Program
 
 /// Translate `expr`, appending strata that define a fresh relation holding its
 /// value, and return that relation's name.
-fn translate_expr(
-    expr: &AlgebraExpr,
-    strata: &mut Vec<Stratum>,
-) -> Result<RelName, AlgebraError> {
+fn translate_expr(expr: &AlgebraExpr, strata: &mut Vec<Stratum>) -> Result<RelName, AlgebraError> {
     let arity = expr.arity()?;
     let me = RelName::fresh("Alg");
     let vars: Vec<Var> = (0..arity).map(|i| Var::path(&format!("c{i}"))).collect();
@@ -120,9 +115,8 @@ fn translate_expr(
         AlgebraExpr::Unpack { input, column } => {
             let ri = translate_expr(input, strata)?;
             let mut body_args = var_exprs.clone();
-            body_args[*column - 1] = PathExpr::singleton(Term::Packed(PathExpr::var(
-                vars[*column - 1],
-            )));
+            body_args[*column - 1] =
+                PathExpr::singleton(Term::Packed(PathExpr::var(vars[*column - 1])));
             vec![Rule::new(
                 head,
                 vec![Literal::pred(Predicate::new(ri, body_args))],
@@ -137,11 +131,8 @@ fn translate_expr(
             // new last column.
             let s = vars[in_arity]; // the appended column variable
             let mut body_args: Vec<PathExpr> = var_exprs[..in_arity].to_vec();
-            body_args[*column - 1] = PathExpr::from_terms([
-                Term::Var(u),
-                Term::Var(s),
-                Term::Var(w),
-            ]);
+            body_args[*column - 1] =
+                PathExpr::from_terms([Term::Var(u), Term::Var(s), Term::Var(w)]);
             let mut head_args: Vec<PathExpr> = var_exprs[..in_arity].to_vec();
             head_args[*column - 1] = body_args[*column - 1].clone();
             head_args.push(PathExpr::var(s));
@@ -179,10 +170,7 @@ fn columns_to_vars(expr: &PathExpr, vars: &[Var]) -> PathExpr {
 /// # Errors
 /// Translation errors (recursion, equations, or rules outside Lemma 7.2 shapes after
 /// normalisation — the latter indicates a bug).
-pub fn datalog_to_algebra(
-    program: &Program,
-    target: RelName,
-) -> Result<AlgebraExpr, AlgebraError> {
+pub fn datalog_to_algebra(program: &Program, target: RelName) -> Result<AlgebraExpr, AlgebraError> {
     let normal = to_normal_form(program)
         .map_err(|e| AlgebraError::Translation(format!("normal form failed: {e}")))?;
     let arities = normal
@@ -215,7 +203,10 @@ fn expr_for_relation(
         let arity = arities.get(&relation).copied().unwrap_or(1);
         return Ok(AlgebraExpr::relation(relation, arity));
     }
-    let defining: Vec<&Rule> = rules.iter().filter(|r| r.head.relation == relation).collect();
+    let defining: Vec<&Rule> = rules
+        .iter()
+        .filter(|r| r.head.relation == relation)
+        .collect();
     let arity = arities.get(&relation).copied().unwrap_or(0);
     let mut expr: Option<AlgebraExpr> = None;
     for rule in defining {
@@ -361,10 +352,8 @@ fn expr_for_rule(
             for _ in 0..depth_needed {
                 // Unpack the (single) column, then take substrings of the content.
                 let unpacked = AlgebraExpr::unpack(level.clone(), 1);
-                let inner = AlgebraExpr::project(
-                    AlgebraExpr::substrings(unpacked, 1),
-                    vec![col(2)],
-                );
+                let inner =
+                    AlgebraExpr::project(AlgebraExpr::substrings(unpacked, 1), vec![col(2)]);
                 cand = AlgebraExpr::union(cand, inner.clone());
                 level = inner;
             }
@@ -411,11 +400,7 @@ fn atomic_filter(cand: &AlgebraExpr) -> AlgebraExpr {
     // LONG: value has two nonempty parts.  D = SUB_1(SUB_1(C)) has columns
     // (c, s, t); keep c = s·t, drop s = ε and t = ε, project to c.
     let d = AlgebraExpr::substrings(AlgebraExpr::substrings(cand.clone(), 1), 1);
-    let split = AlgebraExpr::select(
-        d,
-        col(1),
-        col(2).concat(&col(3)),
-    );
+    let split = AlgebraExpr::select(d, col(1), col(2).concat(&col(3)));
     let s_empty = AlgebraExpr::select(split.clone(), col(2), PathExpr::empty());
     let t_empty = AlgebraExpr::select(split.clone(), col(3), PathExpr::empty());
     let long = AlgebraExpr::project(
@@ -489,7 +474,9 @@ mod tests {
         }
         inst.insert_fact(Fact::new(
             rel("P"),
-            vec![Path::singleton(seqdl_core::Value::packed(path_of(&["x", "y"])))],
+            vec![Path::singleton(seqdl_core::Value::packed(path_of(&[
+                "x", "y",
+            ])))],
         ))
         .unwrap();
         let exprs = vec![
@@ -548,7 +535,11 @@ mod tests {
             "S",
             vec![Instance::unary(
                 rel("R"),
-                [path_of(&["a", "z", "b"]), path_of(&["a", "b"]), path_of(&["b", "a"])],
+                [
+                    path_of(&["a", "z", "b"]),
+                    path_of(&["a", "b"]),
+                    path_of(&["b", "a"]),
+                ],
             )],
         );
     }

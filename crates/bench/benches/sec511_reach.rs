@@ -13,7 +13,9 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("semi_naive", nodes),
             &(nodes, edges),
-            |b, &(n, e)| b.iter(|| seqdl_bench::reachability_run(n, e, FixpointStrategy::SemiNaive)),
+            |b, &(n, e)| {
+                b.iter(|| seqdl_bench::reachability_run(n, e, FixpointStrategy::SemiNaive))
+            },
         );
     }
     group.finish();

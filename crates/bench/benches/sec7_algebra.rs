@@ -7,12 +7,16 @@ fn bench(c: &mut Criterion) {
     });
     let mut group = c.benchmark_group("sec7/roundtrip");
     for (nodes, edges) in [(6usize, 10usize), (10, 20)] {
-        group.bench_with_input(BenchmarkId::from_parameter(nodes), &(nodes, edges), |b, &(n, e)| {
-            b.iter(|| {
-                let (a, bb) = seqdl_bench::algebra_roundtrip(n, e);
-                assert_eq!(a, bb);
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(nodes),
+            &(nodes, edges),
+            |b, &(n, e)| {
+                b.iter(|| {
+                    let (a, bb) = seqdl_bench::algebra_roundtrip(n, e);
+                    assert_eq!(a, bb);
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -46,7 +46,12 @@ fn main() {
         println!("{:>4} {:>4} {:>12}", "k", "n", "solutions");
         for k in [2usize, 3, 4] {
             for n in [4usize, 8, 12] {
-                println!("{:>4} {:>4} {:>12}", k, n, drivers::unify_split_family(k, n));
+                println!(
+                    "{:>4} {:>4} {:>12}",
+                    k,
+                    n,
+                    drivers::unify_split_family(k, n)
+                );
             }
         }
     }
@@ -55,10 +60,7 @@ fn main() {
         section("FIG-3  Theorem 6.1: deciding F1 ≤ F2 for all 64×64 fragment pairs");
         let start = Instant::now();
         let subsumed = drivers::figure3_decide_all();
-        println!(
-            "subsumed pairs: {subsumed} / 4096  [{:?}]",
-            start.elapsed()
-        );
+        println!("subsumed pairs: {subsumed} / 4096  [{:?}]", start.elapsed());
     }
 
     if want("arity") {
@@ -96,7 +98,10 @@ fn main() {
 
     if want("folding") {
         section("EXP-I  Theorem 4.16: intermediate-predicate folding");
-        println!("{:>8} {:>8} {:>10} {:>10}", "strings", "max len", "original", "folded");
+        println!(
+            "{:>8} {:>8} {:>10} {:>10}",
+            "strings", "max len", "original", "folded"
+        );
         for (s, l) in [(4usize, 4usize), (8, 6), (16, 8)] {
             let (a, b) = drivers::folding_ablation(s, l);
             println!("{s:>8} {l:>8} {a:>10} {b:>10}");
@@ -123,7 +128,10 @@ fn main() {
 
     if want("reachability") {
         section("EXP-B  Section 5.1.1: graph reachability, naive vs semi-naive");
-        println!("{:>8} {:>8} {:>12} {:>12}", "nodes", "edges", "naive", "semi-naive");
+        println!(
+            "{:>8} {:>8} {:>12} {:>12}",
+            "nodes", "edges", "naive", "semi-naive"
+        );
         for (nodes, edges) in [(8usize, 16usize), (16, 48), (32, 128)] {
             let t0 = Instant::now();
             let naive = drivers::reachability_run(nodes, edges, FixpointStrategy::Naive);
@@ -141,7 +149,10 @@ fn main() {
 
     if want("nfa") {
         section("EXP-NFA  Example 2.1: NFA acceptance, naive vs semi-naive");
-        println!("{:>8} {:>8} {:>10} {:>12} {:>12}", "states", "words", "word len", "naive", "semi-naive");
+        println!(
+            "{:>8} {:>8} {:>10} {:>12} {:>12}",
+            "states", "words", "word len", "naive", "semi-naive"
+        );
         for (states, words, len) in [(3usize, 8usize, 8usize), (5, 8, 16), (8, 16, 24)] {
             let t0 = Instant::now();
             let a = drivers::nfa_run(states, words, len, FixpointStrategy::Naive);
@@ -172,7 +183,10 @@ fn main() {
             let b = drivers::regex_nfa_run(strings, len);
             let t_nfa = t1.elapsed();
             assert_eq!(a, b, "compiled program and NFA must agree");
-            println!("{strings:>8} {len:>8} {:>18?} {:>18?}   (matches: {a})", t_datalog, t_nfa);
+            println!(
+                "{strings:>8} {len:>8} {:>18?} {:>18?}   (matches: {a})",
+                t_datalog, t_nfa
+            );
         }
     }
 
@@ -190,7 +204,10 @@ fn main() {
             "normal form of the Section 5.2 program: {} rules (all in Lemma 7.2 shapes)",
             drivers::normal_form_size()
         );
-        println!("{:>8} {:>8} {:>10} {:>10}", "nodes", "edges", "datalog", "algebra");
+        println!(
+            "{:>8} {:>8} {:>10} {:>10}",
+            "nodes", "edges", "datalog", "algebra"
+        );
         for (nodes, edges) in [(6usize, 10usize), (10, 20), (14, 30)] {
             let (a, b) = drivers::algebra_roundtrip(nodes, edges);
             println!("{nodes:>8} {edges:>8} {a:>10} {b:>10}");

@@ -16,7 +16,7 @@ use seqdl_rewrite::{
     fold_intermediate_predicates, to_normal_form,
 };
 use seqdl_syntax::{parse_program, Program};
-use seqdl_unify::{solve, SolveOptions, SolutionSet};
+use seqdl_unify::{solve, SolutionSet, SolveOptions};
 use seqdl_wgen::Workloads;
 use std::collections::BTreeSet;
 
@@ -61,7 +61,10 @@ pub fn figure2_solutions() -> SolutionSet {
 /// A scaling family for unification: solve `$x1·…·$xk = a^n` (one-sided nonlinear),
 /// returning the number of symbolic solutions.
 pub fn unify_split_family(k: usize, n: usize) -> usize {
-    let lhs: String = (1..=k).map(|i| format!("$x{i}")).collect::<Vec<_>>().join("·");
+    let lhs: String = (1..=k)
+        .map(|i| format!("$x{i}"))
+        .collect::<Vec<_>>()
+        .join("·");
     let rhs: String = vec!["a"; n].join("·");
     let eq = seqdl_syntax::Equation::new(
         seqdl_syntax::parse_expr(&lhs).unwrap(),
@@ -170,18 +173,22 @@ pub fn packing_ablation(hay_len: usize) -> (usize, bool) {
         ))
         .unwrap();
     let engine = bench_engine();
-    let a = engine.run(&w.program, &input).unwrap().nullary_true(w.output);
-    let b = engine.run(&rewritten, &input).unwrap().nullary_true(w.output);
+    let a = engine
+        .run(&w.program, &input)
+        .unwrap()
+        .nullary_true(w.output);
+    let b = engine
+        .run(&rewritten, &input)
+        .unwrap()
+        .nullary_true(w.output);
     (rewritten.rule_count(), a == b)
 }
 
 /// EXP-I: a nonrecursive pipeline before and after intermediate-predicate folding;
 /// returns the agreeing output sizes.
 pub fn folding_ablation(strings: usize, max_len: usize) -> (usize, usize) {
-    let program = parse_program(
-        "T1($y) <- R(x0·$y).\nT2($y·$y) <- T1($y).\nS($z) <- T2($z·x1).",
-    )
-    .unwrap();
+    let program =
+        parse_program("T1($y) <- R(x0·$y).\nT2($y·$y) <- T1($y).\nS($z) <- T2($z·x1).").unwrap();
     let folded = fold_intermediate_predicates(&program, rel("S")).expect("nonrecursive");
     let input = Workloads::new(9).random_strings(rel("R"), strings, max_len, 2);
     let a = run_query(&program, &input, rel("S"));
@@ -212,12 +219,22 @@ pub fn squaring_output_length(n: usize) -> usize {
 pub fn lemma51_bound(program: &Program, max_input_len: usize) -> usize {
     let a = program
         .rules()
-        .flat_map(|r| r.head.args.iter().map(seqdl_syntax::PathExpr::path_var_count))
+        .flat_map(|r| {
+            r.head
+                .args
+                .iter()
+                .map(seqdl_syntax::PathExpr::path_var_count)
+        })
         .max()
         .unwrap_or(0);
     let b = program
         .rules()
-        .flat_map(|r| r.head.args.iter().map(seqdl_syntax::PathExpr::atom_like_count))
+        .flat_map(|r| {
+            r.head
+                .args
+                .iter()
+                .map(seqdl_syntax::PathExpr::atom_like_count)
+        })
         .max()
         .unwrap_or(0);
     a * max_input_len + b
@@ -281,7 +298,10 @@ pub fn algebra_roundtrip(nodes: usize, edges: usize) -> (usize, usize) {
             _ => format!("n{i}"),
         };
         input
-            .insert_fact(seqdl_core::Fact::new(rel("B"), vec![seqdl_core::path_of(&[name.as_str()])]))
+            .insert_fact(seqdl_core::Fact::new(
+                rel("B"),
+                vec![seqdl_core::path_of(&[name.as_str()])],
+            ))
             .unwrap();
     }
     let datalog = run_query(&w.program, &input, w.output);
@@ -298,7 +318,9 @@ pub fn algebra_roundtrip(nodes: usize, edges: usize) -> (usize, usize) {
 /// Size (number of rules) of the Lemma 7.2 normal form of the Section 5.2 program.
 pub fn normal_form_size() -> usize {
     let w = witnesses::only_black_successors();
-    to_normal_form(&w.program).expect("nonrecursive, equation-free").rule_count()
+    to_normal_form(&w.program)
+        .expect("nonrecursive, equation-free")
+        .rule_count()
 }
 
 /// Convenience used by benches: the `a^n` squaring instance.
@@ -324,7 +346,8 @@ pub fn regex_pattern() -> seqdl_regex::Regex {
 /// Run the compiled Sequence Datalog program for [`regex_pattern`] on a random
 /// workload; returns the number of matching strings.
 pub fn regex_datalog_run(strings: usize, max_len: usize) -> usize {
-    let compiled = seqdl_regex::compile_match(&regex_pattern(), &seqdl_regex::CompileOptions::default());
+    let compiled =
+        seqdl_regex::compile_match(&regex_pattern(), &seqdl_regex::CompileOptions::default());
     let input = regex_workload(strings, max_len);
     bench_engine()
         .run(&compiled.program, &input)

@@ -137,7 +137,11 @@ mod tests {
     #[test]
     fn options_switches_and_positionals_are_separated() {
         let flags = parse_flags(&args(&[
-            "--program", "p.sdl", "--dot", "extra", "--output=S",
+            "--program",
+            "p.sdl",
+            "--dot",
+            "extra",
+            "--output=S",
         ]))
         .unwrap();
         assert_eq!(flags.require("program").unwrap(), "p.sdl");

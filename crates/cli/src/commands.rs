@@ -162,7 +162,8 @@ fn cmd_run(flags: &Flags) -> Result<String, CliError> {
     match relation {
         None => writeln!(report, "{output}: (not derived)").expect("write to string"),
         Some(relation) if relation.arity() == 0 => {
-            writeln!(report, "{output} = {}", result.nullary_true(output)).expect("write to string");
+            writeln!(report, "{output} = {}", result.nullary_true(output))
+                .expect("write to string");
         }
         Some(relation) => {
             writeln!(report, "{output}: {} fact(s)", relation.len()).expect("write to string");
@@ -198,8 +199,16 @@ fn cmd_analyze(flags: &Flags) -> Result<String, CliError> {
     writeln!(report, "fragment: {fragment}").expect("write to string");
     writeln!(report, "fragment modulo A, P: {}", fragment.hat()).expect("write to string");
 
-    let edb: Vec<String> = program.edb_relations().iter().map(ToString::to_string).collect();
-    let idb: Vec<String> = program.idb_relations().iter().map(ToString::to_string).collect();
+    let edb: Vec<String> = program
+        .edb_relations()
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+    let idb: Vec<String> = program
+        .idb_relations()
+        .iter()
+        .map(ToString::to_string)
+        .collect();
     writeln!(report, "EDB relations: {}", edb.join(", ")).expect("write to string");
     writeln!(report, "IDB relations: {}", idb.join(", ")).expect("write to string");
 
@@ -278,9 +287,8 @@ fn cmd_fragment(flags: &Flags) -> Result<String, CliError> {
         target = target.with(feature);
     }
     let source = Fragment::of_program(&program);
-    let rewritten = rewrite_into(&program, output, target).map_err(|e| {
-        CliError::Command(format!("cannot rewrite {source} into {target}: {e}"))
-    })?;
+    let rewritten = rewrite_into(&program, output, target)
+        .map_err(|e| CliError::Command(format!("cannot rewrite {source} into {target}: {e}")))?;
     Ok(format!(
         "% fragment: {source} -> {} (target {target})\n{rewritten}",
         Fragment::of_program(&rewritten)
@@ -325,8 +333,12 @@ fn cmd_unify(flags: &Flags) -> Result<String, CliError> {
     if flags.has("allow-empty") {
         let solutions =
             solve_allowing_empty(&equation, &SolveOptions::default()).map_err(command_error)?;
-        writeln!(report, "{} symbolic solution(s) (empty words allowed):", solutions.len())
-            .expect("write to string");
+        writeln!(
+            report,
+            "{} symbolic solution(s) (empty words allowed):",
+            solutions.len()
+        )
+        .expect("write to string");
         for s in &solutions {
             writeln!(report, "  {s}").expect("write to string");
         }
@@ -375,7 +387,9 @@ fn cmd_regex(flags: &Flags) -> Result<String, CliError> {
     if flags.get("instance").is_some() {
         let instance = load_instance_flag(flags)?;
         let engine = engine_from_flags(flags)?;
-        let result = engine.run(&compiled.program, &instance).map_err(command_error)?;
+        let result = engine
+            .run(&compiled.program, &instance)
+            .map_err(command_error)?;
         let matches = result.unary_paths(compiled.output);
         writeln!(report, "\n{} matching string(s):", matches.len()).expect("write to string");
         for path in matches {
@@ -421,7 +435,13 @@ mod tests {
             &Instance::unary(rel("R"), [path_of(&["a", "a"]), path_of(&["a", "b"])]),
         );
         let output = cmd_run(&flags(&[
-            "--program", &program, "--instance", &instance, "--output", "S", "--stats",
+            "--program",
+            &program,
+            "--instance",
+            &instance,
+            "--output",
+            "S",
+            "--stats",
         ]))
         .unwrap();
         assert!(output.contains("S: 1 fact(s)"), "{output}");
@@ -431,7 +451,10 @@ mod tests {
 
     #[test]
     fn run_defaults_the_output_relation_to_the_last_rule_head() {
-        let program = write_program("run-default.sdl", "T(a·$x, $x) <- R($x).\nS($x) <- T($x·a, $x).");
+        let program = write_program(
+            "run-default.sdl",
+            "T(a·$x, $x) <- R($x).\nS($x) <- T($x·a, $x).",
+        );
         let instance = write_instance_file(
             "run-default.sdi",
             &Instance::unary(rel("R"), [path_of(&["a", "a", "a"])]),
@@ -445,8 +468,14 @@ mod tests {
         let program = write_program("diverge.sdl", "T(a).\nT(a·$x) <- T($x).");
         let instance = write_instance_file("empty.sdi", &Instance::new());
         let err = cmd_run(&flags(&[
-            "--program", &program, "--instance", &instance, "--output", "T",
-            "--max-iterations", "10",
+            "--program",
+            &program,
+            "--instance",
+            &instance,
+            "--output",
+            "T",
+            "--max-iterations",
+            "10",
         ]))
         .unwrap_err();
         assert!(err.to_string().contains("limit"), "{err}");
@@ -470,8 +499,8 @@ mod tests {
         let output =
             cmd_rewrite(&flags(&["--program", &program, "--eliminate", "equations"])).unwrap();
         assert!(!output.contains(" = "), "no equations left:\n{output}");
-        let err = cmd_rewrite(&flags(&["--program", &program, "--eliminate", "negation"]))
-            .unwrap_err();
+        let err =
+            cmd_rewrite(&flags(&["--program", &program, "--eliminate", "negation"])).unwrap_err();
         assert!(err.to_string().contains("unknown feature"));
     }
 
@@ -480,8 +509,7 @@ mod tests {
         let program = write_program("norm.sdl", "T(a·$x, $x) <- R($x).\nS($x) <- T($x·a, $x).");
         let normal = cmd_normalize(&flags(&["--program", &program])).unwrap();
         assert!(normal.contains("<-"));
-        let algebra =
-            cmd_algebra(&flags(&["--program", &program, "--output", "S"])).unwrap();
+        let algebra = cmd_algebra(&flags(&["--program", &program, "--output", "S"])).unwrap();
         assert!(!algebra.is_empty());
     }
 
@@ -489,12 +517,24 @@ mod tests {
     fn fragment_rewrites_into_a_target_fragment() {
         let program = write_program("frag.sdl", "S($x) <- R($x), a·$x = $x·a.");
         let output = cmd_fragment(&flags(&[
-            "--program", &program, "--target", "I", "--output", "S",
+            "--program",
+            &program,
+            "--target",
+            "I",
+            "--output",
+            "S",
         ]))
         .unwrap();
         assert!(output.contains("target {I}"), "{output}");
-        let err = cmd_fragment(&flags(&["--program", &program, "--target", "X", "--output", "S"]))
-            .unwrap_err();
+        let err = cmd_fragment(&flags(&[
+            "--program",
+            &program,
+            "--target",
+            "X",
+            "--output",
+            "S",
+        ]))
+        .unwrap_err();
         assert!(err.to_string().contains("unknown feature letter"));
     }
 
@@ -525,7 +565,11 @@ mod tests {
             "regex.sdi",
             &Instance::unary(
                 rel("R"),
-                [path_of(&["a", "b", "b"]), path_of(&["b", "a"]), path_of(&["a"])],
+                [
+                    path_of(&["a", "b", "b"]),
+                    path_of(&["b", "a"]),
+                    path_of(&["a"]),
+                ],
             ),
         );
         let ran = cmd_regex(&flags(&["--pattern", "a (b|c)*", "--instance", &instance])).unwrap();

@@ -227,11 +227,12 @@ impl Instance {
                 found: arity,
             });
         }
-        rel.insert(fact.tuple).map_err(|_| CoreError::ArityMismatch {
-            relation,
-            expected: arity,
-            found: arity,
-        })
+        rel.insert(fact.tuple)
+            .map_err(|_| CoreError::ArityMismatch {
+                relation,
+                expected: arity,
+                found: arity,
+            })
     }
 
     /// Insert an empty relation of the given arity (or leave an existing one alone).
@@ -280,9 +281,9 @@ impl Instance {
 
     /// Iterate over all facts of the instance, in deterministic order.
     pub fn facts(&self) -> impl Iterator<Item = Fact> + '_ {
-        self.relations.iter().flat_map(|(name, rel)| {
-            rel.iter().map(move |t| Fact::new(*name, t.clone()))
-        })
+        self.relations
+            .iter()
+            .flat_map(|(name, rel)| rel.iter().map(move |t| Fact::new(*name, t.clone())))
     }
 
     /// Total number of facts.
@@ -298,11 +299,8 @@ impl Instance {
     /// An instance is *classical* if every component of every fact is a length-1
     /// path holding an atomic value (Section 2.1).
     pub fn is_classical(&self) -> bool {
-        self.facts().all(|f| {
-            f.tuple
-                .iter()
-                .all(|p| p.len() == 1 && p[0].is_atom())
-        })
+        self.facts()
+            .all(|f| f.tuple.iter().all(|p| p.len() == 1 && p[0].is_atom()))
     }
 
     /// An instance is *two-bounded* if only paths of length one or two occur in it
@@ -404,10 +402,7 @@ mod tests {
     use crate::{atom, path_of, rel, repeat_path};
 
     fn fact(r: &str, paths: &[&[&str]]) -> Fact {
-        Fact::new(
-            rel(r),
-            paths.iter().map(|names| path_of(names)).collect(),
-        )
+        Fact::new(rel(r), paths.iter().map(|names| path_of(names)).collect())
     }
 
     #[test]
@@ -450,10 +445,9 @@ mod tests {
     #[test]
     fn arity_is_enforced_per_relation() {
         let mut inst = Instance::new();
-        inst.insert_fact(fact("D", &[&["q"], &["a"], &["p"]])).unwrap();
-        let err = inst
-            .insert_fact(fact("D", &[&["q"], &["a"]]))
-            .unwrap_err();
+        inst.insert_fact(fact("D", &[&["q"], &["a"], &["p"]]))
+            .unwrap();
+        let err = inst.insert_fact(fact("D", &[&["q"], &["a"]])).unwrap_err();
         assert_eq!(
             err,
             CoreError::ArityMismatch {
@@ -517,7 +511,8 @@ mod tests {
     fn schema_induction_and_projection() {
         let mut inst = Instance::new();
         inst.insert_fact(fact("R", &[&["x"]])).unwrap();
-        inst.insert_fact(fact("D", &[&["q"], &["a"], &["p"]])).unwrap();
+        inst.insert_fact(fact("D", &[&["q"], &["a"], &["p"]]))
+            .unwrap();
         let schema = inst.schema();
         assert_eq!(schema.arity(rel("D")), Some(3));
         let only_r = Schema::from_pairs([("R", 1)]);

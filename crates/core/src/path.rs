@@ -98,9 +98,7 @@ impl Path {
         if needle.len() > self.len() {
             return false;
         }
-        self.0
-            .windows(needle.len())
-            .any(|w| w == needle.values())
+        self.0.windows(needle.len()).any(|w| w == needle.values())
     }
 
     /// A path is *flat* if it contains no packed values at any depth (Section 3.1
@@ -127,12 +125,7 @@ impl Path {
     /// The *doubled* version `k1·k1·k2·k2·…·kn·kn` of the path, as used by the
     /// doubling step in the proof of Theorem 4.15.
     pub fn doubled(&self) -> Path {
-        Path(
-            self.0
-                .iter()
-                .flat_map(|v| [v.clone(), v.clone()])
-                .collect(),
-        )
+        Path(self.0.iter().flat_map(|v| [v.clone(), v.clone()]).collect())
     }
 
     /// Invert [`Path::doubled`]: returns `None` if the path is not a doubled path.
@@ -264,10 +257,7 @@ mod tests {
         assert_eq!(flat.packing_depth(), 0);
 
         // c · ⟨a·b·a⟩, the paper's example path with packing.
-        let mixed = Path::from_values([
-            Value::atom("c"),
-            Value::packed(path_of(&["a", "b", "a"])),
-        ]);
+        let mixed = Path::from_values([Value::atom("c"), Value::packed(path_of(&["a", "b", "a"]))]);
         assert!(!mixed.is_flat());
         assert_eq!(mixed.packing_depth(), 1);
         assert_eq!(mixed.atom_count(), 4);

@@ -92,9 +92,7 @@ impl Value {
         match self {
             Value::Atom(a) => a.symbol().with_name(|name| {
                 let bare = !name.is_empty()
-                    && name
-                        .chars()
-                        .all(|c| c.is_ascii_alphanumeric() || c == '_')
+                    && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
                     && name != "eps";
                 if bare {
                     f.write_str(name)

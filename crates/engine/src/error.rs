@@ -101,7 +101,10 @@ mod tests {
             what: LimitKind::Facts,
             limit: 1000,
         };
-        assert_eq!(e.to_string(), "evaluation exceeded the limit of 1000 derived facts");
+        assert_eq!(
+            e.to_string(),
+            "evaluation exceeded the limit of 1000 derived facts"
+        );
         let e = EvalError::Unplannable {
             rule: "S($x) <- $x = $y.".into(),
         };

@@ -249,8 +249,7 @@ impl Engine {
             let mut next = Vec::new();
             match step {
                 PlannedLiteral::MatchPredicate(pred) => {
-                    let restricted_here =
-                        restrict.as_ref().is_some_and(|(pos, _)| *pos == ix);
+                    let restricted_here = restrict.as_ref().is_some_and(|(pos, _)| *pos == ix);
                     let tuples: Vec<Tuple> = if restricted_here {
                         let (_, delta) = restrict.as_ref().expect("checked above");
                         delta.get(&pred.relation).cloned().unwrap_or_default()
@@ -341,7 +340,11 @@ mod tests {
         let program = parse_program("S($x) <- R($x), a·$x = $x·a.").unwrap();
         let input = Instance::unary(
             rel("R"),
-            [repeat_path("a", 4), path_of(&["a", "b", "a"]), Path::empty()],
+            [
+                repeat_path("a", 4),
+                path_of(&["a", "b", "a"]),
+                Path::empty(),
+            ],
         );
         let out = engine().run(&program, &input).unwrap();
         let s = out.unary_paths(rel("S"));
@@ -353,10 +356,9 @@ mod tests {
     #[test]
     fn example_3_1_only_as_with_recursion_matches_equation_variant() {
         let with_eq = parse_program("S($x) <- R($x), a·$x = $x·a.").unwrap();
-        let with_rec = parse_program(
-            "T($x, $x) <- R($x).\nT($x, $y) <- T($x, $y·a).\nS($x) <- T($x, eps).",
-        )
-        .unwrap();
+        let with_rec =
+            parse_program("T($x, $x) <- R($x).\nT($x, $y) <- T($x, $y·a).\nS($x) <- T($x, eps).")
+                .unwrap();
         let input = Instance::unary(
             rel("R"),
             [
@@ -366,8 +368,14 @@ mod tests {
                 Path::empty(),
             ],
         );
-        let s1 = engine().run(&with_eq, &input).unwrap().unary_paths(rel("S"));
-        let s2 = engine().run(&with_rec, &input).unwrap().unary_paths(rel("S"));
+        let s1 = engine()
+            .run(&with_eq, &input)
+            .unwrap()
+            .unary_paths(rel("S"));
+        let s2 = engine()
+            .run(&with_rec, &input)
+            .unwrap()
+            .unary_paths(rel("S"));
         assert_eq!(s1, s2);
         assert_eq!(s1.len(), 2);
     }
@@ -397,8 +405,12 @@ mod tests {
         )
         .unwrap();
         let mut input = Instance::new();
-        input.insert_fact(Fact::new(rel("N"), vec![path_of(&["q0"])])).unwrap();
-        input.insert_fact(Fact::new(rel("F"), vec![path_of(&["q1"])])).unwrap();
+        input
+            .insert_fact(Fact::new(rel("N"), vec![path_of(&["q0"])]))
+            .unwrap();
+        input
+            .insert_fact(Fact::new(rel("F"), vec![path_of(&["q1"])]))
+            .unwrap();
         for (from, sym, to) in [
             ("q0", "a", "q0"),
             ("q0", "b", "q1"),
@@ -412,7 +424,12 @@ mod tests {
                 ))
                 .unwrap();
         }
-        for word in [vec!["a", "b"], vec!["b", "b", "b"], vec!["a"], vec!["b", "a"]] {
+        for word in [
+            vec!["a", "b"],
+            vec!["b", "b", "b"],
+            vec!["a"],
+            vec!["b", "a"],
+        ] {
             input
                 .insert_fact(Fact::new(rel("R"), vec![path_of(&word)]))
                 .unwrap();
@@ -440,14 +457,20 @@ mod tests {
         input
             .insert_fact(Fact::new(rel("S"), vec![path_of(&["a", "b"])]))
             .unwrap();
-        assert!(engine().run(&program, &input).unwrap().nullary_true(rel("A")));
+        assert!(engine()
+            .run(&program, &input)
+            .unwrap()
+            .nullary_true(rel("A")));
 
         // Only two occurrences: a·b·x·a·b.
         let mut input2 = Instance::unary(rel("R"), [path_of(&["a", "b", "x", "a", "b"])]);
         input2
             .insert_fact(Fact::new(rel("S"), vec![path_of(&["a", "b"])]))
             .unwrap();
-        assert!(!engine().run(&program, &input2).unwrap().nullary_true(rel("A")));
+        assert!(!engine()
+            .run(&program, &input2)
+            .unwrap()
+            .nullary_true(rel("A")));
     }
 
     #[test]
@@ -472,10 +495,8 @@ mod tests {
     fn stratified_negation_only_black_successors() {
         // Section 5.2: nodes whose successors are all black, on graphs encoded as
         // length-2 paths.
-        let program = parse_program(
-            "W(@x) <- R(@x·@y), !B(@y).\n---\nS(@x) <- R(@x·@y), !W(@x).",
-        )
-        .unwrap();
+        let program =
+            parse_program("W(@x) <- R(@x·@y), !B(@y).\n---\nS(@x) <- R(@x·@y), !W(@x).").unwrap();
         let mut input = Instance::new();
         for (a, b) in [("n1", "n2"), ("n1", "n3"), ("n4", "n2")] {
             input
@@ -483,7 +504,9 @@ mod tests {
                 .unwrap();
         }
         // n2 is black, n3 is not.
-        input.insert_fact(Fact::new(rel("B"), vec![path_of(&["n2"])])).unwrap();
+        input
+            .insert_fact(Fact::new(rel("B"), vec![path_of(&["n2"])]))
+            .unwrap();
         let out = engine().run(&program, &input).unwrap();
         let s = out.unary_paths(rel("S"));
         // n4's only successor (n2) is black; n1 has a non-black successor (n3).
@@ -493,17 +516,19 @@ mod tests {
 
     #[test]
     fn graph_reachability_in_fragment_i_r() {
-        let program = parse_program(
-            "T(@x·@y) <- R(@x·@y).\nT(@x·@z) <- T(@x·@y), R(@y·@z).\nS <- T(a·b).",
-        )
-        .unwrap();
+        let program =
+            parse_program("T(@x·@y) <- R(@x·@y).\nT(@x·@z) <- T(@x·@y), R(@y·@z).\nS <- T(a·b).")
+                .unwrap();
         let mut chain = Instance::new();
         for (x, y) in [("a", "c"), ("c", "d"), ("d", "b")] {
             chain
                 .insert_fact(Fact::new(rel("R"), vec![path_of(&[x, y])]))
                 .unwrap();
         }
-        assert!(engine().run(&program, &chain).unwrap().nullary_true(rel("S")));
+        assert!(engine()
+            .run(&program, &chain)
+            .unwrap()
+            .nullary_true(rel("S")));
 
         let mut no_path = Instance::new();
         for (x, y) in [("a", "c"), ("d", "b")] {
@@ -511,7 +536,10 @@ mod tests {
                 .insert_fact(Fact::new(rel("R"), vec![path_of(&[x, y])]))
                 .unwrap();
         }
-        assert!(!engine().run(&program, &no_path).unwrap().nullary_true(rel("S")));
+        assert!(!engine()
+            .run(&program, &no_path)
+            .unwrap()
+            .nullary_true(rel("S")));
     }
 
     #[test]

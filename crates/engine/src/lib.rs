@@ -41,7 +41,7 @@ pub mod matching;
 pub mod plan;
 
 pub use error::EvalError;
-pub use eval::{EvalLimits, EvalStats, Engine, FixpointStrategy};
+pub use eval::{Engine, EvalLimits, EvalStats, FixpointStrategy};
 
 use seqdl_core::{Instance, Path, RelName};
 use seqdl_syntax::Program;

@@ -56,7 +56,11 @@ pub fn match_equation(eq: &Equation, valuation: &Valuation) -> Option<Vec<Valuat
     match (lhs_bound, rhs_bound) {
         (true, true) => {
             let holds = equation_holds(eq, valuation).unwrap_or(false);
-            Some(if holds { vec![valuation.clone()] } else { Vec::new() })
+            Some(if holds {
+                vec![valuation.clone()]
+            } else {
+                Vec::new()
+            })
         }
         (true, false) => {
             let ground = valuation.apply(&eq.lhs)?;
@@ -154,11 +158,20 @@ mod tests {
 
     #[test]
     fn matching_constants_and_atom_variables() {
-        let matches = match_expr(&expr("a·@x·c"), &path_of(&["a", "b", "c"]), &Valuation::new());
+        let matches = match_expr(
+            &expr("a·@x·c"),
+            &path_of(&["a", "b", "c"]),
+            &Valuation::new(),
+        );
         assert_eq!(matches.len(), 1);
-        assert_eq!(matches[0].get(Var::atom("x")), Some(&Binding::Atom(atom("b"))));
+        assert_eq!(
+            matches[0].get(Var::atom("x")),
+            Some(&Binding::Atom(atom("b")))
+        );
         // Atom variable cannot absorb two values.
-        assert!(match_expr(&expr("a·@x"), &path_of(&["a", "b", "c"]), &Valuation::new()).is_empty());
+        assert!(
+            match_expr(&expr("a·@x"), &path_of(&["a", "b", "c"]), &Valuation::new()).is_empty()
+        );
         // Constant mismatch.
         assert!(match_expr(&expr("a·b"), &path_of(&["a", "c"]), &Valuation::new()).is_empty());
     }
@@ -166,7 +179,11 @@ mod tests {
     #[test]
     fn unbound_path_variables_enumerate_all_decompositions() {
         // $x·$y against a·b·c: 4 splits (|$x| = 0..3).
-        let matches = match_expr(&expr("$x·$y"), &path_of(&["a", "b", "c"]), &Valuation::new());
+        let matches = match_expr(
+            &expr("$x·$y"),
+            &path_of(&["a", "b", "c"]),
+            &Valuation::new(),
+        );
         assert_eq!(matches.len(), 4);
         // Each match reassembles to the original path.
         for nu in &matches {
@@ -179,13 +196,22 @@ mod tests {
     #[test]
     fn repeated_path_variables_must_agree() {
         // $x·$x against a·b·a·b: only $x = a·b.
-        let matches = match_expr(&expr("$x·$x"), &path_of(&["a", "b", "a", "b"]), &Valuation::new());
+        let matches = match_expr(
+            &expr("$x·$x"),
+            &path_of(&["a", "b", "a", "b"]),
+            &Valuation::new(),
+        );
         assert_eq!(matches.len(), 1);
         assert_eq!(
             matches[0].get(Var::path("x")),
             Some(&Binding::Path(path_of(&["a", "b"])))
         );
-        assert!(match_expr(&expr("$x·$x"), &path_of(&["a", "b", "a"]), &Valuation::new()).is_empty());
+        assert!(match_expr(
+            &expr("$x·$x"),
+            &path_of(&["a", "b", "a"]),
+            &Valuation::new()
+        )
+        .is_empty());
     }
 
     #[test]
@@ -206,10 +232,8 @@ mod tests {
 
     #[test]
     fn packing_must_match_packed_values() {
-        let packed_path = Path::from_values([
-            Value::atom("c"),
-            Value::packed(path_of(&["a", "b"])),
-        ]);
+        let packed_path =
+            Path::from_values([Value::atom("c"), Value::packed(path_of(&["a", "b"]))]);
         let matches = match_expr(&expr("c·<$s>"), &packed_path, &Valuation::new());
         assert_eq!(matches.len(), 1);
         assert_eq!(
@@ -226,7 +250,10 @@ mod tests {
 
     #[test]
     fn empty_expression_matches_only_the_empty_path() {
-        assert_eq!(match_expr(&expr("eps"), &Path::empty(), &Valuation::new()).len(), 1);
+        assert_eq!(
+            match_expr(&expr("eps"), &Path::empty(), &Valuation::new()).len(),
+            1
+        );
         assert!(match_expr(&expr("eps"), &path_of(&["a"]), &Valuation::new()).is_empty());
     }
 
@@ -268,7 +295,9 @@ mod tests {
         let eq2 = Equation::new(expr("$x"), expr("$y"));
         assert_eq!(match_equation(&eq2, &nu2).unwrap().len(), 1);
         // Neither side bound: planner error signalled by None.
-        assert!(match_equation(&Equation::new(expr("$p"), expr("$q")), &Valuation::new()).is_none());
+        assert!(
+            match_equation(&Equation::new(expr("$p"), expr("$q")), &Valuation::new()).is_none()
+        );
     }
 
     #[test]

@@ -65,7 +65,11 @@ pub fn plan_rule(rule: &Rule) -> Result<BodyPlan, EvalError> {
         match pick {
             Some(ix) => {
                 let lit = pending.remove(ix);
-                let eq = lit.atom.as_equation().expect("filtered to equations").clone();
+                let eq = lit
+                    .atom
+                    .as_equation()
+                    .expect("filtered to equations")
+                    .clone();
                 bound.extend(eq.vars());
                 steps.push(PlannedLiteral::SolveEquation(eq));
             }
@@ -99,7 +103,10 @@ mod tests {
         let plan = plan_rule(&rule).unwrap();
         assert!(matches!(plan.steps[0], PlannedLiteral::MatchPredicate(_)));
         assert!(matches!(plan.steps[1], PlannedLiteral::SolveEquation(_)));
-        assert!(matches!(plan.steps[2], PlannedLiteral::CheckNegatedPredicate(_)));
+        assert!(matches!(
+            plan.steps[2],
+            PlannedLiteral::CheckNegatedPredicate(_)
+        ));
     }
 
     #[test]
@@ -115,13 +122,19 @@ mod tests {
                 _ => None,
             })
             .collect();
-        assert_eq!(equations, vec!["$y = $x·a".to_string(), "$z = b·$y".to_string()]);
+        assert_eq!(
+            equations,
+            vec!["$y = $x·a".to_string(), "$z = b·$y".to_string()]
+        );
     }
 
     #[test]
     fn unsafe_rules_cannot_be_planned() {
         let rule = parse_rule("S($x) <- R($x), $y = $z.").unwrap();
-        assert!(matches!(plan_rule(&rule), Err(EvalError::Unplannable { .. })));
+        assert!(matches!(
+            plan_rule(&rule),
+            Err(EvalError::Unplannable { .. })
+        ));
     }
 
     #[test]

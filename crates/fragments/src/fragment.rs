@@ -113,7 +113,10 @@ impl Fragment {
     }
 
     fn bit(feature: Feature) -> u8 {
-        1 << (Feature::ALL.iter().position(|f| *f == feature).expect("feature") as u8)
+        1 << (Feature::ALL
+            .iter()
+            .position(|f| *f == feature)
+            .expect("feature") as u8)
     }
 
     /// Does the fragment contain `feature`?
@@ -232,10 +235,7 @@ mod tests {
         assert!(einr.is_subset_of(Fragment::full()));
         assert!(!einr.is_subset_of("EIN".parse().unwrap()));
         assert_eq!(einr.without(Feature::Equations).to_string(), "{I, N, R}");
-        assert_eq!(
-            einr.union("AP".parse().unwrap()),
-            Fragment::full()
-        );
+        assert_eq!(einr.union("AP".parse().unwrap()), Fragment::full());
         assert_eq!(Fragment::full().hat(), einr);
     }
 
@@ -261,10 +261,9 @@ mod tests {
     fn fragment_of_program_matches_feature_detection() {
         let p = parse_program("S($x) <- R($x), a·$x = $x·a.").unwrap();
         assert_eq!(Fragment::of_program(&p), "E".parse().unwrap());
-        let p = parse_program(
-            "T($x, $x) <- R($x).\nT($x, $y) <- T($x, $y·a).\nS($x) <- T($x, eps).",
-        )
-        .unwrap();
+        let p =
+            parse_program("T($x, $x) <- R($x).\nT($x, $y) <- T($x, $y·a).\nS($x) <- T($x, eps).")
+                .unwrap();
         assert_eq!(Fragment::of_program(&p), "AIR".parse().unwrap());
     }
 }

@@ -173,11 +173,7 @@ mod tests {
                 .position(|c| c.contains(&frag(f)))
                 .unwrap()
         };
-        let has_edge = |a: &str, b: &str| {
-            diagram
-                .edges
-                .contains(&(index_of(a), index_of(b)))
-        };
+        let has_edge = |a: &str, b: &str| diagram.edges.contains(&(index_of(a), index_of(b)));
         // Ascending paths present in Figure 1 (a sample of the cover edges).
         assert!(has_edge("", "E"));
         assert!(has_edge("", "N"));
@@ -205,11 +201,14 @@ mod tests {
     fn the_bottom_level_is_the_empty_fragment_and_the_top_is_the_full_class() {
         let diagram = HasseDiagram::build(&Fragment::all_over_einr());
         let levels = diagram.levels();
-        assert_eq!(levels[0], vec![diagram
-            .classes
-            .iter()
-            .position(|c| c.contains(&Fragment::empty()))
-            .unwrap()]);
+        assert_eq!(
+            levels[0],
+            vec![diagram
+                .classes
+                .iter()
+                .position(|c| c.contains(&Fragment::empty()))
+                .unwrap()]
+        );
         let top = levels.last().unwrap();
         assert_eq!(top.len(), 1);
         assert!(diagram.classes[top[0]].contains(&frag("EINR")));

@@ -102,7 +102,8 @@ pub fn rewrite_into(
 
     // Packing elimination specialises unary heads, so drop arity first when packing
     // has to go; arity can always be re-eliminated later (it is redundant).
-    if !target.contains(Feature::Packing) && Fragment::of_program(&result).contains(Feature::Packing)
+    if !target.contains(Feature::Packing)
+        && Fragment::of_program(&result).contains(Feature::Packing)
     {
         if Fragment::of_program(&result).contains(Feature::Arity) {
             result = eliminate_arity(&result)?;
@@ -252,10 +253,9 @@ mod tests {
     fn rewrite_into_eliminates_packing() {
         // The packed-marker program: T stores R-strings with the Q-substring packed;
         // S reads them back.  Rewriting into {E, I} must drop the P feature.
-        let program = parse_program(
-            "T($u·<$s>·$v) <- R($u·$s·$v), Q($s).\nS($s) <- T($u·<$s>·$v), Q($s).",
-        )
-        .unwrap();
+        let program =
+            parse_program("T($u·<$s>·$v) <- R($u·$s·$v), Q($s).\nS($s) <- T($u·<$s>·$v), Q($s).")
+                .unwrap();
         let target = frag("EI");
         let rewritten = rewrite_into(&program, rel("S"), target).unwrap();
         assert!(

@@ -250,12 +250,18 @@ mod tests {
                 .unwrap();
         }
         let w = reachability();
-        assert!(Engine::new().run(&w.program, &yes).unwrap().nullary_true(w.output));
+        assert!(Engine::new()
+            .run(&w.program, &yes)
+            .unwrap()
+            .nullary_true(w.output));
         let mut no = Instance::new();
         for (x, y) in [("a", "c"), ("d", "b")] {
             no.insert_fact(seqdl_core::Fact::new(rel("R"), vec![path_of(&[x, y])]))
                 .unwrap();
         }
-        assert!(!Engine::new().run(&w.program, &no).unwrap().nullary_true(w.output));
+        assert!(!Engine::new()
+            .run(&w.program, &no)
+            .unwrap()
+            .nullary_true(w.output));
     }
 }

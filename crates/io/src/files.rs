@@ -159,7 +159,10 @@ mod tests {
 
         let path = temp_file("bad.sdi");
         std::fs::write(&path, "R($x).").unwrap();
-        assert!(matches!(load_instance(&path), Err(IoError::Instance { .. })));
+        assert!(matches!(
+            load_instance(&path),
+            Err(IoError::Instance { .. })
+        ));
         std::fs::remove_file(&path).ok();
     }
 }

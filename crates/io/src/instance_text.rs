@@ -15,7 +15,11 @@ pub struct InstanceParseError {
 
 impl fmt::Display for InstanceParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "instance parse error on line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "instance parse error on line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -68,9 +72,11 @@ pub fn parse_instance(text: &str) -> Result<Instance, InstanceParseError> {
             continue;
         }
         if let Some(declaration) = line.strip_prefix("@relation") {
-            let (name, arity) = parse_declaration(declaration).map_err(|message| {
-                InstanceParseError { line: line_number, message }
-            })?;
+            let (name, arity) =
+                parse_declaration(declaration).map_err(|message| InstanceParseError {
+                    line: line_number,
+                    message,
+                })?;
             instance.declare_relation(RelName::new(&name), arity);
             continue;
         }
@@ -152,7 +158,9 @@ mod tests {
                 vec![path_of(&["q0"]), path_of(&["a"]), path_of(&["q1"])],
             ))
             .unwrap();
-        instance.insert_fact(Fact::new(rel("Flag"), vec![])).unwrap();
+        instance
+            .insert_fact(Fact::new(rel("Flag"), vec![]))
+            .unwrap();
         let back = roundtrip(&instance);
         assert!(back.nullary_true(rel("Flag")));
         assert!(back.contains_fact(&Fact::new(
@@ -163,10 +171,8 @@ mod tests {
 
     #[test]
     fn packed_values_round_trip() {
-        let packed = Path::from_values([
-            Value::Atom(atom("c")),
-            Value::Packed(path_of(&["a", "b"])),
-        ]);
+        let packed =
+            Path::from_values([Value::Atom(atom("c")), Value::Packed(path_of(&["a", "b"]))]);
         let instance = Instance::unary(rel("R"), [packed.clone()]);
         let back = roundtrip(&instance);
         assert!(back.unary_paths(rel("R")).contains(&packed));
@@ -179,7 +185,10 @@ mod tests {
             [path_of(&["receive-payment", "2020", "has space", "eps"])],
         );
         let back = roundtrip(&instance);
-        assert_eq!(back.unary_paths(rel("Log")), instance.unary_paths(rel("Log")));
+        assert_eq!(
+            back.unary_paths(rel("Log")),
+            instance.unary_paths(rel("Log"))
+        );
     }
 
     #[test]
@@ -187,7 +196,9 @@ mod tests {
         let mut instance = Instance::new();
         instance.declare_relation(rel("Empty"), 2);
         instance.declare_relation(rel("R"), 1);
-        instance.insert_fact(Fact::new(rel("R"), vec![path_of(&["a"])])).unwrap();
+        instance
+            .insert_fact(Fact::new(rel("R"), vec![path_of(&["a"])]))
+            .unwrap();
         let back = roundtrip(&instance);
         assert!(back.relation(rel("Empty")).is_some());
         assert_eq!(back.relation(rel("Empty")).unwrap().arity(), 2);
@@ -228,9 +239,12 @@ mod tests {
         let mut a = Instance::new();
         a.declare_relation(rel("B"), 1);
         a.declare_relation(rel("A"), 1);
-        a.insert_fact(Fact::new(rel("B"), vec![path_of(&["z"])])).unwrap();
-        a.insert_fact(Fact::new(rel("A"), vec![path_of(&["y"])])).unwrap();
-        a.insert_fact(Fact::new(rel("A"), vec![path_of(&["x"])])).unwrap();
+        a.insert_fact(Fact::new(rel("B"), vec![path_of(&["z"])]))
+            .unwrap();
+        a.insert_fact(Fact::new(rel("A"), vec![path_of(&["y"])]))
+            .unwrap();
+        a.insert_fact(Fact::new(rel("A"), vec![path_of(&["x"])]))
+            .unwrap();
         let first = write_instance(&a);
         let second = write_instance(&parse_instance(&first).unwrap());
         assert_eq!(first, second, "writing is idempotent after one round trip");

@@ -17,8 +17,8 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
-pub mod instance_text;
 pub mod files;
+pub mod instance_text;
 
 pub use files::{load_instance, load_program, save_instance, IoError};
 pub use instance_text::{parse_instance, write_instance, InstanceParseError};

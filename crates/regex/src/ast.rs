@@ -76,10 +76,7 @@ impl Regex {
 
     /// The expression `%* · self · %*`: does a word *contain* a match of `self`?
     pub fn contains(self) -> Regex {
-        Regex::AnyAtom
-            .star()
-            .then(self)
-            .then(Regex::AnyAtom.star())
+        Regex::AnyAtom.star().then(self).then(Regex::AnyAtom.star())
     }
 
     /// The exact word `w` as an expression (concatenation of its atoms).
@@ -176,9 +173,7 @@ impl Regex {
                 _ => false,
             },
             Regex::Concat(parts) => Self::match_seq(parts, word, from, continuation),
-            Regex::Alt(parts) => parts
-                .iter()
-                .any(|p| p.match_at(word, from, continuation)),
+            Regex::Alt(parts) => parts.iter().any(|p| p.match_at(word, from, continuation)),
             Regex::Optional(inner) => {
                 continuation(from) || inner.match_at(word, from, continuation)
             }
@@ -381,7 +376,9 @@ mod tests {
 
     #[test]
     fn alphabet_collects_mentioned_atoms() {
-        let r = Regex::atom("a").then(Regex::atom("b").or(Regex::atom("a"))).star();
+        let r = Regex::atom("a")
+            .then(Regex::atom("b").or(Regex::atom("a")))
+            .star();
         let names: Vec<String> = r.alphabet().iter().map(|a| a.name().to_string()).collect();
         assert_eq!(names, vec!["a".to_string(), "b".to_string()]);
     }

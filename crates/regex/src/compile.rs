@@ -261,7 +261,10 @@ mod tests {
         assert!(compiled.program.idb_relations().contains(&rel("Walk")));
         let input = Instance::unary(
             rel("Log"),
-            [p(&["start", "order", "ship", "pay"]), p(&["start", "order"])],
+            [
+                p(&["start", "order", "ship", "pay"]),
+                p(&["start", "order"]),
+            ],
         );
         let got = run_unary_query(&compiled.program, &input, rel("Compliant")).unwrap();
         assert_eq!(got.len(), 1);
@@ -270,14 +273,7 @@ mod tests {
 
     #[test]
     fn compiled_program_agrees_with_the_matcher_and_the_nfa() {
-        let regexes = [
-            "a (b|c)*",
-            "(a|b)+ c?",
-            "% a %",
-            "a b a",
-            "a*",
-            "eps",
-        ];
+        let regexes = ["a (b|c)*", "(a|b)+ c?", "% a %", "a b a", "a*", "eps"];
         // All words over {a, b, c} of length <= 4.
         let alphabet = ["a", "b", "c"];
         let mut words = vec![Path::empty()];
@@ -301,7 +297,11 @@ mod tests {
             let got = run(&compiled, words.clone());
             for word in &words {
                 let expected = regex.matches(word);
-                assert_eq!(nfa.accepts(word), expected, "NFA disagrees on {word} for `{src}`");
+                assert_eq!(
+                    nfa.accepts(word),
+                    expected,
+                    "NFA disagrees on {word} for `{src}`"
+                );
                 assert_eq!(
                     got.contains(word),
                     expected,
@@ -318,7 +318,12 @@ mod tests {
         let compiled = compile_match(&regex, &CompileOptions::default());
         let got = run(
             &compiled,
-            vec![p(&["q0"]), p(&["q0", "q1", "q1"]), p(&["q1"]), repeat_path("q0", 2)],
+            vec![
+                p(&["q0"]),
+                p(&["q0", "q1", "q1"]),
+                p(&["q1"]),
+                repeat_path("q0", 2),
+            ],
         );
         assert!(got.contains(&p(&["q0"])));
         assert!(got.contains(&p(&["q0", "q1", "q1"])));

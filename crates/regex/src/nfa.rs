@@ -102,7 +102,11 @@ impl Nfa {
                 }
                 let mut from = start;
                 for (i, part) in parts.iter().enumerate() {
-                    let to = if i + 1 == parts.len() { end } else { self.add_state() };
+                    let to = if i + 1 == parts.len() {
+                        end
+                    } else {
+                        self.add_state()
+                    };
                     self.build(part, from, to);
                     from = to;
                 }
@@ -272,7 +276,10 @@ mod tests {
         let regexes = vec![
             Regex::atom("a").then(Regex::atom("b").or(Regex::atom("c")).star()),
             Regex::atom("a").plus().then(Regex::atom("b").optional()),
-            Regex::atom("a").or(Regex::atom("b")).star().then(Regex::atom("c")),
+            Regex::atom("a")
+                .or(Regex::atom("b"))
+                .star()
+                .then(Regex::atom("c")),
             Regex::atom("a").optional().star(),
             Regex::literal(&p(&["a", "b", "a"])).contains(),
         ];

@@ -27,7 +27,11 @@ pub struct RegexParseError {
 
 impl fmt::Display for RegexParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "regex parse error at byte {}: {}", self.position, self.message)
+        write!(
+            f,
+            "regex parse error at byte {}: {}",
+            self.position, self.message
+        )
     }
 }
 
@@ -250,13 +254,21 @@ mod tests {
     fn long_atom_names_parse() {
         let r = parse_regex("complete_order receive-payment*").unwrap();
         assert!(r.matches(&p(&["complete_order"])));
-        assert!(r.matches(&p(&["complete_order", "receive-payment", "receive-payment"])));
+        assert!(r.matches(&p(&[
+            "complete_order",
+            "receive-payment",
+            "receive-payment"
+        ])));
     }
 
     #[test]
     fn errors_carry_positions() {
         let err = parse_regex("a )").unwrap_err();
-        assert!(err.position >= 2, "position {} should point at ')'", err.position);
+        assert!(
+            err.position >= 2,
+            "position {} should point at ')'",
+            err.position
+        );
         assert!(parse_regex("(a").is_err());
         assert!(parse_regex("a | | b").is_err() || parse_regex("a | | b").is_ok());
         assert!(parse_regex("*").is_err());

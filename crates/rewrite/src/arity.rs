@@ -154,7 +154,10 @@ mod tests {
             let original = run_unary_query(&program, &input, rel("S")).unwrap();
             let new = run_unary_query(&rewritten, &input, rel("S")).unwrap();
             assert_eq!(original, expected);
-            assert_eq!(new, expected, "rewritten program diverges on {input_paths:?}");
+            assert_eq!(
+                new, expected,
+                "rewritten program diverges on {input_paths:?}"
+            );
         }
     }
 
@@ -192,10 +195,8 @@ mod tests {
 
     #[test]
     fn negated_idb_predicates_are_also_encoded() {
-        let program = parse_program(
-            "T($x, $x) <- R($x).\n---\nS($x) <- R($x), !T($x, $x·a).",
-        )
-        .unwrap();
+        let program =
+            parse_program("T($x, $x) <- R($x).\n---\nS($x) <- R($x), !T($x, $x·a).").unwrap();
         let rewritten = eliminate_arity(&program).unwrap();
         assert!(!FeatureSet::of_program(&rewritten).arity);
         // R(a·a) is in T as (a·a, a·a) but not as (a·a, a·a·a): S contains a·a.

@@ -10,11 +10,11 @@
 //!   some equation *does* hold; the original stratum then negates those relations.
 
 use crate::error::RewriteError;
+use seqdl_core::RelName;
 use seqdl_syntax::{
     analysis::limited_vars, Atom, Equation, Literal, PathExpr, Predicate, Program, Rule, Stratum,
     Var,
 };
-use seqdl_core::RelName;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Eliminate all **positive** equations from the program by introducing auxiliary
@@ -109,8 +109,12 @@ fn try_split(rule: &Rule, equations: &[Equation], require_safe_rest: bool) -> Op
             })
             .cloned()
             .collect();
-        let negative_body: Vec<Literal> =
-            rule.body.iter().filter(|lit| !lit.positive).cloned().collect();
+        let negative_body: Vec<Literal> = rule
+            .body
+            .iter()
+            .filter(|lit| !lit.positive)
+            .cloned()
+            .collect();
         let defining_rule = Rule::new(rule.head.clone(), defining_body.clone());
         let limited = limited_vars(&defining_rule);
         if require_safe_rest {
@@ -312,17 +316,21 @@ mod tests {
         assert!(!FeatureSet::of_program(&rewritten).equations);
         let input = Instance::unary(rel("R"), [path_of(&["c"])]);
         let expected: BTreeSet<Path> = [path_of(&["b", "c", "a"])].into();
-        assert_eq!(run_unary_query(&program, &input, rel("S")).unwrap(), expected);
-        assert_eq!(run_unary_query(&rewritten, &input, rel("S")).unwrap(), expected);
+        assert_eq!(
+            run_unary_query(&program, &input, rel("S")).unwrap(),
+            expected
+        );
+        assert_eq!(
+            run_unary_query(&rewritten, &input, rel("S")).unwrap(),
+            expected
+        );
     }
 
     #[test]
     fn positive_elimination_in_recursive_strata_keeps_stratification() {
         // A recursive rule with a positive equation.
-        let program = parse_program(
-            "T($x) <- R($x).\nT($y) <- T($x), $x = a·$y.\nS($x) <- T($x).",
-        )
-        .unwrap();
+        let program =
+            parse_program("T($x) <- R($x).\nT($y) <- T($x), $x = a·$y.\nS($x) <- T($x).").unwrap();
         let rewritten = eliminate_positive_equations(&program).unwrap();
         assert!(!FeatureSet::of_program(&rewritten).equations);
         assert!(check_stratification(&rewritten).is_ok());

@@ -75,10 +75,16 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = RewriteError::RequiresNonRecursive { rewrite: "packing elimination" };
+        let e = RewriteError::RequiresNonRecursive {
+            rewrite: "packing elimination",
+        };
         assert!(e.to_string().contains("non-recursive"));
-        let e = RewriteError::NonMonadicEdb { relation: "D".into() };
+        let e = RewriteError::NonMonadicEdb {
+            relation: "D".into(),
+        };
         assert!(e.to_string().contains('D'));
-        assert!(RewriteError::UnsupportedRecursivePacking.to_string().contains("J-Logic"));
+        assert!(RewriteError::UnsupportedRecursivePacking
+            .to_string()
+            .contains("J-Logic"));
     }
 }

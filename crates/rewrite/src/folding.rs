@@ -138,10 +138,7 @@ mod tests {
     #[test]
     fn two_stage_pipeline_folds_to_a_single_relation() {
         // T holds suffixes after stripping a leading a; S strips a leading b from T.
-        let program = parse_program(
-            "T($y) <- R(a·$y).\nS($z) <- T(b·$z).",
-        )
-        .unwrap();
+        let program = parse_program("T($y) <- R(a·$y).\nS($z) <- T(b·$z).").unwrap();
         let folded = fold_intermediate_predicates(&program, rel("S")).unwrap();
         assert!(!calls_intermediate(&folded, rel("S")), "{folded}");
         assert_eq!(folded.idb_relations(), BTreeSet::from([rel("S")]));
@@ -162,10 +159,8 @@ mod tests {
 
     #[test]
     fn multiple_defining_rules_produce_one_folded_rule_each() {
-        let program = parse_program(
-            "T($x) <- R($x·a).\nT($x) <- R(b·$x).\nS($x·$x) <- T($x).",
-        )
-        .unwrap();
+        let program =
+            parse_program("T($x) <- R($x·a).\nT($x) <- R(b·$x).\nS($x·$x) <- T($x).").unwrap();
         let folded = fold_intermediate_predicates(&program, rel("S")).unwrap();
         assert_eq!(folded.idb_relations(), BTreeSet::from([rel("S")]));
         assert_eq!(folded.rule_count(), 2);
@@ -182,10 +177,7 @@ mod tests {
     #[test]
     fn multiple_calls_in_one_body_are_folded() {
         // S contains concatenations of two T-paths.
-        let program = parse_program(
-            "T($x) <- R(a·$x).\nS($x·$y) <- T($x), T($y).",
-        )
-        .unwrap();
+        let program = parse_program("T($x) <- R(a·$x).\nS($x·$y) <- T($x), T($y).").unwrap();
         let folded = fold_intermediate_predicates(&program, rel("S")).unwrap();
         assert_eq!(folded.idb_relations(), BTreeSet::from([rel("S")]));
         let input = Instance::unary(rel("R"), [path_of(&["a", "p"]), path_of(&["a", "q"])]);
@@ -206,8 +198,14 @@ mod tests {
         assert_eq!(folded.idb_relations(), BTreeSet::from([rel("S")]));
         let input = Instance::unary(rel("R"), [repeat_path("a", 2)]);
         let expected: BTreeSet<Path> = [path_of(&["a", "a", "a", "a", "c"])].into();
-        assert_eq!(run_unary_query(&folded, &input, rel("S")).unwrap(), expected);
-        assert_eq!(run_unary_query(&program, &input, rel("S")).unwrap(), expected);
+        assert_eq!(
+            run_unary_query(&folded, &input, rel("S")).unwrap(),
+            expected
+        );
+        assert_eq!(
+            run_unary_query(&program, &input, rel("S")).unwrap(),
+            expected
+        );
     }
 
     #[test]
@@ -224,7 +222,8 @@ mod tests {
 
     #[test]
     fn recursion_and_negation_are_rejected() {
-        let recursive = parse_program("T($x·a) <- T($x).\nT($x) <- R($x).\nS($x) <- T($x).").unwrap();
+        let recursive =
+            parse_program("T($x·a) <- T($x).\nT($x) <- R($x).\nS($x) <- T($x).").unwrap();
         assert!(matches!(
             fold_intermediate_predicates(&recursive, rel("S")),
             Err(RewriteError::RequiresNonRecursive { .. })

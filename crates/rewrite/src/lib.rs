@@ -31,7 +31,9 @@ pub mod normal_form;
 pub mod packing;
 
 pub use arity::{eliminate_arity, encode_pair};
-pub use equations::{eliminate_equations, eliminate_negated_equations, eliminate_positive_equations};
+pub use equations::{
+    eliminate_equations, eliminate_negated_equations, eliminate_positive_equations,
+};
 pub use error::RewriteError;
 pub use folding::fold_intermediate_predicates;
 pub use normal_form::{classify_rule, to_normal_form, NormalForm};

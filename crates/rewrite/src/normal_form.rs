@@ -12,10 +12,10 @@
 //! 6. `R(p) ← .` — constant relation.
 
 use crate::error::RewriteError;
+use seqdl_core::RelName;
 use seqdl_syntax::{
     Atom, FeatureSet, Literal, PathExpr, Predicate, Program, Rule, Stratum, Term, Var, VarKind,
 };
-use seqdl_core::RelName;
 use std::collections::BTreeMap;
 
 /// The six normal-form shapes of Lemma 7.2.
@@ -45,8 +45,7 @@ pub fn classify_rule(rule: &Rule) -> Option<NormalForm> {
         .map(|a| single_var(a))
         .collect::<Option<Vec<_>>>()
         .unwrap_or_default();
-    let head_all_vars =
-        rule.head.args.len() == head_vars.len() && all_distinct(&head_vars);
+    let head_all_vars = rule.head.args.len() == head_vars.len() && all_distinct(&head_vars);
     let head_all_path_vars = head_all_vars && head_vars.iter().all(Var::is_path_var);
     let positives = rule.positive_body_predicates();
     let negatives = rule.negative_body_predicates();
@@ -221,9 +220,7 @@ fn normalise_rule(rule: &Rule) -> Vec<Rule> {
             atom_to_path.insert(v, Var::fresh_path(&format!("nf_{}", v.name)));
         }
     }
-    let to_main_expr = |v: Var| -> PathExpr {
-        PathExpr::var(*atom_to_path.get(&v).unwrap_or(&v))
-    };
+    let to_main_expr = |v: Var| -> PathExpr { PathExpr::var(*atom_to_path.get(&v).unwrap_or(&v)) };
 
     let mut positive_atoms: Vec<Predicate> = Vec::new();
     let mut negated_literals: Vec<Predicate> = Vec::new();
@@ -237,7 +234,10 @@ fn normalise_rule(rule: &Rule) -> Vec<Rule> {
             if vars.is_empty() {
                 // A variable-free atom: H' ← P(e…) (form 1) and H(a) ← H' (form 2).
                 let h_prime = RelName::fresh("NfH0");
-                out.push(Rule::new(Predicate::nullary(h_prime), vec![Literal::pred(p.clone())]));
+                out.push(Rule::new(
+                    Predicate::nullary(h_prime),
+                    vec![Literal::pred(p.clone())],
+                ));
                 out.push(Rule::new(
                     Predicate::new(h_rel, vec![PathExpr::constant("a")]),
                     vec![Literal::pred(Predicate::nullary(h_prime))],
@@ -265,7 +265,10 @@ fn normalise_rule(rule: &Rule) -> Vec<Rule> {
     // Step 1.2: if there is no positive atom, introduce a constant relation.
     if positive_atoms.is_empty() {
         let c_rel = RelName::fresh("NfConst");
-        out.push(Rule::fact(Predicate::new(c_rel, vec![PathExpr::constant("a")])));
+        out.push(Rule::fact(Predicate::new(
+            c_rel,
+            vec![PathExpr::constant("a")],
+        )));
         let fresh = Var::fresh_path("nf_v");
         positive_atoms.push(Predicate::new(c_rel, vec![PathExpr::var(fresh)]));
     }
@@ -355,7 +358,10 @@ fn normalise_rule(rule: &Rule) -> Vec<Rule> {
         // Form 4: FN(vars, values) ← Nm(vars, values), ¬N(values).
         let fn_rel = RelName::fresh("NfF");
         out.push(Rule::new(
-            Predicate::new(fn_rel, chain_vars.iter().map(|v| PathExpr::var(*v)).collect()),
+            Predicate::new(
+                fn_rel,
+                chain_vars.iter().map(|v| PathExpr::var(*v)).collect(),
+            ),
             vec![
                 Literal::pred(Predicate::new(
                     chain_rel,
@@ -436,10 +442,19 @@ mod tests {
     #[test]
     fn classify_recognises_all_six_forms() {
         let cases = [
-            ("H($y, $z, @u) <- P1($y·$y, $z·a, @u·d).", NormalForm::Extraction),
+            (
+                "H($y, $z, @u) <- P1($y·$y, $z·a, @u·d).",
+                NormalForm::Extraction,
+            ),
             ("N1($y, $z, $x·$y) <- H($y, $z).", NormalForm::AddColumn),
-            ("H($y, $z, $u, $x) <- H1($y, $z, $u), H2($z, $x).", NormalForm::Join),
-            ("F($y, $z, $n) <- N1($y, $z, $n), !N($n).", NormalForm::Antijoin),
+            (
+                "H($y, $z, $u, $x) <- H1($y, $z, $u), H2($z, $x).",
+                NormalForm::Join,
+            ),
+            (
+                "F($y, $z, $n) <- N1($y, $z, $n), !N($n).",
+                NormalForm::Antijoin,
+            ),
             ("HN($y, $z) <- F($y, $z, $n).", NormalForm::Projection),
             ("T(a·b·c).", NormalForm::Constant),
         ];
@@ -452,10 +467,10 @@ mod tests {
     #[test]
     fn classify_rejects_non_normal_rules() {
         let not_normal = [
-            "S($x) <- R($x), Q($x), P($x).",          // three-way join
-            "S($x·a) <- R($x), Q($x).",               // join with computed head
-            "S($x) <- R($x), a·$x = $x·a.",           // equation
-            "S($x·a) <- R($x).",                      // computed head over a single atom (not distinct variables)
+            "S($x) <- R($x), Q($x), P($x).", // three-way join
+            "S($x·a) <- R($x), Q($x).",      // join with computed head
+            "S($x) <- R($x), a·$x = $x·a.",  // equation
+            "S($x·a) <- R($x).", // computed head over a single atom (not distinct variables)
         ];
         for src in not_normal {
             let rule = parse_rule(src).unwrap();
@@ -498,7 +513,11 @@ mod tests {
             "S",
             vec![Instance::unary(
                 rel("R"),
-                [path_of(&["a", "z", "b"]), path_of(&["a", "b"]), path_of(&["z"])],
+                [
+                    path_of(&["a", "z", "b"]),
+                    path_of(&["a", "b"]),
+                    path_of(&["z"]),
+                ],
             )],
         );
     }
@@ -515,12 +534,10 @@ mod tests {
     #[test]
     fn negation_normalises_into_antijoin_chains() {
         let mut input = Instance::unary(rel("R"), [path_of(&["a", "b"]), path_of(&["c", "d"])]);
-        input.insert_fact(Fact::new(rel("B"), vec![path_of(&["b"])])).unwrap();
-        assert_normalised_equivalent(
-            "S(@x) <- R(@x·@y), !B(@y).",
-            "S",
-            vec![input],
-        );
+        input
+            .insert_fact(Fact::new(rel("B"), vec![path_of(&["b"])]))
+            .unwrap();
+        assert_normalised_equivalent("S(@x) <- R(@x·@y), !B(@y).", "S", vec![input]);
     }
 
     #[test]
@@ -531,7 +548,9 @@ mod tests {
                 .insert_fact(Fact::new(rel("R"), vec![path_of(&[a, b])]))
                 .unwrap();
         }
-        input.insert_fact(Fact::new(rel("B"), vec![path_of(&["n2"])])).unwrap();
+        input
+            .insert_fact(Fact::new(rel("B"), vec![path_of(&["n2"])]))
+            .unwrap();
         assert_normalised_equivalent(
             "W(@x) <- R(@x·@y), !B(@y).\n---\nS(@x) <- R(@x·@y), !W(@x).",
             "S",
@@ -554,7 +573,11 @@ mod tests {
         input
             .insert_fact(Fact::new(
                 rel("P1"),
-                vec![path_of(&["y", "y"]), path_of(&["z", "a"]), path_of(&["u", "d"])],
+                vec![
+                    path_of(&["y", "y"]),
+                    path_of(&["z", "a"]),
+                    path_of(&["u", "d"]),
+                ],
             ))
             .unwrap();
         input

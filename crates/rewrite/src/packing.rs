@@ -490,7 +490,10 @@ pub fn eliminate_packing_nonrecursive(
             let x = Var::fresh_path("out");
             final_stratum.push(Rule::new(
                 Predicate::new(output, vec![PathExpr::var(x)]),
-                vec![Literal::pred(Predicate::new(*flat_rel, vec![PathExpr::var(x)]))],
+                vec![Literal::pred(Predicate::new(
+                    *flat_rel,
+                    vec![PathExpr::var(x)],
+                ))],
             ));
         }
     }
@@ -524,7 +527,9 @@ fn rewrite_positive_calls(
     let arg = pred.args.first().cloned().unwrap_or_else(PathExpr::empty);
     let mut out = Vec::new();
     for (ps, fresh_rel) in &specialisations[&pred.relation] {
-        let fresh_vars: Vec<Var> = (0..ps.star_count()).map(|_| Var::fresh_path("ps")).collect();
+        let fresh_vars: Vec<Var> = (0..ps.star_count())
+            .map(|_| Var::fresh_path("ps"))
+            .collect();
         let components: Vec<PathExpr> = fresh_vars.iter().map(|v| PathExpr::var(*v)).collect();
         let e_prime = ps.assemble(&components).expect("component count matches");
         let mut body: Vec<Literal> = rule
@@ -582,9 +587,10 @@ fn split_rule_equations(rule: &Rule) -> Vec<Rule> {
     let rule = Rule::new(rule.head.clone(), body);
 
     // Then handle negated equations (disjunctive split, one rule per component).
-    let neq_ix = rule.body.iter().position(|lit| {
-        !lit.positive && lit.atom.as_equation().is_some_and(Equation::has_packing)
-    });
+    let neq_ix = rule
+        .body
+        .iter()
+        .position(|lit| !lit.positive && lit.atom.as_equation().is_some_and(Equation::has_packing));
     let Some(ix) = neq_ix else {
         return vec![rule];
     };
@@ -811,7 +817,11 @@ mod tests {
         let pure = pure_vars(&r2, &flat);
         assert!(!pure.contains(&Var::path("z")));
         for eq in r2.positive_body_equations() {
-            assert_eq!(classify_equation(eq, &pure), EquationPurity::HalfPure, "{eq}");
+            assert_eq!(
+                classify_equation(eq, &pure),
+                EquationPurity::HalfPure,
+                "{eq}"
+            );
         }
 
         // Third rule: ⟨$t⟩ = ⟨$z⟩ is fully impure.
@@ -862,8 +872,7 @@ mod tests {
         assert!(pos(rel("T")) < pos(rel("U")));
         assert!(pos(rel("U")) < pos(rel("S")));
 
-        let recursive =
-            seqdl_syntax::parse_program("T($x·a) <- T($x).\nT($x) <- R($x).").unwrap();
+        let recursive = seqdl_syntax::parse_program("T($x·a) <- T($x).\nT($x) <- R($x).").unwrap();
         assert!(split_into_single_idb_strata(&recursive).is_err());
     }
 
@@ -895,9 +904,18 @@ mod tests {
         // (1 projection rule for T plus 3×3×3 nonequality combinations for A).
         assert_eq!(rewritten.rule_count(), 28);
         let cases: Vec<(Instance, bool)> = vec![
-            (three_occurrence_instance(&["a", "b", "x", "a", "b", "y", "a", "b"], &["a", "b"]), true),
-            (three_occurrence_instance(&["a", "b", "x", "a", "b"], &["a", "b"]), false),
-            (three_occurrence_instance(&["a", "a", "a", "a"], &["a"]), true),
+            (
+                three_occurrence_instance(&["a", "b", "x", "a", "b", "y", "a", "b"], &["a", "b"]),
+                true,
+            ),
+            (
+                three_occurrence_instance(&["a", "b", "x", "a", "b"], &["a", "b"]),
+                false,
+            ),
+            (
+                three_occurrence_instance(&["a", "a", "a", "a"], &["a"]),
+                true,
+            ),
             (three_occurrence_instance(&["a", "a"], &["a"]), false),
         ];
         for (input, expected) in cases {
@@ -911,10 +929,9 @@ mod tests {
     #[test]
     fn unary_packing_query_is_preserved() {
         // S returns the strings whose packed version appears in the intermediate T.
-        let program = seqdl_syntax::parse_program(
-            "T(<$x>·$x) <- R($x).\nS($y) <- T(<$y>·$y), Q($y).",
-        )
-        .unwrap();
+        let program =
+            seqdl_syntax::parse_program("T(<$x>·$x) <- R($x).\nS($y) <- T(<$y>·$y), Q($y).")
+                .unwrap();
         let rewritten = eliminate_packing_nonrecursive(&program, rel("S")).unwrap();
         assert!(!FeatureSet::of_program(&rewritten).packing, "{rewritten}");
         let mut input = Instance::unary(rel("R"), [path_of(&["a", "b"]), path_of(&["c"])]);
@@ -934,17 +951,24 @@ mod tests {
     #[test]
     fn negated_packed_calls_are_specialised() {
         // S holds the R-strings whose packed version is NOT in T.
-        let program = seqdl_syntax::parse_program(
-            "T(<$x>) <- Q($x).\n---\nS($y) <- R($y), !T(<$y>).",
-        )
-        .unwrap();
+        let program =
+            seqdl_syntax::parse_program("T(<$x>) <- Q($x).\n---\nS($y) <- R($y), !T(<$y>).")
+                .unwrap();
         let rewritten = eliminate_packing_nonrecursive(&program, rel("S")).unwrap();
         assert!(!FeatureSet::of_program(&rewritten).packing, "{rewritten}");
         let mut input = Instance::unary(rel("R"), [path_of(&["a"]), path_of(&["b"])]);
-        input.insert_fact(Fact::new(rel("Q"), vec![path_of(&["a"])])).unwrap();
+        input
+            .insert_fact(Fact::new(rel("Q"), vec![path_of(&["a"])]))
+            .unwrap();
         let expected: BTreeSet<Path> = [path_of(&["b"])].into();
-        assert_eq!(run_unary_query(&program, &input, rel("S")).unwrap(), expected);
-        assert_eq!(run_unary_query(&rewritten, &input, rel("S")).unwrap(), expected);
+        assert_eq!(
+            run_unary_query(&program, &input, rel("S")).unwrap(),
+            expected
+        );
+        assert_eq!(
+            run_unary_query(&rewritten, &input, rel("S")).unwrap(),
+            expected
+        );
     }
 
     #[test]
@@ -984,7 +1008,9 @@ mod tests {
         );
         // Feed the doubled relation into the undoubling program.
         let input2 = Instance::unary(rel("Rd"), doubled_paths);
-        let undoubled = seqdl_engine::Engine::new().run(&undoubling, &input2).unwrap();
+        let undoubled = seqdl_engine::Engine::new()
+            .run(&undoubling, &input2)
+            .unwrap();
         assert_eq!(
             undoubled.unary_paths(rel("Rback")),
             paths.into_iter().collect::<BTreeSet<_>>()

@@ -31,13 +31,13 @@ impl FeatureSet {
     pub fn of_program(program: &Program) -> FeatureSet {
         let arity = program.rules().any(|r| {
             r.head.arity() > 1
-                || r.body.iter().any(|l| {
-                    l.atom
-                        .as_predicate()
-                        .is_some_and(|p| p.arity() > 1)
-                })
+                || r.body
+                    .iter()
+                    .any(|l| l.atom.as_predicate().is_some_and(|p| p.arity() > 1))
         });
-        let equations = program.rules().any(|r| r.body.iter().any(|l| l.is_equation()));
+        let equations = program
+            .rules()
+            .any(|r| r.body.iter().any(|l| l.is_equation()));
         let negation = program.rules().any(|r| r.body.iter().any(|l| !l.positive));
         let packing = program.rules().any(Rule::has_packing);
         let intermediate = program.idb_relations().len() >= 2;
@@ -294,10 +294,9 @@ mod tests {
 
     #[test]
     fn features_of_example_3_1_recursive_variant() {
-        let p = parse_program(
-            "T($x, $x) <- R($x).\nT($x, $y) <- T($x, $y·a).\nS($x) <- T($x, eps).",
-        )
-        .unwrap();
+        let p =
+            parse_program("T($x, $x) <- R($x).\nT($x, $y) <- T($x, $y·a).\nS($x) <- T($x, eps).")
+                .unwrap();
         let f = FeatureSet::of_program(&p);
         assert_eq!(f.letters(), "AIR");
         assert!(f.arity && f.intermediate && f.recursion);
@@ -411,8 +410,7 @@ mod tests {
     fn semipositivity_distinguishes_edb_and_idb_negation() {
         let semi = parse_program("S($x) <- R($x), !B($x).").unwrap();
         assert!(is_semipositive(&semi));
-        let not_semi =
-            parse_program("T($x) <- R($x).\n---\nS($x) <- R($x), !T($x).").unwrap();
+        let not_semi = parse_program("T($x) <- R($x).\n---\nS($x) <- R($x), !T($x).").unwrap();
         assert!(!is_semipositive(&not_semi));
         // Negated equations do not affect semipositivity.
         let with_neq = parse_program("S(@x) <- R(@x·@y), @x != @y.").unwrap();
@@ -421,10 +419,7 @@ mod tests {
 
     #[test]
     fn program_info_bundles_the_analyses() {
-        let p = parse_program(
-            "T($x) <- R($x).\n---\nS($x) <- T($x), !B($x).",
-        )
-        .unwrap();
+        let p = parse_program("T($x) <- R($x).\n---\nS($x) <- T($x), !B($x).").unwrap();
         let info = ProgramInfo::analyse(&p).unwrap();
         assert_eq!(info.idb, BTreeSet::from([rel("S"), rel("T")]));
         assert_eq!(info.edb, BTreeSet::from([rel("B"), rel("R")]));

@@ -389,10 +389,8 @@ impl Rule {
 
     /// Rename variables throughout the rule.
     pub fn rename_vars(&self, map: &BTreeMap<Var, Var>) -> Rule {
-        let subst: BTreeMap<Var, PathExpr> = map
-            .iter()
-            .map(|(k, v)| (*k, PathExpr::var(*v)))
-            .collect();
+        let subst: BTreeMap<Var, PathExpr> =
+            map.iter().map(|(k, v)| (*k, PathExpr::var(*v))).collect();
         self.substitute(&subst)
     }
 
@@ -452,11 +450,7 @@ impl Stratum {
     pub fn negated_relations(&self) -> BTreeSet<RelName> {
         self.rules
             .iter()
-            .flat_map(|r| {
-                r.negative_body_predicates()
-                    .into_iter()
-                    .map(|p| p.relation)
-            })
+            .flat_map(|r| r.negative_body_predicates().into_iter().map(|p| p.relation))
             .collect()
     }
 }
@@ -631,10 +625,7 @@ mod tests {
 
     #[test]
     fn rule_display_matches_concrete_syntax() {
-        assert_eq!(
-            only_as_rule().to_string(),
-            "S($x) <- R($x), a·$x = $x·a."
-        );
+        assert_eq!(only_as_rule().to_string(), "S($x) <- R($x), a·$x = $x·a.");
         let nullary = Rule::new(
             Predicate::nullary(rel("A")),
             vec![Literal::pred(Predicate::new(
@@ -654,10 +645,7 @@ mod tests {
             vec![PathExpr::var(Var::atom("y"))],
         ));
         assert_eq!(l.to_string(), "!B(@y)");
-        let ne = Literal::neq(
-            PathExpr::var(Var::atom("a")),
-            PathExpr::var(Var::atom("b")),
-        );
+        let ne = Literal::neq(PathExpr::var(Var::atom("a")), PathExpr::var(Var::atom("b")));
         assert_eq!(ne.to_string(), "@a != @b");
     }
 
@@ -695,7 +683,10 @@ mod tests {
             only_as_rule(),
             Rule::new(
                 Predicate::new(rel("S"), vec![PathExpr::var(x), PathExpr::var(x)]),
-                vec![Literal::pred(Predicate::new(rel("R"), vec![PathExpr::var(x)]))],
+                vec![Literal::pred(Predicate::new(
+                    rel("R"),
+                    vec![PathExpr::var(x)],
+                ))],
             ),
         ]);
         assert!(bad.relation_arities().is_err());

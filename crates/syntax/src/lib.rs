@@ -50,10 +50,7 @@ mod tests {
 
     #[test]
     fn public_api_smoke_test() {
-        let program = parse_program(
-            "S($x) <- R($x), a·$x = $x·a.",
-        )
-        .unwrap();
+        let program = parse_program("S($x) <- R($x), a·$x = $x·a.").unwrap();
         assert_eq!(program.rule_count(), 1);
         let features = FeatureSet::of_program(&program);
         assert!(features.equations);

@@ -285,7 +285,11 @@ fn lex(input: &str) -> Result<Vec<Spanned>, SyntaxError> {
                 }
                 let name: String = chars[start..i].iter().collect();
                 out.push(Spanned {
-                    tok: if name == "eps" { Tok::Eps } else { Tok::Ident(name) },
+                    tok: if name == "eps" {
+                        Tok::Eps
+                    } else {
+                        Tok::Ident(name)
+                    },
                     offset: off,
                 });
             }
@@ -463,9 +467,7 @@ impl Parser {
     fn predicate(&mut self) -> Result<Predicate, SyntaxError> {
         let name = match self.bump() {
             Some(Tok::Ident(name)) => name,
-            Some(other) => {
-                return self.error(format!("expected a relation name, found {other:?}"))
-            }
+            Some(other) => return self.error(format!("expected a relation name, found {other:?}")),
             None => return self.error("expected a relation name, found end of input"),
         };
         let relation = RelName::new(&name);
@@ -600,7 +602,10 @@ mod tests {
     #[test]
     fn parses_ascii_dot_concatenation() {
         let p = parse_program("S($x) <- R($x), a.$x = $x.a.").unwrap();
-        assert_eq!(p.rules().next().unwrap().to_string(), "S($x) <- R($x), a·$x = $x·a.");
+        assert_eq!(
+            p.rules().next().unwrap().to_string(),
+            "S($x) <- R($x), a·$x = $x·a."
+        );
     }
 
     #[test]

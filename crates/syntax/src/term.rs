@@ -320,10 +320,8 @@ impl PathExpr {
 
     /// Rename variables according to `map` (leaving others untouched).
     pub fn rename_vars(&self, map: &BTreeMap<Var, Var>) -> PathExpr {
-        let subst: BTreeMap<Var, PathExpr> = map
-            .iter()
-            .map(|(k, v)| (*k, PathExpr::var(*v)))
-            .collect();
+        let subst: BTreeMap<Var, PathExpr> =
+            map.iter().map(|(k, v)| (*k, PathExpr::var(*v))).collect();
         self.substitute(&subst)
     }
 
@@ -469,10 +467,7 @@ mod tests {
 
     #[test]
     fn packed_paths_round_trip_through_expressions() {
-        let p = Path::from_values([
-            Value::atom("c"),
-            Value::packed(path_of(&["a", "b"])),
-        ]);
+        let p = Path::from_values([Value::atom("c"), Value::packed(path_of(&["a", "b"]))]);
         let e = PathExpr::from_path(&p);
         assert!(e.has_packing());
         assert_eq!(e.as_path(), Some(p));

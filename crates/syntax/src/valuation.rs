@@ -184,11 +184,7 @@ mod tests {
         let mut nu = Valuation::new();
         nu.bind_path(x, path_of(&["b", "c"]));
         nu.bind_atom(q, atom("q0"));
-        let e = PathExpr::from_terms([
-            Term::Var(q),
-            Term::Var(x),
-            Term::constant("a"),
-        ]);
+        let e = PathExpr::from_terms([Term::Var(q), Term::Var(x), Term::constant("a")]);
         assert!(nu.is_appropriate_for(&e));
         assert_eq!(nu.apply(&e), Some(path_of(&["q0", "b", "c", "a"])));
     }

@@ -101,7 +101,11 @@ impl fmt::Display for TerminationReport {
             match &clique.guarantee {
                 Some(g) => writeln!(f, "  {{{}}}: {}", names.join(", "), g)?,
                 None => {
-                    writeln!(f, "  {{{}}}: no guarantee found; offending rules:", names.join(", "))?;
+                    writeln!(
+                        f,
+                        "  {{{}}}: no guarantee found; offending rules:",
+                        names.join(", ")
+                    )?;
                     for rule in &clique.offending_rules {
                         writeln!(f, "    {rule}")?;
                     }

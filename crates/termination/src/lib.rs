@@ -25,7 +25,9 @@
 pub mod analysis;
 pub mod measure;
 
-pub use analysis::{analyse, guaranteed_terminating, CliqueReport, Guarantee, TerminationReport, Verdict};
+pub use analysis::{
+    analyse, guaranteed_terminating, CliqueReport, Guarantee, TerminationReport, Verdict,
+};
 pub use measure::Measure;
 
 #[cfg(test)]

@@ -90,7 +90,10 @@ mod tests {
     #[test]
     fn constants_and_variables_are_counted_with_multiplicity() {
         let measure = m("a·$x·b·$x·@y");
-        assert_eq!(measure.bounded, 3, "a, b and the atomic variable @y are bounded");
+        assert_eq!(
+            measure.bounded, 3,
+            "a, b and the atomic variable @y are bounded"
+        );
         assert_eq!(measure.path_var_occurrences.len(), 1);
         assert_eq!(measure.total(), 5);
     }
@@ -125,7 +128,10 @@ mod tests {
         assert!(!m("$x·$x").le(&m("$x")));
         assert!(m("$x·$y").le(&m("$y·a·$x")));
         assert!(!m("$z").le(&m("$x·$y")));
-        assert!(m("a").le(&m("b")), "bounded occurrences are compared by count, not identity");
+        assert!(
+            m("a").le(&m("b")),
+            "bounded occurrences are compared by count, not identity"
+        );
     }
 
     #[test]

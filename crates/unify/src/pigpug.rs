@@ -47,7 +47,10 @@ impl fmt::Display for UnifyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             UnifyError::SearchLimit { nodes } => {
-                write!(f, "associative unification exceeded the search limit after {nodes} nodes")
+                write!(
+                    f,
+                    "associative unification exceeded the search limit after {nodes} nodes"
+                )
             }
             UnifyError::TooManyVariables { count } => write!(
                 f,
@@ -173,10 +176,8 @@ pub fn solve_allowing_empty(
             .filter(|(i, _)| mask & (1 << i) != 0)
             .map(|(_, v)| *v)
             .collect();
-        let empty_map: std::collections::BTreeMap<Var, PathExpr> = emptied
-            .iter()
-            .map(|v| (*v, PathExpr::empty()))
-            .collect();
+        let empty_map: std::collections::BTreeMap<Var, PathExpr> =
+            emptied.iter().map(|v| (*v, PathExpr::empty())).collect();
         let eq_y = Equation::new(eq.lhs.substitute(&empty_map), eq.rhs.substitute(&empty_map));
         let base = solve(&eq_y, options)?;
         for sol in base.solutions {
@@ -231,7 +232,8 @@ fn step(eq: &Equation, options: &SolveOptions) -> Result<StepResult, UnifyError>
         (Term::Var(x), Term::Var(y)) if x.is_path_var() && y.is_path_var() => {
             let mut children = Vec::new();
             // (a) x ↦ y·x : x denotes more than y.
-            let rho_a = Substitution::single(*x, single(Term::Var(*y)).concat(&single(Term::Var(*x))));
+            let rho_a =
+                Substitution::single(*x, single(Term::Var(*y)).concat(&single(Term::Var(*x))));
             children.push(child(
                 rho_a.clone(),
                 single(Term::Var(*x)).concat(&rho_a.apply(&rest_l)),
@@ -245,7 +247,8 @@ fn step(eq: &Equation, options: &SolveOptions) -> Result<StepResult, UnifyError>
                 rho_b.apply(&rest_r),
             ));
             // (c) y ↦ x·y : y denotes more than x.
-            let rho_c = Substitution::single(*y, single(Term::Var(*x)).concat(&single(Term::Var(*y))));
+            let rho_c =
+                Substitution::single(*y, single(Term::Var(*x)).concat(&single(Term::Var(*y))));
             children.push(child(
                 rho_c.clone(),
                 rho_c.apply(&rest_l),
@@ -256,7 +259,8 @@ fn step(eq: &Equation, options: &SolveOptions) -> Result<StepResult, UnifyError>
         // (d)-(e): path variable vs constant.
         (Term::Var(x), Term::Const(a)) if x.is_path_var() => {
             let mut children = Vec::new();
-            let rho_d = Substitution::single(*x, single(Term::Const(*a)).concat(&single(Term::Var(*x))));
+            let rho_d =
+                Substitution::single(*x, single(Term::Const(*a)).concat(&single(Term::Var(*x))));
             children.push(child(
                 rho_d.clone(),
                 single(Term::Var(*x)).concat(&rho_d.apply(&rest_l)),
@@ -273,7 +277,8 @@ fn step(eq: &Equation, options: &SolveOptions) -> Result<StepResult, UnifyError>
         // (f)-(g): constant vs path variable.
         (Term::Const(a), Term::Var(y)) if y.is_path_var() => {
             let mut children = Vec::new();
-            let rho_f = Substitution::single(*y, single(Term::Const(*a)).concat(&single(Term::Var(*y))));
+            let rho_f =
+                Substitution::single(*y, single(Term::Const(*a)).concat(&single(Term::Var(*y))));
             children.push(child(
                 rho_f.clone(),
                 rho_f.apply(&rest_l),
@@ -321,7 +326,8 @@ fn step(eq: &Equation, options: &SolveOptions) -> Result<StepResult, UnifyError>
         // (i): atomic variable vs path variable.
         (Term::Var(x), Term::Var(y)) if x.is_atom_var() && y.is_path_var() => {
             let mut children = Vec::new();
-            let rho1 = Substitution::single(*y, single(Term::Var(*x)).concat(&single(Term::Var(*y))));
+            let rho1 =
+                Substitution::single(*y, single(Term::Var(*x)).concat(&single(Term::Var(*y))));
             children.push(child(
                 rho1.clone(),
                 rho1.apply(&rest_l),
@@ -338,7 +344,8 @@ fn step(eq: &Equation, options: &SolveOptions) -> Result<StepResult, UnifyError>
         // (j): path variable vs atomic variable.
         (Term::Var(x), Term::Var(y)) if x.is_path_var() && y.is_atom_var() => {
             let mut children = Vec::new();
-            let rho1 = Substitution::single(*x, single(Term::Var(*y)).concat(&single(Term::Var(*x))));
+            let rho1 =
+                Substitution::single(*x, single(Term::Var(*y)).concat(&single(Term::Var(*x))));
             children.push(child(
                 rho1.clone(),
                 single(Term::Var(*x)).concat(&rho1.apply(&rest_l)),
@@ -566,7 +573,10 @@ mod tests {
 
     #[test]
     fn empty_word_closure_rejects_huge_variable_counts() {
-        let lhs: String = (0..17).map(|i| format!("$v{i}")).collect::<Vec<_>>().join("·");
+        let lhs: String = (0..17)
+            .map(|i| format!("$v{i}"))
+            .collect::<Vec<_>>()
+            .join("·");
         let equation = eq(&lhs, "a");
         assert!(matches!(
             solve_allowing_empty(&equation, &SolveOptions::default()),

@@ -185,12 +185,9 @@ mod tests {
 
     #[test]
     fn restriction_keeps_only_requested_vars() {
-        let s: Substitution = [
-            (Var::path("x"), e("a")),
-            (Var::path("y"), e("b")),
-        ]
-        .into_iter()
-        .collect();
+        let s: Substitution = [(Var::path("x"), e("a")), (Var::path("y"), e("b"))]
+            .into_iter()
+            .collect();
         let r = s.restricted_to(&[Var::path("x")]);
         assert_eq!(r.len(), 1);
         assert!(r.get(Var::path("y")).is_none());

@@ -49,9 +49,9 @@ impl Workloads {
     /// A random flat string over an alphabet of `alphabet` letters (`x0`, `x1`, …).
     pub fn random_string(&self, len: usize, alphabet: usize, salt: u64) -> Path {
         let mut rng = self.rng(salt);
-        Path::from_values((0..len).map(|_| {
-            Value::atom(&format!("x{}", rng.gen_range(0..alphabet.max(1))))
-        }))
+        Path::from_values(
+            (0..len).map(|_| Value::atom(&format!("x{}", rng.gen_range(0..alphabet.max(1))))),
+        )
     }
 
     /// A unary relation of `count` random strings of length up to `max_len`.
@@ -86,8 +86,11 @@ impl Workloads {
         let letter = |i: usize| path_of(&[format!("x{i}").as_str()]);
         inst.insert_fact(Fact::new(RelName::new("N"), vec![state(0)]))
             .expect("fresh instance");
-        inst.insert_fact(Fact::new(RelName::new("F"), vec![state(states.saturating_sub(1))]))
-            .expect("fresh instance");
+        inst.insert_fact(Fact::new(
+            RelName::new("F"),
+            vec![state(states.saturating_sub(1))],
+        ))
+        .expect("fresh instance");
         // Roughly two outgoing transitions per (state, letter) pair on average.
         for q in 0..states {
             for a in 0..alphabet {
@@ -267,10 +270,7 @@ mod tests {
         assert_eq!(log.unary_paths(rel("Log")).len(), 10);
         let sales = w.sales_instance(3, 2);
         assert_eq!(sales.unary_paths(rel("Sales")).len(), 6);
-        assert!(sales
-            .unary_paths(rel("Sales"))
-            .iter()
-            .all(|p| p.len() == 3));
+        assert!(sales.unary_paths(rel("Sales")).iter().all(|p| p.len() == 3));
     }
 
     #[test]

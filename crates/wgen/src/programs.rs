@@ -60,7 +60,8 @@ impl ProgramGenerator {
     /// defined by the last rule of the last stratum is a natural "output" relation
     /// for differential tests.
     pub fn random_nonrecursive_program(&self, salt: u64, config: &ProgramConfig) -> Program {
-        let mut rng = StdRng::seed_from_u64(self.seed.wrapping_mul(0x51_7C_C1_B7_27_22_0A_95) ^ salt);
+        let mut rng =
+            StdRng::seed_from_u64(self.seed.wrapping_mul(0x51_7C_C1_B7_27_22_0A_95) ^ salt);
         // Relations available to rule bodies: the EDB plus the heads of *earlier*
         // strata (never the current one, so the program is nonrecursive and
         // trivially stratified even with negation).
@@ -71,9 +72,14 @@ impl ProgramGenerator {
             let mut rules = Vec::new();
             let mut defined_here: Vec<(RelName, usize)> = Vec::new();
             for rule_index in 0..config.rules_per_stratum.max(1) {
-                let head_arity = if config.allow_arity && rng.gen_bool(0.4) { 2 } else { 1 };
+                let head_arity = if config.allow_arity && rng.gen_bool(0.4) {
+                    2
+                } else {
+                    1
+                };
                 let head_relation = RelName::new(&format!("S{stratum_index}_{rule_index}"));
-                let rule = self.random_rule(&mut rng, config, &available, head_relation, head_arity);
+                let rule =
+                    self.random_rule(&mut rng, config, &available, head_relation, head_arity);
                 defined_here.push((head_relation, head_arity));
                 rules.push(rule);
             }
@@ -92,7 +98,7 @@ impl ProgramGenerator {
         head_arity: usize,
     ) -> Rule {
         let mut next_var = 0usize;
-        let mut fresh = |next_var: &mut usize| {
+        let fresh = |next_var: &mut usize| {
             let v = Var::path(&format!("v{next_var}"));
             *next_var += 1;
             v
@@ -173,12 +179,15 @@ mod tests {
     fn generated_programs_are_safe_stratified_and_nonrecursive() {
         let generator = ProgramGenerator::new(7);
         for salt in 0..40u64 {
-            let program =
-                generator.random_nonrecursive_program(salt, &ProgramConfig::default());
-            check_safety(&program).unwrap_or_else(|e| panic!("salt {salt}: unsafe: {e}\n{program}"));
+            let program = generator.random_nonrecursive_program(salt, &ProgramConfig::default());
+            check_safety(&program)
+                .unwrap_or_else(|e| panic!("salt {salt}: unsafe: {e}\n{program}"));
             check_stratification(&program)
                 .unwrap_or_else(|e| panic!("salt {salt}: not stratified: {e}\n{program}"));
-            assert!(!FeatureSet::of_program(&program).recursion, "salt {salt}: recursive");
+            assert!(
+                !FeatureSet::of_program(&program).recursion,
+                "salt {salt}: recursive"
+            );
         }
     }
 
@@ -215,11 +224,19 @@ mod tests {
         let generator = ProgramGenerator::new(11);
         let small = generator.random_nonrecursive_program(
             1,
-            &ProgramConfig { strata: 1, rules_per_stratum: 1, ..ProgramConfig::default() },
+            &ProgramConfig {
+                strata: 1,
+                rules_per_stratum: 1,
+                ..ProgramConfig::default()
+            },
         );
         let large = generator.random_nonrecursive_program(
             1,
-            &ProgramConfig { strata: 3, rules_per_stratum: 4, ..ProgramConfig::default() },
+            &ProgramConfig {
+                strata: 3,
+                rules_per_stratum: 4,
+                ..ProgramConfig::default()
+            },
         );
         assert_eq!(small.rule_count(), 1);
         assert_eq!(large.rule_count(), 12);

@@ -38,7 +38,9 @@ fn main() {
         compiled.program
     );
 
-    let result = Engine::new().run(&compiled.program, &docs).expect("terminates");
+    let result = Engine::new()
+        .run(&compiled.program, &docs)
+        .expect("terminates");
     println!("matching documents:");
     for doc in result.unary_paths(rel("Shipped")) {
         println!("  {doc}");
@@ -58,7 +60,9 @@ fn main() {
     // "Contains" queries wrap the pattern in wildcards: who is ever mentioned after
     // the word `to`?
     let contains = compile_contains(&parse_regex("to bob").unwrap(), &options);
-    let result = Engine::new().run(&contains.program, &docs).expect("terminates");
+    let result = Engine::new()
+        .run(&contains.program, &docs)
+        .expect("terminates");
     println!("\ndocuments mentioning `to bob`:");
     for doc in result.unary_paths(rel("Shipped")) {
         println!("  {doc}");

@@ -4,8 +4,8 @@
 //!
 //! Run with `cargo run --example feature_lab`.
 
-use sequence_datalog::prelude::*;
 use sequence_datalog::fragments::{rewrite_into, witnesses};
+use sequence_datalog::prelude::*;
 use sequence_datalog::rewrite::eliminate_packing_nonrecursive;
 
 fn main() {
@@ -32,7 +32,8 @@ fn main() {
     // 3. Packing is redundant (Theorem 4.15): Example 2.2 becomes the 28-rule
     //    packing-free program of Example 4.14.
     let packed = witnesses::three_occurrences();
-    let unpacked = eliminate_packing_nonrecursive(&packed.program, packed.output).expect("nonrecursive");
+    let unpacked =
+        eliminate_packing_nonrecursive(&packed.program, packed.output).expect("nonrecursive");
     println!(
         "Example 2.2 uses {}; after packing elimination: {} with {} rules (Example 4.14 predicts 28).",
         Fragment::of_program(&packed.program),
@@ -46,6 +47,9 @@ fn main() {
         "\nsquaring query is in {}; Theorem 6.1 says {} ≤ {{A, E, I, N, P}} is {}",
         Fragment::of_program(&squaring.program),
         Fragment::of_program(&squaring.program),
-        subsumed_by(Fragment::of_program(&squaring.program), "AEINP".parse().unwrap())
+        subsumed_by(
+            Fragment::of_program(&squaring.program),
+            "AEINP".parse().unwrap()
+        )
     );
 }

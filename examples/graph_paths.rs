@@ -5,15 +5,17 @@
 //!
 //! Run with `cargo run --example graph_paths`.
 
-use sequence_datalog::prelude::*;
 use sequence_datalog::fragments::witnesses;
+use sequence_datalog::prelude::*;
 use sequence_datalog::wgen::Workloads;
 
 fn main() {
     // Reachability a ->* b on a random digraph.
     let reach = witnesses::reachability();
     let graph = Workloads::new(5).digraph_instance(12, 30);
-    let result = Engine::new().run(&reach.program, &graph).expect("evaluation succeeds");
+    let result = Engine::new()
+        .run(&reach.program, &graph)
+        .expect("evaluation succeeds");
     println!(
         "random digraph with {} edges: b reachable from a? {}",
         graph.fact_count(),
@@ -40,7 +42,9 @@ fn main() {
             path_of(&["v2", "v5", "v4"]),
         ],
     );
-    let result = Engine::new().run(&common, &paths).expect("evaluation succeeds");
+    let result = Engine::new()
+        .run(&common, &paths)
+        .expect("evaluation succeeds");
     println!("\nstored paths:\n{paths}\n");
     println!("nodes on every stored path:");
     for n in result.unary_paths(rel("Common")) {

@@ -16,7 +16,9 @@ fn main() {
     let sales = Workloads::new(7).sales_instance(3, 2);
     println!("Sales (grouped by item):\n{sales}\n");
 
-    let result = Engine::new().run(&regroup, &sales).expect("evaluation succeeds");
+    let result = Engine::new()
+        .run(&regroup, &sales)
+        .expect("evaluation succeeds");
     println!("ByYear (grouped by year):");
     for p in result.unary_paths(rel("ByYear")) {
         println!("  {p}");
@@ -40,18 +42,29 @@ fn main() {
     let mut same = Instance::new();
     for r in ["A", "B"] {
         for p in sales.unary_paths(rel("Sales")) {
-            same.insert_fact(Fact::new(rel(r), vec![p.clone()])).unwrap();
+            same.insert_fact(Fact::new(rel(r), vec![p.clone()]))
+                .unwrap();
         }
     }
-    let result = Engine::new().run(&deep_equal, &same).expect("evaluation succeeds");
-    println!("\nidentical objects: Diff = {}", result.nullary_true(rel("Diff")));
+    let result = Engine::new()
+        .run(&deep_equal, &same)
+        .expect("evaluation succeeds");
+    println!(
+        "\nidentical objects: Diff = {}",
+        result.nullary_true(rel("Diff"))
+    );
     assert!(!result.nullary_true(rel("Diff")));
 
     let mut different = same.clone();
     different
         .insert_fact(Fact::new(rel("A"), vec![path_of(&["item9", "2030", "1"])]))
         .unwrap();
-    let result = Engine::new().run(&deep_equal, &different).expect("evaluation succeeds");
-    println!("after adding one triple to A: Diff = {}", result.nullary_true(rel("Diff")));
+    let result = Engine::new()
+        .run(&deep_equal, &different)
+        .expect("evaluation succeeds");
+    println!(
+        "after adding one triple to A: Diff = {}",
+        result.nullary_true(rel("Diff"))
+    );
     assert!(result.nullary_true(rel("Diff")));
 }

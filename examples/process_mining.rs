@@ -37,7 +37,9 @@ fn main() {
     ))
     .unwrap();
 
-    let result = Engine::new().run(&program, &log).expect("evaluation succeeds");
+    let result = Engine::new()
+        .run(&program, &log)
+        .expect("evaluation succeeds");
     println!("compliant traces:");
     for t in result.unary_paths(rel("Compliant")) {
         println!("  {t}");

@@ -21,7 +21,9 @@ fn main() {
     );
     println!("input instance:\n{input}\n");
 
-    let output = Engine::new().run(&program, &input).expect("evaluation succeeds");
+    let output = Engine::new()
+        .run(&program, &input)
+        .expect("evaluation succeeds");
     println!("output relation S:");
     for p in output.unary_paths(rel("S")) {
         println!("  S({p})");
@@ -31,7 +33,9 @@ fn main() {
     // same answer.
     let no_equations =
         parse_program("T(a·$x, $x) <- R($x).\nS($x) <- T($x·a, $x).").expect("program parses");
-    let output2 = Engine::new().run(&no_equations, &input).expect("evaluation succeeds");
+    let output2 = Engine::new()
+        .run(&no_equations, &input)
+        .expect("evaluation succeeds");
     assert_eq!(output.unary_paths(rel("S")), output2.unary_paths(rel("S")));
     println!("\nthe {{A, I}} variant (Example 4.4) computes the same query ✓");
 }

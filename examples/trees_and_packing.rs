@@ -22,10 +22,19 @@ fn main() {
     //   <book><title>logic</title><year>2021</year></book>
     //   <book><title>databases</title><year>1995</year></book>
     // </catalogue>
-    let book1 = node("book", &[node("title", &[node("logic", &[])]), node("year", &[node("2021", &[])])]);
+    let book1 = node(
+        "book",
+        &[
+            node("title", &[node("logic", &[])]),
+            node("year", &[node("2021", &[])]),
+        ],
+    );
     let book2 = node(
         "book",
-        &[node("title", &[node("databases", &[])]), node("year", &[node("1995", &[])])],
+        &[
+            node("title", &[node("databases", &[])]),
+            node("year", &[node("1995", &[])]),
+        ],
     );
     let catalogue = node("catalogue", &[book1, book2]);
     println!("catalogue as a packed path:\n  {catalogue}\n");
@@ -69,12 +78,16 @@ fn main() {
     flat_input.declare_relation(rel("R"), 1);
     flat_input.declare_relation(rel("S"), 1);
     flat_input
-        .insert_fact(Fact::new(rel("R"), vec![path_of(&["x", "y", "x", "y", "x", "y"])]))
+        .insert_fact(Fact::new(
+            rel("R"),
+            vec![path_of(&["x", "y", "x", "y", "x", "y"])],
+        ))
         .unwrap();
     flat_input
         .insert_fact(Fact::new(rel("S"), vec![path_of(&["x", "y"])]))
         .unwrap();
-    let original = run_boolean_query(&packed_witness.program, &flat_input, packed_witness.output).unwrap();
+    let original =
+        run_boolean_query(&packed_witness.program, &flat_input, packed_witness.output).unwrap();
     let rewritten = run_boolean_query(&unpacked, &flat_input, packed_witness.output).unwrap();
     assert_eq!(original, rewritten);
     println!("both agree that the flat instance has three occurrences: {original} ✓");

@@ -52,7 +52,9 @@ pub mod prelude {
     pub use seqdl_core::{atom, path_of, rel, repeat_path, Fact, Instance, Path, RelName, Value};
     pub use seqdl_engine::{run_boolean_query, run_unary_query, Engine, EvalLimits};
     pub use seqdl_fragments::{subsumed_by, Feature, Fragment, HasseDiagram};
-    pub use seqdl_io::{load_instance, load_program, parse_instance, save_instance, write_instance};
+    pub use seqdl_io::{
+        load_instance, load_program, parse_instance, save_instance, write_instance,
+    };
     pub use seqdl_regex::{compile_contains, compile_match, parse_regex, Regex};
     pub use seqdl_syntax::{parse_expr, parse_program, parse_rule, FeatureSet, Program};
     pub use seqdl_termination::{analyse as analyse_termination, guaranteed_terminating};
@@ -67,7 +69,9 @@ mod tests {
         let program = parse_program("S($x) <- R($x), a·$x = $x·a.").unwrap();
         assert_eq!(Fragment::of_program(&program).to_string(), "{E}");
         let input = Instance::unary(rel("R"), [repeat_path("a", 2)]);
-        assert!(run_boolean_query(&parse_program("A <- R($x).").unwrap(), &input, rel("A")).unwrap());
+        assert!(
+            run_boolean_query(&parse_program("A <- R($x).").unwrap(), &input, rel("A")).unwrap()
+        );
     }
 
     #[test]
@@ -89,7 +93,10 @@ mod tests {
 
         // Instances round-trip through the textual format.
         let text = write_instance(&input);
-        assert_eq!(parse_instance(&text).unwrap().unary_paths(rel("R")), input.unary_paths(rel("R")));
+        assert_eq!(
+            parse_instance(&text).unwrap().unary_paths(rel("R")),
+            input.unary_paths(rel("R"))
+        );
     }
 
     fn sequence_datalog_regex_defaults() -> crate::regex::CompileOptions {

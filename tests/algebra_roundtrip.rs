@@ -16,7 +16,10 @@ fn p(spec: &str) -> Path {
 }
 
 fn unary_instance(rel_name: &str, paths: &[&str]) -> Instance {
-    Instance::unary(rel(rel_name), paths.iter().map(|s| p(s)).collect::<Vec<_>>())
+    Instance::unary(
+        rel(rel_name),
+        paths.iter().map(|s| p(s)).collect::<Vec<_>>(),
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -62,8 +65,12 @@ fn union_difference_product_have_classical_semantics() {
     let r = unary_instance("R", &["a", "b"]);
     let mut input = r.clone();
     input.declare_relation(rel("S"), 1);
-    input.insert_fact(Fact::new(rel("S"), vec![p("b")])).unwrap();
-    input.insert_fact(Fact::new(rel("S"), vec![p("c")])).unwrap();
+    input
+        .insert_fact(Fact::new(rel("S"), vec![p("b")]))
+        .unwrap();
+    input
+        .insert_fact(Fact::new(rel("S"), vec![p("c")]))
+        .unwrap();
 
     let r_expr = AlgebraExpr::relation(rel("R"), 1);
     let s_expr = AlgebraExpr::relation(rel("S"), 1);
@@ -71,7 +78,11 @@ fn union_difference_product_have_classical_semantics() {
     let union = eval(&AlgebraExpr::union(r_expr.clone(), s_expr.clone()), &input).unwrap();
     assert_eq!(union.len(), 3);
 
-    let difference = eval(&AlgebraExpr::difference(r_expr.clone(), s_expr.clone()), &input).unwrap();
+    let difference = eval(
+        &AlgebraExpr::difference(r_expr.clone(), s_expr.clone()),
+        &input,
+    )
+    .unwrap();
     let diff_paths: BTreeSet<Path> = difference.into_iter().map(|t| t[0].clone()).collect();
     assert_eq!(diff_paths, [p("a")].into_iter().collect());
 
@@ -107,7 +118,10 @@ fn substrings_enumerates_all_substrings() {
     for s in ["", "a", "b", "c", "a·b", "b·c", "a·b·c"] {
         assert!(subs.contains(&p(s)), "missing substring {s}");
     }
-    assert!(!subs.contains(&p("a·c")), "a·c is not a contiguous substring");
+    assert!(
+        !subs.contains(&p("a·c")),
+        "a·c is not a contiguous substring"
+    );
     // The original column is preserved.
     assert!(out.iter().all(|t| t[0] == p("a·b·c") && t.len() == 2));
 }
@@ -172,8 +186,12 @@ fn algebra_to_datalog_preserves_semantics() {
     let mut input = unary_instance("R", &["a·a", "a·b", ""]);
     input.declare_relation(rel("S"), 1);
     input.declare_relation(rel("T"), 1);
-    input.insert_fact(Fact::new(rel("S"), vec![p("q")])).unwrap();
-    input.insert_fact(Fact::new(rel("S"), vec![p("a·a")])).unwrap();
+    input
+        .insert_fact(Fact::new(rel("S"), vec![p("q")]))
+        .unwrap();
+    input
+        .insert_fact(Fact::new(rel("S"), vec![p("a·a")]))
+        .unwrap();
     input.insert_fact(Fact::new(rel("T"), vec![p("")])).unwrap();
 
     assert_algebra_matches_datalog(&expr, &program, rel("Out"), &input);
@@ -212,7 +230,10 @@ fn datalog_to_algebra_on_nonrecursive_witnesses() {
                 .map(|t| t[0].clone())
                 .collect();
             let datalog_out = run_unary_query(&witness.program, input, witness.output).unwrap();
-            assert_eq!(algebra_out, datalog_out, "{label}: disagreement on input {i}");
+            assert_eq!(
+                algebra_out, datalog_out,
+                "{label}: disagreement on input {i}"
+            );
         }
     }
 }

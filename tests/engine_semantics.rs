@@ -27,14 +27,18 @@ fn naive_and_semi_naive_agree_on_all_witnesses() {
         // Build an instance covering every EDB relation the witness might read,
         // taking care never to pre-populate one of its IDB relations.
         let mut input = w.nfa_instance(4, 2, 4, 6);
-        input = input.union(&w.digraph_instance(6, 12)).expect("compatible schemas");
+        input = input
+            .union(&w.digraph_instance(6, 12))
+            .expect("compatible schemas");
         if !witness.program.idb_relations().contains(&rel("S")) {
             input = input
                 .union(&w.random_strings(rel("S"), 3, 3, 9))
                 .expect("compatible schemas");
         }
         input.declare_relation(rel("B"), 1);
-        input.insert_fact(Fact::new(rel("B"), vec![p("a")])).unwrap();
+        input
+            .insert_fact(Fact::new(rel("B"), vec![p("a")]))
+            .unwrap();
 
         let naive = Engine::new()
             .with_strategy(FixpointStrategy::Naive)
@@ -94,10 +98,7 @@ fn stratified_negation_is_applied_stratum_by_stratum() {
          Unreach(@x) <- Node(@x), !Reach(@x).",
     )
     .unwrap();
-    let input = Instance::unary(
-        rel("E"),
-        [p("a·b"), p("b·c"), p("d·e")],
-    );
+    let input = Instance::unary(rel("E"), [p("a·b"), p("b·c"), p("d·e")]);
     let out = Engine::new().run(&program, &input).unwrap();
     let unreach = out.unary_paths(rel("Unreach"));
     assert_eq!(unreach, [p("d"), p("e")].into_iter().collect());
@@ -110,7 +111,9 @@ fn negation_against_edb_relations_is_semipositive() {
     let program = parse_program("S($x) <- R($x), !Q($x).").unwrap();
     let mut input = Instance::unary(rel("R"), [p("a"), p("b"), p("a·b")]);
     input.declare_relation(rel("Q"), 1);
-    input.insert_fact(Fact::new(rel("Q"), vec![p("a")])).unwrap();
+    input
+        .insert_fact(Fact::new(rel("Q"), vec![p("a")]))
+        .unwrap();
     let out = run_unary_query(&program, &input, rel("S")).unwrap();
     assert_eq!(out, [p("b"), p("a·b")].into_iter().collect());
 }
@@ -179,7 +182,13 @@ fn matching_repeated_variables_requires_equal_bindings() {
     let program = parse_program("Square($x) <- R($x·$x).").unwrap();
     let input = Instance::unary(
         rel("R"),
-        [p("a·b·a·b"), p("a·b·b·a"), p("a·a"), p("a·b·c"), Path::empty()],
+        [
+            p("a·b·a·b"),
+            p("a·b·b·a"),
+            p("a·a"),
+            p("a·b·c"),
+            Path::empty(),
+        ],
     );
     let out = run_unary_query(&program, &input, rel("Square")).unwrap();
     assert_eq!(out, [p("a·b"), p("a"), p("")].into_iter().collect());
@@ -188,10 +197,7 @@ fn matching_repeated_variables_requires_equal_bindings() {
 #[test]
 fn matching_packed_values_requires_structural_equality() {
     // Pack in an intermediate relation, then match against the packed structure.
-    let program = parse_program(
-        "T(<$x>·$y) <- R($x·$y).\n---\nInner($x) <- T(<$x>·$y).",
-    )
-    .unwrap();
+    let program = parse_program("T(<$x>·$y) <- R($x·$y).\n---\nInner($x) <- T(<$x>·$y).").unwrap();
     let input = Instance::unary(rel("R"), [p("a·b")]);
     let out = run_unary_query(&program, &input, rel("Inner")).unwrap();
     // Splits of a·b: (ε, a·b), (a, b), (a·b, ε) — the packed prefix is each of ε, a, a·b.
@@ -232,7 +238,9 @@ fn path_length_limit_stops_growing_programs() {
         max_facts: 1_000_000,
         max_path_len: 32,
     };
-    let result = Engine::new().with_limits(limits).run(&program, &Instance::new());
+    let result = Engine::new()
+        .with_limits(limits)
+        .run(&program, &Instance::new());
     assert!(matches!(result, Err(EvalError::LimitExceeded { .. })));
 }
 
@@ -256,8 +264,12 @@ fn outputs_of_flat_queries_on_flat_instances_are_flat() {
     let mut input = Instance::new();
     input.declare_relation(rel("R"), 1);
     input.declare_relation(rel("S"), 1);
-    input.insert_fact(Fact::new(rel("R"), vec![p("a·b·a·b·a·b")])).unwrap();
-    input.insert_fact(Fact::new(rel("S"), vec![p("a·b")])).unwrap();
+    input
+        .insert_fact(Fact::new(rel("R"), vec![p("a·b·a·b·a·b")]))
+        .unwrap();
+    input
+        .insert_fact(Fact::new(rel("S"), vec![p("a·b")]))
+        .unwrap();
     let out = Engine::new().run(&w.program, &input).unwrap();
     // The packed intermediate relation T is not flat, but the input and the nullary
     // output are; projecting the result to the output schema yields a flat instance.

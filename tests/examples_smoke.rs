@@ -1,0 +1,53 @@
+//! Workspace-wiring smoke test: prove the facade's public API is usable
+//! end-to-end by driving the `quickstart` example through Cargo itself, the
+//! way a user would (`cargo run --example quickstart`).
+//!
+//! The other eight examples are compiled (but not run) by `cargo test`
+//! already, since Cargo builds every example target alongside the tests; this
+//! test additionally checks that compiling all of them succeeds explicitly and
+//! that the quickstart executes and prints its expected conclusion.
+
+use std::process::Command;
+
+/// The `cargo` that is running this test, so the inner invocations use the
+/// same toolchain and target directory (everything is already built).
+fn cargo() -> Command {
+    Command::new(env!("CARGO"))
+}
+
+#[test]
+fn all_examples_compile() {
+    let output = cargo()
+        .args(["build", "--examples"])
+        .output()
+        .expect("failed to spawn cargo build --examples");
+    assert!(
+        output.status.success(),
+        "cargo build --examples failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+}
+
+#[test]
+fn quickstart_example_runs_and_answers() {
+    let output = cargo()
+        .args(["run", "--example", "quickstart"])
+        .output()
+        .expect("failed to spawn cargo run --example quickstart");
+    assert!(
+        output.status.success(),
+        "quickstart example exited nonzero:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    // The example evaluates Example 3.1 (paths consisting only of a's) and
+    // prints the output relation; `a·a·a·a·a` must be selected, `a·b·a` not.
+    assert!(
+        stdout.contains("output relation S"),
+        "unexpected quickstart output:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("a\u{b7}a\u{b7}a\u{b7}a\u{b7}a"),
+        "quickstart did not report the all-a path:\n{stdout}"
+    );
+}

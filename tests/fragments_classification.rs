@@ -176,7 +176,10 @@ fn hasse_diagram_has_figure_1_shape() {
     // The DOT rendering mentions every class label.
     let dot = diagram.to_dot();
     for i in 0..diagram.classes.len() {
-        assert!(dot.contains(&diagram.class_label(i)), "DOT output misses a class");
+        assert!(
+            dot.contains(&diagram.class_label(i)),
+            "DOT output misses a class"
+        );
     }
     // The textual rendering is non-empty and mentions the top class.
     let text = diagram.render_text();
@@ -188,7 +191,12 @@ fn witness_programs_live_in_their_documented_fragments() {
     use sequence_datalog::fragments::witnesses;
     let expect = |w: &witnesses::Witness, letters: &str| {
         let actual = Fragment::of_program(&w.program);
-        assert_eq!(actual, frag(letters), "{} should be in {{{letters}}}", w.name);
+        assert_eq!(
+            actual,
+            frag(letters),
+            "{} should be in {{{letters}}}",
+            w.name
+        );
     };
     expect(&witnesses::only_as_equation(), "E");
     expect(&witnesses::only_as_recursion(), "AIR");
@@ -207,7 +215,10 @@ fn witness_programs_live_in_their_documented_fragments() {
 fn feature_letters_round_trip() {
     for feature in Feature::ALL {
         assert_eq!(Feature::from_letter(feature.letter()), Some(feature));
-        assert_eq!(Feature::from_letter(feature.letter().to_ascii_lowercase()), Some(feature));
+        assert_eq!(
+            Feature::from_letter(feature.letter().to_ascii_lowercase()),
+            Some(feature)
+        );
     }
     assert_eq!(Feature::from_letter('X'), None);
 }
@@ -219,7 +230,10 @@ fn fragment_set_operations_behave_like_sets() {
     assert!(ei.is_subset_of(einr));
     assert!(!einr.is_subset_of(ei));
     assert_eq!(ei.union(frag("NR")), einr);
-    assert_eq!(einr.without(Feature::Negation).without(Feature::Recursion), ei);
+    assert_eq!(
+        einr.without(Feature::Negation).without(Feature::Recursion),
+        ei
+    );
     assert_eq!(ei.with(Feature::Negation).with(Feature::Recursion), einr);
     assert_eq!(Fragment::empty().len(), 0);
     assert!(Fragment::empty().is_empty());

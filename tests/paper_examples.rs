@@ -7,7 +7,12 @@ use sequence_datalog::fragments::witnesses;
 use sequence_datalog::prelude::*;
 
 fn ab_path(spec: &str) -> Path {
-    path_of(&spec.split('·').filter(|s| !s.is_empty()).collect::<Vec<_>>())
+    path_of(
+        &spec
+            .split('·')
+            .filter(|s| !s.is_empty())
+            .collect::<Vec<_>>(),
+    )
 }
 
 /// Example 2.1 — NFA acceptance.  We hand-build the NFA accepting `(ab)^+` and check
@@ -42,7 +47,9 @@ fn example_2_1_nfa_acceptance() {
             .unwrap();
     }
 
-    let output = Engine::new().run(&witness.program, &input).expect("terminates");
+    let output = Engine::new()
+        .run(&witness.program, &input)
+        .expect("terminates");
     let accepted = output.unary_paths(witness.output);
     assert!(accepted.contains(&ab_path("a·b")));
     assert!(accepted.contains(&ab_path("a·b·a·b")));
@@ -64,18 +71,26 @@ fn example_2_2_three_occurrences() {
     let mut yes = Instance::new();
     yes.declare_relation(rel("R"), 1);
     yes.declare_relation(rel("S"), 1);
-    yes.insert_fact(Fact::new(rel("R"), vec![ab_path("a·b·a·b·a·b")])).unwrap();
-    yes.insert_fact(Fact::new(rel("S"), vec![ab_path("a·b")])).unwrap();
-    let out = Engine::new().run(&witness.program, &yes).expect("terminates");
+    yes.insert_fact(Fact::new(rel("R"), vec![ab_path("a·b·a·b·a·b")]))
+        .unwrap();
+    yes.insert_fact(Fact::new(rel("S"), vec![ab_path("a·b")]))
+        .unwrap();
+    let out = Engine::new()
+        .run(&witness.program, &yes)
+        .expect("terminates");
     assert!(out.nullary_true(witness.output), "three occurrences exist");
 
     // Only two occurrences: a·b·a·b.
     let mut no = Instance::new();
     no.declare_relation(rel("R"), 1);
     no.declare_relation(rel("S"), 1);
-    no.insert_fact(Fact::new(rel("R"), vec![ab_path("a·b·a·b")])).unwrap();
-    no.insert_fact(Fact::new(rel("S"), vec![ab_path("a·b")])).unwrap();
-    let out = Engine::new().run(&witness.program, &no).expect("terminates");
+    no.insert_fact(Fact::new(rel("R"), vec![ab_path("a·b·a·b")]))
+        .unwrap();
+    no.insert_fact(Fact::new(rel("S"), vec![ab_path("a·b")]))
+        .unwrap();
+    let out = Engine::new()
+        .run(&witness.program, &no)
+        .expect("terminates");
     assert!(!out.nullary_true(witness.output), "only two occurrences");
 }
 
@@ -143,7 +158,12 @@ fn example_4_3_reversal_variants_agree() {
     let without_arity = witnesses::reversal_without_arity();
     let input = Instance::unary(
         rel("R"),
-        [ab_path("x·y·z"), ab_path("p·q"), Path::empty(), ab_path("m")],
+        [
+            ab_path("x·y·z"),
+            ab_path("p·q"),
+            Path::empty(),
+            ab_path("m"),
+        ],
     );
     let a = run_unary_query(&with_arity.program, &input, with_arity.output).unwrap();
     let b = run_unary_query(&without_arity.program, &input, without_arity.output).unwrap();
@@ -208,7 +228,10 @@ fn section_5_1_1_reachability() {
     let edges = |pairs: &[(&str, &str)]| {
         Instance::unary(
             rel("R"),
-            pairs.iter().map(|(x, y)| path_of(&[*x, *y])).collect::<Vec<_>>(),
+            pairs
+                .iter()
+                .map(|(x, y)| path_of(&[*x, *y]))
+                .collect::<Vec<_>>(),
         )
     };
     let reachable = edges(&[("a", "c"), ("c", "d"), ("d", "b"), ("e", "f")]);
@@ -235,7 +258,13 @@ fn section_5_2_only_black_successors() {
     input.declare_relation(rel("B"), 1);
     // Edges: a -> b1, a -> b2 (both black);  c -> b1, c -> w1 (one white);
     //        d -> w1 (white only).
-    for (x, y) in [("a", "b1"), ("a", "b2"), ("c", "b1"), ("c", "w1"), ("d", "w1")] {
+    for (x, y) in [
+        ("a", "b1"),
+        ("a", "b2"),
+        ("c", "b1"),
+        ("c", "w1"),
+        ("d", "w1"),
+    ] {
         input
             .insert_fact(Fact::new(rel("R"), vec![path_of(&[x, y])]))
             .unwrap();
@@ -246,9 +275,15 @@ fn section_5_2_only_black_successors() {
             .unwrap();
     }
     let got = run_unary_query(&w.program, &input, w.output).unwrap();
-    assert!(got.contains(&path_of(&["a"])), "all of a's successors are black");
+    assert!(
+        got.contains(&path_of(&["a"])),
+        "all of a's successors are black"
+    );
     assert!(!got.contains(&path_of(&["c"])), "c has a white successor");
-    assert!(!got.contains(&path_of(&["d"])), "d has only white successors");
+    assert!(
+        !got.contains(&path_of(&["d"])),
+        "d has only white successors"
+    );
     assert_eq!(got.len(), 1);
 }
 
@@ -337,15 +372,23 @@ fn introduction_deep_equality() {
     equal.declare_relation(rel("R"), 1);
     equal.declare_relation(rel("S"), 1);
     for r in ["a·b", "c"] {
-        equal.insert_fact(Fact::new(rel("R"), vec![ab_path(r)])).unwrap();
-        equal.insert_fact(Fact::new(rel("S"), vec![ab_path(r)])).unwrap();
+        equal
+            .insert_fact(Fact::new(rel("R"), vec![ab_path(r)]))
+            .unwrap();
+        equal
+            .insert_fact(Fact::new(rel("S"), vec![ab_path(r)]))
+            .unwrap();
     }
     assert!(run_boolean_query(&program, &equal, rel("Eq")).unwrap());
 
     let mut unequal = Instance::new();
     unequal.declare_relation(rel("R"), 1);
     unequal.declare_relation(rel("S"), 1);
-    unequal.insert_fact(Fact::new(rel("R"), vec![ab_path("a·b")])).unwrap();
-    unequal.insert_fact(Fact::new(rel("S"), vec![ab_path("a")])).unwrap();
+    unequal
+        .insert_fact(Fact::new(rel("R"), vec![ab_path("a·b")]))
+        .unwrap();
+    unequal
+        .insert_fact(Fact::new(rel("S"), vec![ab_path("a")]))
+        .unwrap();
     assert!(!run_boolean_query(&program, &unequal, rel("Eq")).unwrap());
 }

@@ -3,11 +3,11 @@
 
 use proptest::prelude::*;
 use sequence_datalog::prelude::*;
+use sequence_datalog::syntax::PathExpr;
 use sequence_datalog::syntax::{
     analysis::{is_safe, limited_vars},
     Literal, Predicate, Rule, Term, Valuation, Var,
 };
-use sequence_datalog::syntax::PathExpr;
 
 // ---------------------------------------------------------------------------
 // Generators

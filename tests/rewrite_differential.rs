@@ -6,8 +6,7 @@ use sequence_datalog::fragments::witnesses::{self, Witness};
 use sequence_datalog::prelude::*;
 use sequence_datalog::rewrite::{
     doubling_program, eliminate_arity, eliminate_equations, eliminate_packing_nonrecursive,
-    eliminate_positive_equations, fold_intermediate_predicates, to_normal_form,
-    undoubling_program,
+    eliminate_positive_equations, fold_intermediate_predicates, to_normal_form, undoubling_program,
 };
 use sequence_datalog::wgen::Workloads;
 
@@ -60,7 +59,13 @@ fn arity_elimination_preserves_reversal() {
     let w = witnesses::reversal_with_arity();
     let rewritten = eliminate_arity(&w.program).expect("arity elimination succeeds");
     assert!(!feature_set(&rewritten).arity, "no arity after elimination");
-    assert_equivalent(&w.program, &rewritten, w.output, &unary_battery(), "arity/reversal");
+    assert_equivalent(
+        &w.program,
+        &rewritten,
+        w.output,
+        &unary_battery(),
+        "arity/reversal",
+    );
 }
 
 #[test]
@@ -79,7 +84,13 @@ fn arity_elimination_preserves_only_as_intermediate() {
     let w = witnesses::only_as_intermediate();
     let rewritten = eliminate_arity(&w.program).expect("arity elimination succeeds");
     assert!(!feature_set(&rewritten).arity);
-    assert_equivalent(&w.program, &rewritten, w.output, &unary_battery(), "arity/only-as");
+    assert_equivalent(
+        &w.program,
+        &rewritten,
+        w.output,
+        &unary_battery(),
+        "arity/only-as",
+    );
 }
 
 #[test]
@@ -87,7 +98,13 @@ fn arity_elimination_is_a_no_op_on_unary_programs() {
     let w = witnesses::only_as_equation();
     let rewritten = eliminate_arity(&w.program).expect("succeeds");
     assert!(!feature_set(&rewritten).arity);
-    assert_equivalent(&w.program, &rewritten, w.output, &unary_battery(), "arity/no-op");
+    assert_equivalent(
+        &w.program,
+        &rewritten,
+        w.output,
+        &unary_battery(),
+        "arity/no-op",
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -99,7 +116,13 @@ fn positive_equation_elimination_preserves_only_as() {
     let w = witnesses::only_as_equation();
     let rewritten = eliminate_positive_equations(&w.program).expect("succeeds");
     assert!(!feature_set(&rewritten).equations, "no equations left");
-    assert_equivalent(&w.program, &rewritten, w.output, &unary_battery(), "eq+/only-as");
+    assert_equivalent(
+        &w.program,
+        &rewritten,
+        w.output,
+        &unary_battery(),
+        "eq+/only-as",
+    );
 }
 
 #[test]
@@ -107,7 +130,13 @@ fn equation_elimination_preserves_only_as() {
     let w = witnesses::only_as_equation();
     let rewritten = eliminate_equations(&w.program).expect("succeeds");
     assert!(!feature_set(&rewritten).equations);
-    assert_equivalent(&w.program, &rewritten, w.output, &unary_battery(), "eq/only-as");
+    assert_equivalent(
+        &w.program,
+        &rewritten,
+        w.output,
+        &unary_battery(),
+        "eq/only-as",
+    );
 }
 
 #[test]
@@ -115,7 +144,10 @@ fn negated_equation_elimination_preserves_mirrored_pairs() {
     // Example 4.6 / Lemma 4.5: the recursive rule with a nonequality.
     let w = witnesses::mirrored_distinct_pairs();
     let rewritten = eliminate_equations(&w.program).expect("succeeds");
-    assert!(!feature_set(&rewritten).equations, "no equations after Lemma 4.5");
+    assert!(
+        !feature_set(&rewritten).equations,
+        "no equations after Lemma 4.5"
+    );
     let inputs = vec![
         Instance::unary(rel("R"), []),
         Instance::unary(rel("R"), [Path::empty()]),
@@ -178,12 +210,18 @@ fn packing_elimination_preserves_three_occurrences() {
         inst.declare_relation(rel("R"), 1);
         inst.declare_relation(rel("S"), 1);
         for p in r {
-            inst.insert_fact(Fact::new(rel("R"), vec![path_of(&p.split('·').collect::<Vec<_>>())]))
-                .unwrap();
+            inst.insert_fact(Fact::new(
+                rel("R"),
+                vec![path_of(&p.split('·').collect::<Vec<_>>())],
+            ))
+            .unwrap();
         }
         for p in s {
-            inst.insert_fact(Fact::new(rel("S"), vec![path_of(&p.split('·').collect::<Vec<_>>())]))
-                .unwrap();
+            inst.insert_fact(Fact::new(
+                rel("S"),
+                vec![path_of(&p.split('·').collect::<Vec<_>>())],
+            ))
+            .unwrap();
         }
         inst
     };
@@ -223,7 +261,9 @@ fn packing_elimination_preserves_simple_packing_program() {
     input
         .insert_fact(Fact::new(rel("R"), vec![path_of(&["a", "b"])]))
         .unwrap();
-    input.insert_fact(Fact::new(rel("S"), vec![path_of(&["a", "b"])])).unwrap();
+    input
+        .insert_fact(Fact::new(rel("S"), vec![path_of(&["a", "b"])]))
+        .unwrap();
     let a = run_unary_query(&program, &input, rel("Out")).unwrap();
     let b = run_unary_query(&rewritten, &input, rel("Out")).unwrap();
     assert_eq!(a, b);
@@ -235,7 +275,10 @@ fn packing_elimination_preserves_simple_packing_program() {
 fn packing_elimination_rejects_recursive_programs() {
     let program = parse_program("T(<$x>) <- R($x).\nT(<$x>) <- T($x).\nS($x) <- T($x).").unwrap();
     let err = eliminate_packing_nonrecursive(&program, rel("S"));
-    assert!(err.is_err(), "recursive packing elimination is explicitly unsupported");
+    assert!(
+        err.is_err(),
+        "recursive packing elimination is explicitly unsupported"
+    );
 }
 
 #[test]
@@ -244,11 +287,19 @@ fn doubling_then_undoubling_is_identity_on_flat_relations() {
     // into R3 must reproduce the original paths.
     let doubling = doubling_program(rel("R"), rel("R2"));
     let undoubling = undoubling_program(rel("R2"), rel("R3"));
-    assert!(!FeatureSet::of_program(&doubling).negation, "doubling avoids negation");
-    assert!(!FeatureSet::of_program(&undoubling).negation, "undoubling avoids negation");
+    assert!(
+        !FeatureSet::of_program(&doubling).negation,
+        "doubling avoids negation"
+    );
+    assert!(
+        !FeatureSet::of_program(&undoubling).negation,
+        "undoubling avoids negation"
+    );
 
     for input in unary_battery() {
-        let doubled = Engine::new().run(&doubling, &input).expect("doubling terminates");
+        let doubled = Engine::new()
+            .run(&doubling, &input)
+            .expect("doubling terminates");
         // Every doubled path has even length, twice the original.
         let orig = input.unary_paths(rel("R"));
         let dbl = doubled.unary_paths(rel("R2"));
@@ -258,7 +309,9 @@ fn doubling_then_undoubling_is_identity_on_flat_relations() {
         }
         // Feed the doubled relation back through undoubling.
         let mid = Instance::unary(rel("R2"), dbl);
-        let restored = Engine::new().run(&undoubling, &mid).expect("undoubling terminates");
+        let restored = Engine::new()
+            .run(&undoubling, &mid)
+            .expect("undoubling terminates");
         assert_eq!(restored.unary_paths(rel("R3")), orig);
     }
 }
@@ -275,7 +328,13 @@ fn folding_eliminates_intermediate_predicates() {
         !FeatureSet::of_program(&folded).intermediate,
         "a single IDB relation remains after folding"
     );
-    assert_equivalent(&w.program, &folded, w.output, &unary_battery(), "fold/only-as");
+    assert_equivalent(
+        &w.program,
+        &folded,
+        w.output,
+        &unary_battery(),
+        "fold/only-as",
+    );
 }
 
 #[test]
@@ -290,7 +349,10 @@ fn folding_preserves_a_three_stage_pipeline() {
     let folded = fold_intermediate_predicates(&program, rel("Out")).expect("folding succeeds");
     assert!(!FeatureSet::of_program(&folded).intermediate);
     let inputs = vec![
-        Instance::unary(rel("R"), [path_of(&["d"]), path_of(&["d", "e"]), path_of(&["e"])]),
+        Instance::unary(
+            rel("R"),
+            [path_of(&["d"]), path_of(&["d", "e"]), path_of(&["e"])],
+        ),
         Instance::unary(rel("R"), [Path::empty()]),
         Workloads::new(11).random_strings(rel("R"), 6, 4, 3),
     ];
@@ -331,9 +393,11 @@ fn normal_form_preserves_equation_free_programs() {
         // Provide Q and B relations for the cases that need them.
         for inst in &mut inputs {
             inst.declare_relation(rel("Q"), 1);
-            inst.insert_fact(Fact::new(rel("Q"), vec![path_of(&["a"])])).unwrap();
+            inst.insert_fact(Fact::new(rel("Q"), vec![path_of(&["a"])]))
+                .unwrap();
             inst.declare_relation(rel("B"), 1);
-            inst.insert_fact(Fact::new(rel("B"), vec![path_of(&["a"])])).unwrap();
+            inst.insert_fact(Fact::new(rel("B"), vec![path_of(&["a"])]))
+                .unwrap();
         }
         assert_equivalent(&program, &normal, rel(out), &inputs, "normal-form");
     }

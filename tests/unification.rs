@@ -31,7 +31,11 @@ fn figure_2_has_exactly_four_symbolic_solutions() {
     let equation = eq("$x·<@y·$z>·@w", "$u·$v·$u");
     assert!(is_one_sided_nonlinear(&equation));
     let result = solve(&equation, &SolveOptions::default()).expect("terminates");
-    assert_eq!(result.solutions.len(), 4, "Figure 2 shows four successful branches");
+    assert_eq!(
+        result.solutions.len(),
+        4,
+        "Figure 2 shows four successful branches"
+    );
     assert_all_solutions_solve(&equation, &result.solutions);
     assert!(result.tree.success_count() >= 4);
     assert!(result.tree.failure_count() > 0);
@@ -43,11 +47,17 @@ fn figure_2_has_exactly_four_symbolic_solutions() {
     let u_bindings: Vec<String> = result
         .solutions
         .iter()
-        .map(|s| s.get(u).map(|e| e.to_string()).unwrap_or_else(|| "$u".to_string()))
+        .map(|s| {
+            s.get(u)
+                .map(|e| e.to_string())
+                .unwrap_or_else(|| "$u".to_string())
+        })
         .collect();
     for expected in ["@w", "<@y·$z>·@w"] {
         assert!(
-            u_bindings.iter().any(|b| b.contains(expected) || b == expected),
+            u_bindings
+                .iter()
+                .any(|b| b.contains(expected) || b == expected),
             "no solution binds $u to something containing {expected}: {u_bindings:?}"
         );
     }
@@ -58,10 +68,16 @@ fn figure_2_search_tree_renders() {
     let equation = eq("$x·<@y·$z>·@w", "$u·$v·$u");
     let result = solve(&equation, &SolveOptions::default()).unwrap();
     let ascii = result.tree.render_ascii();
-    assert!(ascii.contains("$u"), "ASCII rendering mentions the variables");
+    assert!(
+        ascii.contains("$u"),
+        "ASCII rendering mentions the variables"
+    );
     let dot = result.tree.to_dot();
     assert!(dot.contains("digraph"));
-    assert!(dot.lines().count() > result.tree.len(), "one line per node plus edges");
+    assert!(
+        dot.lines().count() > result.tree.len(),
+        "one line per node plus edges"
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -77,7 +93,10 @@ fn ground_equations_are_decided_exactly() {
     for (l, r) in [("a·b", "a·c"), ("a", "a·b"), ("a·b", "b·a")] {
         let unsat = eq(l, r);
         let solved = solve(&unsat, &SolveOptions::default()).unwrap();
-        assert!(solved.is_unsatisfiable(), "{l} = {r} should be unsatisfiable");
+        assert!(
+            solved.is_unsatisfiable(),
+            "{l} = {r} should be unsatisfiable"
+        );
     }
 }
 
@@ -119,7 +138,9 @@ fn atomic_variables_unify_only_with_single_atoms() {
 
     // @x = a·b has no solution: an atomic variable cannot hold a length-2 path.
     let unsat = eq("@x", "a·b");
-    assert!(solve(&unsat, &SolveOptions::default()).unwrap().is_unsatisfiable());
+    assert!(solve(&unsat, &SolveOptions::default())
+        .unwrap()
+        .is_unsatisfiable());
 }
 
 #[test]

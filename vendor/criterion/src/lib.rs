@@ -1,0 +1,192 @@
+//! Shim for the subset of the Criterion benchmarking API this workspace uses.
+//!
+//! The build environment has no reachable crates registry, so the real
+//! `criterion` cannot be fetched.  This crate keeps the 13 benches in
+//! `seqdl-bench` compiling and runnable: `criterion_group!`/`criterion_main!`
+//! produce a `main` that executes every registered benchmark a small, fixed
+//! number of times and prints median wall-clock timings.  It does no warm-up
+//! modelling, outlier rejection, or HTML reporting — swap the workspace
+//! dependency back to the real crate for publication-grade numbers.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// How many measured iterations each benchmark runs (after one warm-up).
+const MEASURED_ITERS: usize = 5;
+
+/// Prevent the optimiser from eliding a value or the computation producing it.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// A benchmark identifier: a function name plus an optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id `"{name}/{parameter}"`.
+    pub fn new<P: fmt::Display>(name: &str, parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id consisting of the parameter alone.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] times the routine.
+pub struct Bencher {
+    median: Option<Duration>,
+}
+
+impl Bencher {
+    /// Run `routine` once as warm-up, then [`MEASURED_ITERS`] measured times,
+    /// recording the median duration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        let mut samples: Vec<Duration> = (0..MEASURED_ITERS)
+            .map(|_| {
+                let start = Instant::now();
+                black_box(routine());
+                start.elapsed()
+            })
+            .collect();
+        samples.sort();
+        self.median = Some(samples[samples.len() / 2]);
+    }
+}
+
+fn run_one(full_id: &str, f: impl FnOnce(&mut Bencher)) {
+    let mut bencher = Bencher { median: None };
+    f(&mut bencher);
+    match bencher.median {
+        Some(median) => println!("{full_id:<56} median {median:?} over {MEASURED_ITERS} iters"),
+        None => println!("{full_id:<56} (no measurement: routine never called iter)"),
+    }
+}
+
+/// The benchmark manager; the entry point mirrors Criterion's builder API.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Run a single benchmark function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(id, &mut f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, group_name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: group_name.to_string(),
+        }
+    }
+}
+
+/// A named group of benchmarks (e.g. one per input size).
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, id), &mut f);
+        self
+    }
+
+    /// Run one benchmark in this group, handing `input` to the routine.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id), |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (kept for API compatibility; no summary is produced).
+    pub fn finish(self) {}
+}
+
+/// Define a benchmark group function from one or more `fn(&mut Criterion)`s.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define `main` running one or more groups declared with [`criterion_group!`].
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench`/`cargo test` pass harness flags (`--bench`, filters);
+            // this shim runs everything and only recognises `--help`.
+            if std::env::args().any(|a| a == "--help" || a == "-h") {
+                println!("criterion shim: runs all registered benchmarks; flags are ignored");
+                return;
+            }
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_the_routine() {
+        let mut counter = 0usize;
+        Criterion::default().bench_function("smoke", |b| b.iter(|| counter += 1));
+        // One warm-up plus MEASURED_ITERS measured runs.
+        assert_eq!(counter, MEASURED_ITERS + 1);
+    }
+
+    #[test]
+    fn groups_and_ids_format() {
+        assert_eq!(BenchmarkId::new("solve", 8).to_string(), "solve/8");
+        assert_eq!(BenchmarkId::from_parameter(64).to_string(), "64");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        let mut ran = false;
+        group.bench_with_input(BenchmarkId::from_parameter(1), &3usize, |b, &n| {
+            b.iter(|| assert_eq!(n, 3));
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+}

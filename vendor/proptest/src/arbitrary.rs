@@ -1,0 +1,77 @@
+//! `any::<T>()` and the [`Arbitrary`] trait for the types this workspace needs.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical default strategy.
+pub trait Arbitrary: Sized {
+    /// The strategy type returned by [`any`].
+    type Strategy: Strategy<Value = Self>;
+
+    /// The canonical strategy for this type.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `A` (e.g. `any::<bool>()` for a fair coin).
+pub fn any<A: Arbitrary>() -> A::Strategy {
+    A::arbitrary()
+}
+
+/// The strategy behind `any::<bool>()`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BoolStrategy;
+
+impl Strategy for BoolStrategy {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = BoolStrategy;
+
+    fn arbitrary() -> BoolStrategy {
+        BoolStrategy
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($int:ty),*) => {$(
+        impl Arbitrary for $int {
+            type Strategy = std::ops::RangeInclusive<$int>;
+
+            fn arbitrary() -> Self::Strategy {
+                <$int>::MIN..=<$int>::MAX
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_bool_produces_both_values() {
+        let strategy = any::<bool>();
+        let mut rng = TestRng::for_case(3);
+        let mut seen = [false, false];
+        for _ in 0..64 {
+            seen[usize::from(strategy.generate(&mut rng))] = true;
+        }
+        assert_eq!(seen, [true, true]);
+    }
+
+    #[test]
+    fn any_u8_covers_the_band() {
+        let strategy = any::<u8>();
+        let mut rng = TestRng::for_case(4);
+        for _ in 0..100 {
+            let _: u8 = strategy.generate(&mut rng);
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// An inclusive size band for generated collections.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> SizeRange {
+        SizeRange {
+            lo: exact,
+            hi: exact,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(range: Range<usize>) -> SizeRange {
+        assert!(range.start < range.end, "empty size range");
+        SizeRange {
+            lo: range.start,
+            hi: range.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(range: RangeInclusive<usize>) -> SizeRange {
+        assert!(range.start() <= range.end(), "empty size range");
+        SizeRange {
+            lo: *range.start(),
+            hi: *range.end(),
+        }
+    }
+}
+
+/// A strategy for `Vec<S::Value>` with a length drawn from a [`SizeRange`].
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = self.size.hi - self.size.lo + 1;
+        let len = self.size.lo + rng.below(span);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// A strategy for vectors of values from `element`, with a length in `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::Just;
+
+    #[test]
+    fn vec_lengths_stay_in_band() {
+        let strategy = vec(Just(1u8), 2..=5);
+        let mut rng = TestRng::for_case(1);
+        for _ in 0..200 {
+            let v = strategy.generate(&mut rng);
+            assert!((2..=5).contains(&v.len()), "len = {}", v.len());
+            assert!(v.iter().all(|&x| x == 1));
+        }
+    }
+
+    #[test]
+    fn half_open_and_exact_sizes() {
+        let mut rng = TestRng::for_case(2);
+        for _ in 0..100 {
+            assert!(vec(Just(0u8), 0..3).generate(&mut rng).len() < 3);
+            assert_eq!(vec(Just(0u8), 4usize).generate(&mut rng).len(), 4);
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Shim for the subset of the proptest API this workspace uses.
+//!
+//! The build environment has no reachable crates registry, so the real
+//! `proptest` cannot be fetched.  This crate implements the pieces the
+//! property tests in `tests/prop_*.rs` rely on:
+//!
+//! * the [`Strategy`] trait with `prop_map` and `boxed`;
+//! * [`strategy::Just`], integer-range strategies, [`collection::vec`],
+//!   `any::<bool>()`, and the [`prop_oneof!`] union;
+//! * the [`proptest!`] test macro with `#![proptest_config(..)]` support and
+//!   the `prop_assert*` assertion macros;
+//! * a deterministic [`test_runner::TestRunner`] (seeded per case, so failures
+//!   are reproducible run-to-run).
+//!
+//! Deliberately omitted: shrinking, persistence files, `Arbitrary` derive, and
+//! non-uniform size distributions.  A failing case panics with the assertion
+//! message and the case index; rerunning reproduces it exactly because the
+//! per-case RNG seed is a pure function of the case index.
+
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// Combine several strategies producing the same value type; each generated
+/// value is drawn from one of the branches, chosen uniformly at random.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $(($weight, $crate::strategy::Union::branch($strategy))),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Union::branch($strategy)),+
+        ])
+    };
+}
+
+/// Reject the current case unless `cond` holds.
+///
+/// Like the real proptest, a rejected case is replaced by a freshly sampled
+/// one, and the test fails if the assumption rejects too large a fraction of
+/// the generated inputs (see [`test_runner::TestRunner::run`]).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)+)?) => {
+        if !($cond) {
+            $crate::test_runner::mark_case_rejected();
+            return;
+        }
+    };
+}
+
+/// Assert a condition inside a [`proptest!`] body.
+///
+/// The real proptest returns an error to the runner; this shim panics, which
+/// the runner reports together with the failing case index.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($arg:tt)*) => { assert!($($arg)*) };
+}
+
+/// Assert equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($arg:tt)*) => { assert_eq!($($arg)*) };
+}
+
+/// Assert inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($arg:tt)*) => { assert_ne!($($arg)*) };
+}
+
+/// Define property tests: each `fn name(x in strategy, ..) { body }` becomes a
+/// `#[test]` that runs `body` over `ProptestConfig::cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ( ($config:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($pat:pat in $strategy:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut runner = $crate::test_runner::TestRunner::new(config);
+                runner.run(stringify!($name), |rng| {
+                    $(
+                        let $pat = $crate::strategy::Strategy::generate(&($strategy), rng);
+                    )+
+                    $body
+                });
+            }
+        )*
+    };
+}

@@ -1,0 +1,13 @@
+//! The glob-import surface: `use proptest::prelude::*;`.
+
+pub use crate::arbitrary::any;
+pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+pub use crate::test_runner::ProptestConfig;
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+
+/// The `prop` namespace (`prop::collection::vec`), as re-exported by the real
+/// proptest prelude.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::strategy;
+}

@@ -1,0 +1,239 @@
+//! The [`Strategy`] trait and the combinators this workspace uses.
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+use std::sync::Arc;
+
+/// A recipe for generating values of an associated type.
+///
+/// Unlike the real proptest, generation is direct (no intermediate value
+/// trees) and there is no shrinking.
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// A strategy generating `map(v)` for each `v` this strategy generates.
+    fn prop_map<U, F>(self, map: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { source: self, map }
+    }
+
+    /// Type-erase this strategy behind a cheaply clonable handle.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Arc::new(self))
+    }
+}
+
+// Strategies are passed both by value and by reference in generated code.
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    source: S,
+    map: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.map)(self.source.generate(rng))
+    }
+}
+
+/// Object-safe view of a strategy, used by [`Union`] and [`BoxedStrategy`].
+pub trait DynStrategy<T> {
+    /// Generate one value (object-safe form of [`Strategy::generate`]).
+    fn generate_dyn(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased strategy handle; clones share the underlying strategy.
+pub struct BoxedStrategy<T>(Arc<dyn DynStrategy<T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate_dyn(rng)
+    }
+}
+
+/// The strategy produced by [`prop_oneof!`](crate::prop_oneof): draws each
+/// value from one of its branches, chosen with probability proportional to
+/// the branch weight (uniform for the unweighted form).
+pub struct Union<T> {
+    branches: Vec<(u32, Arc<dyn DynStrategy<T>>)>,
+    total_weight: u64,
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union {
+            branches: self.branches.clone(),
+            total_weight: self.total_weight,
+        }
+    }
+}
+
+impl<T> Union<T> {
+    /// Build a uniform union over the given branches (at least one).
+    pub fn new(branches: Vec<Arc<dyn DynStrategy<T>>>) -> Union<T> {
+        Union::new_weighted(branches.into_iter().map(|b| (1, b)).collect())
+    }
+
+    /// Build a weighted union over the given branches (at least one, with at
+    /// least one nonzero weight).
+    pub fn new_weighted(branches: Vec<(u32, Arc<dyn DynStrategy<T>>)>) -> Union<T> {
+        let total_weight: u64 = branches.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(
+            total_weight > 0,
+            "prop_oneof! needs at least one branch with nonzero weight"
+        );
+        Union {
+            branches,
+            total_weight,
+        }
+    }
+
+    /// Erase one branch strategy (used by the `prop_oneof!` expansion).
+    pub fn branch<S>(strategy: S) -> Arc<dyn DynStrategy<T>>
+    where
+        S: Strategy<Value = T> + 'static,
+    {
+        Arc::new(strategy)
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut ticket = rng.next_u64() % self.total_weight;
+        for (weight, branch) in &self.branches {
+            let weight = u64::from(*weight);
+            if ticket < weight {
+                return branch.generate_dyn(rng);
+            }
+            ticket -= weight;
+        }
+        unreachable!("ticket within total weight")
+    }
+}
+
+// Integer ranges are strategies; sampling is delegated to the vendored
+// `rand` crate (the same sampler `seqdl-wgen` uses), via `rand::Rng` on
+// [`TestRng`].
+macro_rules! impl_range_strategy {
+    ($($int:ty),*) => {$(
+        impl Strategy for Range<$int> {
+            type Value = $int;
+
+            fn generate(&self, rng: &mut TestRng) -> $int {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+
+        impl Strategy for RangeInclusive<$int> {
+            type Value = $int;
+
+            fn generate(&self, rng: &mut TestRng) -> $int {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_case(0)
+    }
+
+    #[test]
+    fn just_yields_its_value() {
+        assert_eq!(Just(7u32).generate(&mut rng()), 7);
+    }
+
+    #[test]
+    fn map_applies() {
+        let doubled = Just(21u32).prop_map(|n| n * 2);
+        assert_eq!(doubled.generate(&mut rng()), 42);
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let x = (3usize..9).generate(&mut r);
+            assert!((3..9).contains(&x));
+            let y = (0u8..=3).generate(&mut r);
+            assert!(y <= 3);
+        }
+    }
+
+    #[test]
+    fn union_draws_every_branch_eventually() {
+        let u = crate::prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut seen = std::collections::BTreeSet::new();
+        let mut r = rng();
+        for _ in 0..200 {
+            seen.insert(u.generate(&mut r));
+        }
+        assert_eq!(seen.into_iter().collect::<Vec<_>>(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn boxed_strategies_clone_and_generate() {
+        let b = Just("x").boxed();
+        let c = b.clone();
+        assert_eq!(b.generate(&mut rng()), c.generate(&mut rng()));
+    }
+}

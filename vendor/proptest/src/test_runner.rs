@@ -1,0 +1,181 @@
+//! Deterministic test running: configuration, the per-case RNG, and the runner.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cell::Cell;
+
+/// How many random cases a property test runs.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        // The real proptest defaults to 256; this shim keeps that count (the
+        // strategies in this workspace are cheap to sample).
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The RNG handed to strategies: the vendored `rand::rngs::StdRng`
+/// (SplitMix64), seeded per case.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// The RNG for attempt number `attempt` — a pure function of `attempt`,
+    /// so every run of the test binary generates the identical case sequence.
+    pub fn for_case(attempt: u32) -> TestRng {
+        TestRng {
+            inner: StdRng::seed_from_u64(0xD6E8_FEB8_6659_FD93 ^ (u64::from(attempt) << 17)),
+        }
+    }
+
+    /// The next raw 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// A uniform index in `0..bound` (`bound` must be nonzero).
+    pub fn below(&mut self, bound: usize) -> usize {
+        self.inner.gen_range(0..bound)
+    }
+}
+
+impl Rng for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+thread_local! {
+    /// Set by [`prop_assume!`](crate::prop_assume) when the current case's
+    /// inputs violate an assumption; read back by the runner.
+    static CASE_REJECTED: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Record that the current case was rejected by `prop_assume!`.
+pub fn mark_case_rejected() {
+    CASE_REJECTED.with(|flag| flag.set(true));
+}
+
+/// Clear and return the rejection flag for the case that just finished.
+fn take_case_rejected() -> bool {
+    CASE_REJECTED.with(|flag| flag.replace(false))
+}
+
+/// Runs a property over `cases` generated inputs.
+pub struct TestRunner {
+    config: ProptestConfig,
+}
+
+impl TestRunner {
+    /// A runner with the given configuration.
+    pub fn new(config: ProptestConfig) -> TestRunner {
+        TestRunner { config }
+    }
+
+    /// Run `property` until `cases` inputs have been *accepted*.
+    ///
+    /// A case rejected via `prop_assume!` is resampled with a fresh seed, and
+    /// — like the real proptest — the whole test fails if too many inputs are
+    /// rejected (10× the case count), so an over-selective assumption cannot
+    /// silently hollow the property out.  A panic inside the property is
+    /// caught, annotated with the test name and attempt index (which is all
+    /// that is needed to reproduce it, since attempt RNGs are deterministic),
+    /// and re-raised.
+    pub fn run(&mut self, name: &str, mut property: impl FnMut(&mut TestRng)) {
+        let max_rejects = u64::from(self.config.cases) * 10;
+        let mut accepted: u32 = 0;
+        let mut rejected: u64 = 0;
+        let mut attempt: u32 = 0;
+        while accepted < self.config.cases {
+            let mut rng = TestRng::for_case(attempt);
+            let outcome =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| property(&mut rng)));
+            match outcome {
+                Ok(()) if take_case_rejected() => {
+                    rejected += 1;
+                    assert!(
+                        rejected <= max_rejects,
+                        "proptest shim: property `{name}` rejected {rejected} inputs \
+                         (accepted only {accepted} of {} wanted cases) — \
+                         the prop_assume! condition is too selective for its generator",
+                        self.config.cases
+                    );
+                }
+                Ok(()) => accepted += 1,
+                Err(panic) => {
+                    take_case_rejected();
+                    eprintln!(
+                        "proptest shim: property `{name}` failed at attempt {attempt} \
+                         (case {accepted} of {})",
+                        self.config.cases
+                    );
+                    std::panic::resume_unwind(panic);
+                }
+            }
+            attempt = attempt.wrapping_add(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_rngs_are_deterministic() {
+        let a: Vec<u64> = (0..4).map(|c| TestRng::for_case(c).next_u64()).collect();
+        let b: Vec<u64> = (0..4).map(|c| TestRng::for_case(c).next_u64()).collect();
+        assert_eq!(a, b);
+        assert_ne!(a[0], a[1]);
+    }
+
+    #[test]
+    fn runner_runs_every_case() {
+        let mut count = 0u32;
+        TestRunner::new(ProptestConfig::with_cases(10)).run("counting", |_| count += 1);
+        assert_eq!(count, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn runner_propagates_failures() {
+        TestRunner::new(ProptestConfig::with_cases(3)).run("failing", |_| panic!("boom"));
+    }
+
+    #[test]
+    fn rejected_cases_are_resampled() {
+        // Reject every other attempt; the runner must still deliver the full
+        // case count by drawing replacements.
+        let mut accepted = 0u32;
+        let mut toggle = false;
+        TestRunner::new(ProptestConfig::with_cases(8)).run("assuming", |_| {
+            toggle = !toggle;
+            if toggle {
+                mark_case_rejected();
+                return;
+            }
+            accepted += 1;
+        });
+        assert_eq!(accepted, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "too selective")]
+    fn rejecting_everything_fails_the_test() {
+        TestRunner::new(ProptestConfig::with_cases(4)).run("hopeless", |_| mark_case_rejected());
+    }
+}
