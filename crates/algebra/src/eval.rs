@@ -96,7 +96,7 @@ pub fn eval(expr: &AlgebraExpr, instance: &Instance) -> Result<BTreeSet<Tuple>, 
                 if cell.len() == 1 {
                     if let Value::Packed(inner) = &cell[0] {
                         let mut nt = t.clone();
-                        nt[*column - 1] = inner.clone();
+                        nt[*column - 1] = inner.as_ref().clone();
                         out.insert(nt);
                     }
                 }

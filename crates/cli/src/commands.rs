@@ -167,7 +167,10 @@ fn cmd_run(flags: &Flags) -> Result<String, CliError> {
         }
         Some(relation) => {
             writeln!(report, "{output}: {} fact(s)", relation.len()).expect("write to string");
-            for tuple in relation.tuples() {
+            // Borrow and sort references for stable output; no tuple is cloned.
+            let mut rows: Vec<&seqdl_core::Tuple> = relation.iter().collect();
+            rows.sort();
+            for tuple in rows {
                 let args: Vec<String> = tuple.iter().map(ToString::to_string).collect();
                 writeln!(report, "  {output}({})", args.join(", ")).expect("write to string");
             }

@@ -6,14 +6,102 @@
 //! relations keyed by name and iterates as facts.
 
 use crate::error::CoreError;
-use crate::interner::RelName;
+use crate::interner::{AtomId, RelName};
 use crate::path::Path;
 use crate::value::Value;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
+use std::hash::{BuildHasherDefault, Hash, Hasher};
 
 /// A tuple of paths — one row of an n-ary relation.
 pub type Tuple = Vec<Path>;
+
+/// A fast multiply-xor hasher (FxHash-style).  Used for the relation-internal hash
+/// maps: deterministic across runs (unlike `RandomState`) and much cheaper than
+/// SipHash for the short interned-symbol sequences that make up tuples.  The
+/// integer-write fast paths matter: tuple hashing is one `write_*` per length
+/// prefix and per interned id.
+#[derive(Clone)]
+pub struct FxHasher(u64);
+
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl Default for FxHasher {
+    fn default() -> FxHasher {
+        FxHasher(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl FxHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.0 = (self.0 ^ word).rotate_left(26).wrapping_mul(FX_SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.mix(u64::from_le_bytes(buf));
+        }
+    }
+
+    fn write_u8(&mut self, v: u8) {
+        self.mix(u64::from(v));
+    }
+
+    fn write_u32(&mut self, v: u32) {
+        self.mix(u64::from(v));
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.mix(v);
+    }
+
+    fn write_usize(&mut self, v: usize) {
+        self.mix(v as u64);
+    }
+}
+
+type FxMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+fn hash_tuple(tuple: &[Path]) -> u64 {
+    let mut h = FxHasher::default();
+    tuple.hash(&mut h);
+    h.finish()
+}
+
+/// The index key of one column of a tuple: the shape of the column path's *first*
+/// value.  Column indexes map these keys to tuple ids, so an evaluator that knows a
+/// column must start with a given atom (or must be empty, or must start with a
+/// packed value) probes a bucket instead of scanning the whole relation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ColKey {
+    /// The column holds the empty path `ε`.
+    Empty,
+    /// The column's first value is the given atom.
+    Atom(AtomId),
+    /// The column's first value is a packed value (all packed values share one
+    /// bucket; candidates still go through full matching).
+    Packed,
+}
+
+impl ColKey {
+    /// The key of a ground column path.
+    pub fn of_path(path: &Path) -> ColKey {
+        match path.values().first() {
+            None => ColKey::Empty,
+            Some(Value::Atom(a)) => ColKey::Atom(*a),
+            Some(Value::Packed(_)) => ColKey::Packed,
+        }
+    }
+}
 
 /// A fact `R(p1, …, pn)`.
 #[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
@@ -36,16 +124,20 @@ impl Fact {
     }
 }
 
+fn fmt_fact(f: &mut fmt::Formatter<'_>, relation: RelName, tuple: &[Path]) -> fmt::Result {
+    write!(f, "{relation}(")?;
+    for (i, p) in tuple.iter().enumerate() {
+        if i > 0 {
+            f.write_str(", ")?;
+        }
+        write!(f, "{p}")?;
+    }
+    f.write_str(")")
+}
+
 impl fmt::Display for Fact {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}(", self.relation)?;
-        for (i, p) in self.tuple.iter().enumerate() {
-            if i > 0 {
-                f.write_str(", ")?;
-            }
-            write!(f, "{p}")?;
-        }
-        f.write_str(")")
+        fmt_fact(f, self.relation, &self.tuple)
     }
 }
 
@@ -107,10 +199,23 @@ impl Schema {
 }
 
 /// A finite n-ary relation on paths.
-#[derive(Clone, PartialEq, Eq, Debug)]
+///
+/// Storage is *insertion-ordered*: tuples live in a `Vec` and a tuple's position in
+/// that vector is its stable *id*.  Because ids only grow, a consumer can remember
+/// [`Relation::len`] as a watermark and later read "everything inserted since" as
+/// the borrowed slice [`Relation::slice_from`] — the shape semi-naive Datalog
+/// evaluation needs for delta views without copying tuples.  Deduplication goes
+/// through a hash map (tuple hash → candidate ids), and every column keeps a
+/// first-value index ([`ColKey`] → ids) so matching can probe instead of scan.
+#[derive(Clone, Debug)]
 pub struct Relation {
     arity: usize,
-    tuples: BTreeSet<Tuple>,
+    /// Tuples in insertion order; a tuple's index is its id.
+    tuples: Vec<Tuple>,
+    /// Tuple hash → ids with that hash (dedup without storing tuples twice).
+    dedup: FxMap<u64, Vec<u32>>,
+    /// One index per column: first-value key → ids, in ascending id order.
+    columns: Vec<FxMap<ColKey, Vec<u32>>>,
 }
 
 impl Relation {
@@ -118,7 +223,9 @@ impl Relation {
     pub fn new(arity: usize) -> Relation {
         Relation {
             arity,
-            tuples: BTreeSet::new(),
+            tuples: Vec::new(),
+            dedup: FxMap::default(),
+            columns: (0..arity).map(|_| FxMap::default()).collect(),
         }
     }
 
@@ -137,36 +244,95 @@ impl Relation {
         self.tuples.is_empty()
     }
 
-    /// Insert a tuple; returns `true` if it was new.
+    /// Insert a tuple; returns `true` if it was new.  `relation` is the name this
+    /// relation is registered under, used only for error reporting.
     ///
     /// # Errors
     /// Fails if the tuple's length differs from the relation's arity.
-    pub fn insert(&mut self, tuple: Tuple) -> Result<bool, CoreError> {
+    pub fn insert(&mut self, relation: RelName, tuple: Tuple) -> Result<bool, CoreError> {
         if tuple.len() != self.arity {
             return Err(CoreError::ArityMismatch {
-                relation: RelName::new("<anonymous>"),
+                relation,
                 expected: self.arity,
                 found: tuple.len(),
             });
         }
-        Ok(self.tuples.insert(tuple))
+        let hash = hash_tuple(&tuple);
+        let bucket = self.dedup.entry(hash).or_default();
+        if bucket.iter().any(|&id| self.tuples[id as usize] == tuple) {
+            return Ok(false);
+        }
+        let id = u32::try_from(self.tuples.len()).expect("more than u32::MAX tuples");
+        bucket.push(id);
+        for (column, path) in tuple.iter().enumerate() {
+            self.columns[column]
+                .entry(ColKey::of_path(path))
+                .or_default()
+                .push(id);
+        }
+        self.tuples.push(tuple);
+        Ok(true)
     }
 
     /// Does the relation contain `tuple`?
     pub fn contains(&self, tuple: &[Path]) -> bool {
-        self.tuples.contains(tuple)
+        if tuple.len() != self.arity {
+            return false;
+        }
+        self.dedup
+            .get(&hash_tuple(tuple))
+            .is_some_and(|bucket| bucket.iter().any(|&id| self.tuples[id as usize] == tuple))
     }
 
-    /// Iterate over the tuples in lexicographic order.
+    /// Iterate over the tuples in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = &Tuple> + '_ {
         self.tuples.iter()
     }
 
-    /// All tuples, cloned into a vector.
+    /// All tuples as a borrowed slice, in insertion order (a tuple's index is its
+    /// id).  This is the zero-copy way to read a relation.
+    pub fn as_slice(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// The tuples with id ≥ `start`, as a borrowed slice.  With `start` taken from
+    /// an earlier [`Relation::len`] call, this is the *delta view* "everything
+    /// inserted since" — no tuples are copied.
+    pub fn slice_from(&self, start: usize) -> &[Tuple] {
+        &self.tuples[start.min(self.tuples.len())..]
+    }
+
+    /// The ids (ascending) of tuples whose `column`-th path starts with `key`.
+    /// Out-of-range columns and absent keys yield the empty slice.
+    pub fn probe(&self, column: usize, key: ColKey) -> &[u32] {
+        self.columns
+            .get(column)
+            .and_then(|index| index.get(&key))
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// All tuples, cloned into a vector in lexicographic order.
+    ///
+    /// This is a snapshot convenience for reporting and tests; hot paths should use
+    /// [`Relation::iter`] or [`Relation::as_slice`] instead, which do not clone.
     pub fn tuples(&self) -> Vec<Tuple> {
-        self.tuples.iter().cloned().collect()
+        let mut out = self.tuples.clone();
+        out.sort();
+        out
     }
 }
+
+/// Relations compare as *sets* of tuples: insertion order is storage detail, not
+/// semantics.
+impl PartialEq for Relation {
+    fn eq(&self, other: &Relation) -> bool {
+        self.arity == other.arity
+            && self.tuples.len() == other.tuples.len()
+            && self.tuples.iter().all(|t| other.contains(t))
+    }
+}
+
+impl Eq for Relation {}
 
 /// An instance: a mapping from relation names to relations, equivalently a finite
 /// set of facts (Section 2.3).
@@ -214,25 +380,26 @@ impl Instance {
     /// # Errors
     /// Fails on arity mismatch with previously inserted facts.
     pub fn insert_fact(&mut self, fact: Fact) -> Result<bool, CoreError> {
+        Ok(self.insert_fact_new(fact)?.is_some())
+    }
+
+    /// Insert a fact; if it was new, return a borrow of the stored tuple (its id is
+    /// the relation's new last index).  This is the single-lookup entry point the
+    /// fixpoint loop uses: the caller can inspect the freshly inserted tuple
+    /// without a second relation lookup and without having cloned it.
+    ///
+    /// # Errors
+    /// Fails on arity mismatch with previously inserted facts.
+    pub fn insert_fact_new(&mut self, fact: Fact) -> Result<Option<&Tuple>, CoreError> {
         let arity = fact.arity();
         let relation = fact.relation;
         let rel = self
             .relations
             .entry(relation)
             .or_insert_with(|| Relation::new(arity));
-        if rel.arity() != arity {
-            return Err(CoreError::ArityMismatch {
-                relation,
-                expected: rel.arity(),
-                found: arity,
-            });
-        }
-        rel.insert(fact.tuple)
-            .map_err(|_| CoreError::ArityMismatch {
-                relation,
-                expected: arity,
-                found: arity,
-            })
+        Ok(rel
+            .insert(relation, fact.tuple)?
+            .then(|| rel.as_slice().last().expect("just inserted")))
     }
 
     /// Insert an empty relation of the given arity (or leave an existing one alone).
@@ -279,11 +446,21 @@ impl Instance {
         self.relations.keys().copied().collect()
     }
 
-    /// Iterate over all facts of the instance, in deterministic order.
-    pub fn facts(&self) -> impl Iterator<Item = Fact> + '_ {
+    /// Iterate over all facts of the instance *without cloning*, in deterministic
+    /// order, as `(relation, tuple)` pairs.  This is the iterator the instance-wide
+    /// classification predicates and [`fmt::Display`] are built on.
+    pub fn facts_ref(&self) -> impl Iterator<Item = (RelName, &Tuple)> + '_ {
         self.relations
             .iter()
-            .flat_map(|(name, rel)| rel.iter().map(move |t| Fact::new(*name, t.clone())))
+            .flat_map(|(name, rel)| rel.iter().map(move |t| (*name, t)))
+    }
+
+    /// Iterate over all facts of the instance, in deterministic order.  Each fact
+    /// owns a clone of its tuple; prefer [`Instance::facts_ref`] where a borrow
+    /// suffices.
+    pub fn facts(&self) -> impl Iterator<Item = Fact> + '_ {
+        self.facts_ref()
+            .map(|(name, tuple)| Fact::new(name, tuple.clone()))
     }
 
     /// Total number of facts.
@@ -293,28 +470,29 @@ impl Instance {
 
     /// An instance is *flat* if no packed value occurs anywhere in it (Section 3.1).
     pub fn is_flat(&self) -> bool {
-        self.facts().all(|f| f.tuple.iter().all(Path::is_flat))
+        self.facts_ref()
+            .all(|(_, tuple)| tuple.iter().all(Path::is_flat))
     }
 
     /// An instance is *classical* if every component of every fact is a length-1
     /// path holding an atomic value (Section 2.1).
     pub fn is_classical(&self) -> bool {
-        self.facts()
-            .all(|f| f.tuple.iter().all(|p| p.len() == 1 && p[0].is_atom()))
+        self.facts_ref()
+            .all(|(_, tuple)| tuple.iter().all(|p| p.len() == 1 && p[0].is_atom()))
     }
 
     /// An instance is *two-bounded* if only paths of length one or two occur in it
     /// (Section 5.2).
     pub fn is_two_bounded(&self) -> bool {
-        self.facts()
-            .all(|f| f.tuple.iter().all(|p| (1..=2).contains(&p.len())))
+        self.facts_ref()
+            .all(|(_, tuple)| tuple.iter().all(|p| (1..=2).contains(&p.len())))
     }
 
     /// The largest path length occurring in the instance (0 for the empty instance).
     /// Used to state the linear output bound of Lemma 5.1.
     pub fn max_path_len(&self) -> usize {
-        self.facts()
-            .flat_map(|f| f.tuple.into_iter().map(|p| p.len()))
+        self.facts_ref()
+            .flat_map(|(_, tuple)| tuple.iter().map(Path::len))
             .max()
             .unwrap_or(0)
     }
@@ -345,8 +523,8 @@ impl Instance {
     /// Fails if a relation appears in both with different arities.
     pub fn union(&self, other: &Instance) -> Result<Instance, CoreError> {
         let mut out = self.clone();
-        for fact in other.facts() {
-            out.insert_fact(fact)?;
+        for (name, tuple) in other.facts_ref() {
+            out.insert_fact(Fact::new(name, tuple.clone()))?;
         }
         // Preserve empty relations declared in `other`.
         for (name, rel) in &other.relations {
@@ -371,8 +549,8 @@ impl Instance {
             }
         }
         let mut out = BTreeSet::new();
-        for fact in self.facts() {
-            for path in &fact.tuple {
+        for (_, tuple) in self.facts_ref() {
+            for path in tuple {
                 for v in path.iter() {
                     collect(v, &mut out);
                 }
@@ -385,11 +563,12 @@ impl Instance {
 impl fmt::Display for Instance {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let mut first = true;
-        for fact in self.facts() {
+        for (name, tuple) in self.facts_ref() {
             if !first {
                 f.write_str("\n")?;
             }
-            write!(f, "{fact}.")?;
+            fmt_fact(f, name, tuple)?;
+            f.write_str(".")?;
             first = false;
         }
         Ok(())
@@ -543,6 +722,87 @@ mod tests {
         assert_eq!(Instance::new().max_path_len(), 0);
         let inst = Instance::unary(rel("R"), [repeat_path("a", 7), repeat_path("a", 2)]);
         assert_eq!(inst.max_path_len(), 7);
+    }
+
+    #[test]
+    fn relation_insert_reports_the_real_name_and_expected_arity() {
+        let mut r = Relation::new(3);
+        let err = r
+            .insert(rel("D"), vec![path_of(&["q"]), path_of(&["a"])])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            CoreError::ArityMismatch {
+                relation: rel("D"),
+                expected: 3,
+                found: 2
+            }
+        );
+    }
+
+    #[test]
+    fn relation_storage_is_insertion_ordered_with_stable_ids() {
+        let mut r = Relation::new(1);
+        r.insert(rel("R"), vec![path_of(&["b"])]).unwrap();
+        r.insert(rel("R"), vec![path_of(&["a"])]).unwrap();
+        assert!(!r.insert(rel("R"), vec![path_of(&["b"])]).unwrap());
+        // Insertion order is preserved; `tuples()` snapshots sort.
+        assert_eq!(r.as_slice()[0], vec![path_of(&["b"])]);
+        assert_eq!(r.as_slice()[1], vec![path_of(&["a"])]);
+        assert_eq!(
+            r.tuples(),
+            vec![vec![path_of(&["a"])], vec![path_of(&["b"])]]
+        );
+        // Watermark slices expose exactly the tuples inserted since.
+        let mark = r.len();
+        r.insert(rel("R"), vec![path_of(&["c"])]).unwrap();
+        assert_eq!(r.slice_from(mark), &[vec![path_of(&["c"])]]);
+        assert!(r.slice_from(17).is_empty());
+        // Set semantics for equality, independent of insertion order.
+        let mut other = Relation::new(1);
+        for name in ["c", "b", "a"] {
+            other.insert(rel("R"), vec![path_of(&[name])]).unwrap();
+        }
+        assert_eq!(r, other);
+        other.insert(rel("R"), vec![path_of(&["d"])]).unwrap();
+        assert_ne!(r, other);
+    }
+
+    #[test]
+    fn column_index_probes_by_first_value() {
+        let mut r = Relation::new(2);
+        r.insert(rel("T"), vec![path_of(&["a", "b"]), Path::empty()])
+            .unwrap();
+        r.insert(rel("T"), vec![path_of(&["a"]), path_of(&["c"])])
+            .unwrap();
+        r.insert(
+            rel("T"),
+            vec![
+                Path::singleton(Value::packed(path_of(&["z"]))),
+                path_of(&["c"]),
+            ],
+        )
+        .unwrap();
+        assert_eq!(r.probe(0, ColKey::Atom(atom("a"))), &[0, 1]);
+        assert_eq!(r.probe(0, ColKey::Packed), &[2]);
+        assert_eq!(r.probe(1, ColKey::Empty), &[0]);
+        assert_eq!(r.probe(1, ColKey::Atom(atom("c"))), &[1, 2]);
+        assert!(r.probe(1, ColKey::Atom(atom("z"))).is_empty());
+        assert!(r.probe(9, ColKey::Empty).is_empty());
+    }
+
+    #[test]
+    fn borrowing_facts_iterator_agrees_with_the_owning_one() {
+        let mut inst = Instance::new();
+        inst.insert_fact(fact("R", &[&["x"]])).unwrap();
+        inst.insert_fact(fact("D", &[&["q"], &["a"], &["p"]]))
+            .unwrap();
+        let owned: Vec<Fact> = inst.facts().collect();
+        let borrowed: Vec<Fact> = inst
+            .facts_ref()
+            .map(|(name, t)| Fact::new(name, t.clone()))
+            .collect();
+        assert_eq!(owned, borrowed);
     }
 
     #[test]

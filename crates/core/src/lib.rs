@@ -27,7 +27,7 @@ pub mod path;
 pub mod value;
 
 pub use error::CoreError;
-pub use instance::{Fact, Instance, Relation, Schema, Tuple};
+pub use instance::{ColKey, Fact, Instance, Relation, Schema, Tuple};
 pub use interner::{AtomId, RelName, Symbol, VarSym};
 pub use path::Path;
 pub use value::Value;

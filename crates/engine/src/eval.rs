@@ -1,10 +1,11 @@
 //! Stratum-by-stratum fixpoint evaluation (Section 2.3).
 
 use crate::error::{EvalError, LimitKind};
-use crate::matching::{equation_holds, ground_tuple, match_equation, match_predicate};
-use crate::plan::{plan_rule, BodyPlan, PlannedLiteral};
-use seqdl_core::{Fact, Instance, RelName, Tuple};
-use seqdl_syntax::{Program, ProgramInfo, Rule, Stratum, Valuation};
+use crate::matching::{equation_holds, ground_tuple, match_equation, match_predicate_sink};
+use crate::plan::{plan_rule, BodyPlan, ColumnProbe, PlannedLiteral, PlannedPredicate};
+use seqdl_core::{ColKey, Fact, Instance, RelName, Relation, Value};
+use seqdl_syntax::{Binding, Program, ProgramInfo, Rule, Stratum, Valuation};
+use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Resource limits for evaluation.
@@ -139,16 +140,39 @@ impl Engine {
             return Ok(());
         }
         let stratum_heads: BTreeSet<RelName> = stratum.head_relations();
-        let plans: Vec<(Rule, BodyPlan)> = stratum
+        let plans: Vec<(&Rule, BodyPlan)> = stratum
             .rules
             .iter()
-            .map(|r| plan_rule(r).map(|p| (r.clone(), p)))
+            .map(|r| plan_rule(r).map(|p| (r, p)))
             .collect::<Result<_, _>>()?;
+        // For semi-naive firing: the plan positions (per rule) that match a
+        // relation defined in this stratum.  Only instantiations using at least
+        // one delta fact can be new, so one restricted variant fires per position.
+        let recursive_positions: Vec<Vec<usize>> = plans
+            .iter()
+            .map(|(_, plan)| {
+                plan.steps
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, s)| match s {
+                        PlannedLiteral::MatchPredicate(p)
+                            if stratum_heads.contains(&p.pred.relation) =>
+                        {
+                            Some(i)
+                        }
+                        _ => None,
+                    })
+                    .collect()
+            })
+            .collect();
 
-        // delta = facts of this stratum's head relations derived in the previous
-        // iteration.
-        let mut delta: BTreeMap<RelName, Vec<Tuple>> = BTreeMap::new();
+        // Semi-naive delta as *watermarks* into the insertion-ordered store: for
+        // each head relation, the id of the first tuple inserted in the previous
+        // iteration.  The delta itself is then the borrowed slice
+        // `relation.slice_from(watermark)` — no tuples are ever copied out.
+        let mut delta_start: BTreeMap<RelName, usize> = BTreeMap::new();
         let mut iteration = 0usize;
+        let mut new_facts: Vec<Fact> = Vec::new();
         loop {
             if iteration >= self.limits.max_iterations {
                 return Err(EvalError::LimitExceeded {
@@ -157,168 +181,281 @@ impl Engine {
                 });
             }
             stats.iterations += 1;
-            let mut new_facts: Vec<Fact> = Vec::new();
-            for (rule, plan) in &plans {
+            for ((rule, plan), positions) in plans.iter().zip(&recursive_positions) {
                 if iteration == 0 {
-                    new_facts.extend(self.fire_rule(rule, plan, instance, None, stats)?);
+                    self.fire_rule(rule, plan, instance, None, stats, &mut new_facts)?;
                     continue;
                 }
                 match self.strategy {
                     FixpointStrategy::Naive => {
-                        new_facts.extend(self.fire_rule(rule, plan, instance, None, stats)?);
+                        self.fire_rule(rule, plan, instance, None, stats, &mut new_facts)?;
                     }
                     FixpointStrategy::SemiNaive => {
-                        // Only instantiations using at least one delta fact can be
-                        // new; fire one variant per recursive predicate position.
-                        let recursive_positions: Vec<usize> = plan
-                            .steps
-                            .iter()
-                            .enumerate()
-                            .filter_map(|(i, s)| match s {
-                                PlannedLiteral::MatchPredicate(p)
-                                    if stratum_heads.contains(&p.relation) =>
-                                {
-                                    Some(i)
+                        for &pos in positions {
+                            // An empty delta at the restricted position cannot
+                            // contribute a new instantiation; skip the variant
+                            // before any earlier step does scan work.
+                            if let PlannedLiteral::MatchPredicate(p) = &plan.steps[pos] {
+                                let r = p.pred.relation;
+                                let len = instance.relation(r).map_or(0, Relation::len);
+                                if delta_start.get(&r).copied().unwrap_or(len) >= len {
+                                    continue;
                                 }
-                                _ => None,
-                            })
-                            .collect();
-                        for pos in recursive_positions {
-                            new_facts.extend(self.fire_rule(
+                            }
+                            self.fire_rule(
                                 rule,
                                 plan,
                                 instance,
-                                Some((pos, &delta)),
+                                Some((pos, &delta_start)),
                                 stats,
-                            )?);
+                                &mut new_facts,
+                            )?;
                         }
                     }
                 }
             }
 
-            // Insert genuinely new facts and build the next delta.
-            let mut next_delta: BTreeMap<RelName, Vec<Tuple>> = BTreeMap::new();
-            for fact in new_facts {
-                for path in &fact.tuple {
-                    if path.len() > self.limits.max_path_len {
-                        return Err(EvalError::LimitExceeded {
-                            what: LimitKind::PathLength,
-                            limit: self.limits.max_path_len,
-                        });
-                    }
+            // Record the current length of every head relation — the tuples
+            // inserted below land at ids ≥ these marks and form the next delta.
+            let marks: BTreeMap<RelName, usize> = stratum_heads
+                .iter()
+                .map(|r| (*r, instance.relation(*r).map_or(0, Relation::len)))
+                .collect();
+
+            // Insert the new facts.  Each fact is *moved* into the store (no tuple
+            // clone), duplicates cost one dedup-map lookup, and the path-length
+            // limit is checked once per genuinely new head tuple — anything
+            // already in the instance passed that check when it was first
+            // inserted, so duplicates are not re-walked.
+            let mut grew = false;
+            for fact in new_facts.drain(..) {
+                let Some(inserted_tuple) =
+                    instance.insert_fact_new(fact).map_err(EvalError::Data)?
+                else {
+                    continue;
+                };
+                if inserted_tuple
+                    .iter()
+                    .any(|p| p.len() > self.limits.max_path_len)
+                {
+                    return Err(EvalError::LimitExceeded {
+                        what: LimitKind::PathLength,
+                        limit: self.limits.max_path_len,
+                    });
                 }
-                let relation = fact.relation;
-                let tuple = fact.tuple.clone();
-                let inserted = instance.insert_fact(fact).map_err(EvalError::Data)?;
-                if inserted {
-                    stats.derived_facts += 1;
-                    if stats.derived_facts > self.limits.max_facts {
-                        return Err(EvalError::LimitExceeded {
-                            what: LimitKind::Facts,
-                            limit: self.limits.max_facts,
-                        });
-                    }
-                    next_delta.entry(relation).or_default().push(tuple);
+                grew = true;
+                stats.derived_facts += 1;
+                if stats.derived_facts > self.limits.max_facts {
+                    return Err(EvalError::LimitExceeded {
+                        what: LimitKind::Facts,
+                        limit: self.limits.max_facts,
+                    });
                 }
             }
 
-            if next_delta.is_empty() {
+            if !grew {
                 return Ok(());
             }
-            delta = next_delta;
+            delta_start = marks;
             iteration += 1;
         }
     }
 
-    /// Evaluate one rule against the instance.  If `restrict` is given, the
-    /// predicate at that plan position draws its tuples from the delta instead of
-    /// the full instance.
+    /// Evaluate one rule against the instance, appending every derived head fact
+    /// to `out`.  If `restrict` is given, the predicate at that plan position only
+    /// draws tuples with ids at or above the delta watermark (i.e. the facts
+    /// derived in the previous iteration).
+    ///
+    /// Evaluation is a fully pipelined depth-first nested-loop join: a single
+    /// valuation is threaded through every body step by backtracking, and the head
+    /// is grounded at the innermost level, so no intermediate frontier of
+    /// valuations is ever materialised.
+    #[allow(clippy::too_many_arguments)]
     fn fire_rule(
         &self,
         rule: &Rule,
         plan: &BodyPlan,
         instance: &Instance,
-        restrict: Option<(usize, &BTreeMap<RelName, Vec<Tuple>>)>,
+        restrict: Option<(usize, &BTreeMap<RelName, usize>)>,
         stats: &mut EvalStats,
-    ) -> Result<Vec<Fact>, EvalError> {
-        let mut frontier = vec![Valuation::new()];
-        for (ix, step) in plan.steps.iter().enumerate() {
-            if frontier.is_empty() {
-                return Ok(Vec::new());
-            }
-            let mut next = Vec::new();
-            match step {
-                PlannedLiteral::MatchPredicate(pred) => {
-                    let restricted_here = restrict.as_ref().is_some_and(|(pos, _)| *pos == ix);
-                    let tuples: Vec<Tuple> = if restricted_here {
-                        let (_, delta) = restrict.as_ref().expect("checked above");
-                        delta.get(&pred.relation).cloned().unwrap_or_default()
-                    } else {
-                        instance
-                            .relation(pred.relation)
-                            .map(|r| r.tuples())
-                            .unwrap_or_default()
-                    };
-                    for nu in &frontier {
-                        for tuple in &tuples {
-                            next.extend(match_predicate(pred, tuple, nu));
-                        }
-                    }
-                }
-                PlannedLiteral::SolveEquation(eq) => {
-                    for nu in &frontier {
-                        match match_equation(eq, nu) {
-                            Some(extensions) => next.extend(extensions),
-                            None => {
-                                return Err(EvalError::Unplannable {
-                                    rule: rule.to_string(),
-                                })
-                            }
-                        }
-                    }
-                }
-                PlannedLiteral::CheckNegatedPredicate(pred) => {
-                    for nu in &frontier {
-                        let Some(tuple) = ground_tuple(pred, nu) else {
-                            return Err(EvalError::Unplannable {
-                                rule: rule.to_string(),
-                            });
-                        };
-                        let present = instance.contains_fact(&Fact::new(pred.relation, tuple));
-                        if !present {
-                            next.push(nu.clone());
-                        }
-                    }
-                }
-                PlannedLiteral::CheckNegatedEquation(eq) => {
-                    for nu in &frontier {
-                        match equation_holds(eq, nu) {
-                            Some(false) => next.push(nu.clone()),
-                            Some(true) => {}
-                            None => {
-                                return Err(EvalError::Unplannable {
-                                    rule: rule.to_string(),
-                                })
-                            }
-                        }
-                    }
-                }
-            }
-            frontier = next;
-        }
-
-        let mut out = Vec::new();
-        for nu in &frontier {
-            let Some(tuple) = ground_tuple(&rule.head, nu) else {
-                return Err(EvalError::Unplannable {
-                    rule: rule.to_string(),
-                });
+        out: &mut Vec<Fact>,
+    ) -> Result<(), EvalError> {
+        let head = &rule.head;
+        // Errors discovered inside the enumeration (an unsafe rule reaching a
+        // step with unbound variables) land here; the sink-based matchers have no
+        // return channel.  Errors are fatal, so finishing the walk first is fine.
+        let err: RefCell<Option<EvalError>> = RefCell::new(None);
+        let mut nu = Valuation::new();
+        let mut emit = |nu: &mut Valuation| {
+            let Some(tuple) = ground_tuple(head, nu) else {
+                err.borrow_mut()
+                    .get_or_insert_with(|| EvalError::Unplannable {
+                        rule: rule.to_string(),
+                    });
+                return;
             };
             stats.rule_firings += 1;
-            out.push(Fact::new(rule.head.relation, tuple));
+            out.push(Fact::new(head.relation, tuple));
+        };
+        eval_steps(
+            &plan.steps,
+            0,
+            instance,
+            restrict,
+            rule,
+            &mut nu,
+            &err,
+            &mut emit,
+        );
+        drop(emit);
+        match err.into_inner() {
+            Some(e) => Err(e),
+            None => Ok(()),
         }
-        Ok(out)
     }
+}
+
+/// Run the body steps `steps[0..]` (at absolute plan offset `base_ix`) against
+/// `instance` under the partial valuation `nu`, calling `emit` once per valuation
+/// that satisfies the whole remaining body.  Backtracks on `nu` in place.
+#[allow(clippy::too_many_arguments)]
+fn eval_steps(
+    steps: &[PlannedLiteral],
+    base_ix: usize,
+    instance: &Instance,
+    restrict: Option<(usize, &BTreeMap<RelName, usize>)>,
+    rule: &Rule,
+    nu: &mut Valuation,
+    err: &RefCell<Option<EvalError>>,
+    emit: &mut dyn FnMut(&mut Valuation),
+) {
+    if err.borrow().is_some() {
+        return;
+    }
+    let unplannable = || EvalError::Unplannable {
+        rule: rule.to_string(),
+    };
+    let Some((step, rest)) = steps.split_first() else {
+        emit(nu);
+        return;
+    };
+    match step {
+        PlannedLiteral::MatchPredicate(planned) => {
+            let pred = &planned.pred;
+            // An absent or arity-mismatched relation has no matching tuples: the
+            // positive match fails outright.
+            let Some(relation) = instance.relation(pred.relation) else {
+                return;
+            };
+            if relation.arity() != pred.args.len() {
+                return;
+            }
+            // Tuples below the watermark are excluded at a restricted (delta)
+            // position; everywhere else the full store is visible.
+            let first_id = if restrict.is_some_and(|(pos, _)| pos == base_ix) {
+                let (_, starts) = restrict.expect("checked above");
+                starts
+                    .get(&pred.relation)
+                    .copied()
+                    .unwrap_or(relation.len())
+            } else {
+                0
+            };
+            let tuples = relation.as_slice();
+            let mut cont = |nu: &mut Valuation| {
+                eval_steps(
+                    rest,
+                    base_ix + 1,
+                    instance,
+                    restrict,
+                    rule,
+                    nu,
+                    err,
+                    &mut *emit,
+                );
+            };
+            match probe_key(planned, nu) {
+                Some((column, key)) => {
+                    let ids = relation.probe(column, key);
+                    let lo = ids.partition_point(|&id| (id as usize) < first_id);
+                    for &id in &ids[lo..] {
+                        match_predicate_sink(pred, &tuples[id as usize], nu, &mut cont);
+                    }
+                }
+                None => {
+                    for tuple in relation.slice_from(first_id) {
+                        match_predicate_sink(pred, tuple, nu, &mut cont);
+                    }
+                }
+            }
+        }
+        PlannedLiteral::SolveEquation(eq) => match match_equation(eq, nu) {
+            Some(extensions) => {
+                for mut ext in extensions {
+                    eval_steps(
+                        rest,
+                        base_ix + 1,
+                        instance,
+                        restrict,
+                        rule,
+                        &mut ext,
+                        err,
+                        emit,
+                    );
+                }
+            }
+            None => {
+                err.borrow_mut().get_or_insert_with(unplannable);
+            }
+        },
+        PlannedLiteral::CheckNegatedPredicate(pred) => {
+            let Some(tuple) = ground_tuple(pred, nu) else {
+                err.borrow_mut().get_or_insert_with(unplannable);
+                return;
+            };
+            if !instance.contains_fact(&Fact::new(pred.relation, tuple)) {
+                eval_steps(rest, base_ix + 1, instance, restrict, rule, nu, err, emit);
+            }
+        }
+        PlannedLiteral::CheckNegatedEquation(eq) => match equation_holds(eq, nu) {
+            Some(false) => eval_steps(rest, base_ix + 1, instance, restrict, rule, nu, err, emit),
+            Some(true) => {}
+            None => {
+                err.borrow_mut().get_or_insert_with(unplannable);
+            }
+        },
+    }
+}
+
+/// The first usable column-index key for `planned` under the valuation `nu`, as
+/// `(column, key)`.  Returns `None` when no column yields a key, in which case the
+/// caller falls back to scanning the relation.
+fn probe_key(planned: &PlannedPredicate, nu: &Valuation) -> Option<(usize, ColKey)> {
+    for (column, probe) in planned.probes.iter().enumerate() {
+        match probe {
+            ColumnProbe::Scan => {}
+            ColumnProbe::Empty => return Some((column, ColKey::Empty)),
+            ColumnProbe::Const(a) => return Some((column, ColKey::Atom(*a))),
+            ColumnProbe::Packed => return Some((column, ColKey::Packed)),
+            ColumnProbe::AtomVar(v) => {
+                if let Some(Binding::Atom(a)) = nu.get(*v) {
+                    return Some((column, ColKey::Atom(*a)));
+                }
+            }
+            ColumnProbe::PathVar(v) => {
+                if let Some(Binding::Path(p)) = nu.get(*v) {
+                    match p.values().first() {
+                        Some(Value::Atom(a)) => return Some((column, ColKey::Atom(*a))),
+                        Some(Value::Packed(_)) => return Some((column, ColKey::Packed)),
+                        // A variable bound to ε constrains nothing about the
+                        // column's first value; try the next column.
+                        None => {}
+                    }
+                }
+            }
+        }
+    }
+    None
 }
 
 #[cfg(test)]

@@ -12,7 +12,10 @@ use seqdl_syntax::{Binding, Equation, PathExpr, Predicate, Term, Valuation, VarK
 /// All extensions of `valuation` that make `expr` denote exactly `path`.
 pub fn match_expr(expr: &PathExpr, path: &Path, valuation: &Valuation) -> Vec<Valuation> {
     let mut out = Vec::new();
-    match_terms(expr.terms(), path.values(), valuation, &mut out);
+    let mut scratch = valuation.clone();
+    match_terms(expr.terms(), path.values(), &mut scratch, &mut |nu| {
+        out.push(nu.clone());
+    });
     out
 }
 
@@ -21,21 +24,50 @@ pub fn match_expr(expr: &PathExpr, path: &Path, valuation: &Valuation) -> Vec<Va
 ///
 /// Returns an empty vector if the arities differ.
 pub fn match_predicate(pred: &Predicate, tuple: &[Path], valuation: &Valuation) -> Vec<Valuation> {
+    let mut out = Vec::new();
+    let mut scratch = valuation.clone();
+    match_predicate_sink(pred, tuple, &mut scratch, &mut |nu| out.push(nu.clone()));
+    out
+}
+
+/// Like [`match_predicate`], but hands each matching valuation to `sink` instead
+/// of collecting clones.
+///
+/// This is the fixpoint loop's entry point: matching backtracks on `valuation`
+/// itself (which is restored to its original bindings before returning), so a
+/// candidate tuple that fails to match allocates nothing.  The valuation passed to
+/// `sink` is only valid for the duration of the call (its extra bindings are
+/// backtracked away afterwards); `sink` must clone whatever it wants to keep.
+/// This lets the final step of a rule body ground the rule head directly, without
+/// materialising a valuation per match.
+pub fn match_predicate_sink(
+    pred: &Predicate,
+    tuple: &[Path],
+    valuation: &mut Valuation,
+    sink: &mut dyn FnMut(&mut Valuation),
+) {
     if pred.args.len() != tuple.len() {
-        return Vec::new();
+        return;
     }
-    let mut current = vec![valuation.clone()];
-    for (arg, path) in pred.args.iter().zip(tuple.iter()) {
-        let mut next = Vec::new();
-        for nu in &current {
-            next.extend(match_expr(arg, path, nu));
-        }
-        if next.is_empty() {
-            return Vec::new();
-        }
-        current = next;
-    }
-    current
+    match_args(&pred.args, tuple, valuation, sink);
+}
+
+/// Match the argument expressions column by column, calling `sink` once for every
+/// valuation under which all columns match.  `nu` is restored before returning.
+fn match_args(
+    args: &[PathExpr],
+    tuple: &[Path],
+    nu: &mut Valuation,
+    sink: &mut dyn FnMut(&mut Valuation),
+) {
+    let Some((arg, rest)) = args.split_first() else {
+        sink(nu);
+        return;
+    };
+    let (path, paths) = tuple.split_first().expect("arity checked by the caller");
+    match_terms(arg.terms(), path.values(), nu, &mut |nu| {
+        match_args(rest, paths, nu, sink);
+    });
 }
 
 /// Does the (fully bound) equation hold under `valuation`?  Returns `None` if some
@@ -74,10 +106,19 @@ pub fn match_equation(eq: &Equation, valuation: &Valuation) -> Option<Vec<Valuat
     }
 }
 
-fn match_terms(terms: &[Term], values: &[Value], valuation: &Valuation, out: &mut Vec<Valuation>) {
+/// Match a term sequence against a value sequence, calling `sink` at every
+/// complete match.  Backtracks on `nu` in place: any binding added during the walk
+/// is removed again, so `nu` leaves in the state it entered, and the bindings
+/// vector's capacity is reused across candidates instead of reallocating.
+fn match_terms(
+    terms: &[Term],
+    values: &[Value],
+    nu: &mut Valuation,
+    sink: &mut dyn FnMut(&mut Valuation),
+) {
     let Some((first, rest)) = terms.split_first() else {
         if values.is_empty() {
-            out.push(valuation.clone());
+            sink(nu);
         }
         return;
     };
@@ -85,49 +126,76 @@ fn match_terms(terms: &[Term], values: &[Value], valuation: &Valuation, out: &mu
         Term::Const(a) => {
             if let Some(Value::Atom(b)) = values.first() {
                 if a == b {
-                    match_terms(rest, &values[1..], valuation, out);
+                    match_terms(rest, &values[1..], nu, sink);
                 }
             }
         }
         Term::Packed(inner) => {
             if let Some(Value::Packed(p)) = values.first() {
-                let mut inner_matches = Vec::new();
-                match_terms(inner.terms(), p.values(), valuation, &mut inner_matches);
-                for nu in inner_matches {
-                    match_terms(rest, &values[1..], &nu, out);
-                }
+                match_terms(inner.terms(), p.values(), nu, &mut |nu| {
+                    match_terms(rest, &values[1..], nu, sink);
+                });
             }
         }
-        Term::Var(v) => match (v.kind, valuation.get(*v)) {
-            (VarKind::Atom, Some(Binding::Atom(bound))) => {
-                if let Some(Value::Atom(b)) = values.first() {
-                    if bound == b {
-                        match_terms(rest, &values[1..], valuation, out);
+        Term::Var(v) => match v.kind {
+            VarKind::Atom => {
+                let Some(Value::Atom(b)) = values.first() else {
+                    return;
+                };
+                let b = *b;
+                match nu.get(*v) {
+                    Some(Binding::Atom(bound)) => {
+                        if *bound == b {
+                            match_terms(rest, &values[1..], nu, sink);
+                        }
+                    }
+                    None => {
+                        nu.bind(*v, Binding::Atom(b));
+                        match_terms(rest, &values[1..], nu, sink);
+                        nu.unbind(*v);
+                    }
+                    // A binding of the wrong shape cannot occur: `Valuation::bind`
+                    // checks it.
+                    Some(Binding::Path(_)) => unreachable!("valuation binding of the wrong kind"),
+                }
+            }
+            VarKind::Path => {
+                // `None` = unbound; `Some(None)` = bound but mismatching;
+                // `Some(Some(n))` = bound to a matching prefix of length n.
+                let bound_prefix = match nu.get(*v) {
+                    Some(Binding::Path(bound)) => {
+                        let n = bound.len();
+                        if values.len() >= n && &values[..n] == bound.values() {
+                            Some(Some(n))
+                        } else {
+                            Some(None)
+                        }
+                    }
+                    None => None,
+                    Some(Binding::Atom(_)) => unreachable!("valuation binding of the wrong kind"),
+                };
+                match bound_prefix {
+                    Some(Some(n)) => match_terms(rest, &values[n..], nu, sink),
+                    Some(None) => {}
+                    None if rest.is_empty() => {
+                        // A trailing unbound path variable must absorb everything
+                        // that is left; bind it directly instead of enumerating
+                        // every prefix only to reject all but the full one.
+                        nu.bind(*v, Binding::Path(Path::from_values(values.iter().cloned())));
+                        sink(nu);
+                        nu.unbind(*v);
+                    }
+                    None => {
+                        // Try every prefix (including the empty one).
+                        for split in 0..=values.len() {
+                            let prefix = Path::from_values(values[..split].iter().cloned());
+                            nu.bind(*v, Binding::Path(prefix));
+                            match_terms(rest, &values[split..], nu, sink);
+                            nu.unbind(*v);
+                        }
                     }
                 }
             }
-            (VarKind::Atom, None) => {
-                if let Some(Value::Atom(b)) = values.first() {
-                    let extended = valuation.extended(*v, Binding::Atom(*b));
-                    match_terms(rest, &values[1..], &extended, out);
-                }
-            }
-            (VarKind::Path, Some(Binding::Path(bound))) => {
-                let n = bound.len();
-                if values.len() >= n && &values[..n] == bound.values() {
-                    match_terms(rest, &values[n..], valuation, out);
-                }
-            }
-            (VarKind::Path, None) => {
-                // Try every prefix (including the empty one) for this path variable.
-                for split in 0..=values.len() {
-                    let prefix = Path::from_values(values[..split].iter().cloned());
-                    let extended = valuation.extended(*v, Binding::Path(prefix));
-                    match_terms(rest, &values[split..], &extended, out);
-                }
-            }
-            // A binding of the wrong shape cannot occur: `Valuation::bind` checks it.
-            _ => unreachable!("valuation binding of the wrong kind"),
         },
     }
 }

@@ -10,14 +10,68 @@
 //!    variables are bound.
 
 use crate::error::EvalError;
-use seqdl_syntax::{Atom, Literal, Rule, Var};
+use seqdl_core::AtomId;
+use seqdl_syntax::{Atom, Literal, Predicate, Rule, Term, Var, VarKind};
 use std::collections::BTreeSet;
+
+/// How the evaluator can derive a [`seqdl_core::ColKey`] index key for one argument
+/// column of a predicate, given the valuation in hand when the predicate is
+/// matched.  Derived from the *first term* of the argument expression: whatever
+/// that term denotes is a prefix of the column path, so its first value keys the
+/// column index.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ColumnProbe {
+    /// No key is derivable (the argument starts with a variable that is still
+    /// unbound when this predicate is matched): scan the relation.
+    Scan,
+    /// The argument is `ε`: the column must be the empty path.
+    Empty,
+    /// The argument starts with a constant: the column must start with that atom.
+    Const(AtomId),
+    /// The argument starts with a packed subexpression: the column must start with
+    /// a packed value.
+    Packed,
+    /// The argument starts with an atomic variable bound by an earlier step; probe
+    /// with its runtime binding.
+    AtomVar(Var),
+    /// The argument starts with a path variable bound by an earlier step; probe
+    /// with the first value of its runtime binding (unless bound to `ε`, which
+    /// constrains nothing).
+    PathVar(Var),
+}
+
+/// A positive predicate step: the predicate plus one [`ColumnProbe`] per argument
+/// column, precomputed so matching can probe the relation's column index instead of
+/// scanning every tuple.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PlannedPredicate {
+    /// The predicate to match.
+    pub pred: Predicate,
+    /// Per-column probe strategy (same length as `pred.args`).
+    pub probes: Vec<ColumnProbe>,
+}
+
+fn column_probes(pred: &Predicate, bound_before: &BTreeSet<Var>) -> Vec<ColumnProbe> {
+    pred.args
+        .iter()
+        .map(|arg| match arg.terms().first() {
+            None => ColumnProbe::Empty,
+            Some(Term::Const(a)) => ColumnProbe::Const(*a),
+            Some(Term::Packed(_)) => ColumnProbe::Packed,
+            Some(Term::Var(v)) if bound_before.contains(v) => match v.kind {
+                VarKind::Atom => ColumnProbe::AtomVar(*v),
+                VarKind::Path => ColumnProbe::PathVar(*v),
+            },
+            Some(Term::Var(_)) => ColumnProbe::Scan,
+        })
+        .collect()
+}
 
 /// One step of a planned body.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum PlannedLiteral {
     /// Match a positive predicate against the current instance.
-    MatchPredicate(seqdl_syntax::Predicate),
+    MatchPredicate(PlannedPredicate),
     /// Evaluate a positive equation (one side is guaranteed ground at this point).
     SolveEquation(seqdl_syntax::Equation),
     /// Check a negated predicate (all variables bound).
@@ -42,11 +96,17 @@ pub fn plan_rule(rule: &Rule) -> Result<BodyPlan, EvalError> {
     let mut steps = Vec::new();
     let mut bound: BTreeSet<Var> = BTreeSet::new();
 
-    // 1. Positive predicates, in source order.
+    // 1. Positive predicates, in source order.  Each predicate's column probes are
+    // computed against the variables bound by *earlier* steps — those are the
+    // bindings actually in hand when the predicate is matched.
     for lit in rule.body.iter().filter(|l| l.positive) {
         if let Atom::Pred(p) = &lit.atom {
+            let probes = column_probes(p, &bound);
             bound.extend(p.vars());
-            steps.push(PlannedLiteral::MatchPredicate(p.clone()));
+            steps.push(PlannedLiteral::MatchPredicate(PlannedPredicate {
+                pred: p.clone(),
+                probes,
+            }));
         }
     }
 
@@ -151,5 +211,35 @@ mod tests {
     fn bodiless_rules_plan_to_nothing() {
         let rule = parse_rule("T(a).").unwrap();
         assert!(plan_rule(&rule).unwrap().steps.is_empty());
+    }
+
+    #[test]
+    fn column_probes_reflect_first_terms_and_earlier_bindings() {
+        // T comes first, so R's leading @y is bound by the time R is matched;
+        // T's own leading @x is not bound before T itself.
+        let rule = parse_rule("S(@x·@z) <- T(@x·@y), R(@y·@z).").unwrap();
+        let plan = plan_rule(&rule).unwrap();
+        let probes: Vec<_> = plan
+            .steps
+            .iter()
+            .filter_map(|s| match s {
+                PlannedLiteral::MatchPredicate(p) => Some(p.probes.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(probes[0], vec![ColumnProbe::Scan]);
+        assert_eq!(probes[1], vec![ColumnProbe::AtomVar(Var::atom("y"))]);
+    }
+
+    #[test]
+    fn constant_empty_and_packed_prefixes_probe_statically() {
+        let rule = parse_rule("S <- T(a·$x, eps, <$y>·b).").unwrap();
+        let plan = plan_rule(&rule).unwrap();
+        let PlannedLiteral::MatchPredicate(p) = &plan.steps[0] else {
+            panic!("expected a predicate step");
+        };
+        assert!(matches!(p.probes[0], ColumnProbe::Const(_)));
+        assert_eq!(p.probes[1], ColumnProbe::Empty);
+        assert_eq!(p.probes[2], ColumnProbe::Packed);
     }
 }

@@ -358,7 +358,7 @@ mod tests {
 
     #[test]
     fn packed_values_never_match() {
-        let packed = Path::singleton(seqdl_core::Value::Packed(p(&["a"])));
+        let packed = Path::singleton(seqdl_core::Value::packed(p(&["a"])));
         assert!(!Regex::AnyAtom.matches(&packed));
         assert!(!Regex::atom("a").matches(&packed));
         assert_eq!(Regex::literal(&packed), Regex::Empty);

@@ -267,7 +267,7 @@ mod tests {
     #[test]
     fn packed_values_are_rejected() {
         let nfa = Nfa::from_regex(&Regex::AnyAtom.star());
-        let packed = Path::singleton(Value::Packed(p(&["a"])));
+        let packed = Path::singleton(Value::packed(p(&["a"])));
         assert!(!nfa.accepts(&packed));
     }
 

@@ -294,7 +294,7 @@ impl PathExpr {
         for t in &self.0 {
             match t {
                 Term::Const(a) => values.push(Value::Atom(*a)),
-                Term::Packed(e) => values.push(Value::Packed(e.as_path()?)),
+                Term::Packed(e) => values.push(Value::packed(e.as_path()?)),
                 Term::Var(_) => return None,
             }
         }

@@ -3,7 +3,6 @@
 
 use crate::term::{PathExpr, Term, Var, VarKind};
 use seqdl_core::{AtomId, Path, Value};
-use std::collections::BTreeMap;
 use std::fmt;
 
 /// What a variable is bound to: an atomic value (for `@x`) or a path (for `$x`).
@@ -47,15 +46,34 @@ impl fmt::Display for Binding {
 ///
 /// A valuation is *appropriate* for a syntactic construct if it is defined on all
 /// variables of that construct; [`Valuation::apply`] returns `None` otherwise.
+///
+/// Rules bind a handful of variables, and the evaluator clones a valuation at every
+/// candidate extension, so the map is stored as a small vector sorted by the
+/// interned variable id: lookups are a short linear scan, and a clone is one
+/// allocation plus a flat element copy instead of a tree-node walk.
 #[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct Valuation {
-    map: BTreeMap<Var, Binding>,
+    entries: Vec<(Var, Binding)>,
 }
 
 impl Valuation {
     /// The empty valuation.
     pub fn new() -> Valuation {
         Valuation::default()
+    }
+
+    fn position(&self, var: Var) -> Result<usize, usize> {
+        // Valuations hold a handful of entries; a linear sorted scan beats binary
+        // search at these sizes.
+        for (ix, (v, _)) in self.entries.iter().enumerate() {
+            if *v == var {
+                return Ok(ix);
+            }
+            if *v > var {
+                return Err(ix);
+            }
+        }
+        Err(self.entries.len())
     }
 
     /// Bind `var` to `binding`.
@@ -68,7 +86,10 @@ impl Valuation {
             binding.fits(var.kind),
             "binding {binding} does not fit variable {var}"
         );
-        self.map.insert(var, binding);
+        match self.position(var) {
+            Ok(ix) => self.entries[ix].1 = binding,
+            Err(ix) => self.entries.insert(ix, (var, binding)),
+        }
     }
 
     /// Bind an atomic variable to an atomic value.
@@ -88,29 +109,39 @@ impl Valuation {
         out
     }
 
+    /// Remove the binding of `var`, returning it if there was one.  Together with
+    /// [`Valuation::bind`] this lets backtracking matchers explore extensions on a
+    /// single valuation instead of cloning one per candidate.
+    pub fn unbind(&mut self, var: Var) -> Option<Binding> {
+        match self.position(var) {
+            Ok(ix) => Some(self.entries.remove(ix).1),
+            Err(_) => None,
+        }
+    }
+
     /// The binding of `var`, if any.
     pub fn get(&self, var: Var) -> Option<&Binding> {
-        self.map.get(&var)
+        self.position(var).ok().map(|ix| &self.entries[ix].1)
     }
 
     /// Is `var` bound?
     pub fn contains(&self, var: Var) -> bool {
-        self.map.contains_key(&var)
+        self.position(var).is_ok()
     }
 
     /// Number of bound variables.
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.entries.len()
     }
 
     /// Is the valuation empty?
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.entries.is_empty()
     }
 
     /// Iterate over `(variable, binding)` pairs in variable order.
     pub fn iter(&self) -> impl Iterator<Item = (Var, &Binding)> + '_ {
-        self.map.iter().map(|(v, b)| (*v, b))
+        self.entries.iter().map(|(v, b)| (*v, b))
     }
 
     /// Is this valuation appropriate for (defined on all variables of) `expr`?
@@ -122,23 +153,41 @@ impl Valuation {
     ///
     /// Returns `None` if some variable of the expression is unbound.
     pub fn apply(&self, expr: &PathExpr) -> Option<Path> {
-        let mut values = Vec::new();
+        // Pre-size the output: paths produced here are built once and copied
+        // around afterwards, so one exact allocation beats realloc-doubling.
+        let mut values = Vec::with_capacity(self.denoted_len(expr)?);
         self.apply_into(expr, &mut values)?;
         Some(Path::from_values(values))
+    }
+
+    /// The length of the path `expr` denotes under this valuation (`None` if some
+    /// variable is unbound).  One packed term contributes one value.
+    fn denoted_len(&self, expr: &PathExpr) -> Option<usize> {
+        let mut n = 0usize;
+        for term in expr.terms() {
+            n += match term {
+                Term::Const(_) | Term::Packed(_) => 1,
+                Term::Var(v) => match self.get(*v)? {
+                    Binding::Atom(_) => 1,
+                    Binding::Path(p) => p.len(),
+                },
+            };
+        }
+        Some(n)
     }
 
     fn apply_into(&self, expr: &PathExpr, out: &mut Vec<Value>) -> Option<()> {
         for term in expr.terms() {
             match term {
                 Term::Const(a) => out.push(Value::Atom(*a)),
-                Term::Var(v) => match self.map.get(v)? {
+                Term::Var(v) => match self.get(*v)? {
                     Binding::Atom(a) => out.push(Value::Atom(*a)),
                     Binding::Path(p) => out.extend(p.iter().cloned()),
                 },
                 Term::Packed(inner) => {
                     let mut nested = Vec::new();
                     self.apply_into(inner, &mut nested)?;
-                    out.push(Value::Packed(Path::from_values(nested)));
+                    out.push(Value::packed(Path::from_values(nested)));
                 }
             }
         }
@@ -148,11 +197,11 @@ impl Valuation {
     /// Restrict the valuation to the given variables.
     pub fn restricted_to(&self, vars: &[Var]) -> Valuation {
         Valuation {
-            map: self
-                .map
+            entries: self
+                .entries
                 .iter()
                 .filter(|(v, _)| vars.contains(v))
-                .map(|(v, b)| (*v, b.clone()))
+                .cloned()
                 .collect(),
         }
     }
@@ -161,7 +210,7 @@ impl Valuation {
 impl fmt::Display for Valuation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str("{")?;
-        for (i, (v, b)) in self.map.iter().enumerate() {
+        for (i, (v, b)) in self.entries.iter().enumerate() {
             if i > 0 {
                 f.write_str(", ")?;
             }

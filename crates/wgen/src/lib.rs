@@ -16,7 +16,16 @@ pub use programs::{ProgramConfig, ProgramGenerator};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use seqdl_core::{path_of, repeat_path, Fact, Instance, Path, RelName, Value};
+use seqdl_core::{path_of, repeat_path, AtomId, Fact, Instance, Path, RelName};
+
+/// Pre-interned atoms `x0, x1, …` for an alphabet of the given size.  Interning is
+/// a lock + string hash per call, so generators intern each letter once instead of
+/// once per generated value.
+fn alphabet_atoms(alphabet: usize) -> Vec<AtomId> {
+    (0..alphabet.max(1))
+        .map(|i| AtomId::new(&format!("x{i}")))
+        .collect()
+}
 
 /// A seeded workload generator.
 #[derive(Clone, Debug)]
@@ -48,10 +57,14 @@ impl Workloads {
 
     /// A random flat string over an alphabet of `alphabet` letters (`x0`, `x1`, …).
     pub fn random_string(&self, len: usize, alphabet: usize, salt: u64) -> Path {
+        self.random_string_from(&alphabet_atoms(alphabet), len, salt)
+    }
+
+    /// Like [`Workloads::random_string`], over a pre-interned alphabet — callers
+    /// building many strings intern the letters once instead of once per string.
+    fn random_string_from(&self, letters: &[AtomId], len: usize, salt: u64) -> Path {
         let mut rng = self.rng(salt);
-        Path::from_values(
-            (0..len).map(|_| Value::atom(&format!("x{}", rng.gen_range(0..alphabet.max(1))))),
-        )
+        Path::from_atoms((0..len).map(|_| letters[rng.gen_range(0..letters.len())]))
     }
 
     /// A unary relation of `count` random strings of length up to `max_len`.
@@ -62,10 +75,11 @@ impl Workloads {
         max_len: usize,
         alphabet: usize,
     ) -> Instance {
+        let letters = alphabet_atoms(alphabet);
         let mut rng = self.rng(1);
         let paths = (0..count).map(|i| {
             let len = rng.gen_range(0..=max_len);
-            self.random_string(len, alphabet, 1000 + i as u64)
+            self.random_string_from(&letters, len, 1000 + i as u64)
         });
         Instance::unary(relation, paths)
     }
@@ -82,8 +96,13 @@ impl Workloads {
     ) -> Instance {
         let mut rng = self.rng(2);
         let mut inst = Instance::new();
-        let state = |i: usize| path_of(&[format!("q{i}").as_str()]);
-        let letter = |i: usize| path_of(&[format!("x{i}").as_str()]);
+        let state_atoms: Vec<AtomId> = (0..states.max(1))
+            .map(|i| AtomId::new(&format!("q{i}")))
+            .collect();
+        let letter_atoms = alphabet_atoms(alphabet);
+        let state = |i: usize| Path::from_atoms([state_atoms[i]]);
+        let letter = |i: usize| Path::from_atoms([letter_atoms[i]]);
+        let (d, r) = (RelName::new("D"), RelName::new("R"));
         inst.insert_fact(Fact::new(RelName::new("N"), vec![state(0)]))
             .expect("fresh instance");
         inst.insert_fact(Fact::new(
@@ -97,18 +116,15 @@ impl Workloads {
                 for _ in 0..2 {
                     if rng.gen_bool(0.7) {
                         let to = rng.gen_range(0..states);
-                        inst.insert_fact(Fact::new(
-                            RelName::new("D"),
-                            vec![state(q), letter(a), state(to)],
-                        ))
-                        .expect("arity is consistent");
+                        inst.insert_fact(Fact::new(d, vec![state(q), letter(a), state(to)]))
+                            .expect("arity is consistent");
                     }
                 }
             }
         }
         for i in 0..word_count {
-            let word = self.random_string(word_len, alphabet, 2000 + i as u64);
-            inst.insert_fact(Fact::new(RelName::new("R"), vec![word]))
+            let word = self.random_string_from(&letter_atoms, word_len, 2000 + i as u64);
+            inst.insert_fact(Fact::new(r, vec![word]))
                 .expect("arity is consistent");
         }
         inst
@@ -120,19 +136,22 @@ impl Workloads {
     /// applies.
     pub fn digraph_instance(&self, nodes: usize, edges: usize) -> Instance {
         let mut rng = self.rng(3);
-        let name = |i: usize| match i {
-            0 => "a".to_string(),
-            1 => "b".to_string(),
-            _ => format!("n{i}"),
-        };
+        let node_atoms: Vec<AtomId> = (0..nodes.max(2))
+            .map(|i| match i {
+                0 => AtomId::new("a"),
+                1 => AtomId::new("b"),
+                _ => AtomId::new(&format!("n{i}")),
+            })
+            .collect();
         let mut inst = Instance::new();
-        inst.declare_relation(RelName::new("R"), 1);
+        let r = RelName::new("R");
+        inst.declare_relation(r, 1);
         for _ in 0..edges {
-            let from = rng.gen_range(0..nodes.max(2));
-            let to = rng.gen_range(0..nodes.max(2));
+            let from = rng.gen_range(0..node_atoms.len());
+            let to = rng.gen_range(0..node_atoms.len());
             inst.insert_fact(Fact::new(
-                RelName::new("R"),
-                vec![path_of(&[name(from).as_str(), name(to).as_str()])],
+                r,
+                vec![Path::from_atoms([node_atoms[from], node_atoms[to]])],
             ))
             .expect("arity is consistent");
         }
@@ -191,6 +210,7 @@ impl Workloads {
         max_len: usize,
         alphabet: usize,
     ) -> Instance {
+        let letters = alphabet_atoms(alphabet);
         let mut inst = Instance::new();
         let mut rng = self.rng(6);
         for r in 0..relations {
@@ -198,7 +218,7 @@ impl Workloads {
             inst.declare_relation(relation, 1);
             for i in 0..per_relation {
                 let len = rng.gen_range(0..=max_len);
-                let path = self.random_string(len, alphabet, (r * 10_000 + i) as u64);
+                let path = self.random_string_from(&letters, len, (r * 10_000 + i) as u64);
                 inst.insert_fact(Fact::new(relation, vec![path]))
                     .expect("arity is consistent");
             }

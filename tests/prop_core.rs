@@ -18,7 +18,7 @@ fn flat_path() -> impl Strategy<Value = Path> {
 fn value() -> impl Strategy<Value = Value> {
     prop_oneof![
         atom_name().prop_map(|n| Value::Atom(atom(n))),
-        flat_path().prop_map(Value::Packed),
+        flat_path().prop_map(Value::packed),
     ]
 }
 
@@ -88,7 +88,7 @@ proptest! {
 
     #[test]
     fn packing_depth_increases_by_one_when_packed(a in deep_path()) {
-        let packed = Path::singleton(Value::Packed(a.clone()));
+        let packed = Path::singleton(Value::packed(a.clone()));
         prop_assert_eq!(packed.packing_depth(), a.packing_depth() + 1);
         prop_assert!(packed.len() == 1);
         prop_assert_eq!(packed.is_flat(), false);

@@ -13,8 +13,11 @@
 use std::fmt;
 use std::time::{Duration, Instant};
 
-/// How many measured iterations each benchmark runs (after one warm-up).
-const MEASURED_ITERS: usize = 5;
+/// How many measured iterations each benchmark runs (after one warm-up).  The
+/// reported statistic is the median, so transient load spikes on about half the
+/// samples cannot move it; 15 samples keeps sub-millisecond benches stable without
+/// making the full suite slow.
+const MEASURED_ITERS: usize = 15;
 
 /// Prevent the optimiser from eliding a value or the computation producing it.
 pub fn black_box<T>(x: T) -> T {
