@@ -1,0 +1,45 @@
+//! Thread-count scaling of the stratified SCC executor on the two recursive
+//! engine workloads (Section 5.1.1 reachability and Example 2.1 NFA product) at
+//! their largest configured sizes, against the sequential engine baseline.
+//! `threads = 1` runs in-line (no pool), isolating the scheduler overhead;
+//! higher counts measure the delta-sharded parallel fixpoint.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seqdl_engine::FixpointStrategy;
+
+const THREADS: [usize; 3] = [1, 2, 4];
+
+fn bench_reachability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_parallel/reachability");
+    let (nodes, edges) = (128usize, 1024usize);
+    group.bench_function(BenchmarkId::new("engine", nodes), |b| {
+        b.iter(|| seqdl_bench::reachability_run(nodes, edges, FixpointStrategy::SemiNaive))
+    });
+    for threads in THREADS {
+        group.bench_with_input(
+            BenchmarkId::new(&format!("exec_t{threads}"), nodes),
+            &threads,
+            |b, &t| b.iter(|| seqdl_bench::reachability_run_parallel(nodes, edges, t)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_nfa(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_parallel/nfa");
+    let (states, words, len) = (16usize, 48usize, 64usize);
+    group.bench_function(BenchmarkId::new("engine", format!("{states}x{len}")), |b| {
+        b.iter(|| seqdl_bench::nfa_run(states, words, len, FixpointStrategy::SemiNaive))
+    });
+    for threads in THREADS {
+        group.bench_with_input(
+            BenchmarkId::new(&format!("exec_t{threads}"), format!("{states}x{len}")),
+            &threads,
+            |b, &t| b.iter(|| seqdl_bench::nfa_run_parallel(states, words, len, t)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reachability, bench_nfa);
+criterion_main!(benches);

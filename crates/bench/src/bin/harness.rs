@@ -1,16 +1,31 @@
 //! Textual reproduction of every figure of the paper plus the derived experiment
 //! tables recorded in EXPERIMENTS.md.
 //!
-//! Usage: `cargo run -p seqdl-bench --bin harness [--release] [section…]`
+//! Usage: `cargo run -p seqdl-bench --bin harness [--release] [--threads N] [section…]`
 //! where `section` is any of `fig1 fig2 fig3 arity equations packing folding
 //! linearity reachability nfa algebra regex termination`; with no arguments every section is printed.
+//! `--threads N` sets the worker-pool size of the stratified executor columns in
+//! the reachability and NFA sections (default 1; 0 = all cores).
 
 use seqdl_bench as drivers;
 use seqdl_engine::FixpointStrategy;
 use std::time::Instant;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let threads = match args.iter().position(|a| a == "--threads") {
+        Some(i) => {
+            let value = args.get(i + 1).and_then(|v| v.parse::<usize>().ok());
+            let Some(value) = value else {
+                eprintln!("--threads expects a number");
+                std::process::exit(2);
+            };
+            args.drain(i..=i + 1);
+            value
+        }
+        None => 1,
+    };
+    let args = args;
     let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name);
 
     if want("fig1") {
@@ -127,43 +142,82 @@ fn main() {
     }
 
     if want("reachability") {
-        section("EXP-B  Section 5.1.1: graph reachability, naive vs semi-naive");
+        section("EXP-B  Section 5.1.1: graph reachability, naive vs semi-naive vs exec");
         println!(
-            "{:>8} {:>8} {:>12} {:>12}",
-            "nodes", "edges", "naive", "semi-naive"
+            "{:>8} {:>8} {:>12} {:>12} {:>12}",
+            "nodes",
+            "edges",
+            "naive",
+            "semi-naive",
+            format!("exec({threads})")
         );
-        for (nodes, edges) in [(8usize, 16usize), (16, 48), (32, 128)] {
-            let t0 = Instant::now();
-            let naive = drivers::reachability_run(nodes, edges, FixpointStrategy::Naive);
-            let t_naive = t0.elapsed();
+        for (nodes, edges) in [
+            (8usize, 16usize),
+            (16, 48),
+            (32, 128),
+            (64, 384),
+            (128, 1024),
+        ] {
             let t1 = Instant::now();
             let semi = drivers::reachability_run(nodes, edges, FixpointStrategy::SemiNaive);
             let t_semi = t1.elapsed();
-            assert_eq!(naive, semi);
+            // The quadratic naive baseline is only tractable at the small end.
+            let naive_time = (nodes <= 32).then(|| {
+                let t0 = Instant::now();
+                let naive = drivers::reachability_run(nodes, edges, FixpointStrategy::Naive);
+                let elapsed = t0.elapsed();
+                assert_eq!(naive, semi);
+                elapsed
+            });
+            let t2 = Instant::now();
+            let parallel = drivers::reachability_run_parallel(nodes, edges, threads);
+            let t_exec = t2.elapsed();
+            assert_eq!(semi, parallel, "executor must agree with the engine");
+            let naive_col = naive_time.map_or("-".to_string(), |t| format!("{t:?}"));
             println!(
-                "{nodes:>8} {edges:>8} {:>12?} {:>12?}   (reachable: {semi})",
-                t_naive, t_semi
+                "{nodes:>8} {edges:>8} {naive_col:>12} {:>12?} {:>12?}   (reachable: {semi})",
+                t_semi, t_exec
             );
         }
     }
 
     if want("nfa") {
-        section("EXP-NFA  Example 2.1: NFA acceptance, naive vs semi-naive");
+        section("EXP-NFA  Example 2.1: NFA acceptance, naive vs semi-naive vs exec");
         println!(
-            "{:>8} {:>8} {:>10} {:>12} {:>12}",
-            "states", "words", "word len", "naive", "semi-naive"
+            "{:>8} {:>8} {:>10} {:>12} {:>12} {:>12}",
+            "states",
+            "words",
+            "word len",
+            "naive",
+            "semi-naive",
+            format!("exec({threads})")
         );
-        for (states, words, len) in [(3usize, 8usize, 8usize), (5, 8, 16), (8, 16, 24)] {
-            let t0 = Instant::now();
-            let a = drivers::nfa_run(states, words, len, FixpointStrategy::Naive);
-            let t_naive = t0.elapsed();
+        for (states, words, len) in [
+            (3usize, 8usize, 8usize),
+            (5, 8, 16),
+            (8, 16, 24),
+            (12, 32, 40),
+            (16, 48, 64),
+        ] {
             let t1 = Instant::now();
             let b = drivers::nfa_run(states, words, len, FixpointStrategy::SemiNaive);
             let t_semi = t1.elapsed();
-            assert_eq!(a, b);
+            // The quadratic naive baseline is only tractable at the small end.
+            let naive_time = (states <= 8).then(|| {
+                let t0 = Instant::now();
+                let a = drivers::nfa_run(states, words, len, FixpointStrategy::Naive);
+                let elapsed = t0.elapsed();
+                assert_eq!(a, b);
+                elapsed
+            });
+            let t2 = Instant::now();
+            let c = drivers::nfa_run_parallel(states, words, len, threads);
+            let t_exec = t2.elapsed();
+            assert_eq!(b, c, "executor must agree with the engine");
+            let naive_col = naive_time.map_or("-".to_string(), |t| format!("{t:?}"));
             println!(
-                "{states:>8} {words:>8} {len:>10} {:>12?} {:>12?}   (accepted: {b})",
-                t_naive, t_semi
+                "{states:>8} {words:>8} {len:>10} {naive_col:>12} {:>12?} {:>12?}   (accepted: {b})",
+                t_semi, t_exec
             );
         }
     }

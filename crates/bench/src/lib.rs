@@ -281,6 +281,37 @@ pub fn nfa_run(states: usize, words: usize, word_len: usize, strategy: FixpointS
         .len()
 }
 
+/// The stratified SCC executor with the bench engine's limits and the given
+/// worker-pool size.
+pub fn bench_executor(threads: usize) -> seqdl_exec::Executor {
+    seqdl_exec::Executor::new()
+        .with_engine(bench_engine())
+        .with_threads(threads)
+}
+
+/// Run graph reachability (Section 5.1.1) through the stratified parallel
+/// executor; must agree with [`reachability_run`].
+pub fn reachability_run_parallel(nodes: usize, edges: usize, threads: usize) -> bool {
+    let w = witnesses::reachability();
+    let input = Workloads::new(17).digraph_instance(nodes, edges);
+    bench_executor(threads)
+        .run(&w.program, &input)
+        .expect("terminates")
+        .nullary_true(w.output)
+}
+
+/// Run the Example 2.1 NFA-acceptance program through the stratified parallel
+/// executor; must agree with [`nfa_run`].
+pub fn nfa_run_parallel(states: usize, words: usize, word_len: usize, threads: usize) -> usize {
+    let w = witnesses::nfa_acceptance();
+    let input = Workloads::new(23).nfa_instance(states, 2, words, word_len);
+    bench_executor(threads)
+        .run(&w.program, &input)
+        .expect("terminates")
+        .unary_paths(w.output)
+        .len()
+}
+
 // ---------------------------------------------------------------------------
 // EXP-RA: algebra round trip (Section 7)
 // ---------------------------------------------------------------------------

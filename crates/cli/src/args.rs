@@ -45,6 +45,7 @@ pub const VALUE_FLAGS: &[&str] = &[
     "max-iterations",
     "max-facts",
     "max-path-len",
+    "threads",
     "state-prefix",
     "save",
 ];

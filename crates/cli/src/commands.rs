@@ -4,6 +4,7 @@ use crate::args::{ArgError, Flags};
 use seqdl_algebra::datalog_to_algebra;
 use seqdl_core::{Instance, RelName};
 use seqdl_engine::{Engine, EvalLimits, FixpointStrategy};
+use seqdl_exec::{Executor, Schedule};
 use seqdl_fragments::{rewrite_into, Feature, Fragment, HasseDiagram};
 use seqdl_io::{load_instance, load_program};
 use seqdl_regex::{compile_contains, compile_match, parse_regex, CompileOptions};
@@ -63,7 +64,8 @@ pub fn help_text() -> String {
         "\n",
         "Usage:\n",
         "  seqdl run         --program q.sdl --instance db.sdi [--output S] [--strategy naive|semi-naive]\n",
-        "                    [--max-iterations N] [--max-facts N] [--max-path-len N] [--stats] [--save out.sdi]\n",
+        "                    [--threads N] [--max-iterations N] [--max-facts N] [--max-path-len N]\n",
+        "                    [--stats] [--save out.sdi]\n",
         "  seqdl analyze     --program q.sdl\n",
         "  seqdl termination --program q.sdl\n",
         "  seqdl rewrite     --program q.sdl --eliminate arity|equations|packing|intermediate [--output S]\n",
@@ -148,12 +150,20 @@ fn engine_from_flags(flags: &Flags) -> Result<Engine, CliError> {
     Ok(Engine::new().with_limits(limits).with_strategy(strategy))
 }
 
+/// The stratified SCC executor configured by the flags: the engine's limits and
+/// strategy plus `--threads N` (1 = in-line, 0 = all available cores).
+fn executor_from_flags(flags: &Flags) -> Result<Executor, CliError> {
+    let engine = engine_from_flags(flags)?;
+    let threads = flags.get_usize("threads")?.unwrap_or(1);
+    Ok(Executor::new().with_engine(engine).with_threads(threads))
+}
+
 fn cmd_run(flags: &Flags) -> Result<String, CliError> {
     let program = load_program_flag(flags)?;
     let instance = load_instance_flag(flags)?;
     let output = output_relation(flags, &program)?;
-    let engine = engine_from_flags(flags)?;
-    let (result, stats) = engine
+    let executor = executor_from_flags(flags)?;
+    let (result, stats) = executor
         .run_with_stats(&program, &instance)
         .map_err(command_error)?;
 
@@ -179,10 +189,25 @@ fn cmd_run(flags: &Flags) -> Result<String, CliError> {
     if flags.has("stats") {
         writeln!(
             report,
-            "iterations: {}, derived facts: {}, rule firings: {}",
-            stats.iterations, stats.derived_facts, stats.rule_firings
+            "threads: {}, iterations: {}, derived facts: {}, rule firings: {}",
+            executor.effective_threads(),
+            stats.iterations,
+            stats.derived_facts,
+            stats.rule_firings
         )
         .expect("write to string");
+        for (i, stratum) in stats.strata.iter().enumerate() {
+            writeln!(
+                report,
+                "stratum {i}: {} rule(s), {} iteration(s), {} fact(s), {} firing(s), {:?}",
+                stratum.rules,
+                stratum.iterations,
+                stratum.derived_facts,
+                stratum.rule_firings,
+                stratum.wall
+            )
+            .expect("write to string");
+        }
     }
     if let Some(path) = flags.get("save") {
         seqdl_io::save_instance(path, &result).map_err(command_error)?;
@@ -198,6 +223,29 @@ fn cmd_analyze(flags: &Flags) -> Result<String, CliError> {
     let mut report = String::new();
     writeln!(report, "rules: {}", program.rule_count()).expect("write to string");
     writeln!(report, "strata: {}", program.stratum_count()).expect("write to string");
+    for (i, stratum) in Schedule::of_program(&program).strata.iter().enumerate() {
+        let members: Vec<String> = stratum
+            .components
+            .iter()
+            .map(|c| {
+                let names: Vec<String> = c.relations.iter().map(ToString::to_string).collect();
+                format!(
+                    "{{{}}}{}",
+                    names.join(", "),
+                    if c.recursive { "*" } else { "" }
+                )
+            })
+            .collect();
+        writeln!(
+            report,
+            "schedule stratum {i}: {} SCC(s) over {} level(s), {} recursive: {}",
+            stratum.component_count(),
+            stratum.levels.len(),
+            stratum.recursive_count(),
+            members.join(" -> ")
+        )
+        .expect("write to string");
+    }
     writeln!(report, "features: {}", features.letters()).expect("write to string");
     writeln!(report, "fragment: {fragment}").expect("write to string");
     writeln!(report, "fragment modulo A, P: {}", fragment.hat()).expect("write to string");
@@ -467,6 +515,73 @@ mod tests {
     }
 
     #[test]
+    fn run_evaluates_in_parallel_with_per_stratum_stats() {
+        let program = write_program(
+            "run-par.sdl",
+            "T(@x·@y) <- R(@x·@y).\nT(@x·@z) <- T(@x·@y), R(@y·@z).\nS($p) <- T($p).",
+        );
+        let mut graph = Instance::new();
+        for (x, y) in [("a", "b"), ("b", "c"), ("c", "d")] {
+            graph
+                .insert_fact(seqdl_core::Fact::new(rel("R"), vec![path_of(&[x, y])]))
+                .unwrap();
+        }
+        let instance = write_instance_file("run-par.sdi", &graph);
+        let sequential = cmd_run(&flags(&[
+            "--program",
+            &program,
+            "--instance",
+            &instance,
+            "--output",
+            "S",
+        ]))
+        .unwrap();
+        let parallel = cmd_run(&flags(&[
+            "--program",
+            &program,
+            "--instance",
+            &instance,
+            "--output",
+            "S",
+            "--threads",
+            "4",
+            "--stats",
+        ]))
+        .unwrap();
+        assert!(parallel.starts_with(&sequential), "{parallel}");
+        assert!(parallel.contains("threads: 4"), "{parallel}");
+        assert!(parallel.contains("stratum 0: 3 rule(s)"), "{parallel}");
+    }
+
+    #[test]
+    fn run_stats_show_single_pass_strata_for_nonrecursive_programs() {
+        let program = write_program(
+            "run-sp.sdl",
+            "T($x) <- R($x).\n---\nS($x) <- T($x), !B($x).",
+        );
+        let instance =
+            write_instance_file("run-sp.sdi", &Instance::unary(rel("R"), [path_of(&["a"])]));
+        let output = cmd_run(&flags(&[
+            "--program",
+            &program,
+            "--instance",
+            &instance,
+            "--output",
+            "S",
+            "--stats",
+        ]))
+        .unwrap();
+        assert!(
+            output.contains("stratum 0: 1 rule(s), 1 iteration(s)"),
+            "{output}"
+        );
+        assert!(
+            output.contains("stratum 1: 1 rule(s), 1 iteration(s)"),
+            "{output}"
+        );
+    }
+
+    #[test]
     fn run_reports_limit_violations() {
         let program = write_program("diverge.sdl", "T(a).\nT(a·$x) <- T($x).");
         let instance = write_instance_file("empty.sdi", &Instance::new());
@@ -494,6 +609,11 @@ mod tests {
         assert!(output.contains("fragment: {A, I, R}"), "{output}");
         assert!(output.contains("EDB relations: R"), "{output}");
         assert!(output.contains("guaranteed to terminate"), "{output}");
+        assert!(
+            output.contains("schedule stratum 0: 2 SCC(s) over 2 level(s), 1 recursive"),
+            "{output}"
+        );
+        assert!(output.contains("{T}* -> {S}"), "{output}");
     }
 
     #[test]

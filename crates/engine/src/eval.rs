@@ -4,7 +4,7 @@ use crate::error::{EvalError, LimitKind};
 use crate::matching::{equation_holds, ground_tuple, match_equation, match_predicate_sink};
 use crate::plan::{plan_rule, BodyPlan, ColumnProbe, PlannedLiteral, PlannedPredicate};
 use seqdl_core::{ColKey, Fact, Instance, RelName, Relation, Value};
-use seqdl_syntax::{Binding, Program, ProgramInfo, Rule, Stratum, Valuation};
+use seqdl_syntax::{Binding, Program, ProgramInfo, Rule, Valuation};
 use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -43,7 +43,7 @@ pub enum FixpointStrategy {
 }
 
 /// Counters describing an evaluation run.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct EvalStats {
     /// Total fixpoint iterations across all strata.
     pub iterations: usize,
@@ -51,6 +51,44 @@ pub struct EvalStats {
     pub derived_facts: usize,
     /// Number of successful rule firings (head instantiations, counting duplicates).
     pub rule_firings: usize,
+    /// Per-stratum breakdown, one entry per declared stratum, in evaluation order.
+    pub strata: Vec<StratumStats>,
+}
+
+/// Counters for one declared stratum of an evaluation run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StratumStats {
+    /// Number of rules in the stratum.
+    pub rules: usize,
+    /// Fixpoint iterations (evaluation rounds) spent in the stratum.  A
+    /// non-recursive stratum evaluated by the SCC scheduler takes exactly one
+    /// round per dependency level; the plain stratum fixpoint takes at least two
+    /// (one productive round plus the empty round that detects convergence).
+    pub iterations: usize,
+    /// Facts derived by the stratum.
+    pub derived_facts: usize,
+    /// Rule firings (head instantiations, counting duplicates) in the stratum.
+    pub rule_firings: usize,
+    /// Wall-clock time spent evaluating the stratum.
+    pub wall: std::time::Duration,
+}
+
+/// A *delta window* restricting one positive-predicate step of a plan: the step at
+/// plan position `pos` only draws tuples with ids in `lo..hi`.
+///
+/// With `lo` the relation's length at the previous iteration boundary and `hi` its
+/// current length, this is classic semi-naive evaluation ("at least one fact from
+/// the last iteration").  A parallel executor can further split `lo..hi` into
+/// disjoint shards and fire the same rule variant concurrently, one window per
+/// shard, without the shards overlapping.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DeltaWindow {
+    /// The plan position (index into [`BodyPlan::steps`]) being restricted.
+    pub pos: usize,
+    /// First tuple id drawn at the restricted position (inclusive).
+    pub lo: usize,
+    /// Last tuple id drawn at the restricted position (exclusive).
+    pub hi: usize,
 }
 
 /// The evaluation engine.
@@ -87,6 +125,16 @@ impl Engine {
         self
     }
 
+    /// The configured resource limits.
+    pub fn limits(&self) -> EvalLimits {
+        self.limits
+    }
+
+    /// The configured fixpoint strategy.
+    pub fn strategy(&self) -> FixpointStrategy {
+        self.strategy
+    }
+
     /// Evaluate `program` on `input`, returning the final instance (input relations
     /// plus all IDB relations).
     ///
@@ -106,70 +154,61 @@ impl Engine {
         input: &Instance,
     ) -> Result<(Instance, EvalStats), EvalError> {
         let info = ProgramInfo::analyse(program)?;
-        let mut instance = input.clone();
-        // Register every IDB relation so empty results are observable.  The paper
-        // requires IDB relation names to lie outside the input schema Γ; we reject
-        // inputs that already populate an IDB relation (or declare it with another
-        // arity), which would otherwise surface as a confusing arity error later.
-        for (rel, arity) in &info.arities {
-            if info.idb.contains(rel) {
-                if let Some(existing) = input.relation(*rel) {
-                    if !existing.is_empty() || existing.arity() != *arity {
-                        return Err(EvalError::IdbRelationInInput {
-                            relation: rel.name().to_string(),
-                        });
-                    }
-                }
-                instance.declare_relation(*rel, *arity);
-            }
-        }
+        let mut instance = prepare_idb_instance(&info, input)?;
         let mut stats = EvalStats::default();
         for stratum in &program.strata {
-            self.eval_stratum(stratum, &mut instance, &mut stats)?;
+            let start = std::time::Instant::now();
+            let before = (stats.iterations, stats.derived_facts, stats.rule_firings);
+            let rules: Vec<&Rule> = stratum.rules.iter().collect();
+            self.eval_rule_set(&rules, &stratum.head_relations(), &mut instance, &mut stats)?;
+            stats.strata.push(StratumStats {
+                rules: stratum.rules.len(),
+                iterations: stats.iterations - before.0,
+                derived_facts: stats.derived_facts - before.1,
+                rule_firings: stats.rule_firings - before.2,
+                wall: start.elapsed(),
+            });
         }
         Ok((instance, stats))
     }
 
-    fn eval_stratum(
+    /// Evaluate a scoped set of rules over `instance`, the engine's inner loop
+    /// made reusable for SCC-scoped scheduling (the `seqdl-exec` crate).
+    ///
+    /// `recursive_over` names the relations whose growth drives the fixpoint —
+    /// for plain stratum evaluation the stratum's head relations, for an SCC
+    /// scheduler the members of one strongly connected component.  A rule set
+    /// that is non-recursive over `recursive_over` converges after its first
+    /// productive iteration plus one empty convergence round.
+    ///
+    /// # Errors
+    /// Ill-formed rules and exceeded resource limits.
+    pub fn eval_rule_set(
         &self,
-        stratum: &Stratum,
+        rules: &[&Rule],
+        recursive_over: &BTreeSet<RelName>,
         instance: &mut Instance,
         stats: &mut EvalStats,
     ) -> Result<(), EvalError> {
-        if stratum.rules.is_empty() {
+        if rules.is_empty() {
             return Ok(());
         }
-        let stratum_heads: BTreeSet<RelName> = stratum.head_relations();
-        let plans: Vec<(&Rule, BodyPlan)> = stratum
-            .rules
+        let plans: Vec<(&Rule, BodyPlan)> = rules
             .iter()
-            .map(|r| plan_rule(r).map(|p| (r, p)))
+            .map(|r| plan_rule(r).map(|p| (*r, p)))
             .collect::<Result<_, _>>()?;
         // For semi-naive firing: the plan positions (per rule) that match a
-        // relation defined in this stratum.  Only instantiations using at least
+        // relation driving the fixpoint.  Only instantiations using at least
         // one delta fact can be new, so one restricted variant fires per position.
-        let recursive_positions: Vec<Vec<usize>> = plans
+        let delta_positions: Vec<Vec<usize>> = plans
             .iter()
-            .map(|(_, plan)| {
-                plan.steps
-                    .iter()
-                    .enumerate()
-                    .filter_map(|(i, s)| match s {
-                        PlannedLiteral::MatchPredicate(p)
-                            if stratum_heads.contains(&p.pred.relation) =>
-                        {
-                            Some(i)
-                        }
-                        _ => None,
-                    })
-                    .collect()
-            })
+            .map(|(_, plan)| plan.delta_positions(recursive_over))
             .collect();
 
         // Semi-naive delta as *watermarks* into the insertion-ordered store: for
-        // each head relation, the id of the first tuple inserted in the previous
-        // iteration.  The delta itself is then the borrowed slice
-        // `relation.slice_from(watermark)` — no tuples are ever copied out.
+        // each fixpoint-driving relation, the id of the first tuple inserted in
+        // the previous iteration.  The delta itself is then a borrowed
+        // [`DeltaWindow`] over the relation's id space — no tuples are copied out.
         let mut delta_start: BTreeMap<RelName, usize> = BTreeMap::new();
         let mut iteration = 0usize;
         let mut new_facts: Vec<Fact> = Vec::new();
@@ -181,33 +220,32 @@ impl Engine {
                 });
             }
             stats.iterations += 1;
-            for ((rule, plan), positions) in plans.iter().zip(&recursive_positions) {
+            for ((rule, plan), positions) in plans.iter().zip(&delta_positions) {
                 if iteration == 0 {
-                    self.fire_rule(rule, plan, instance, None, stats, &mut new_facts)?;
+                    stats.rule_firings += fire_rule(rule, plan, instance, None, &mut new_facts)?;
                     continue;
                 }
                 match self.strategy {
                     FixpointStrategy::Naive => {
-                        self.fire_rule(rule, plan, instance, None, stats, &mut new_facts)?;
+                        stats.rule_firings +=
+                            fire_rule(rule, plan, instance, None, &mut new_facts)?;
                     }
                     FixpointStrategy::SemiNaive => {
                         for &pos in positions {
+                            let r = plan.predicate_at(pos)?.pred.relation;
+                            let hi = instance.relation(r).map_or(0, Relation::len);
+                            let lo = delta_start.get(&r).copied().unwrap_or(hi);
                             // An empty delta at the restricted position cannot
                             // contribute a new instantiation; skip the variant
                             // before any earlier step does scan work.
-                            if let PlannedLiteral::MatchPredicate(p) = &plan.steps[pos] {
-                                let r = p.pred.relation;
-                                let len = instance.relation(r).map_or(0, Relation::len);
-                                if delta_start.get(&r).copied().unwrap_or(len) >= len {
-                                    continue;
-                                }
+                            if lo >= hi {
+                                continue;
                             }
-                            self.fire_rule(
+                            stats.rule_firings += fire_rule(
                                 rule,
                                 plan,
                                 instance,
-                                Some((pos, &delta_start)),
-                                stats,
+                                Some(DeltaWindow { pos, lo, hi }),
                                 &mut new_facts,
                             )?;
                         }
@@ -215,44 +253,15 @@ impl Engine {
                 }
             }
 
-            // Record the current length of every head relation — the tuples
-            // inserted below land at ids ≥ these marks and form the next delta.
-            let marks: BTreeMap<RelName, usize> = stratum_heads
+            // Record the current length of every fixpoint-driving relation — the
+            // tuples inserted below land at ids ≥ these marks and form the next
+            // delta.
+            let marks: BTreeMap<RelName, usize> = recursive_over
                 .iter()
                 .map(|r| (*r, instance.relation(*r).map_or(0, Relation::len)))
                 .collect();
 
-            // Insert the new facts.  Each fact is *moved* into the store (no tuple
-            // clone), duplicates cost one dedup-map lookup, and the path-length
-            // limit is checked once per genuinely new head tuple — anything
-            // already in the instance passed that check when it was first
-            // inserted, so duplicates are not re-walked.
-            let mut grew = false;
-            for fact in new_facts.drain(..) {
-                let Some(inserted_tuple) =
-                    instance.insert_fact_new(fact).map_err(EvalError::Data)?
-                else {
-                    continue;
-                };
-                if inserted_tuple
-                    .iter()
-                    .any(|p| p.len() > self.limits.max_path_len)
-                {
-                    return Err(EvalError::LimitExceeded {
-                        what: LimitKind::PathLength,
-                        limit: self.limits.max_path_len,
-                    });
-                }
-                grew = true;
-                stats.derived_facts += 1;
-                if stats.derived_facts > self.limits.max_facts {
-                    return Err(EvalError::LimitExceeded {
-                        what: LimitKind::Facts,
-                        limit: self.limits.max_facts,
-                    });
-                }
-            }
-
+            let grew = self.absorb(instance, &mut new_facts, stats)?;
             if !grew {
                 return Ok(());
             }
@@ -261,57 +270,130 @@ impl Engine {
         }
     }
 
-    /// Evaluate one rule against the instance, appending every derived head fact
-    /// to `out`.  If `restrict` is given, the predicate at that plan position only
-    /// draws tuples with ids at or above the delta watermark (i.e. the facts
-    /// derived in the previous iteration).
+    /// Drain `new_facts` into `instance`, enforcing the fact-count and path-length
+    /// limits; returns whether the instance grew.  Each fact is *moved* into the
+    /// store (no tuple clone), duplicates cost one dedup-map lookup, and the
+    /// path-length limit is checked once per genuinely new head tuple — anything
+    /// already in the instance passed that check when it was first inserted, so
+    /// duplicates are not re-walked.
     ///
-    /// Evaluation is a fully pipelined depth-first nested-loop join: a single
-    /// valuation is threaded through every body step by backtracking, and the head
-    /// is grounded at the innermost level, so no intermediate frontier of
-    /// valuations is ever materialised.
-    #[allow(clippy::too_many_arguments)]
-    fn fire_rule(
+    /// This is the single merge point shared by the sequential fixpoint and the
+    /// parallel executor (which calls it between rounds, under its write lock).
+    ///
+    /// # Errors
+    /// Arity mismatches and exceeded resource limits.
+    pub fn absorb(
         &self,
-        rule: &Rule,
-        plan: &BodyPlan,
-        instance: &Instance,
-        restrict: Option<(usize, &BTreeMap<RelName, usize>)>,
+        instance: &mut Instance,
+        new_facts: &mut Vec<Fact>,
         stats: &mut EvalStats,
-        out: &mut Vec<Fact>,
-    ) -> Result<(), EvalError> {
-        let head = &rule.head;
-        // Errors discovered inside the enumeration (an unsafe rule reaching a
-        // step with unbound variables) land here; the sink-based matchers have no
-        // return channel.  Errors are fatal, so finishing the walk first is fine.
-        let err: RefCell<Option<EvalError>> = RefCell::new(None);
-        let mut nu = Valuation::new();
-        let mut emit = |nu: &mut Valuation| {
-            let Some(tuple) = ground_tuple(head, nu) else {
-                err.borrow_mut()
-                    .get_or_insert_with(|| EvalError::Unplannable {
-                        rule: rule.to_string(),
-                    });
-                return;
+    ) -> Result<bool, EvalError> {
+        let mut grew = false;
+        for fact in new_facts.drain(..) {
+            let Some(inserted_tuple) = instance.insert_fact_new(fact).map_err(EvalError::Data)?
+            else {
+                continue;
             };
-            stats.rule_firings += 1;
-            out.push(Fact::new(head.relation, tuple));
-        };
-        eval_steps(
-            &plan.steps,
-            0,
-            instance,
-            restrict,
-            rule,
-            &mut nu,
-            &err,
-            &mut emit,
-        );
-        drop(emit);
-        match err.into_inner() {
-            Some(e) => Err(e),
-            None => Ok(()),
+            if inserted_tuple
+                .iter()
+                .any(|p| p.len() > self.limits.max_path_len)
+            {
+                return Err(EvalError::LimitExceeded {
+                    what: LimitKind::PathLength,
+                    limit: self.limits.max_path_len,
+                });
+            }
+            grew = true;
+            stats.derived_facts += 1;
+            if stats.derived_facts > self.limits.max_facts {
+                return Err(EvalError::LimitExceeded {
+                    what: LimitKind::Facts,
+                    limit: self.limits.max_facts,
+                });
+            }
         }
+        Ok(grew)
+    }
+}
+
+/// Clone `input` and register every IDB relation of the program so empty results
+/// are observable.  The paper requires IDB relation names to lie outside the input
+/// schema Γ; inputs that already populate an IDB relation (or declare it with
+/// another arity) are rejected here, which would otherwise surface as a confusing
+/// arity error later.
+///
+/// # Errors
+/// [`EvalError::IdbRelationInInput`] on a schema collision.
+pub fn prepare_idb_instance(info: &ProgramInfo, input: &Instance) -> Result<Instance, EvalError> {
+    let mut instance = input.clone();
+    for (rel, arity) in &info.arities {
+        if info.idb.contains(rel) {
+            if let Some(existing) = input.relation(*rel) {
+                if !existing.is_empty() || existing.arity() != *arity {
+                    return Err(EvalError::IdbRelationInInput {
+                        relation: rel.name().to_string(),
+                    });
+                }
+            }
+            instance.declare_relation(*rel, *arity);
+        }
+    }
+    Ok(instance)
+}
+
+/// Evaluate one rule against the instance, appending every derived head fact to
+/// `out` and returning the number of head instantiations (rule firings, counting
+/// duplicates).  If a [`DeltaWindow`] is given, the predicate at that plan
+/// position only draws tuples with ids inside the window — the semi-naive delta
+/// restriction, shardable by a parallel executor.
+///
+/// Evaluation is a fully pipelined depth-first nested-loop join: a single
+/// valuation is threaded through every body step by backtracking, and the head
+/// is grounded at the innermost level, so no intermediate frontier of
+/// valuations is ever materialised.  The function only *reads* `instance`, so
+/// independent calls may run concurrently on shared references.
+///
+/// # Errors
+/// Unsafe rules surface as [`EvalError::Unplannable`].
+pub fn fire_rule(
+    rule: &Rule,
+    plan: &BodyPlan,
+    instance: &Instance,
+    window: Option<DeltaWindow>,
+    out: &mut Vec<Fact>,
+) -> Result<usize, EvalError> {
+    let head = &rule.head;
+    // Errors discovered inside the enumeration (an unsafe rule reaching a
+    // step with unbound variables) land here; the sink-based matchers have no
+    // return channel.  Errors are fatal, so finishing the walk first is fine.
+    let err: RefCell<Option<EvalError>> = RefCell::new(None);
+    let mut firings = 0usize;
+    let mut nu = Valuation::new();
+    let mut emit = |nu: &mut Valuation| {
+        let Some(tuple) = ground_tuple(head, nu) else {
+            err.borrow_mut()
+                .get_or_insert_with(|| EvalError::Unplannable {
+                    rule: rule.to_string(),
+                });
+            return;
+        };
+        firings += 1;
+        out.push(Fact::new(head.relation, tuple));
+    };
+    eval_steps(
+        &plan.steps,
+        0,
+        instance,
+        window,
+        rule,
+        &mut nu,
+        &err,
+        &mut emit,
+    );
+    drop(emit);
+    match err.into_inner() {
+        Some(e) => Err(e),
+        None => Ok(firings),
     }
 }
 
@@ -323,7 +405,7 @@ fn eval_steps(
     steps: &[PlannedLiteral],
     base_ix: usize,
     instance: &Instance,
-    restrict: Option<(usize, &BTreeMap<RelName, usize>)>,
+    window: Option<DeltaWindow>,
     rule: &Rule,
     nu: &mut Valuation,
     err: &RefCell<Option<EvalError>>,
@@ -350,16 +432,11 @@ fn eval_steps(
             if relation.arity() != pred.args.len() {
                 return;
             }
-            // Tuples below the watermark are excluded at a restricted (delta)
+            // Tuples outside the delta window are excluded at the restricted
             // position; everywhere else the full store is visible.
-            let first_id = if restrict.is_some_and(|(pos, _)| pos == base_ix) {
-                let (_, starts) = restrict.expect("checked above");
-                starts
-                    .get(&pred.relation)
-                    .copied()
-                    .unwrap_or(relation.len())
-            } else {
-                0
+            let (first_id, last_id) = match window {
+                Some(w) if w.pos == base_ix => (w.lo.min(relation.len()), w.hi.min(relation.len())),
+                _ => (0, relation.len()),
             };
             let tuples = relation.as_slice();
             let mut cont = |nu: &mut Valuation| {
@@ -367,7 +444,7 @@ fn eval_steps(
                     rest,
                     base_ix + 1,
                     instance,
-                    restrict,
+                    window,
                     rule,
                     nu,
                     err,
@@ -378,12 +455,13 @@ fn eval_steps(
                 Some((column, key)) => {
                     let ids = relation.probe(column, key);
                     let lo = ids.partition_point(|&id| (id as usize) < first_id);
-                    for &id in &ids[lo..] {
+                    let hi = ids.partition_point(|&id| (id as usize) < last_id);
+                    for &id in &ids[lo..hi] {
                         match_predicate_sink(pred, &tuples[id as usize], nu, &mut cont);
                     }
                 }
                 None => {
-                    for tuple in relation.slice_from(first_id) {
+                    for tuple in &tuples[first_id..last_id] {
                         match_predicate_sink(pred, tuple, nu, &mut cont);
                     }
                 }
@@ -396,7 +474,7 @@ fn eval_steps(
                         rest,
                         base_ix + 1,
                         instance,
-                        restrict,
+                        window,
                         rule,
                         &mut ext,
                         err,
@@ -414,11 +492,11 @@ fn eval_steps(
                 return;
             };
             if !instance.contains_fact(&Fact::new(pred.relation, tuple)) {
-                eval_steps(rest, base_ix + 1, instance, restrict, rule, nu, err, emit);
+                eval_steps(rest, base_ix + 1, instance, window, rule, nu, err, emit);
             }
         }
         PlannedLiteral::CheckNegatedEquation(eq) => match equation_holds(eq, nu) {
-            Some(false) => eval_steps(rest, base_ix + 1, instance, restrict, rule, nu, err, emit),
+            Some(false) => eval_steps(rest, base_ix + 1, instance, window, rule, nu, err, emit),
             Some(true) => {}
             None => {
                 err.borrow_mut().get_or_insert_with(unplannable);
@@ -713,6 +791,35 @@ mod tests {
             .unwrap();
         assert_eq!(naive.unary_paths(rel("S")), semi.unary_paths(rel("S")));
         assert_eq!(naive.unary_paths(rel("S")).len(), 5 + 4 + 4 + 4 + 3);
+    }
+
+    #[test]
+    fn eval_rule_set_scopes_the_fixpoint_to_the_given_rules() {
+        // Evaluate only the T component of the reachability program: S's rule
+        // is excluded, so S is never derived, while T still reaches fixpoint.
+        let program = parse_program(
+            "T(@x·@y) <- R(@x·@y).\nT(@x·@z) <- T(@x·@y), R(@y·@z).\nS($p) <- T($p).",
+        )
+        .unwrap();
+        let rules: Vec<&seqdl_syntax::Rule> = program.strata[0].rules.iter().take(2).collect();
+        let mut instance = Instance::new();
+        for (x, y) in [("a", "b"), ("b", "c")] {
+            instance
+                .insert_fact(Fact::new(rel("R"), vec![path_of(&[x, y])]))
+                .unwrap();
+        }
+        let mut stats = EvalStats::default();
+        engine()
+            .eval_rule_set(
+                &rules,
+                &BTreeSet::from([rel("T")]),
+                &mut instance,
+                &mut stats,
+            )
+            .unwrap();
+        assert_eq!(instance.relation(rel("T")).unwrap().len(), 3);
+        assert!(instance.relation(rel("S")).is_none());
+        assert_eq!(stats.derived_facts, 3);
     }
 
     #[test]

@@ -40,8 +40,12 @@ pub mod eval;
 pub mod matching;
 pub mod plan;
 
-pub use error::EvalError;
-pub use eval::{Engine, EvalLimits, EvalStats, FixpointStrategy};
+pub use error::{EvalError, LimitKind};
+pub use eval::{
+    fire_rule, prepare_idb_instance, DeltaWindow, Engine, EvalLimits, EvalStats, FixpointStrategy,
+    StratumStats,
+};
+pub use plan::{plan_rule, BodyPlan};
 
 use seqdl_core::{Instance, Path, RelName};
 use seqdl_syntax::Program;

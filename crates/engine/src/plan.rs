@@ -10,7 +10,7 @@
 //!    variables are bound.
 
 use crate::error::EvalError;
-use seqdl_core::AtomId;
+use seqdl_core::{AtomId, RelName};
 use seqdl_syntax::{Atom, Literal, Predicate, Rule, Term, Var, VarKind};
 use std::collections::BTreeSet;
 
@@ -85,6 +85,43 @@ pub enum PlannedLiteral {
 pub struct BodyPlan {
     /// The ordered steps.
     pub steps: Vec<PlannedLiteral>,
+}
+
+impl BodyPlan {
+    /// The planned positive predicate at step `index`.
+    ///
+    /// # Errors
+    /// [`EvalError::PlanInvariant`] when the step is missing or is not a positive
+    /// predicate match — a malformed plan surfaces as a result, not an abort.
+    pub fn predicate_at(&self, index: usize) -> Result<&PlannedPredicate, EvalError> {
+        match self.steps.get(index) {
+            Some(PlannedLiteral::MatchPredicate(p)) => Ok(p),
+            Some(other) => Err(EvalError::PlanInvariant {
+                detail: format!("expected a predicate step at position {index}, found {other:?}"),
+            }),
+            None => Err(EvalError::PlanInvariant {
+                detail: format!(
+                    "expected a predicate step at position {index}, but the plan has only {} steps",
+                    self.steps.len()
+                ),
+            }),
+        }
+    }
+
+    /// Positions of the positive-predicate steps that match any of `relations` —
+    /// in SCC-scoped semi-naive evaluation, the steps that draw from a delta.
+    pub fn delta_positions(&self, relations: &BTreeSet<RelName>) -> Vec<usize> {
+        self.steps
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| match s {
+                PlannedLiteral::MatchPredicate(p) if relations.contains(&p.pred.relation) => {
+                    Some(i)
+                }
+                _ => None,
+            })
+            .collect()
+    }
 }
 
 /// Plan the body of a rule.
@@ -235,11 +272,38 @@ mod tests {
     fn constant_empty_and_packed_prefixes_probe_statically() {
         let rule = parse_rule("S <- T(a·$x, eps, <$y>·b).").unwrap();
         let plan = plan_rule(&rule).unwrap();
-        let PlannedLiteral::MatchPredicate(p) = &plan.steps[0] else {
-            panic!("expected a predicate step");
-        };
+        let p = plan
+            .predicate_at(0)
+            .expect("step 0 is a positive predicate");
         assert!(matches!(p.probes[0], ColumnProbe::Const(_)));
         assert_eq!(p.probes[1], ColumnProbe::Empty);
         assert_eq!(p.probes[2], ColumnProbe::Packed);
+    }
+
+    #[test]
+    fn malformed_plan_accesses_surface_as_invariant_errors() {
+        let rule = parse_rule("S($x) <- R($x), a·$x = $x·a, !B($x).").unwrap();
+        let plan = plan_rule(&rule).unwrap();
+        assert!(plan.predicate_at(0).is_ok());
+        // Step 1 is an equation, step 2 a negated predicate, step 9 out of range:
+        // all are planner invariant errors, not panics.
+        for bad in [1usize, 2, 9] {
+            match plan.predicate_at(bad) {
+                Err(EvalError::PlanInvariant { detail }) => {
+                    assert!(detail.contains("predicate step"), "{detail}");
+                }
+                other => panic!("expected PlanInvariant for step {bad}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn delta_positions_select_recursive_predicates() {
+        use std::collections::BTreeSet;
+        let rule = parse_rule("T(@x·@z) <- T(@x·@y), R(@y·@z), T(@z·@z).").unwrap();
+        let plan = plan_rule(&rule).unwrap();
+        let recursive = BTreeSet::from([seqdl_core::rel("T")]);
+        assert_eq!(plan.delta_positions(&recursive), vec![0, 2]);
+        assert!(plan.delta_positions(&BTreeSet::new()).is_empty());
     }
 }

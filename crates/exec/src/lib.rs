@@ -1,0 +1,728 @@
+//! # seqdl-exec — stratified scheduler and multi-threaded semi-naive executor
+//!
+//! The engine (`seqdl-engine`) evaluates a program stratum by stratum, running
+//! *every* rule of a stratum in *every* fixpoint iteration on one thread.  This
+//! crate sits between the planner and the engine's inner join loop and replaces
+//! that global fixpoint with a schedule derived from the program's precedence
+//! graph (`seqdl_syntax::PrecedenceGraph`):
+//!
+//! 1. each declared stratum is condensed into strongly connected components and
+//!    topologically ordered into levels ([`Schedule`]);
+//! 2. non-recursive components are evaluated with a single pass — no fixpoint
+//!    bookkeeping at all;
+//! 3. recursive components run the engine's watermark-based semi-naive loop
+//!    restricted to the component's own rules;
+//! 4. independent same-level components — and, inside a recursive fixpoint,
+//!    rule variants over disjoint delta shards — fan out over a fixed worker
+//!    pool built from `std::thread` and `parking_lot`.
+//!
+//! Workers only ever *read* the shared instance (behind a `parking_lot::RwLock`)
+//! and produce derived facts into private buffers; the driver merges those
+//! buffers into the shared indexed relation store between rounds, so the column
+//! indexes are never mutated concurrently.  Merging happens in deterministic job
+//! order, which makes the executor's output instance independent of the thread
+//! count — the property the differential tests pin down.
+//!
+//! ```
+//! use seqdl_core::{rel, Fact, path_of, Instance};
+//! use seqdl_exec::Executor;
+//! use seqdl_syntax::parse_program;
+//!
+//! let program = parse_program(
+//!     "T(@x·@y) <- R(@x·@y).\nT(@x·@z) <- T(@x·@y), R(@y·@z).\nS <- T(a·b).",
+//! )
+//! .unwrap();
+//! let mut input = Instance::new();
+//! for (x, y) in [("a", "c"), ("c", "b")] {
+//!     input.insert_fact(Fact::new(rel("R"), vec![path_of(&[x, y])])).unwrap();
+//! }
+//! let out = Executor::new().with_threads(4).run(&program, &input).unwrap();
+//! assert!(out.nullary_true(rel("S")));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod schedule;
+
+pub use schedule::{Component, Schedule, StratumSchedule};
+
+use parking_lot::{Mutex, RwLock};
+use seqdl_core::{Fact, Instance, RelName, Relation};
+use seqdl_engine::error::LimitKind;
+use seqdl_engine::{
+    fire_rule, plan_rule, prepare_idb_instance, BodyPlan, DeltaWindow, Engine, EvalError,
+    EvalStats, FixpointStrategy, StratumStats,
+};
+use seqdl_syntax::Program;
+use seqdl_syntax::{ProgramInfo, Rule, Stratum};
+use std::collections::BTreeMap;
+use std::sync::mpsc;
+use std::thread;
+use std::time::Instant;
+
+/// Number of delta tuples per shard when a recursive iteration is split across
+/// the pool.  Independent of the thread count, so the job list — and therefore
+/// the merge order and the final instance — is identical at every thread count.
+const DELTA_SHARD: usize = 128;
+
+/// One unit of work for a round: fire one rule, optionally restricted to a
+/// delta window.  Jobs only read the instance; results come back as buffers.
+#[derive(Clone, Copy, Debug)]
+struct Job<'a> {
+    id: usize,
+    rule: &'a Rule,
+    plan: &'a BodyPlan,
+    window: Option<DeltaWindow>,
+}
+
+/// The result of one job: the derived facts and the firing count, or the first
+/// evaluation error the job hit.
+struct JobOutcome {
+    id: usize,
+    result: Result<(Vec<Fact>, usize), EvalError>,
+}
+
+fn run_job(job: Job<'_>, instance: &Instance) -> JobOutcome {
+    let mut out = Vec::new();
+    let result =
+        fire_rule(job.rule, job.plan, instance, job.window, &mut out).map(|firings| (out, firings));
+    JobOutcome { id: job.id, result }
+}
+
+/// The worker loop: take jobs from the shared queue until it closes, evaluate
+/// each under a read lock, send the private buffer back.
+///
+/// Every drawn job produces exactly one [`JobOutcome`] — even if evaluation
+/// panics, the panic is caught and sent back as [`EvalError::Internal`] — so
+/// the driver's per-round collect can never block on a missing result.
+fn worker(
+    jobs: &Mutex<mpsc::Receiver<Job<'_>>>,
+    results: mpsc::Sender<JobOutcome>,
+    instance: &RwLock<Instance>,
+) {
+    loop {
+        // Hold the queue lock only while drawing one job; blocking in `recv`
+        // under the lock is the idiomatic mpmc-over-mpsc pattern — the lock is
+        // released as soon as a job (or disconnection) arrives.
+        let job = match jobs.lock().recv() {
+            Ok(job) => job,
+            Err(_) => return,
+        };
+        let id = job.id;
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_job(job, &instance.read())
+        }))
+        .unwrap_or_else(|panic| {
+            let detail = panic
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "worker panicked".to_string());
+            JobOutcome {
+                id,
+                result: Err(EvalError::Internal {
+                    detail: format!("executor worker panicked: {detail}"),
+                }),
+            }
+        });
+        if results.send(outcome).is_err() {
+            return;
+        }
+    }
+}
+
+/// The stratified parallel executor.
+///
+/// Configured like [`Engine`] (it embeds one for limits, strategy, and the
+/// merge/limit bookkeeping) plus a thread count.  `threads == 1` evaluates
+/// in-line with no pool at all; `threads == 0` uses the machine's available
+/// parallelism.
+#[derive(Clone, Copy, Debug)]
+pub struct Executor {
+    engine: Engine,
+    threads: usize,
+}
+
+impl Default for Executor {
+    fn default() -> Self {
+        Executor::new()
+    }
+}
+
+impl Executor {
+    /// An executor over a default [`Engine`], single-threaded.
+    pub fn new() -> Executor {
+        Executor {
+            engine: Engine::new(),
+            threads: 1,
+        }
+    }
+
+    /// Use the given engine (limits and fixpoint strategy).
+    pub fn with_engine(mut self, engine: Engine) -> Executor {
+        self.engine = engine;
+        self
+    }
+
+    /// Set the number of compute threads.  `1` runs in-line (no pool); `N > 1`
+    /// spawns `N − 1` pool workers with the driver thread executing one job
+    /// per round itself, so exactly `N` threads compute; `0` means "use all
+    /// available parallelism".
+    pub fn with_threads(mut self, threads: usize) -> Executor {
+        self.threads = threads;
+        self
+    }
+
+    /// The effective worker count (resolving `0` to the machine parallelism).
+    pub fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        } else {
+            self.threads
+        }
+    }
+
+    /// Evaluate `program` on `input`, returning the final instance.
+    ///
+    /// # Errors
+    /// Ill-formed programs and exceeded resource limits, as for [`Engine::run`].
+    pub fn run(&self, program: &Program, input: &Instance) -> Result<Instance, EvalError> {
+        self.run_with_stats(program, input).map(|(i, _)| i)
+    }
+
+    /// Like [`Executor::run`], additionally returning evaluation statistics
+    /// (including the per-stratum breakdown).
+    ///
+    /// # Errors
+    /// Ill-formed programs and exceeded resource limits.
+    pub fn run_with_stats(
+        &self,
+        program: &Program,
+        input: &Instance,
+    ) -> Result<(Instance, EvalStats), EvalError> {
+        let info = ProgramInfo::analyse(program)?;
+        let instance = prepare_idb_instance(&info, input)?;
+        let schedule = Schedule::of_program(program);
+        // Plan every rule up front: jobs borrow the plans for the lifetime of
+        // the worker pool.
+        let plans: Vec<Vec<BodyPlan>> = program
+            .strata
+            .iter()
+            .map(|s| s.rules.iter().map(plan_rule).collect::<Result<Vec<_>, _>>())
+            .collect::<Result<_, _>>()?;
+        let mut stats = EvalStats::default();
+        let threads = self.effective_threads();
+        let lock = RwLock::new(instance);
+
+        let outcome = if threads <= 1 {
+            drive(
+                &self.engine,
+                &program.strata,
+                &schedule,
+                &plans,
+                &lock,
+                &mut stats,
+                |jobs| {
+                    let guard = lock.read();
+                    jobs.into_iter().map(|job| run_job(job, &guard)).collect()
+                },
+            )
+        } else {
+            let (job_tx, job_rx) = mpsc::channel::<Job<'_>>();
+            let job_queue = Mutex::new(job_rx);
+            let (out_tx, out_rx) = mpsc::channel::<JobOutcome>();
+            thread::scope(|scope| {
+                // The driver runs one job per round itself, so it is the Nth
+                // compute thread: spawn N−1 pool workers.
+                for _ in 0..threads - 1 {
+                    let results = out_tx.clone();
+                    let queue = &job_queue;
+                    let shared = &lock;
+                    scope.spawn(move || worker(queue, results, shared));
+                }
+                // Workers hold clones; dropping the original lets a round's
+                // collect fail fast (instead of hanging) if the pool ever dies.
+                drop(out_tx);
+                let outcome = drive(
+                    &self.engine,
+                    &program.strata,
+                    &schedule,
+                    &plans,
+                    &lock,
+                    &mut stats,
+                    |jobs| {
+                        // The driver thread is a worker too: hand all but the
+                        // first job to the pool, run the first one in place
+                        // (small rounds — the serial tail of a fixpoint — never
+                        // pay a channel round-trip), then collect the rest.
+                        let expected = jobs.len();
+                        let mut jobs = jobs.into_iter();
+                        let first = jobs.next();
+                        for job in jobs {
+                            job_tx.send(job).expect("worker pool alive");
+                        }
+                        let mut outcomes = Vec::with_capacity(expected);
+                        if let Some(job) = first {
+                            outcomes.push(run_job(job, &lock.read()));
+                        }
+                        while outcomes.len() < expected {
+                            outcomes.push(out_rx.recv().expect("worker pool alive"));
+                        }
+                        outcomes
+                    },
+                );
+                // Closing the job queue ends the workers; the scope joins them.
+                drop(job_tx);
+                outcome
+            })
+        };
+        outcome?;
+        Ok((lock.into_inner(), stats))
+    }
+}
+
+/// The schedule driver: walk strata, then levels; fire each level's
+/// non-recursive components in one single-pass round, then advance the level's
+/// recursive components as lock-step semi-naive fixpoints.
+fn drive<'a>(
+    engine: &Engine,
+    strata: &'a [Stratum],
+    schedule: &Schedule,
+    plans: &'a [Vec<BodyPlan>],
+    instance: &RwLock<Instance>,
+    stats: &mut EvalStats,
+    mut round: impl FnMut(Vec<Job<'a>>) -> Vec<JobOutcome>,
+) -> Result<(), EvalError> {
+    for ((stratum, sched), stratum_plans) in strata.iter().zip(&schedule.strata).zip(plans) {
+        let start = Instant::now();
+        let before = (stats.iterations, stats.derived_facts, stats.rule_firings);
+        for level in &sched.levels {
+            // Phase 1: every non-recursive component of the level — independent
+            // SCCs — fires together in one single-pass round.
+            let mut jobs: Vec<Job<'a>> = Vec::new();
+            for &c in level {
+                let component = &sched.components[c];
+                if component.recursive {
+                    continue;
+                }
+                for &rule_ix in &component.rule_indices {
+                    jobs.push(Job {
+                        id: jobs.len(),
+                        rule: &stratum.rules[rule_ix],
+                        plan: &stratum_plans[rule_ix],
+                        window: None,
+                    });
+                }
+            }
+            if !jobs.is_empty() {
+                stats.iterations += 1;
+                let outcomes = round(jobs);
+                merge(engine, instance, outcomes, stats)?;
+            }
+            // Phase 2: the recursive components of the level.  They never read
+            // from one another, so their fixpoints advance in lock-step: every
+            // round pools the rule-variant × delta-shard jobs of *all*
+            // components still growing, and each component converges (and drops
+            // out) independently.
+            let recursive: Vec<&Component> = level
+                .iter()
+                .map(|&c| &sched.components[c])
+                .filter(|c| c.recursive)
+                .collect();
+            if !recursive.is_empty() {
+                fixpoint_group(
+                    engine,
+                    stratum,
+                    stratum_plans,
+                    &recursive,
+                    instance,
+                    stats,
+                    &mut round,
+                )?;
+            }
+        }
+        stats.strata.push(StratumStats {
+            rules: stratum.rules.len(),
+            iterations: stats.iterations - before.0,
+            derived_facts: stats.derived_facts - before.1,
+            rule_firings: stats.rule_firings - before.2,
+            wall: start.elapsed(),
+        });
+    }
+    Ok(())
+}
+
+/// Per-component fixpoint state inside a lock-step group.
+struct ComponentState<'a, 'c> {
+    component: &'c Component,
+    rules: Vec<(&'a Rule, &'a BodyPlan)>,
+    /// Per rule: the plan positions that draw from this component's delta.
+    delta_positions: Vec<Vec<usize>>,
+    /// Watermark per component relation: its length at the previous iteration
+    /// boundary.
+    delta_start: BTreeMap<RelName, usize>,
+    iteration: usize,
+    /// Still growing?  A converged component contributes no further jobs.
+    active: bool,
+}
+
+/// Semi-naive fixpoints of the recursive components of one level, advanced in
+/// lock-step, mirroring [`Engine::eval_rule_set`] per component but with each
+/// round pooling every active component's rule variants — split over disjoint
+/// delta shards — into one parallel fan-out.  The components never read each
+/// other's relations (they share a level), so lock-step rounds derive exactly
+/// what sequential per-component fixpoints would.
+fn fixpoint_group<'a, R: FnMut(Vec<Job<'a>>) -> Vec<JobOutcome>>(
+    engine: &Engine,
+    stratum: &'a Stratum,
+    plans: &'a [BodyPlan],
+    components: &[&Component],
+    instance: &RwLock<Instance>,
+    stats: &mut EvalStats,
+    round: &mut R,
+) -> Result<(), EvalError> {
+    let limits = engine.limits();
+    let naive = engine.strategy() == FixpointStrategy::Naive;
+    let mut states: Vec<ComponentState<'a, '_>> = components
+        .iter()
+        .map(|component| {
+            let rules: Vec<(&'a Rule, &'a BodyPlan)> = component
+                .rule_indices
+                .iter()
+                .map(|&i| (&stratum.rules[i], &plans[i]))
+                .collect();
+            let delta_positions = rules
+                .iter()
+                .map(|(_, plan)| plan.delta_positions(&component.relations))
+                .collect();
+            ComponentState {
+                component,
+                rules,
+                delta_positions,
+                delta_start: BTreeMap::new(),
+                iteration: 0,
+                active: true,
+            }
+        })
+        .collect();
+
+    while states.iter().any(|s| s.active) {
+        stats.iterations += 1;
+        let mut jobs: Vec<Job<'a>> = Vec::new();
+        {
+            let guard = instance.read();
+            for state in states.iter().filter(|s| s.active) {
+                if state.iteration >= limits.max_iterations {
+                    return Err(EvalError::LimitExceeded {
+                        what: LimitKind::Iterations,
+                        limit: limits.max_iterations,
+                    });
+                }
+                if state.iteration == 0 || naive {
+                    for &(rule, plan) in &state.rules {
+                        jobs.push(Job {
+                            id: jobs.len(),
+                            rule,
+                            plan,
+                            window: None,
+                        });
+                    }
+                    continue;
+                }
+                for ((rule, plan), positions) in state.rules.iter().zip(&state.delta_positions) {
+                    for &pos in positions {
+                        let relation = plan.predicate_at(pos)?.pred.relation;
+                        let hi = guard.relation(relation).map_or(0, Relation::len);
+                        let lo = state.delta_start.get(&relation).copied().unwrap_or(hi);
+                        if lo >= hi {
+                            continue;
+                        }
+                        // Split the delta into fixed-size shards: the window ids
+                        // and the job order do not depend on the thread count.
+                        let mut shard_lo = lo;
+                        while shard_lo < hi {
+                            let shard_hi = (shard_lo + DELTA_SHARD).min(hi);
+                            jobs.push(Job {
+                                id: jobs.len(),
+                                rule,
+                                plan,
+                                window: Some(DeltaWindow {
+                                    pos,
+                                    lo: shard_lo,
+                                    hi: shard_hi,
+                                }),
+                            });
+                            shard_lo = shard_hi;
+                        }
+                    }
+                }
+            }
+        }
+        // Watermarks recorded before merging: facts inserted by this round land
+        // at ids ≥ these marks and form each component's next delta.
+        let marks: Vec<BTreeMap<RelName, usize>> = {
+            let guard = instance.read();
+            states
+                .iter()
+                .map(|state| {
+                    state
+                        .component
+                        .relations
+                        .iter()
+                        .map(|r| (*r, guard.relation(*r).map_or(0, Relation::len)))
+                        .collect()
+                })
+                .collect()
+        };
+        let outcomes = round(jobs);
+        merge(engine, instance, outcomes, stats)?;
+        // A component keeps iterating exactly while its own relations grew;
+        // growth is visible as a length past the pre-merge watermark.
+        let guard = instance.read();
+        for (state, marks) in states.iter_mut().zip(marks) {
+            if !state.active {
+                continue;
+            }
+            let grew = marks
+                .iter()
+                .any(|(r, &mark)| guard.relation(*r).map_or(0, Relation::len) > mark);
+            state.active = grew;
+            state.delta_start = marks;
+            state.iteration += 1;
+        }
+    }
+    Ok(())
+}
+
+/// Merge a round's private buffers into the shared store under the write lock,
+/// in ascending job order — the single mutation point of the executor.  Errors
+/// are reported in job order too, so failures are deterministic.
+fn merge(
+    engine: &Engine,
+    instance: &RwLock<Instance>,
+    mut outcomes: Vec<JobOutcome>,
+    stats: &mut EvalStats,
+) -> Result<bool, EvalError> {
+    outcomes.sort_by_key(|o| o.id);
+    let mut guard = instance.write();
+    let mut grew = false;
+    for outcome in outcomes {
+        let (mut facts, firings) = outcome.result?;
+        stats.rule_firings += firings;
+        grew |= engine.absorb(&mut guard, &mut facts, stats)?;
+    }
+    Ok(grew)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqdl_core::{path_of, rel};
+    use seqdl_engine::EvalLimits;
+    use seqdl_syntax::parse_program;
+
+    fn graph_instance(edges: &[(&str, &str)]) -> Instance {
+        let mut input = Instance::new();
+        for (x, y) in edges {
+            input
+                .insert_fact(Fact::new(rel("R"), vec![path_of(&[x, y])]))
+                .unwrap();
+        }
+        input
+    }
+
+    #[test]
+    fn nonrecursive_strata_take_a_single_pass() {
+        // Two declared strata, each a single level: one round per stratum.
+        let program = parse_program("T($x) <- R($x).\n---\nS($x) <- T($x), !B($x).").unwrap();
+        let input = Instance::unary(rel("R"), [path_of(&["a"]), path_of(&["b"])]);
+        let (out, stats) = Executor::new().run_with_stats(&program, &input).unwrap();
+        assert_eq!(out.unary_paths(rel("S")).len(), 2);
+        assert_eq!(stats.strata.len(), 2);
+        for stratum in &stats.strata {
+            assert_eq!(stratum.iterations, 1, "single pass per stratum: {stats:?}");
+        }
+        // The engine's whole-stratum fixpoint needs the extra convergence round.
+        let (_, engine_stats) = Engine::new().run_with_stats(&program, &input).unwrap();
+        assert!(engine_stats.iterations > stats.iterations);
+        // Same firing count: no rule was evaluated twice.
+        assert_eq!(engine_stats.rule_firings, stats.rule_firings);
+    }
+
+    #[test]
+    fn nonrecursive_chain_takes_one_round_per_level() {
+        let program =
+            parse_program("T1($x) <- R($x).\nT2($x) <- T1($x).\nS($x) <- T2($x).").unwrap();
+        let input = Instance::unary(rel("R"), [path_of(&["a"])]);
+        let (out, stats) = Executor::new().run_with_stats(&program, &input).unwrap();
+        assert_eq!(out.unary_paths(rel("S")).len(), 1);
+        assert_eq!(stats.strata[0].iterations, 3, "one round per level");
+        assert_eq!(stats.rule_firings, 3, "each rule fired exactly once");
+    }
+
+    #[test]
+    fn executor_matches_engine_on_recursive_programs() {
+        let program = parse_program(
+            "T(@x·@y) <- R(@x·@y).\nT(@x·@z) <- T(@x·@y), R(@y·@z).\nS($p) <- T($p).",
+        )
+        .unwrap();
+        let input = graph_instance(&[("a", "b"), ("b", "c"), ("c", "d"), ("d", "a"), ("b", "e")]);
+        let sequential = Engine::new().run(&program, &input).unwrap();
+        for threads in [1usize, 2, 4] {
+            let parallel = Executor::new()
+                .with_threads(threads)
+                .run(&program, &input)
+                .unwrap();
+            assert_eq!(sequential, parallel, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn executor_matches_engine_on_mutual_recursion_and_negation() {
+        let program = parse_program(
+            "P($x) <- R($x·a).\nP($x) <- Q($x·b).\nQ($x) <- P($x·a).\nQ($x) <- R($x).\n---\n\
+             S($x) <- Q($x), !P($x).",
+        )
+        .unwrap();
+        let input = Instance::unary(
+            rel("R"),
+            [
+                path_of(&["a", "a", "a", "b"]),
+                path_of(&["b", "a"]),
+                path_of(&["a", "b", "a", "a"]),
+            ],
+        );
+        let sequential = Engine::new().run(&program, &input).unwrap();
+        for threads in [1usize, 2, 4] {
+            let parallel = Executor::new()
+                .with_threads(threads)
+                .run(&program, &input)
+                .unwrap();
+            assert_eq!(sequential, parallel, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn same_level_independent_components_evaluate_together() {
+        let program =
+            parse_program("T($x) <- R($x).\nU($x·$x) <- R($x).\nS($x) <- T($x), U($x·$x).")
+                .unwrap();
+        let input = Instance::unary(rel("R"), [path_of(&["a"]), path_of(&["b"])]);
+        let (out, stats) = Executor::new()
+            .with_threads(2)
+            .run_with_stats(&program, &input)
+            .unwrap();
+        assert_eq!(out.unary_paths(rel("S")).len(), 2);
+        // T and U share level 0, S is level 1: two rounds total.
+        assert_eq!(stats.strata[0].iterations, 2);
+    }
+
+    #[test]
+    fn independent_recursive_components_advance_in_lock_step() {
+        // P and Q are independent suffix-closure recursions sharing level 0:
+        // the group fixpoint pools both components' jobs per round, so the
+        // stratum's round count is driven by the *deeper* component (P over the
+        // length-4 path: 5 productive rounds + 1 convergence round = 6), not
+        // the sum of both components' fixpoints (6 + 4 = 10 run serially).
+        let program = parse_program(
+            "P($x) <- R($x).\nP($y) <- P(@u·$y).\nQ($x) <- S($x).\nQ($y) <- Q(@u·$y).",
+        )
+        .unwrap();
+        let mut input = Instance::unary(rel("R"), [path_of(&["a", "b", "c", "d"])]);
+        input
+            .insert_fact(Fact::new(rel("S"), vec![path_of(&["x", "y"])]))
+            .unwrap();
+        let sequential = Engine::new().run(&program, &input).unwrap();
+        for threads in [1usize, 2, 4] {
+            let (parallel, stats) = Executor::new()
+                .with_threads(threads)
+                .run_with_stats(&program, &input)
+                .unwrap();
+            assert_eq!(sequential, parallel, "threads = {threads}");
+            assert_eq!(stats.strata[0].iterations, 6, "lock-step rounds: {stats:?}");
+        }
+    }
+
+    #[test]
+    fn diverging_programs_hit_the_iteration_limit() {
+        let program = parse_program("T(a).\nT(a·$x) <- T($x).").unwrap();
+        let tight = Engine::new().with_limits(EvalLimits {
+            max_iterations: 20,
+            max_facts: 100_000,
+            max_path_len: 100_000,
+        });
+        for threads in [1usize, 4] {
+            let err = Executor::new()
+                .with_engine(tight)
+                .with_threads(threads)
+                .run(&program, &Instance::new())
+                .unwrap_err();
+            assert!(matches!(err, EvalError::LimitExceeded { .. }), "{err}");
+        }
+    }
+
+    #[test]
+    fn naive_strategy_is_supported() {
+        let program = parse_program(
+            "T(@x·@y) <- R(@x·@y).\nT(@x·@z) <- T(@x·@y), R(@y·@z).\nS($p) <- T($p).",
+        )
+        .unwrap();
+        let input = graph_instance(&[("a", "b"), ("b", "c"), ("c", "a")]);
+        let naive = Executor::new()
+            .with_engine(Engine::new().with_strategy(FixpointStrategy::Naive))
+            .with_threads(2)
+            .run(&program, &input)
+            .unwrap();
+        let semi = Executor::new()
+            .with_threads(2)
+            .run(&program, &input)
+            .unwrap();
+        assert_eq!(naive, semi);
+    }
+
+    #[test]
+    fn idb_relations_in_the_input_are_rejected() {
+        let program = parse_program("S($x) <- R($x).").unwrap();
+        let input = Instance::unary(rel("S"), [path_of(&["a"])]);
+        assert!(matches!(
+            Executor::new().run(&program, &input),
+            Err(EvalError::IdbRelationInInput { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_threads_resolves_to_available_parallelism() {
+        let exec = Executor::new().with_threads(0);
+        assert!(exec.effective_threads() >= 1);
+        let program = parse_program("S($x) <- R($x).").unwrap();
+        let input = Instance::unary(rel("R"), [path_of(&["a"])]);
+        assert_eq!(
+            exec.run(&program, &input)
+                .unwrap()
+                .unary_paths(rel("S"))
+                .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn delta_sharding_covers_large_deltas() {
+        // A recursive component whose first delta exceeds one shard (> 128
+        // tuples): suffixes of a long path, derived one per iteration, but the
+        // *base* rule's initial pass seeds > 128 tuples at once via R.
+        let program = parse_program("T($x) <- R($x).\nT($y) <- T(@u·$y).").unwrap();
+        let paths: Vec<_> = (0..300)
+            .map(|i| path_of(&[&format!("n{i}"), "x"]))
+            .collect();
+        let input = Instance::unary(rel("R"), paths);
+        let sequential = Engine::new().run(&program, &input).unwrap();
+        for threads in [1usize, 4] {
+            let parallel = Executor::new()
+                .with_threads(threads)
+                .run(&program, &input)
+                .unwrap();
+            assert_eq!(sequential, parallel, "threads = {threads}");
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! The evaluation schedule: each declared stratum condensed into strongly
+//! connected components of its precedence graph, topologically ordered and
+//! grouped into independence levels.
+//!
+//! A declared stratum (the `---`-separated blocks of a program) fixes the
+//! semantics of negation; *within* a stratum the precedence graph is purely
+//! positive (stratification forbids negating a relation defined in the same or a
+//! later stratum), so its SCC condensation is a correct refinement of the
+//! stratum-wide fixpoint: components are evaluated in topological order,
+//! non-recursive components with a single pass, recursive components with a
+//! semi-naive fixpoint restricted to their own rules — and components sharing a
+//! level never read from one another, so they can run in parallel.
+
+use seqdl_core::RelName;
+use seqdl_syntax::{PrecedenceGraph, Program, Stratum};
+use std::collections::BTreeSet;
+
+/// One schedulable unit: the rules of one strongly connected component of a
+/// declared stratum's precedence graph.
+#[derive(Clone, Debug)]
+pub struct Component {
+    /// The head relations of the component.
+    pub relations: BTreeSet<RelName>,
+    /// Indices (into the stratum's rule list) of the rules whose heads lie in
+    /// this component.
+    pub rule_indices: Vec<usize>,
+    /// Whether evaluating the component needs a fixpoint (mutual recursion or a
+    /// self-loop); a non-recursive component is sound to evaluate in one pass.
+    pub recursive: bool,
+    /// Dependency depth; components with equal levels are mutually independent.
+    pub level: usize,
+}
+
+/// The schedule of one declared stratum.
+#[derive(Clone, Debug)]
+pub struct StratumSchedule {
+    /// The components in topological (evaluation) order.
+    pub components: Vec<Component>,
+    /// Component indices grouped by level, levels in ascending order.
+    pub levels: Vec<Vec<usize>>,
+}
+
+impl StratumSchedule {
+    /// Build the schedule of one stratum from its precedence graph.
+    pub fn of_stratum(stratum: &Stratum) -> StratumSchedule {
+        let condensation = PrecedenceGraph::of_rules(stratum.rules.iter()).condensation();
+        let mut components: Vec<Component> = condensation
+            .components
+            .iter()
+            .map(|scc| Component {
+                relations: scc.members.clone(),
+                rule_indices: Vec::new(),
+                recursive: scc.recursive,
+                level: scc.level,
+            })
+            .collect();
+        for (rule_ix, rule) in stratum.rules.iter().enumerate() {
+            let c = condensation
+                .component_of(rule.head.relation)
+                .expect("every rule head is a node of the stratum's precedence graph");
+            components[c].rule_indices.push(rule_ix);
+        }
+        let mut levels: Vec<Vec<usize>> = vec![Vec::new(); condensation.level_count()];
+        for (c, component) in components.iter().enumerate() {
+            levels[component.level].push(c);
+        }
+        StratumSchedule { components, levels }
+    }
+
+    /// Total number of components.
+    pub fn component_count(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Number of recursive components.
+    pub fn recursive_count(&self) -> usize {
+        self.components.iter().filter(|c| c.recursive).count()
+    }
+}
+
+/// The full evaluation schedule of a program: one [`StratumSchedule`] per
+/// declared stratum, in evaluation order.
+#[derive(Clone, Debug)]
+pub struct Schedule {
+    /// Per-stratum schedules.
+    pub strata: Vec<StratumSchedule>,
+}
+
+impl Schedule {
+    /// Build the schedule of a program.
+    pub fn of_program(program: &Program) -> Schedule {
+        Schedule {
+            strata: program
+                .strata
+                .iter()
+                .map(StratumSchedule::of_stratum)
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqdl_core::rel;
+    use seqdl_syntax::parse_program;
+
+    #[test]
+    fn nonrecursive_chain_schedules_one_component_per_level() {
+        let p = parse_program("T1($x) <- R($x).\nT2($x) <- T1($x).\nS($x) <- T2($x).").unwrap();
+        let sched = Schedule::of_program(&p);
+        assert_eq!(sched.strata.len(), 1);
+        let s = &sched.strata[0];
+        assert_eq!(s.component_count(), 3);
+        assert_eq!(s.recursive_count(), 0);
+        assert_eq!(s.levels, vec![vec![0], vec![1], vec![2]]);
+        assert_eq!(s.components[0].relations, BTreeSet::from([rel("T1")]));
+        assert_eq!(s.components[2].relations, BTreeSet::from([rel("S")]));
+    }
+
+    #[test]
+    fn independent_relations_share_a_level() {
+        let p = parse_program(
+            "T($x) <- R($x).\nU($x) <- R($x).\nS($x) <- T($x), U($x).\nS($x) <- R($x·a).",
+        )
+        .unwrap();
+        let s = &Schedule::of_program(&p).strata[0];
+        assert_eq!(s.levels.len(), 2);
+        assert_eq!(s.levels[0].len(), 2, "T and U are independent");
+        let output = &s.components[s.levels[1][0]];
+        assert_eq!(output.relations, BTreeSet::from([rel("S")]));
+        assert_eq!(output.rule_indices, vec![2, 3], "both S rules in one unit");
+    }
+
+    #[test]
+    fn recursion_is_confined_to_its_component() {
+        let p = parse_program(
+            "E($p) <- R($p).\nT(@x·@y) <- E(@x·@y).\nT(@x·@z) <- T(@x·@y), E(@y·@z).\nS <- T(a·b).",
+        )
+        .unwrap();
+        let s = &Schedule::of_program(&p).strata[0];
+        assert_eq!(s.component_count(), 3);
+        assert_eq!(s.recursive_count(), 1);
+        let t = s
+            .components
+            .iter()
+            .find(|c| c.relations.contains(&rel("T")))
+            .unwrap();
+        assert!(t.recursive);
+        assert_eq!(t.rule_indices, vec![1, 2]);
+        assert_eq!(t.level, 1);
+    }
+
+    #[test]
+    fn declared_strata_schedule_separately() {
+        let p =
+            parse_program("W(@x) <- R(@x·@y), !B(@y).\n---\nS(@x) <- R(@x·@y), !W(@x).").unwrap();
+        let sched = Schedule::of_program(&p);
+        assert_eq!(sched.strata.len(), 2);
+        assert_eq!(sched.strata[0].component_count(), 1);
+        assert_eq!(sched.strata[1].component_count(), 1);
+        assert_eq!(sched.strata[1].recursive_count(), 0);
+    }
+}

@@ -237,6 +237,279 @@ pub fn is_semipositive(program: &Program) -> bool {
     })
 }
 
+/// The *precedence graph* over the IDB relation names of a set of rules: there is
+/// an edge from `R` to `S` ("R precedes S") when `R` occurs in the body of a rule
+/// with head `S`, i.e. `S` can only be computed once `R` is.  Edges arising from a
+/// *negated* occurrence are additionally recorded as negative.
+///
+/// This is the [`DependencyGraph`] with its edges reversed, plus negation labels —
+/// the orientation an evaluation *scheduler* wants: condensing the graph into
+/// strongly connected components and ordering them topologically yields a plan in
+/// which every component is computed after everything it reads, non-recursive
+/// components need a single pass, and components at the same level are mutually
+/// independent (they can run in parallel).  Where a caller needs the actual
+/// evaluation order — not just a yes/no answer — this graph supersedes the
+/// boolean [`check_stratification`]; see [`PrecedenceGraph::check_stratifiable`]
+/// for the soundness caveat that distinction carries.
+#[derive(Clone, Debug)]
+pub struct PrecedenceGraph {
+    /// The nodes (head relation names of the rules), in first-head order.
+    nodes: Vec<RelName>,
+    /// Relation name → index into `nodes`.
+    index: BTreeMap<RelName, usize>,
+    /// `succ[i]` holds `j` when node `i` precedes node `j` (i occurs in a body of a
+    /// rule with head `j`).
+    succ: Vec<BTreeSet<usize>>,
+    /// Edges `(i, j)` where the occurrence of `i` in a body with head `j` is
+    /// negated.
+    negative: BTreeSet<(usize, usize)>,
+}
+
+impl PrecedenceGraph {
+    /// Build the precedence graph of a set of rules.  The nodes are the *head*
+    /// relations of the given rules; body occurrences of other relations (the EDB,
+    /// or heads of rules outside the set) constrain nothing and produce no edges.
+    pub fn of_rules<'a>(rules: impl IntoIterator<Item = &'a Rule>) -> PrecedenceGraph {
+        let rules: Vec<&Rule> = rules.into_iter().collect();
+        let mut nodes: Vec<RelName> = Vec::new();
+        let mut index: BTreeMap<RelName, usize> = BTreeMap::new();
+        for rule in &rules {
+            let head = rule.head.relation;
+            if let std::collections::btree_map::Entry::Vacant(e) = index.entry(head) {
+                e.insert(nodes.len());
+                nodes.push(head);
+            }
+        }
+        let mut succ: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); nodes.len()];
+        let mut negative: BTreeSet<(usize, usize)> = BTreeSet::new();
+        for rule in rules {
+            let head_ix = index[&rule.head.relation];
+            for pred in rule.positive_body_predicates() {
+                if let Some(&body_ix) = index.get(&pred.relation) {
+                    succ[body_ix].insert(head_ix);
+                }
+            }
+            for pred in rule.negative_body_predicates() {
+                if let Some(&body_ix) = index.get(&pred.relation) {
+                    succ[body_ix].insert(head_ix);
+                    negative.insert((body_ix, head_ix));
+                }
+            }
+        }
+        PrecedenceGraph {
+            nodes,
+            index,
+            succ,
+            negative,
+        }
+    }
+
+    /// Build the precedence graph of a whole program (all strata pooled).
+    pub fn of_program(program: &Program) -> PrecedenceGraph {
+        PrecedenceGraph::of_rules(program.rules())
+    }
+
+    /// The nodes of the graph (head relation names), in first-head order.
+    pub fn nodes(&self) -> &[RelName] {
+        &self.nodes
+    }
+
+    /// Does the graph contain an edge from `from` to `to`?
+    pub fn has_edge(&self, from: RelName, to: RelName) -> bool {
+        match (self.index.get(&from), self.index.get(&to)) {
+            (Some(&f), Some(&t)) => self.succ[f].contains(&t),
+            _ => false,
+        }
+    }
+
+    /// Is the edge from `from` to `to` negative (some negated body occurrence)?
+    pub fn has_negative_edge(&self, from: RelName, to: RelName) -> bool {
+        match (self.index.get(&from), self.index.get(&to)) {
+            (Some(&f), Some(&t)) => self.negative.contains(&(f, t)),
+            _ => false,
+        }
+    }
+
+    /// Condense the graph into strongly connected components, topologically
+    /// ordered: every component appears after all components it reads from.
+    pub fn condensation(&self) -> Condensation {
+        let n = self.nodes.len();
+        // Iterative Tarjan.  Components are emitted dependents-first (an SCC is
+        // completed only after everything reachable from it), so the evaluation
+        // order is the reverse of the emission order.
+        let mut ix_counter = 0usize;
+        let mut ix = vec![usize::MAX; n]; // discovery index per node
+        let mut low = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut emitted: Vec<Vec<usize>> = Vec::new();
+        // Explicit DFS frames: (node, iterator position into succ list).
+        let succ_lists: Vec<Vec<usize>> = self
+            .succ
+            .iter()
+            .map(|s| s.iter().copied().collect())
+            .collect();
+        for root in 0..n {
+            if ix[root] != usize::MAX {
+                continue;
+            }
+            ix[root] = ix_counter;
+            low[root] = ix_counter;
+            ix_counter += 1;
+            stack.push(root);
+            on_stack[root] = true;
+            let mut frames: Vec<(usize, usize)> = vec![(root, 0)];
+            while let Some(&(v, child_pos)) = frames.last() {
+                if let Some(&w) = succ_lists[v].get(child_pos) {
+                    frames.last_mut().expect("frame exists").1 += 1;
+                    if ix[w] == usize::MAX {
+                        ix[w] = ix_counter;
+                        low[w] = ix_counter;
+                        ix_counter += 1;
+                        stack.push(w);
+                        on_stack[w] = true;
+                        frames.push((w, 0));
+                    } else if on_stack[w] {
+                        low[v] = low[v].min(ix[w]);
+                    }
+                } else {
+                    frames.pop();
+                    if low[v] == ix[v] {
+                        let mut component = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("Tarjan stack underflow");
+                            on_stack[w] = false;
+                            component.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        emitted.push(component);
+                    }
+                    if let Some(&(parent, _)) = frames.last() {
+                        low[parent] = low[parent].min(low[v]);
+                    }
+                }
+            }
+        }
+        emitted.reverse(); // dependencies now come first
+
+        // Membership map: node → component index (in evaluation order).
+        let mut component_of = vec![0usize; n];
+        for (c, members) in emitted.iter().enumerate() {
+            for &v in members {
+                component_of[v] = c;
+            }
+        }
+        // A component is recursive when it has more than one member or a self-loop.
+        // Levels: the longest chain of inter-component dependencies below each
+        // component; components sharing a level are mutually independent.
+        let mut components: Vec<SccInfo> = Vec::with_capacity(emitted.len());
+        for (c, members) in emitted.iter().enumerate() {
+            let recursive = members.len() > 1 || members.iter().any(|&v| self.succ[v].contains(&v));
+            let mut level = 0usize;
+            for &v in members {
+                // Incoming edges: scan predecessors via succ of every earlier node.
+                // (Cheap enough: graphs are IDB-sized, not data-sized.)
+                for (u, succs) in self.succ.iter().enumerate() {
+                    if succs.contains(&v) && component_of[u] != c {
+                        level = level.max(components[component_of[u]].level + 1);
+                    }
+                }
+            }
+            components.push(SccInfo {
+                members: members.iter().map(|&v| self.nodes[v]).collect(),
+                recursive,
+                level,
+            });
+        }
+        Condensation { components }
+    }
+
+    /// Check that no *negative* edge joins two relations of the same strongly
+    /// connected component — the graph-based form of stratifiability: recursion
+    /// through negation is exactly a negative edge inside an SCC.
+    ///
+    /// **Soundness scope.**  This check is *more permissive* than
+    /// [`check_stratification`]: it accepts a program whose negation crosses
+    /// SCCs inside one declared stratum (e.g. `T($x) <- R($x).  S($x) <- R($x),
+    /// !T($x).` written without a `---` separator).  Such a program is only
+    /// evaluated correctly by a scheduler that runs the SCC condensation in
+    /// topological order (negated relations fully computed before their
+    /// negations are read — auto-stratification, the `seqdl-exec` model).  The
+    /// sequential engine's whole-declared-stratum fixpoint would read `!T` at
+    /// iteration 0, before `T` is populated, and over-derive; programs headed
+    /// for that evaluator must pass [`check_stratification`] instead, which is
+    /// what [`ProgramInfo::analyse`] enforces for both evaluators today.
+    ///
+    /// # Errors
+    /// Returns [`SyntaxError::NotStratified`] naming the offending edge.
+    pub fn check_stratifiable(&self) -> Result<(), SyntaxError> {
+        if self.negative.is_empty() {
+            return Ok(());
+        }
+        let condensation = self.condensation();
+        let component_of: BTreeMap<RelName, usize> = condensation
+            .components
+            .iter()
+            .enumerate()
+            .flat_map(|(c, info)| info.members.iter().map(move |r| (*r, c)))
+            .collect();
+        for &(from, to) in &self.negative {
+            let (from, to) = (self.nodes[from], self.nodes[to]);
+            if component_of[&from] == component_of[&to] {
+                return Err(SyntaxError::NotStratified {
+                    message: format!(
+                        "relation {from} is negated in a rule defining {to}, but {from} and {to} \
+                         are mutually recursive (recursion through negation)"
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One strongly connected component of a [`PrecedenceGraph`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SccInfo {
+    /// The relation names in the component.
+    pub members: BTreeSet<RelName>,
+    /// Does evaluating the component need a fixpoint?  True when the component has
+    /// more than one member or a self-loop; false means a single pass suffices.
+    pub recursive: bool,
+    /// Length of the longest chain of inter-component dependencies below this
+    /// component.  Components with equal levels never read from one another, so
+    /// they can be evaluated in parallel.
+    pub level: usize,
+}
+
+/// The condensation of a [`PrecedenceGraph`]: its strongly connected components in
+/// topological (evaluation) order.
+#[derive(Clone, Debug)]
+pub struct Condensation {
+    /// The components; every component appears after all components it reads from.
+    pub components: Vec<SccInfo>,
+}
+
+impl Condensation {
+    /// The component index of `relation`, if it heads any rule.
+    pub fn component_of(&self, relation: RelName) -> Option<usize> {
+        self.components
+            .iter()
+            .position(|c| c.members.contains(&relation))
+    }
+
+    /// Number of levels (1 + the maximum component level; 0 when empty).
+    pub fn level_count(&self) -> usize {
+        self.components
+            .iter()
+            .map(|c| c.level + 1)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
 /// A bundle of the most commonly needed facts about a program.
 #[derive(Clone, Debug)]
 pub struct ProgramInfo {
@@ -432,6 +705,81 @@ mod tests {
         // An unsafe program is rejected by analyse().
         let bad = parse_program("S($y) <- R($x).").unwrap();
         assert!(ProgramInfo::analyse(&bad).is_err());
+    }
+
+    #[test]
+    fn precedence_graph_orients_edges_dependency_first() {
+        let p = parse_program("T($x) <- R($x).\nS($x) <- T($x).").unwrap();
+        let g = PrecedenceGraph::of_program(&p);
+        assert!(g.has_edge(rel("T"), rel("S")));
+        assert!(!g.has_edge(rel("S"), rel("T")));
+        // EDB relations are not nodes and produce no edges.
+        assert!(!g.has_edge(rel("R"), rel("T")));
+        assert_eq!(g.nodes().len(), 2);
+    }
+
+    #[test]
+    fn condensation_orders_components_topologically() {
+        // P and Q are mutually recursive; S reads Q; T is independent of all.
+        let p = parse_program(
+            "P($x) <- Q($x).\nQ($x) <- P($x·a).\nQ($x) <- R($x).\nS($x) <- Q($x).\nT($x) <- R($x).",
+        )
+        .unwrap();
+        let c = PrecedenceGraph::of_program(&p).condensation();
+        assert_eq!(c.components.len(), 3);
+        let pq = c.component_of(rel("P")).unwrap();
+        assert_eq!(c.component_of(rel("Q")), Some(pq));
+        assert!(c.components[pq].recursive);
+        assert_eq!(
+            c.components[pq].members,
+            BTreeSet::from([rel("P"), rel("Q")])
+        );
+        let s = c.component_of(rel("S")).unwrap();
+        let t = c.component_of(rel("T")).unwrap();
+        assert!(s > pq, "S must come after the {{P, Q}} component");
+        assert!(!c.components[s].recursive);
+        assert!(!c.components[t].recursive);
+        // Levels: {P,Q} and T are independent roots; S is one level above {P,Q}.
+        assert_eq!(c.components[pq].level, 0);
+        assert_eq!(c.components[t].level, 0);
+        assert_eq!(c.components[s].level, 1);
+        assert_eq!(c.level_count(), 2);
+    }
+
+    #[test]
+    fn self_loops_make_singleton_components_recursive() {
+        let p = parse_program("T($x) <- R($x).\nT($x) <- T($x·a).\nS($x) <- T($x).").unwrap();
+        let c = PrecedenceGraph::of_program(&p).condensation();
+        let t = c.component_of(rel("T")).unwrap();
+        let s = c.component_of(rel("S")).unwrap();
+        assert!(c.components[t].recursive);
+        assert!(!c.components[s].recursive);
+        assert!(t < s);
+        assert_eq!(c.component_of(rel("Absent")), None);
+    }
+
+    #[test]
+    fn graph_stratifiability_rejects_recursion_through_negation() {
+        // Negation on an acyclic path passes the *graph* check even within one
+        // declared stratum — sound only under condensation-ordered evaluation
+        // (see the check_stratifiable docs); check_stratification still rejects
+        // this program for the declared-stratum engine.
+        let acyclic = parse_program("T($x) <- R($x).\nS($x) <- R($x), !T($x).").unwrap();
+        let g = PrecedenceGraph::of_program(&acyclic);
+        assert!(g.has_negative_edge(rel("T"), rel("S")));
+        assert!(g.check_stratifiable().is_ok());
+
+        // Negation inside a cycle is recursion through negation.
+        let cyclic = parse_program("T($x) <- S($x).\nS($x) <- R($x), !T($x).").unwrap();
+        assert!(PrecedenceGraph::of_program(&cyclic)
+            .check_stratifiable()
+            .is_err());
+
+        // Purely positive recursion is stratifiable.
+        let positive = parse_program("T($x) <- R($x).\nT($x) <- T($x·a).").unwrap();
+        assert!(PrecedenceGraph::of_program(&positive)
+            .check_stratifiable()
+            .is_ok());
     }
 
     #[test]

@@ -37,7 +37,9 @@ pub mod parser;
 pub mod term;
 pub mod valuation;
 
-pub use analysis::{DependencyGraph, FeatureSet, ProgramInfo};
+pub use analysis::{
+    Condensation, DependencyGraph, FeatureSet, PrecedenceGraph, ProgramInfo, SccInfo,
+};
 pub use ast::{Atom, Equation, Literal, Predicate, Program, Rule, Stratum};
 pub use error::SyntaxError;
 pub use parser::{parse_expr, parse_program, parse_rule};

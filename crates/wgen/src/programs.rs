@@ -24,6 +24,12 @@ pub struct ProgramConfig {
     pub allow_negation: bool,
     /// Allow binary IDB relations (the A feature); otherwise everything is unary.
     pub allow_arity: bool,
+    /// Allow *terminating* recursive rules (the R feature): a stratum may gain a
+    /// suffix-consuming rule `H($y) <- H(@u·$y).` for one of its unary heads.
+    /// Such rules only derive suffixes of already-derived paths, so the fixpoint
+    /// stays finite, and they never appear under negation (negated predicates
+    /// only draw from earlier strata), so stratification is preserved.
+    pub allow_recursion: bool,
 }
 
 impl Default for ProgramConfig {
@@ -34,6 +40,7 @@ impl Default for ProgramConfig {
             allow_equations: true,
             allow_negation: true,
             allow_arity: true,
+            allow_recursion: false,
         }
     }
 }
@@ -60,6 +67,17 @@ impl ProgramGenerator {
     /// defined by the last rule of the last stratum is a natural "output" relation
     /// for differential tests.
     pub fn random_nonrecursive_program(&self, salt: u64, config: &ProgramConfig) -> Program {
+        let config = ProgramConfig {
+            allow_recursion: false,
+            ..*config
+        };
+        self.random_program(salt, &config)
+    }
+
+    /// Generate a random safe, stratified, *terminating* program; with
+    /// [`ProgramConfig::allow_recursion`] set, strata may contain
+    /// suffix-consuming recursive rules.
+    pub fn random_program(&self, salt: u64, config: &ProgramConfig) -> Program {
         let mut rng =
             StdRng::seed_from_u64(self.seed.wrapping_mul(0x51_7C_C1_B7_27_22_0A_95) ^ salt);
         // Relations available to rule bodies: the EDB plus the heads of *earlier*
@@ -82,6 +100,22 @@ impl ProgramGenerator {
                     self.random_rule(&mut rng, config, &available, head_relation, head_arity);
                 defined_here.push((head_relation, head_arity));
                 rules.push(rule);
+            }
+            // Optionally close one unary head of this stratum under suffixes with
+            // a recursive rule.  The body predicate binds both variables, so the
+            // rule is safe; derivations only shorten paths, so it terminates.
+            if config.allow_recursion && rng.gen_bool(0.6) {
+                if let Some(&(head, _)) = defined_here.iter().find(|(_, arity)| *arity == 1) {
+                    let u = Var::atom("ru");
+                    let y = Var::path("ry");
+                    rules.push(Rule::new(
+                        Predicate::new(head, vec![PathExpr::var(y)]),
+                        vec![Literal::pred(Predicate::new(
+                            head,
+                            vec![PathExpr::from_terms([Term::Var(u), Term::Var(y)])],
+                        ))],
+                    ));
+                }
             }
             available.extend(defined_here);
             strata.push(Stratum::new(rules));
@@ -189,6 +223,25 @@ mod tests {
                 "salt {salt}: recursive"
             );
         }
+    }
+
+    #[test]
+    fn recursive_programs_are_safe_stratified_and_sometimes_recursive() {
+        let generator = ProgramGenerator::new(21);
+        let config = ProgramConfig {
+            allow_recursion: true,
+            ..ProgramConfig::default()
+        };
+        let mut saw_recursion = false;
+        for salt in 0..40u64 {
+            let program = generator.random_program(salt, &config);
+            check_safety(&program)
+                .unwrap_or_else(|e| panic!("salt {salt}: unsafe: {e}\n{program}"));
+            check_stratification(&program)
+                .unwrap_or_else(|e| panic!("salt {salt}: not stratified: {e}\n{program}"));
+            saw_recursion |= FeatureSet::of_program(&program).recursion;
+        }
+        assert!(saw_recursion, "allow_recursion never produced a cycle");
     }
 
     #[test]

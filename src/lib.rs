@@ -38,6 +38,7 @@
 pub use seqdl_algebra as algebra;
 pub use seqdl_core as core;
 pub use seqdl_engine as engine;
+pub use seqdl_exec as exec;
 pub use seqdl_fragments as fragments;
 pub use seqdl_io as io;
 pub use seqdl_regex as regex;
@@ -51,6 +52,7 @@ pub use seqdl_wgen as wgen;
 pub mod prelude {
     pub use seqdl_core::{atom, path_of, rel, repeat_path, Fact, Instance, Path, RelName, Value};
     pub use seqdl_engine::{run_boolean_query, run_unary_query, Engine, EvalLimits};
+    pub use seqdl_exec::Executor;
     pub use seqdl_fragments::{subsumed_by, Feature, Fragment, HasseDiagram};
     pub use seqdl_io::{
         load_instance, load_program, parse_instance, save_instance, write_instance,

@@ -131,6 +131,7 @@ fn algebra_translation_agrees_on_random_equation_free_programs() {
         allow_equations: false,
         allow_negation: true,
         allow_arity: true,
+        allow_recursion: false,
     };
     let mut translated = 0;
     for salt in 0..20u64 {
