@@ -3,7 +3,7 @@
 //!
 //! Usage: `cargo run -p seqdl-bench --bin harness [--release] [--threads N] [section…]`
 //! where `section` is any of `fig1 fig2 fig3 arity equations packing folding
-//! linearity reachability nfa algebra regex termination`; with no arguments every section is printed.
+//! linearity reachability nfa query algebra regex termination`; with no arguments every section is printed.
 //! `--threads N` sets the worker-pool size of the stratified executor columns in
 //! the reachability and NFA sections (default 1; 0 = all cores).
 
@@ -218,6 +218,42 @@ fn main() {
             println!(
                 "{states:>8} {words:>8} {len:>10} {naive_col:>12} {:>12?} {:>12?}   (accepted: {b})",
                 t_semi, t_exec
+            );
+        }
+    }
+
+    if want("query") {
+        section("EXP-Q  Demand-driven query evaluation: T(a·$y) on §5.1.1 reachability");
+        println!(
+            "{:>8} {:>8} {:>12} {:>12} {:>12} {:>12} {:>9}",
+            "nodes", "edges", "full", "full fires", "demanded", "dem. fires", "answers"
+        );
+        for (nodes, edges) in [
+            (8usize, 16usize),
+            (16, 48),
+            (32, 128),
+            (64, 384),
+            (128, 1024),
+        ] {
+            let t0 = Instant::now();
+            let (full_answers, full_stats) =
+                drivers::reachability_query_full(nodes, edges, threads);
+            let t_full = t0.elapsed();
+            let t1 = Instant::now();
+            let (demanded_answers, demanded_stats) =
+                drivers::reachability_query_demanded(nodes, edges, threads);
+            let t_demanded = t1.elapsed();
+            assert_eq!(
+                full_answers, demanded_answers,
+                "demanded answers must equal full-run-then-filter"
+            );
+            assert!(
+                demanded_stats.rule_firings <= full_stats.rule_firings,
+                "demand must not fire more rules"
+            );
+            println!(
+                "{nodes:>8} {edges:>8} {t_full:>12?} {:>12} {t_demanded:>12?} {:>12} {:>9}",
+                full_stats.rule_firings, demanded_stats.rule_firings, full_answers
             );
         }
     }

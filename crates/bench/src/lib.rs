@@ -313,6 +313,57 @@ pub fn nfa_run_parallel(states: usize, words: usize, word_len: usize, threads: u
 }
 
 // ---------------------------------------------------------------------------
+// EXP-Q: demand-driven query evaluation (magic sets)
+// ---------------------------------------------------------------------------
+
+/// The single-source reachability goal `T(a·$y)` on the Section 5.1.1 edge
+/// encoding: every node reachable from `a`.
+pub fn reachability_goal() -> seqdl_syntax::Predicate {
+    seqdl_rewrite::parse_goal("T(a·$y)").expect("goal parses")
+}
+
+/// Evaluate the §5.1.1 reachability program *in full* through the executor and
+/// filter the `T` relation by [`reachability_goal`]; returns the answer count
+/// and the run's statistics — the baseline the demanded run must match.
+pub fn reachability_query_full(
+    nodes: usize,
+    edges: usize,
+    threads: usize,
+) -> (usize, seqdl_engine::EvalStats) {
+    let w = witnesses::reachability();
+    let goal = reachability_goal();
+    let input = Workloads::new(17).digraph_instance(nodes, edges);
+    let (out, stats) = bench_executor(threads)
+        .run_with_stats(&w.program, &input)
+        .expect("terminates");
+    let answers = out.relation(rel("T")).map_or(0, |r| {
+        r.iter()
+            .filter(|t| seqdl_rewrite::goal_matches(&goal, t))
+            .count()
+    });
+    (answers, stats)
+}
+
+/// Evaluate the same goal *demand-driven*: magic-set rewrite, seed, run through
+/// the executor, count the filtered answers.  Must agree with
+/// [`reachability_query_full`] on the answer count while firing strictly fewer
+/// rules on multi-source graphs.
+pub fn reachability_query_demanded(
+    nodes: usize,
+    edges: usize,
+    threads: usize,
+) -> (usize, seqdl_engine::EvalStats) {
+    let w = witnesses::reachability();
+    let goal = reachability_goal();
+    let input = Workloads::new(17).digraph_instance(nodes, edges);
+    let mp = seqdl_rewrite::magic(&w.program, &goal).expect("reachability goal rewrites");
+    let (out, stats) = bench_executor(threads)
+        .run_with_stats_seeded(&mp.program, &input, &mp.seeds)
+        .expect("terminates");
+    (mp.answers(&out).len(), stats)
+}
+
+// ---------------------------------------------------------------------------
 // EXP-RA: algebra round trip (Section 7)
 // ---------------------------------------------------------------------------
 
@@ -478,6 +529,21 @@ mod tests {
             nfa_run(3, 4, 6, FixpointStrategy::Naive),
             nfa_run(3, 4, 6, FixpointStrategy::SemiNaive)
         );
+    }
+
+    #[test]
+    fn demanded_queries_agree_with_full_runs_and_fire_fewer_rules() {
+        for threads in [1usize, 2] {
+            let (full_answers, full_stats) = reachability_query_full(12, 30, threads);
+            let (demanded_answers, demanded_stats) = reachability_query_demanded(12, 30, threads);
+            assert_eq!(full_answers, demanded_answers, "threads = {threads}");
+            assert!(
+                demanded_stats.rule_firings < full_stats.rule_firings,
+                "threads = {threads}: demanded {} vs full {}",
+                demanded_stats.rule_firings,
+                full_stats.rule_firings
+            );
+        }
     }
 
     #[test]

@@ -46,6 +46,8 @@ pub const VALUE_FLAGS: &[&str] = &[
     "max-facts",
     "max-path-len",
     "threads",
+    "shard-size",
+    "goal",
     "state-prefix",
     "save",
 ];

@@ -2,7 +2,7 @@
 
 use crate::args::{ArgError, Flags};
 use seqdl_algebra::datalog_to_algebra;
-use seqdl_core::{Instance, RelName};
+use seqdl_core::{Instance, RelName, Tuple};
 use seqdl_engine::{Engine, EvalLimits, FixpointStrategy};
 use seqdl_exec::{Executor, Schedule};
 use seqdl_fragments::{rewrite_into, Feature, Fragment, HasseDiagram};
@@ -10,7 +10,7 @@ use seqdl_io::{load_instance, load_program};
 use seqdl_regex::{compile_contains, compile_match, parse_regex, CompileOptions};
 use seqdl_rewrite::{
     eliminate_arity, eliminate_equations, eliminate_packing_nonrecursive,
-    fold_intermediate_predicates, to_normal_form,
+    fold_intermediate_predicates, goal_matches, magic, parse_goal, to_normal_form,
 };
 use seqdl_syntax::{
     analysis::{check_safety, check_stratification},
@@ -64,8 +64,11 @@ pub fn help_text() -> String {
         "\n",
         "Usage:\n",
         "  seqdl run         --program q.sdl --instance db.sdi [--output S] [--strategy naive|semi-naive]\n",
-        "                    [--threads N] [--max-iterations N] [--max-facts N] [--max-path-len N]\n",
-        "                    [--stats] [--save out.sdi]\n",
+        "                    [--threads N] [--shard-size N] [--max-iterations N] [--max-facts N]\n",
+        "                    [--max-path-len N] [--stats] [--save out.sdi]\n",
+        "  seqdl query       --program q.sdl --instance db.sdi --goal \"Reach(a·b·$x)?\"\n",
+        "                    [--threads N] [--stats] [--show-rewrite] (demand-driven: only rules\n",
+        "                    relevant to the goal fire, via the magic-set rewrite)\n",
         "  seqdl analyze     --program q.sdl\n",
         "  seqdl termination --program q.sdl\n",
         "  seqdl rewrite     --program q.sdl --eliminate arity|equations|packing|intermediate [--output S]\n",
@@ -91,6 +94,7 @@ pub fn run_command(command: &str, flags: &Flags) -> Result<String, CliError> {
     match command {
         "help" | "--help" | "-h" => Ok(help_text()),
         "run" => cmd_run(flags),
+        "query" => cmd_query(flags),
         "analyze" | "analyse" => cmd_analyze(flags),
         "termination" => cmd_termination(flags),
         "rewrite" => cmd_rewrite(flags),
@@ -151,11 +155,95 @@ fn engine_from_flags(flags: &Flags) -> Result<Engine, CliError> {
 }
 
 /// The stratified SCC executor configured by the flags: the engine's limits and
-/// strategy plus `--threads N` (1 = in-line, 0 = all available cores).
+/// strategy plus `--threads N` (1 = in-line, 0 = all available cores) and
+/// `--shard-size N` (base delta tuples per parallel shard).
 fn executor_from_flags(flags: &Flags) -> Result<Executor, CliError> {
     let engine = engine_from_flags(flags)?;
     let threads = flags.get_usize("threads")?.unwrap_or(1);
-    Ok(Executor::new().with_engine(engine).with_threads(threads))
+    let mut executor = Executor::new().with_engine(engine).with_threads(threads);
+    if let Some(shard) = flags.get_usize("shard-size")? {
+        executor = executor.with_shard_size(shard);
+    }
+    Ok(executor)
+}
+
+/// Levenshtein edit distance, for did-you-mean suggestions.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut row: Vec<usize> = (0..=b.len()).collect();
+    for (i, ca) in a.iter().enumerate() {
+        let mut prev = row[0];
+        row[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            let next = (prev + cost).min(row[j] + 1).min(row[j + 1] + 1);
+            prev = row[j + 1];
+            row[j + 1] = next;
+        }
+    }
+    row[b.len()]
+}
+
+/// Every relation name known to the program or the instance.
+fn known_relations(program: &Program, instance: &Instance) -> Vec<RelName> {
+    let mut known: Vec<RelName> = program.all_relations().into_iter().collect();
+    for name in instance.relation_names() {
+        if !known.contains(&name) {
+            known.push(name);
+        }
+    }
+    known
+}
+
+/// A [`CliError`] for a relation name that appears nowhere in the program or
+/// the instance, with a did-you-mean suggestion when a known name is close.
+fn unknown_relation_error(name: RelName, known: &[RelName]) -> CliError {
+    let suggestion = known
+        .iter()
+        .map(|k| {
+            // Case-insensitive matches outrank near-misses by edit distance.
+            let rank = if k.name().eq_ignore_ascii_case(&name.name()) {
+                0
+            } else {
+                edit_distance(&name.name(), &k.name())
+            };
+            (rank, *k)
+        })
+        .filter(|(rank, _)| *rank <= 2)
+        .min_by_key(|(rank, _)| *rank)
+        .map(|(_, k)| format!("; did you mean `{k}`?"))
+        .unwrap_or_default();
+    CliError::Command(format!(
+        "unknown relation `{name}`: it appears nowhere in the program or the instance{suggestion}"
+    ))
+}
+
+/// Append the `--stats` block shared by `run` and `query`.
+fn write_stats(report: &mut String, executor: &Executor, stats: &seqdl_engine::EvalStats) {
+    writeln!(
+        report,
+        "threads: {}, shard size: {} (≤ {} shards per delta), iterations: {}, derived facts: {}, rule firings: {}",
+        executor.effective_threads(),
+        executor.shard_size(),
+        executor.max_delta_shards(),
+        stats.iterations,
+        stats.derived_facts,
+        stats.rule_firings
+    )
+    .expect("write to string");
+    for (i, stratum) in stats.strata.iter().enumerate() {
+        writeln!(
+            report,
+            "stratum {i}: {} rule(s), {} iteration(s), {} fact(s), {} firing(s), {:?}",
+            stratum.rules,
+            stratum.iterations,
+            stratum.derived_facts,
+            stratum.rule_firings,
+            stratum.wall
+        )
+        .expect("write to string");
+    }
 }
 
 fn cmd_run(flags: &Flags) -> Result<String, CliError> {
@@ -170,7 +258,16 @@ fn cmd_run(flags: &Flags) -> Result<String, CliError> {
     let mut report = String::new();
     let relation = result.relation(output);
     match relation {
-        None => writeln!(report, "{output}: (not derived)").expect("write to string"),
+        None => {
+            // `(not derived)` is reserved for relation names the program or
+            // instance actually knows (an EDB relation absent from the input,
+            // say); a name known to neither is a user error worth a hint.
+            let known = known_relations(&program, &instance);
+            if !known.contains(&output) {
+                return Err(unknown_relation_error(output, &known));
+            }
+            writeln!(report, "{output}: (not derived)").expect("write to string");
+        }
         Some(relation) if relation.arity() == 0 => {
             writeln!(report, "{output} = {}", result.nullary_true(output))
                 .expect("write to string");
@@ -187,31 +284,105 @@ fn cmd_run(flags: &Flags) -> Result<String, CliError> {
         }
     }
     if flags.has("stats") {
-        writeln!(
-            report,
-            "threads: {}, iterations: {}, derived facts: {}, rule firings: {}",
-            executor.effective_threads(),
-            stats.iterations,
-            stats.derived_facts,
-            stats.rule_firings
-        )
-        .expect("write to string");
-        for (i, stratum) in stats.strata.iter().enumerate() {
-            writeln!(
-                report,
-                "stratum {i}: {} rule(s), {} iteration(s), {} fact(s), {} firing(s), {:?}",
-                stratum.rules,
-                stratum.iterations,
-                stratum.derived_facts,
-                stratum.rule_firings,
-                stratum.wall
-            )
-            .expect("write to string");
-        }
+        write_stats(&mut report, &executor, &stats);
     }
     if let Some(path) = flags.get("save") {
         seqdl_io::save_instance(path, &result).map_err(command_error)?;
         writeln!(report, "full result saved to {path}").expect("write to string");
+    }
+    Ok(report)
+}
+
+/// `seqdl query`: demand-driven evaluation of one goal atom.  The goal is
+/// adorned, the program rewritten by the magic-set transformation
+/// (`seqdl_rewrite::magic`), the goal's bound first values injected as seed
+/// facts, and the rewritten program evaluated through the ordinary SCC
+/// schedule — so only rules relevant to the goal fire.
+fn cmd_query(flags: &Flags) -> Result<String, CliError> {
+    let program = load_program_flag(flags)?;
+    let instance = load_instance_flag(flags)?;
+    let goal = parse_goal(flags.require("goal")?).map_err(command_error)?;
+    let executor = executor_from_flags(flags)?;
+
+    let mut report = String::new();
+    let print_answers = |report: &mut String, answers: &std::collections::BTreeSet<Tuple>| {
+        writeln!(report, "{}: {} answer(s)", goal, answers.len()).expect("write to string");
+        for tuple in answers {
+            if tuple.is_empty() {
+                writeln!(report, "  {}", goal.relation).expect("write to string");
+            } else {
+                let args: Vec<String> = tuple.iter().map(ToString::to_string).collect();
+                writeln!(report, "  {}({})", goal.relation, args.join(", "))
+                    .expect("write to string");
+            }
+        }
+    };
+
+    if !program.idb_relations().contains(&goal.relation) {
+        // An EDB goal needs no evaluation at all: filter the input facts.
+        let known = known_relations(&program, &instance);
+        if !known.contains(&goal.relation) {
+            return Err(unknown_relation_error(goal.relation, &known));
+        }
+        // A goal of the wrong arity would silently match nothing; reject it
+        // the same way `magic` rejects IDB goals of the wrong arity.
+        let expected = instance
+            .relation(goal.relation)
+            .map(seqdl_core::Relation::arity)
+            .or_else(|| {
+                program
+                    .relation_arities()
+                    .ok()
+                    .and_then(|a| a.get(&goal.relation).copied())
+            });
+        if let Some(expected) = expected {
+            if expected != goal.arity() {
+                return Err(CliError::Command(format!(
+                    "goal {} has arity {} but relation {} has arity {expected}",
+                    goal,
+                    goal.arity(),
+                    goal.relation
+                )));
+            }
+        }
+        let answers: std::collections::BTreeSet<Tuple> = instance
+            .relation(goal.relation)
+            .map(|rel| {
+                rel.iter()
+                    .filter(|t| goal_matches(&goal, t))
+                    .cloned()
+                    .collect()
+            })
+            .unwrap_or_default();
+        print_answers(&mut report, &answers);
+        return Ok(report);
+    }
+
+    let mp = magic(&program, &goal).map_err(command_error)?;
+    let (result, stats) = executor
+        .run_with_stats_seeded(&mp.program, &instance, &mp.seeds)
+        .map_err(command_error)?;
+    let answers = mp.answers(&result);
+    print_answers(&mut report, &answers);
+    if flags.has("show-rewrite") {
+        writeln!(report, "% magic rewrite (answers read from {}):", mp.answer)
+            .expect("write to string");
+        writeln!(report, "{}", mp.program).expect("write to string");
+        for seed in &mp.seeds {
+            writeln!(report, "% seed: {seed}").expect("write to string");
+        }
+    }
+    if flags.has("stats") {
+        writeln!(
+            report,
+            "magic rewrite: {} rule(s) (from {}), {} seed fact(s), answers in {}",
+            mp.program.rule_count(),
+            program.rule_count(),
+            mp.seeds.len(),
+            mp.answer
+        )
+        .expect("write to string");
+        write_stats(&mut report, &executor, &stats);
     }
     Ok(report)
 }
@@ -597,6 +768,146 @@ mod tests {
         ]))
         .unwrap_err();
         assert!(err.to_string().contains("limit"), "{err}");
+    }
+
+    #[test]
+    fn run_rejects_unknown_output_relations_with_a_suggestion() {
+        let program = write_program("unknown-out.sdl", "S($x) <- R($x).");
+        let instance = write_instance_file(
+            "unknown-out.sdi",
+            &Instance::unary(rel("R"), [path_of(&["a"])]),
+        );
+        let err = cmd_run(&flags(&[
+            "--program",
+            &program,
+            "--instance",
+            &instance,
+            "--output",
+            "Q",
+        ]))
+        .unwrap_err();
+        let message = err.to_string();
+        assert!(message.contains("unknown relation `Q`"), "{message}");
+        // A near-miss gets a did-you-mean hint.
+        let err = cmd_run(&flags(&[
+            "--program",
+            &program,
+            "--instance",
+            &instance,
+            "--output",
+            "s",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("did you mean `S`"), "{err}");
+    }
+
+    #[test]
+    fn run_still_reports_known_but_absent_relations_as_not_derived() {
+        // B is negated in the program but absent from the instance: a known
+        // name, so no error — the old `(not derived)` notice remains.
+        let program = write_program("absent.sdl", "S($x) <- R($x), !B($x).");
+        let instance =
+            write_instance_file("absent.sdi", &Instance::unary(rel("R"), [path_of(&["a"])]));
+        let output = cmd_run(&flags(&[
+            "--program",
+            &program,
+            "--instance",
+            &instance,
+            "--output",
+            "B",
+        ]))
+        .unwrap();
+        assert!(output.contains("B: (not derived)"), "{output}");
+    }
+
+    #[test]
+    fn query_answers_goals_demand_driven() {
+        let program = write_program(
+            "query.sdl",
+            "T(@x·@y) <- R(@x·@y).\nT(@x·@z) <- T(@x·@y), R(@y·@z).",
+        );
+        let mut graph = Instance::new();
+        for (x, y) in [("a", "b"), ("b", "c"), ("x", "y")] {
+            graph
+                .insert_fact(seqdl_core::Fact::new(rel("R"), vec![path_of(&[x, y])]))
+                .unwrap();
+        }
+        let instance = write_instance_file("query.sdi", &graph);
+        let output = cmd_query(&flags(&[
+            "--program",
+            &program,
+            "--instance",
+            &instance,
+            "--goal",
+            "T(a·$y)?",
+            "--stats",
+            "--show-rewrite",
+        ]))
+        .unwrap();
+        assert!(output.contains("T(a·$y): 2 answer(s)"), "{output}");
+        assert!(output.contains("T(a·b)"), "{output}");
+        assert!(output.contains("T(a·c)"), "{output}");
+        assert!(!output.contains("T(x·y)"), "{output}");
+        assert!(output.contains("magic rewrite:"), "{output}");
+        assert!(output.contains("magic_T_b"), "{output}");
+    }
+
+    #[test]
+    fn query_filters_edb_goals_without_evaluation() {
+        let program = write_program("query-edb.sdl", "S($x) <- R($x).");
+        let instance = write_instance_file(
+            "query-edb.sdi",
+            &Instance::unary(rel("R"), [path_of(&["a", "b"]), path_of(&["b", "a"])]),
+        );
+        let output = cmd_query(&flags(&[
+            "--program",
+            &program,
+            "--instance",
+            &instance,
+            "--goal",
+            "R(a·$y)",
+        ]))
+        .unwrap();
+        assert!(output.contains("1 answer(s)"), "{output}");
+        assert!(output.contains("R(a·b)"), "{output}");
+    }
+
+    #[test]
+    fn query_rejects_edb_goals_of_the_wrong_arity() {
+        let program = write_program("query-arity.sdl", "S($x) <- R($x).");
+        let instance = write_instance_file(
+            "query-arity.sdi",
+            &Instance::unary(rel("R"), [path_of(&["a"])]),
+        );
+        let err = cmd_query(&flags(&[
+            "--program",
+            &program,
+            "--instance",
+            &instance,
+            "--goal",
+            "R(a, $y)",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("arity"), "{err}");
+    }
+
+    #[test]
+    fn query_rejects_unknown_goal_relations() {
+        let program = write_program("query-bad.sdl", "S($x) <- R($x).");
+        let instance = write_instance_file(
+            "query-bad.sdi",
+            &Instance::unary(rel("R"), [path_of(&["a"])]),
+        );
+        let err = cmd_query(&flags(&[
+            "--program",
+            &program,
+            "--instance",
+            &instance,
+            "--goal",
+            "Z($x)",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("unknown relation `Z`"), "{err}");
     }
 
     #[test]

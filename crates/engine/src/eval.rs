@@ -153,8 +153,43 @@ impl Engine {
         program: &Program,
         input: &Instance,
     ) -> Result<(Instance, EvalStats), EvalError> {
+        self.run_with_stats_seeded(program, input, &[])
+    }
+
+    /// Evaluate `program` on `input` with extra `seeds` injected before the
+    /// first stratum — the entry point of demand-driven (magic-set) query
+    /// evaluation, where the goal's bound arguments become facts of the magic
+    /// predicates.  Seeds may populate relations that are IDB in `program`
+    /// (which plain inputs must not), since they are demand, not data.
+    ///
+    /// # Errors
+    /// Ill-formed programs, seed arity mismatches, and exceeded resource
+    /// limits.
+    pub fn run_seeded(
+        &self,
+        program: &Program,
+        input: &Instance,
+        seeds: &[Fact],
+    ) -> Result<Instance, EvalError> {
+        self.run_with_stats_seeded(program, input, seeds)
+            .map(|(i, _)| i)
+    }
+
+    /// Like [`Engine::run_seeded`], additionally returning evaluation
+    /// statistics.
+    ///
+    /// # Errors
+    /// Ill-formed programs, seed arity mismatches, and exceeded resource
+    /// limits.
+    pub fn run_with_stats_seeded(
+        &self,
+        program: &Program,
+        input: &Instance,
+        seeds: &[Fact],
+    ) -> Result<(Instance, EvalStats), EvalError> {
         let info = ProgramInfo::analyse(program)?;
         let mut instance = prepare_idb_instance(&info, input)?;
+        seed_instance(&mut instance, seeds)?;
         let mut stats = EvalStats::default();
         for stratum in &program.strata {
             let start = std::time::Instant::now();
@@ -314,6 +349,23 @@ impl Engine {
         }
         Ok(grew)
     }
+}
+
+/// Insert demand seed facts into a prepared instance.  Seeds bypass the
+/// IDB-in-input check of [`prepare_idb_instance`] on purpose: magic predicates
+/// are heads of magic rules (IDB), yet their initial demand comes from the
+/// goal, not from derivation.
+///
+/// # Errors
+/// [`EvalError::Data`] on arity mismatches between seeds and existing
+/// relations.
+pub fn seed_instance(instance: &mut Instance, seeds: &[Fact]) -> Result<(), EvalError> {
+    for seed in seeds {
+        instance
+            .insert_fact(seed.clone())
+            .map_err(EvalError::Data)?;
+    }
+    Ok(())
 }
 
 /// Clone `input` and register every IDB relation of the program so empty results

@@ -42,8 +42,8 @@ pub mod plan;
 
 pub use error::{EvalError, LimitKind};
 pub use eval::{
-    fire_rule, prepare_idb_instance, DeltaWindow, Engine, EvalLimits, EvalStats, FixpointStrategy,
-    StratumStats,
+    fire_rule, prepare_idb_instance, seed_instance, DeltaWindow, Engine, EvalLimits, EvalStats,
+    FixpointStrategy, StratumStats,
 };
 pub use plan::{plan_rule, BodyPlan};
 

@@ -200,12 +200,115 @@ fn match_terms(
     }
 }
 
+/// Does *some* extension of `valuation` make every component of `pred` denote
+/// the corresponding component of `tuple`?  Unlike [`match_predicate`] this
+/// decides existence only: the backtracking walk stops at the first complete
+/// match instead of enumerating every decomposition, and nothing is cloned or
+/// collected.  Answer filters (`seqdl query` matching a goal pattern against a
+/// result relation) call this once per tuple.
+pub fn predicate_matches(pred: &Predicate, tuple: &[Path], valuation: &Valuation) -> bool {
+    if pred.args.len() != tuple.len() {
+        return false;
+    }
+    let mut nu = valuation.clone();
+    match_args_find(&pred.args, tuple, &mut nu)
+}
+
+fn match_args_find(args: &[PathExpr], tuple: &[Path], nu: &mut Valuation) -> bool {
+    let Some((arg, rest)) = args.split_first() else {
+        return true;
+    };
+    let (path, paths) = tuple.split_first().expect("arity checked by the caller");
+    match_terms_find(arg.terms(), path.values(), nu, &mut |nu| {
+        match_args_find(rest, paths, nu)
+    })
+}
+
+/// The short-circuiting twin of [`match_terms`]: `cont` reports whether the
+/// rest of the problem succeeded, and the walk returns as soon as any branch
+/// does.  `nu` is restored before returning, matched or not.
+fn match_terms_find(
+    terms: &[Term],
+    values: &[Value],
+    nu: &mut Valuation,
+    cont: &mut dyn FnMut(&mut Valuation) -> bool,
+) -> bool {
+    let Some((first, rest)) = terms.split_first() else {
+        return values.is_empty() && cont(nu);
+    };
+    match first {
+        Term::Const(a) => match values.first() {
+            Some(Value::Atom(b)) if a == b => match_terms_find(rest, &values[1..], nu, cont),
+            _ => false,
+        },
+        Term::Packed(inner) => match values.first() {
+            Some(Value::Packed(p)) => match_terms_find(inner.terms(), p.values(), nu, &mut |nu| {
+                match_terms_find(rest, &values[1..], nu, &mut *cont)
+            }),
+            _ => false,
+        },
+        Term::Var(v) => match v.kind {
+            VarKind::Atom => {
+                let Some(Value::Atom(b)) = values.first() else {
+                    return false;
+                };
+                let b = *b;
+                match nu.get(*v) {
+                    Some(Binding::Atom(bound)) if *bound == b => {
+                        match_terms_find(rest, &values[1..], nu, cont)
+                    }
+                    Some(_) => false,
+                    None => {
+                        nu.bind(*v, Binding::Atom(b));
+                        let found = match_terms_find(rest, &values[1..], nu, cont);
+                        nu.unbind(*v);
+                        found
+                    }
+                }
+            }
+            VarKind::Path => {
+                let bound_prefix = match nu.get(*v) {
+                    Some(Binding::Path(bound)) => {
+                        let n = bound.len();
+                        if values.len() >= n && &values[..n] == bound.values() {
+                            Some(n)
+                        } else {
+                            return false;
+                        }
+                    }
+                    None => None,
+                    Some(Binding::Atom(_)) => unreachable!("valuation binding of the wrong kind"),
+                };
+                match bound_prefix {
+                    Some(n) => match_terms_find(rest, &values[n..], nu, cont),
+                    None if rest.is_empty() => {
+                        nu.bind(*v, Binding::Path(Path::from_values(values.iter().cloned())));
+                        let found = cont(nu);
+                        nu.unbind(*v);
+                        found
+                    }
+                    None => {
+                        for split in 0..=values.len() {
+                            let prefix = Path::from_values(values[..split].iter().cloned());
+                            nu.bind(*v, Binding::Path(prefix));
+                            let found = match_terms_find(rest, &values[split..], nu, cont);
+                            nu.unbind(*v);
+                            if found {
+                                return true;
+                            }
+                        }
+                        false
+                    }
+                }
+            }
+        },
+    }
+}
+
 /// A variable assignment enumerator used by negated-predicate checks: does *some*
 /// tuple of `tuples` match `pred` under an extension of `valuation`?
 pub fn matches_some_tuple(pred: &Predicate, tuples: &[Vec<Path>], valuation: &Valuation) -> bool {
-    tuples
-        .iter()
-        .any(|t| !match_predicate(pred, t, valuation).is_empty())
+    tuples.iter().any(|t| predicate_matches(pred, t, valuation))
 }
 
 /// Convenience for tests and callers: apply a valuation to a predicate to obtain the
@@ -366,6 +469,57 @@ mod tests {
         assert!(
             match_equation(&Equation::new(expr("$p"), expr("$q")), &Valuation::new()).is_none()
         );
+    }
+
+    #[test]
+    fn predicate_matches_agrees_with_enumeration() {
+        // Same answers as match_predicate on a grab-bag of patterns, without
+        // enumerating: repeated variables, packing, constants, arity mismatch.
+        let cases: Vec<(Predicate, Vec<Path>)> = vec![
+            (
+                Predicate::new(rel("T"), vec![expr("$x·$x")]),
+                vec![path_of(&["a", "b", "a", "b"])],
+            ),
+            (
+                Predicate::new(rel("T"), vec![expr("$x·$x")]),
+                vec![path_of(&["a", "b", "a"])],
+            ),
+            (
+                Predicate::new(rel("T"), vec![expr("$x"), expr("$x·a")]),
+                vec![path_of(&["b"]), path_of(&["b", "a"])],
+            ),
+            (
+                Predicate::new(rel("T"), vec![expr("$x"), expr("$x·a")]),
+                vec![path_of(&["b"]), path_of(&["c", "a"])],
+            ),
+            (
+                Predicate::new(rel("T"), vec![expr("c·<$s>")]),
+                vec![Path::from_values([
+                    Value::atom("c"),
+                    Value::packed(path_of(&["a", "b"])),
+                ])],
+            ),
+            (
+                Predicate::new(rel("T"), vec![expr("a·$x·$y")]),
+                vec![path_of(&["a", "b", "c"])],
+            ),
+            (
+                Predicate::new(rel("T"), vec![expr("$x")]),
+                vec![path_of(&["a"]), path_of(&["b"])],
+            ),
+        ];
+        for (pred, tuple) in cases {
+            assert_eq!(
+                predicate_matches(&pred, &tuple, &Valuation::new()),
+                !match_predicate(&pred, &tuple, &Valuation::new()).is_empty(),
+                "disagreement on {pred} vs {tuple:?}"
+            );
+        }
+        // Bound valuations constrain the existence check too.
+        let pred = Predicate::new(rel("T"), vec![expr("$x·$y")]);
+        let mut nu = Valuation::new();
+        nu.bind_path(Var::path("x"), path_of(&["c"]));
+        assert!(!predicate_matches(&pred, &[path_of(&["a", "b"])], &nu));
     }
 
     #[test]

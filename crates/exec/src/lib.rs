@@ -61,10 +61,16 @@ use std::sync::mpsc;
 use std::thread;
 use std::time::Instant;
 
-/// Number of delta tuples per shard when a recursive iteration is split across
-/// the pool.  Independent of the thread count, so the job list — and therefore
-/// the merge order and the final instance — is identical at every thread count.
+/// Default number of delta tuples per shard when a recursive iteration is
+/// split across the pool; override with [`Executor::with_shard_size`].
 const DELTA_SHARD: usize = 128;
+
+/// Upper bound on shards per delta window, as a multiple of the worker count:
+/// a huge delta is split into at most `SHARD_FANOUT × threads` jobs (the shard
+/// size grows instead), so the job queue is never flooded with thousands of
+/// tiny windows.  Output is unaffected — relations compare as sets and the
+/// merge stays in deterministic job order.
+const SHARD_FANOUT: usize = 4;
 
 /// One unit of work for a round: fire one rule, optionally restricted to a
 /// delta window.  Jobs only read the instance; results come back as buffers.
@@ -142,6 +148,7 @@ fn worker(
 pub struct Executor {
     engine: Engine,
     threads: usize,
+    shard_size: usize,
 }
 
 impl Default for Executor {
@@ -156,6 +163,7 @@ impl Executor {
         Executor {
             engine: Engine::new(),
             threads: 1,
+            shard_size: DELTA_SHARD,
         }
     }
 
@@ -163,6 +171,28 @@ impl Executor {
     pub fn with_engine(mut self, engine: Engine) -> Executor {
         self.engine = engine;
         self
+    }
+
+    /// Set the base number of delta tuples per shard (minimum 1; default 128).
+    /// A delta window is split into shards of at least this size, and into at
+    /// most a small multiple of the worker count — whichever yields fewer
+    /// shards — so small deltas stay in one job and huge deltas cannot flood
+    /// the job queue.
+    pub fn with_shard_size(mut self, shard_size: usize) -> Executor {
+        self.shard_size = shard_size.max(1);
+        self
+    }
+
+    /// The configured base shard size.
+    pub fn shard_size(&self) -> usize {
+        self.shard_size
+    }
+
+    /// The maximum number of shard jobs one delta window can fan out into
+    /// (`SHARD_FANOUT ×` the effective thread count) — the clamp that keeps
+    /// huge deltas from flooding the job queue.
+    pub fn max_delta_shards(&self) -> usize {
+        SHARD_FANOUT * self.effective_threads().max(1)
     }
 
     /// Set the number of compute threads.  `1` runs in-line (no pool); `N > 1`
@@ -201,8 +231,41 @@ impl Executor {
         program: &Program,
         input: &Instance,
     ) -> Result<(Instance, EvalStats), EvalError> {
+        self.run_with_stats_seeded(program, input, &[])
+    }
+
+    /// Evaluate `program` on `input` with extra `seeds` injected before the
+    /// first stratum — demand-driven (magic-set) query evaluation through the
+    /// existing SCC schedule; see [`Engine::run_seeded`].
+    ///
+    /// # Errors
+    /// Ill-formed programs, seed arity mismatches, and exceeded resource
+    /// limits.
+    pub fn run_seeded(
+        &self,
+        program: &Program,
+        input: &Instance,
+        seeds: &[Fact],
+    ) -> Result<Instance, EvalError> {
+        self.run_with_stats_seeded(program, input, seeds)
+            .map(|(i, _)| i)
+    }
+
+    /// Like [`Executor::run_seeded`], additionally returning evaluation
+    /// statistics.
+    ///
+    /// # Errors
+    /// Ill-formed programs, seed arity mismatches, and exceeded resource
+    /// limits.
+    pub fn run_with_stats_seeded(
+        &self,
+        program: &Program,
+        input: &Instance,
+        seeds: &[Fact],
+    ) -> Result<(Instance, EvalStats), EvalError> {
         let info = ProgramInfo::analyse(program)?;
-        let instance = prepare_idb_instance(&info, input)?;
+        let mut instance = prepare_idb_instance(&info, input)?;
+        seqdl_engine::seed_instance(&mut instance, seeds)?;
         let schedule = Schedule::of_program(program);
         // Plan every rule up front: jobs borrow the plans for the lifetime of
         // the worker pool.
@@ -213,6 +276,10 @@ impl Executor {
             .collect::<Result<_, _>>()?;
         let mut stats = EvalStats::default();
         let threads = self.effective_threads();
+        let shard = ShardPolicy {
+            base: self.shard_size,
+            max_shards: SHARD_FANOUT * threads.max(1),
+        };
         let lock = RwLock::new(instance);
 
         let outcome = if threads <= 1 {
@@ -221,6 +288,7 @@ impl Executor {
                 &program.strata,
                 &schedule,
                 &plans,
+                shard,
                 &lock,
                 &mut stats,
                 |jobs| {
@@ -249,6 +317,7 @@ impl Executor {
                     &program.strata,
                     &schedule,
                     &plans,
+                    shard,
                     &lock,
                     &mut stats,
                     |jobs| {
@@ -282,14 +351,61 @@ impl Executor {
     }
 }
 
+/// How delta windows are split into shard jobs: at least `base` tuples per
+/// shard, at most `max_shards` shards per window.
+#[derive(Clone, Copy, Debug)]
+struct ShardPolicy {
+    base: usize,
+    max_shards: usize,
+}
+
+impl ShardPolicy {
+    /// The shard size used for a delta window of `span` tuples.
+    fn size_for(&self, span: usize) -> usize {
+        let base = self.base.max(1);
+        let max_shards = self.max_shards.max(1);
+        if span.div_ceil(base) > max_shards {
+            span.div_ceil(max_shards)
+        } else {
+            base
+        }
+    }
+}
+
+/// Start a new evaluation round of the current fixpoint scope, enforcing the
+/// shared iteration limit.  The engine bounds the rounds of each declared
+/// stratum's fixpoint; the executor bounds the rounds of each *scheduled*
+/// fixpoint — a level's single-pass round or one lock-step recursive group.
+/// A scheduled fixpoint runs its component with complete inputs, so it never
+/// needs more rounds than the engine's joint stratum fixpoint: the executor
+/// hitting `LimitExceeded` implies the engine does too at the same limit (the
+/// converse may not hold when one stratum chains several recursive components
+/// — the executor's per-fixpoint rounds are then genuinely fewer than the
+/// engine's joint rounds).  On strata whose recursion is one component — the
+/// diverging programs the limit exists for — the two counts coincide exactly,
+/// which `tests/engine_exec_limits.rs` pins at 1, 2, and 4 threads.
+fn next_round(rounds: &mut usize, engine: &Engine) -> Result<(), EvalError> {
+    let limit = engine.limits().max_iterations;
+    if *rounds >= limit {
+        return Err(EvalError::LimitExceeded {
+            what: LimitKind::Iterations,
+            limit,
+        });
+    }
+    *rounds += 1;
+    Ok(())
+}
+
 /// The schedule driver: walk strata, then levels; fire each level's
 /// non-recursive components in one single-pass round, then advance the level's
 /// recursive components as lock-step semi-naive fixpoints.
+#[allow(clippy::too_many_arguments)]
 fn drive<'a>(
     engine: &Engine,
     strata: &'a [Stratum],
     schedule: &Schedule,
     plans: &'a [Vec<BodyPlan>],
+    shard: ShardPolicy,
     instance: &RwLock<Instance>,
     stats: &mut EvalStats,
     mut round: impl FnMut(Vec<Job<'a>>) -> Vec<JobOutcome>,
@@ -298,6 +414,9 @@ fn drive<'a>(
         let start = Instant::now();
         let before = (stats.iterations, stats.derived_facts, stats.rule_firings);
         for level in &sched.levels {
+            // Each level's single pass and each lock-step group is its own
+            // fixpoint scope for the iteration limit; see [`next_round`].
+            let mut rounds = 0usize;
             // Phase 1: every non-recursive component of the level — independent
             // SCCs — fires together in one single-pass round.
             let mut jobs: Vec<Job<'a>> = Vec::new();
@@ -316,6 +435,7 @@ fn drive<'a>(
                 }
             }
             if !jobs.is_empty() {
+                next_round(&mut rounds, engine)?;
                 stats.iterations += 1;
                 let outcomes = round(jobs);
                 merge(engine, instance, outcomes, stats)?;
@@ -336,6 +456,8 @@ fn drive<'a>(
                     stratum,
                     stratum_plans,
                     &recursive,
+                    shard,
+                    &mut rounds,
                     instance,
                     stats,
                     &mut round,
@@ -373,16 +495,18 @@ struct ComponentState<'a, 'c> {
 /// delta shards — into one parallel fan-out.  The components never read each
 /// other's relations (they share a level), so lock-step rounds derive exactly
 /// what sequential per-component fixpoints would.
+#[allow(clippy::too_many_arguments)]
 fn fixpoint_group<'a, R: FnMut(Vec<Job<'a>>) -> Vec<JobOutcome>>(
     engine: &Engine,
     stratum: &'a Stratum,
     plans: &'a [BodyPlan],
     components: &[&Component],
+    shard: ShardPolicy,
+    rounds: &mut usize,
     instance: &RwLock<Instance>,
     stats: &mut EvalStats,
     round: &mut R,
 ) -> Result<(), EvalError> {
-    let limits = engine.limits();
     let naive = engine.strategy() == FixpointStrategy::Naive;
     let mut states: Vec<ComponentState<'a, '_>> = components
         .iter()
@@ -408,17 +532,12 @@ fn fixpoint_group<'a, R: FnMut(Vec<Job<'a>>) -> Vec<JobOutcome>>(
         .collect();
 
     while states.iter().any(|s| s.active) {
+        next_round(rounds, engine)?;
         stats.iterations += 1;
         let mut jobs: Vec<Job<'a>> = Vec::new();
         {
             let guard = instance.read();
             for state in states.iter().filter(|s| s.active) {
-                if state.iteration >= limits.max_iterations {
-                    return Err(EvalError::LimitExceeded {
-                        what: LimitKind::Iterations,
-                        limit: limits.max_iterations,
-                    });
-                }
                 if state.iteration == 0 || naive {
                     for &(rule, plan) in &state.rules {
                         jobs.push(Job {
@@ -438,11 +557,12 @@ fn fixpoint_group<'a, R: FnMut(Vec<Job<'a>>) -> Vec<JobOutcome>>(
                         if lo >= hi {
                             continue;
                         }
-                        // Split the delta into fixed-size shards: the window ids
-                        // and the job order do not depend on the thread count.
+                        // Split the delta into equal shards; the shard count is
+                        // clamped to a small multiple of the worker count.
+                        let size = shard.size_for(hi - lo);
                         let mut shard_lo = lo;
                         while shard_lo < hi {
-                            let shard_hi = (shard_lo + DELTA_SHARD).min(hi);
+                            let shard_hi = (shard_lo + size).min(hi);
                             jobs.push(Job {
                                 id: jobs.len(),
                                 rule,
@@ -704,6 +824,63 @@ mod tests {
                 .len(),
             1
         );
+    }
+
+    #[test]
+    fn shard_policy_clamps_the_shard_count() {
+        let policy = ShardPolicy {
+            base: 128,
+            max_shards: 8,
+        };
+        // Small deltas keep the base size (one or a few jobs).
+        assert_eq!(policy.size_for(100), 128);
+        assert_eq!(policy.size_for(1024), 128);
+        // A huge delta is split into at most `max_shards` jobs.
+        assert_eq!(policy.size_for(10_000), 1250);
+        assert!(10_000usize.div_ceil(policy.size_for(10_000)) <= 8);
+        // Degenerate configurations stay usable.
+        let tiny = ShardPolicy {
+            base: 0,
+            max_shards: 0,
+        };
+        assert_eq!(tiny.size_for(5), 5);
+    }
+
+    #[test]
+    fn custom_shard_sizes_preserve_the_output() {
+        let program = parse_program("T($x) <- R($x).\nT($y) <- T(@u·$y).").unwrap();
+        let paths: Vec<_> = (0..50)
+            .map(|i| path_of(&[&format!("n{i}"), "x", "y"]))
+            .collect();
+        let input = Instance::unary(rel("R"), paths);
+        let sequential = Engine::new().run(&program, &input).unwrap();
+        for (threads, shard) in [(1usize, 1usize), (2, 7), (4, 1000)] {
+            let exec = Executor::new().with_threads(threads).with_shard_size(shard);
+            assert_eq!(exec.shard_size(), shard.max(1));
+            let parallel = exec.run(&program, &input).unwrap();
+            assert_eq!(sequential, parallel, "threads = {threads}, shard = {shard}");
+        }
+        // A zero shard size is clamped to 1 instead of dividing by zero.
+        assert_eq!(Executor::new().with_shard_size(0).shard_size(), 1);
+    }
+
+    #[test]
+    fn seeded_runs_inject_demand_before_the_first_stratum() {
+        // The seed populates an IDB relation — plain inputs must not do that,
+        // demand seeds may.
+        let program = parse_program("T($x) <- M($x).\nT($y) <- T(@u·$y).\nM(z).").unwrap();
+        let seeds = vec![Fact::new(rel("M"), vec![path_of(&["a", "b"])])];
+        let out = Executor::new()
+            .with_threads(2)
+            .run_seeded(&program, &Instance::new(), &seeds)
+            .unwrap();
+        let t = out.unary_paths(rel("T"));
+        assert!(t.contains(&path_of(&["a", "b"])));
+        assert!(t.contains(&path_of(&["b"])));
+        let engine_out = Engine::new()
+            .run_seeded(&program, &Instance::new(), &seeds)
+            .unwrap();
+        assert_eq!(engine_out, out);
     }
 
     #[test]

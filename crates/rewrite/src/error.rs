@@ -35,6 +35,18 @@ pub enum RewriteError {
         /// Name of the rewrite.
         rewrite: &'static str,
     },
+    /// The goal handed to the magic-set transformation is unusable (not a
+    /// pattern, not an IDB relation, wrong arity).
+    BadGoal {
+        /// What is wrong with the goal.
+        message: String,
+    },
+    /// The magic-set transformation produced a program that fails the safety or
+    /// stratification analyses; this is a bug guard, not an expected outcome.
+    MagicInvariant {
+        /// The analysis failure.
+        message: String,
+    },
 }
 
 impl fmt::Display for RewriteError {
@@ -56,6 +68,10 @@ impl fmt::Display for RewriteError {
             RewriteError::Unification(e) => write!(f, "unification failed: {e}"),
             RewriteError::IterationLimit { rewrite } => {
                 write!(f, "{rewrite} exceeded its internal iteration limit")
+            }
+            RewriteError::BadGoal { message } => write!(f, "bad goal: {message}"),
+            RewriteError::MagicInvariant { message } => {
+                write!(f, "magic rewrite invariant violated: {message}")
             }
         }
     }

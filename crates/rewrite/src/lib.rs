@@ -19,6 +19,11 @@
 //! Every rewrite preserves the *flat unary query* computed by the program
 //! (Section 3.1); the test-suites check this by differential evaluation against the
 //! original program on concrete instances.
+//!
+//! Beyond the paper's feature eliminations, [`magic`] adapts the classical
+//! magic-set *demand* transformation to sequence datalog (first-value
+//! adornments matched to the storage layer's column index), powering the
+//! `seqdl query` goal-directed evaluation pipeline.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -27,6 +32,7 @@ pub mod arity;
 pub mod equations;
 pub mod error;
 pub mod folding;
+pub mod magic;
 pub mod normal_form;
 pub mod packing;
 
@@ -36,6 +42,7 @@ pub use equations::{
 };
 pub use error::RewriteError;
 pub use folding::fold_intermediate_predicates;
+pub use magic::{goal_matches, magic, parse_goal, MagicProgram};
 pub use normal_form::{classify_rule, to_normal_form, NormalForm};
 pub use packing::{
     doubling_program, eliminate_packing_nonrecursive, purify_rule, split_into_single_idb_strata,

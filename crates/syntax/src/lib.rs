@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod adornment;
 pub mod analysis;
 pub mod ast;
 pub mod error;
@@ -37,6 +38,7 @@ pub mod parser;
 pub mod term;
 pub mod valuation;
 
+pub use adornment::{first_value_expr, guard_exprs, sip_order, Adornment, ColumnBinding, SipStep};
 pub use analysis::{
     Condensation, DependencyGraph, FeatureSet, PrecedenceGraph, ProgramInfo, SccInfo,
 };

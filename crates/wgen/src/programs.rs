@@ -123,6 +123,46 @@ impl ProgramGenerator {
         Program::new(strata)
     }
 
+    /// Generate a random *goal* pattern for `relation` with the given arity:
+    /// per column, one of a free path variable, a ground prefix followed by a
+    /// path variable (demanding a first value), a fully ground path, or `ε`.
+    /// The constants are drawn from the vocabulary the program generator and
+    /// [`crate::Workloads::random_flat_instance`] use, so goals sometimes have
+    /// answers and sometimes do not — both matter to differential tests.
+    pub fn random_goal(&self, salt: u64, relation: RelName, arity: usize) -> Predicate {
+        let mut rng =
+            StdRng::seed_from_u64(self.seed.wrapping_mul(0xD1_B5_4A_32_D1_92_ED_03) ^ salt);
+        let constants = ["a", "b", "c", "x0", "x1"];
+        let constant =
+            |rng: &mut StdRng| Term::constant(constants[rng.gen_range(0..constants.len())]);
+        let args: Vec<PathExpr> = (0..arity)
+            .map(|column| {
+                let tail = Var::path(&format!("g{column}"));
+                match rng.gen_range(0..4u8) {
+                    // Free column.
+                    0 => PathExpr::var(tail),
+                    // Bound first value, free tail.
+                    1 => {
+                        let mut terms = vec![constant(&mut rng)];
+                        if rng.gen_bool(0.5) {
+                            terms.push(constant(&mut rng));
+                        }
+                        terms.push(Term::Var(tail));
+                        PathExpr::from_terms(terms)
+                    }
+                    // Fully ground column.
+                    2 => {
+                        let len = rng.gen_range(1usize..=2);
+                        PathExpr::from_terms((0..len).map(|_| constant(&mut rng)))
+                    }
+                    // The empty path.
+                    _ => PathExpr::empty(),
+                }
+            })
+            .collect();
+        Predicate::new(relation, args)
+    }
+
     fn random_rule(
         &self,
         rng: &mut StdRng,
@@ -261,6 +301,31 @@ mod tests {
             assert!(!features.arity, "salt {salt}");
             assert!(!features.packing, "salt {salt}");
         }
+    }
+
+    #[test]
+    fn random_goals_cover_the_binding_patterns() {
+        let generator = ProgramGenerator::new(13);
+        let relation = RelName::new("S1_0");
+        let (mut free, mut prefix, mut ground, mut empty) = (false, false, false, false);
+        for salt in 0..60u64 {
+            let goal = generator.random_goal(salt, relation, 2);
+            assert_eq!(goal.relation, relation);
+            assert_eq!(goal.arity(), 2);
+            for arg in &goal.args {
+                let vars = arg.vars();
+                if arg.is_empty() {
+                    empty = true;
+                } else if vars.is_empty() {
+                    ground = true;
+                } else if arg.terms().len() == 1 {
+                    free = true;
+                } else {
+                    prefix = true;
+                }
+            }
+        }
+        assert!(free && prefix && ground && empty, "all four patterns occur");
     }
 
     #[test]

@@ -1,0 +1,140 @@
+//! Regression tests pinning `max_iterations` limit behavior across the
+//! sequential engine and the parallel executor at 1, 2, and 4 threads.
+//!
+//! Both evaluators bound *evaluation rounds per fixpoint* against the limit:
+//! the engine bounds each declared stratum's fixpoint, the executor each
+//! scheduled fixpoint (a level's single pass, or one lock-step recursive
+//! group).  A scheduled fixpoint never needs more rounds than the engine's
+//! joint stratum fixpoint, so the executor is never *stricter* than the
+//! engine — adding `--threads` cannot make a working program fail — and on
+//! strata whose recursion is a single component (the diverging programs the
+//! limit exists for) the counts coincide exactly, including at the
+//! success/failure threshold.  Previously the executor checked per-SCC
+//! iteration counts and skipped single-pass rounds entirely, so a zero limit
+//! was ignored and per-component counting drifted from the engine's.
+
+use sequence_datalog::engine::{EvalError, EvalLimits};
+use sequence_datalog::exec::Executor;
+use sequence_datalog::prelude::*;
+
+fn engine_with_max_iterations(max_iterations: usize) -> Engine {
+    Engine::new().with_limits(EvalLimits {
+        max_iterations,
+        max_facts: 100_000,
+        max_path_len: 100_000,
+    })
+}
+
+/// Suffix-closure program: on a single length-5 path it needs exactly 6
+/// productive rounds plus the convergence round, i.e. it converges iff the
+/// limit allows 7 rounds.
+fn suffix_program() -> Program {
+    parse_program("T($x) <- R($x).\nT($y) <- T(@u·$y).").unwrap()
+}
+
+fn suffix_input() -> Instance {
+    Instance::unary(rel("R"), [path_of(&["a", "b", "c", "d", "e"])])
+}
+
+#[test]
+fn limits_trigger_identically_on_recursive_strata() {
+    let program = suffix_program();
+    let input = suffix_input();
+    for (limit, expect_ok) in [(7usize, true), (6, false), (1, false)] {
+        let engine = engine_with_max_iterations(limit);
+        let engine_result = engine.run(&program, &input);
+        assert_eq!(
+            engine_result.is_ok(),
+            expect_ok,
+            "engine at limit {limit}: {engine_result:?}"
+        );
+        for threads in [1usize, 2, 4] {
+            let exec_result = Executor::new()
+                .with_engine(engine)
+                .with_threads(threads)
+                .run(&program, &input);
+            assert_eq!(
+                exec_result.is_ok(),
+                expect_ok,
+                "executor ({threads} threads) at limit {limit}: {exec_result:?}"
+            );
+            match (&engine_result, &exec_result) {
+                (Ok(a), Ok(b)) => assert_eq!(a, b),
+                (Err(a), Err(b)) => {
+                    assert!(matches!(a, EvalError::LimitExceeded { .. }), "{a}");
+                    assert_eq!(a, b, "identical limit errors");
+                }
+                _ => unreachable!("checked above"),
+            }
+        }
+    }
+}
+
+#[test]
+fn diverging_programs_fail_identically_at_every_thread_count() {
+    let program = parse_program("T(a).\nT(a·$x) <- T($x).").unwrap();
+    let engine = engine_with_max_iterations(25);
+    let engine_err = engine.run(&program, &Instance::new()).unwrap_err();
+    assert!(matches!(engine_err, EvalError::LimitExceeded { .. }));
+    for threads in [1usize, 2, 4] {
+        let exec_err = Executor::new()
+            .with_engine(engine)
+            .with_threads(threads)
+            .run(&program, &Instance::new())
+            .unwrap_err();
+        assert_eq!(engine_err, exec_err, "threads = {threads}");
+    }
+}
+
+#[test]
+fn single_pass_rounds_respect_the_limit_without_being_stricter_than_the_engine() {
+    // Three dependency levels are three separate single-pass fixpoint scopes:
+    // each needs one round, so any limit ≥ 1 passes (the engine needs 4 joint
+    // rounds — the executor is allowed to be cheaper, never stricter), while a
+    // zero limit forbids evaluation under both (previously the executor never
+    // checked single-pass rounds at all).
+    let program = parse_program("T1($x) <- R($x).\nT2($x) <- T1($x).\nS($x) <- T2($x).").unwrap();
+    let input = Instance::unary(rel("R"), [path_of(&["a"])]);
+    let ok = Executor::new()
+        .with_engine(engine_with_max_iterations(1))
+        .run(&program, &input);
+    assert!(ok.is_ok(), "{ok:?}");
+    for evaluate in [
+        Executor::new()
+            .with_engine(engine_with_max_iterations(0))
+            .run(&program, &input),
+        engine_with_max_iterations(0).run(&program, &input),
+    ] {
+        assert!(
+            matches!(evaluate, Err(EvalError::LimitExceeded { .. })),
+            "{evaluate:?}"
+        );
+    }
+}
+
+#[test]
+fn executor_is_never_stricter_than_the_engine_on_chained_recursion() {
+    // Two dependent recursive components in one stratum: the engine's joint
+    // fixpoint needs fewer rounds than the executor's two sequential group
+    // fixpoints would sum to.  With per-fixpoint accounting the executor
+    // accepts every limit the engine accepts.
+    let program =
+        parse_program("A($x) <- R($x).\nA($y) <- A(@u·$y).\nB($x) <- A($x).\nB($y) <- B(@u·$y).")
+            .unwrap();
+    let input = Instance::unary(rel("R"), [path_of(&["a", "b", "c", "d"])]);
+    for limit in [6usize, 7, 8, 20] {
+        let engine = engine_with_max_iterations(limit);
+        let engine_ok = engine.run(&program, &input).is_ok();
+        for threads in [1usize, 2, 4] {
+            let exec_ok = Executor::new()
+                .with_engine(engine)
+                .with_threads(threads)
+                .run(&program, &input)
+                .is_ok();
+            assert!(
+                !engine_ok || exec_ok,
+                "limit {limit}, threads {threads}: engine ok but executor failed"
+            );
+        }
+    }
+}
