@@ -96,7 +96,7 @@ pub fn eval(expr: &AlgebraExpr, instance: &Instance) -> Result<BTreeSet<Tuple>, 
                 if cell.len() == 1 {
                     if let Value::Packed(inner) = &cell[0] {
                         let mut nt = t.clone();
-                        nt[*column - 1] = inner.as_ref().clone();
+                        nt[*column - 1] = *inner;
                         out.insert(nt);
                     }
                 }
@@ -114,7 +114,9 @@ pub fn eval(expr: &AlgebraExpr, instance: &Instance) -> Result<BTreeSet<Tuple>, 
             let rows = eval(input, instance)?;
             let mut out = BTreeSet::new();
             for t in rows {
-                for sub in t[*column - 1].substrings() {
+                // `subpaths` streams id-backed slices of the stored path: no
+                // per-substring vector is ever materialised.
+                for sub in t[*column - 1].subpaths() {
                     let mut nt = t.clone();
                     nt.push(sub);
                     out.insert(nt);

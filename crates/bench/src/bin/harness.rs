@@ -1,11 +1,14 @@
 //! Textual reproduction of every figure of the paper plus the derived experiment
 //! tables recorded in EXPERIMENTS.md.
 //!
-//! Usage: `cargo run -p seqdl-bench --bin harness [--release] [--threads N] [section…]`
+//! Usage: `cargo run -p seqdl-bench --bin harness [--release] [--threads N] [--mem-stats] [section…]`
 //! where `section` is any of `fig1 fig2 fig3 arity equations packing folding
 //! linearity reachability nfa query algebra regex termination`; with no arguments every section is printed.
 //! `--threads N` sets the worker-pool size of the stratified executor columns in
 //! the reachability and NFA sections (default 1; 0 = all cores).
+//! `--mem-stats` appends memory-footprint columns (result facts, distinct
+//! interned paths, approximate store KiB) to the reachability and NFA rows and
+//! a peak-RSS footer per section; store numbers are cumulative per process.
 
 use seqdl_bench as drivers;
 use seqdl_engine::FixpointStrategy;
@@ -24,6 +27,13 @@ fn main() {
             value
         }
         None => 1,
+    };
+    let mem_stats = match args.iter().position(|a| a == "--mem-stats") {
+        Some(i) => {
+            args.remove(i);
+            true
+        }
+        None => false,
     };
     let args = args;
     let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name);
@@ -143,8 +153,13 @@ fn main() {
 
     if want("reachability") {
         section("EXP-B  Section 5.1.1: graph reachability, naive vs semi-naive vs exec");
+        let mem_cols = if mem_stats {
+            format!(" {:>9} {:>9} {:>10}", "facts", "paths", "store KiB")
+        } else {
+            String::new()
+        };
         println!(
-            "{:>8} {:>8} {:>12} {:>12} {:>12}",
+            "{:>8} {:>8} {:>12} {:>12} {:>12}{mem_cols}",
             "nodes",
             "edges",
             "naive",
@@ -159,8 +174,9 @@ fn main() {
             (128, 1024),
         ] {
             let t1 = Instant::now();
-            let semi = drivers::reachability_run(nodes, edges, FixpointStrategy::SemiNaive);
+            let semi_result = drivers::reachability_result(nodes, edges);
             let t_semi = t1.elapsed();
+            let semi = drivers::reachability_answer(&semi_result);
             // The quadratic naive baseline is only tractable at the small end.
             let naive_time = (nodes <= 32).then(|| {
                 let t0 = Instant::now();
@@ -174,17 +190,36 @@ fn main() {
             let t_exec = t2.elapsed();
             assert_eq!(semi, parallel, "executor must agree with the engine");
             let naive_col = naive_time.map_or("-".to_string(), |t| format!("{t:?}"));
+            let mem_cols = if mem_stats {
+                let m = drivers::mem_snapshot(&semi_result);
+                format!(
+                    " {:>9} {:>9} {:>10}",
+                    m.facts,
+                    m.distinct_paths,
+                    m.store_bytes / 1024
+                )
+            } else {
+                String::new()
+            };
             println!(
-                "{nodes:>8} {edges:>8} {naive_col:>12} {:>12?} {:>12?}   (reachable: {semi})",
+                "{nodes:>8} {edges:>8} {naive_col:>12} {:>12?} {:>12?}{mem_cols}   (reachable: {semi})",
                 t_semi, t_exec
             );
+        }
+        if mem_stats {
+            println!("peak RSS: {} KiB", drivers::peak_rss_kib());
         }
     }
 
     if want("nfa") {
         section("EXP-NFA  Example 2.1: NFA acceptance, naive vs semi-naive vs exec");
+        let mem_cols = if mem_stats {
+            format!(" {:>9} {:>9} {:>10}", "facts", "paths", "store KiB")
+        } else {
+            String::new()
+        };
         println!(
-            "{:>8} {:>8} {:>10} {:>12} {:>12} {:>12}",
+            "{:>8} {:>8} {:>10} {:>12} {:>12} {:>12}{mem_cols}",
             "states",
             "words",
             "word len",
@@ -200,8 +235,9 @@ fn main() {
             (16, 48, 64),
         ] {
             let t1 = Instant::now();
-            let b = drivers::nfa_run(states, words, len, FixpointStrategy::SemiNaive);
+            let semi_result = drivers::nfa_result(states, words, len);
             let t_semi = t1.elapsed();
+            let b = drivers::nfa_answer(&semi_result);
             // The quadratic naive baseline is only tractable at the small end.
             let naive_time = (states <= 8).then(|| {
                 let t0 = Instant::now();
@@ -215,10 +251,24 @@ fn main() {
             let t_exec = t2.elapsed();
             assert_eq!(b, c, "executor must agree with the engine");
             let naive_col = naive_time.map_or("-".to_string(), |t| format!("{t:?}"));
+            let mem_cols = if mem_stats {
+                let m = drivers::mem_snapshot(&semi_result);
+                format!(
+                    " {:>9} {:>9} {:>10}",
+                    m.facts,
+                    m.distinct_paths,
+                    m.store_bytes / 1024
+                )
+            } else {
+                String::new()
+            };
             println!(
-                "{states:>8} {words:>8} {len:>10} {naive_col:>12} {:>12?} {:>12?}   (accepted: {b})",
+                "{states:>8} {words:>8} {len:>10} {naive_col:>12} {:>12?} {:>12?}{mem_cols}   (accepted: {b})",
                 t_semi, t_exec
             );
+        }
+        if mem_stats {
+            println!("peak RSS: {} KiB", drivers::peak_rss_kib());
         }
     }
 

@@ -277,8 +277,78 @@ pub fn nfa_run(states: usize, words: usize, word_len: usize, strategy: FixpointS
         .with_strategy(strategy)
         .run(&w.program, &input)
         .expect("terminates")
-        .unary_paths(w.output)
-        .len()
+        .unary_paths_iter(w.output)
+        .count()
+}
+
+/// A memory-footprint snapshot for the harness's `--mem-stats` columns: the
+/// result instance's fact count plus the global hash-consed path store's
+/// size.  Store numbers are cumulative for the process (the store is global
+/// and append-only), so within one harness invocation each row reports the
+/// footprint *after* that workload ran.
+#[derive(Clone, Copy, Debug)]
+pub struct MemStats {
+    /// Facts in the result instance (input + derived).
+    pub facts: usize,
+    /// Distinct interned paths in the global store.
+    pub distinct_paths: usize,
+    /// Approximate bytes held by the store (owned values + table overhead).
+    pub store_bytes: usize,
+    /// Peak resident set size of the process in KiB (`VmHWM`; 0 if unknown).
+    pub peak_rss_kib: usize,
+}
+
+/// Snapshot [`MemStats`] for a result instance.
+pub fn mem_snapshot(result: &seqdl_core::Instance) -> MemStats {
+    let store = seqdl_core::store_stats();
+    MemStats {
+        facts: result.fact_count(),
+        distinct_paths: store.distinct_paths,
+        store_bytes: store.total_bytes(),
+        peak_rss_kib: peak_rss_kib(),
+    }
+}
+
+/// `VmHWM` from `/proc/self/status`, in KiB (0 when unavailable).
+pub fn peak_rss_kib() -> usize {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|status| {
+            status.lines().find_map(|l| {
+                l.strip_prefix("VmHWM:")
+                    .and_then(|rest| rest.trim().split_whitespace().next()?.parse().ok())
+            })
+        })
+        .unwrap_or(0)
+}
+
+/// The full semi-naive result instance of the §5.1.1 reachability workload —
+/// the same computation [`reachability_run`] times, kept so `--mem-stats`
+/// rows snapshot the instance the timed run produced instead of re-running.
+pub fn reachability_result(nodes: usize, edges: usize) -> seqdl_core::Instance {
+    let w = witnesses::reachability();
+    let input = Workloads::new(17).digraph_instance(nodes, edges);
+    bench_engine().run(&w.program, &input).expect("terminates")
+}
+
+/// The §5.1.1 answer read off a result instance.
+pub fn reachability_answer(result: &seqdl_core::Instance) -> bool {
+    result.nullary_true(witnesses::reachability().output)
+}
+
+/// The full semi-naive result instance of the Example 2.1 NFA workload; see
+/// [`reachability_result`].
+pub fn nfa_result(states: usize, words: usize, word_len: usize) -> seqdl_core::Instance {
+    let w = witnesses::nfa_acceptance();
+    let input = Workloads::new(23).nfa_instance(states, 2, words, word_len);
+    bench_engine().run(&w.program, &input).expect("terminates")
+}
+
+/// The NFA acceptance count read off a result instance.
+pub fn nfa_answer(result: &seqdl_core::Instance) -> usize {
+    result
+        .unary_paths_iter(witnesses::nfa_acceptance().output)
+        .count()
 }
 
 /// The stratified SCC executor with the bench engine's limits and the given
@@ -308,8 +378,8 @@ pub fn nfa_run_parallel(states: usize, words: usize, word_len: usize, threads: u
     bench_executor(threads)
         .run(&w.program, &input)
         .expect("terminates")
-        .unary_paths(w.output)
-        .len()
+        .unary_paths_iter(w.output)
+        .count()
 }
 
 // ---------------------------------------------------------------------------
@@ -434,8 +504,8 @@ pub fn regex_datalog_run(strings: usize, max_len: usize) -> usize {
     bench_engine()
         .run(&compiled.program, &input)
         .expect("terminates")
-        .unary_paths(compiled.output)
-        .len()
+        .unary_paths_iter(compiled.output)
+        .count()
 }
 
 /// Run the direct NFA simulation for [`regex_pattern`] on the same workload;
@@ -445,8 +515,7 @@ pub fn regex_nfa_run(strings: usize, max_len: usize) -> usize {
     let nfa = seqdl_regex::Nfa::from_regex(&regex_pattern());
     let input = regex_workload(strings, max_len);
     input
-        .unary_paths(rel("R"))
-        .iter()
+        .unary_paths_iter(rel("R"))
         .filter(|p| nfa.accepts(p))
         .count()
 }

@@ -188,7 +188,7 @@ fn edit_distance(a: &str, b: &str) -> usize {
 /// Every relation name known to the program or the instance.
 fn known_relations(program: &Program, instance: &Instance) -> Vec<RelName> {
     let mut known: Vec<RelName> = program.all_relations().into_iter().collect();
-    for name in instance.relation_names() {
+    for name in instance.relation_names_iter() {
         if !known.contains(&name) {
             known.push(name);
         }
@@ -230,6 +230,16 @@ fn write_stats(report: &mut String, executor: &Executor, stats: &seqdl_engine::E
         stats.iterations,
         stats.derived_facts,
         stats.rule_firings
+    )
+    .expect("write to string");
+    // Attribute index effectiveness: predicate steps answered by an index
+    // probe (prefix trie, ε/packed bucket, or joint index) vs. relation
+    // scans.  For `query`, this is what shows a demand-driven win coming
+    // from probing, not merely from fewer firings.
+    writeln!(
+        report,
+        "index probes: {}, relation scans: {}",
+        stats.index_probes, stats.scans
     )
     .expect("write to string");
     for (i, stratum) in stats.strata.iter().enumerate() {
@@ -722,6 +732,18 @@ mod tests {
         assert!(parallel.starts_with(&sequential), "{parallel}");
         assert!(parallel.contains("threads: 4"), "{parallel}");
         assert!(parallel.contains("stratum 0: 3 rule(s)"), "{parallel}");
+        // The recursive rule probes R by the bound @y prefix: the stats must
+        // attribute index probes (and report the scan fallbacks) so wins are
+        // explainable.
+        assert!(parallel.contains("index probes: "), "{parallel}");
+        assert!(parallel.contains("relation scans: "), "{parallel}");
+        let probes: usize = parallel
+            .split("index probes: ")
+            .nth(1)
+            .and_then(|rest| rest.split(',').next())
+            .and_then(|n| n.trim().parse().ok())
+            .expect("parse probe count");
+        assert!(probes > 0, "expected index probes on the reachability join");
     }
 
     #[test]

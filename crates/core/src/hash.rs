@@ -1,0 +1,69 @@
+//! The workspace's hash function: a fast multiply-xor hasher (FxHash-style).
+//!
+//! Used for every hash map on the hot path — relation dedup maps, prefix-trie
+//! nodes, and the hash-consing table of the [`crate::store`] module.  It is
+//! deterministic across runs (unlike `RandomState`) and much cheaper than
+//! SipHash for the short interned-id sequences that make up paths and tuples:
+//! hashing a tuple is one `write_*` call per length prefix and per interned id.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hash, Hasher};
+
+/// A fast multiply-xor hasher (FxHash-style).
+#[derive(Clone)]
+pub struct FxHasher(u64);
+
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl Default for FxHasher {
+    fn default() -> FxHasher {
+        FxHasher(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl FxHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.0 = (self.0 ^ word).rotate_left(26).wrapping_mul(FX_SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.mix(u64::from_le_bytes(buf));
+        }
+    }
+
+    fn write_u8(&mut self, v: u8) {
+        self.mix(u64::from(v));
+    }
+
+    fn write_u32(&mut self, v: u32) {
+        self.mix(u64::from(v));
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.mix(v);
+    }
+
+    fn write_usize(&mut self, v: usize) {
+        self.mix(v as u64);
+    }
+}
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// Hash a value with [`FxHasher`] in one call.
+pub fn fx_hash<T: Hash + ?Sized>(value: &T) -> u64 {
+    let mut h = FxHasher::default();
+    value.hash(&mut h);
+    h.finish()
+}

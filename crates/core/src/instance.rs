@@ -6,70 +6,18 @@
 //! relations keyed by name and iterates as facts.
 
 use crate::error::CoreError;
+use crate::hash::{FxHasher, FxMap};
 use crate::interner::{AtomId, RelName};
 use crate::path::Path;
 use crate::value::Value;
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
-use std::hash::{BuildHasherDefault, Hash, Hasher};
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
-/// A tuple of paths — one row of an n-ary relation.
+/// A tuple of paths — one row of an n-ary relation.  With paths interned,
+/// this is a vector of `u32` ids: four bytes per column.
 pub type Tuple = Vec<Path>;
-
-/// A fast multiply-xor hasher (FxHash-style).  Used for the relation-internal hash
-/// maps: deterministic across runs (unlike `RandomState`) and much cheaper than
-/// SipHash for the short interned-symbol sequences that make up tuples.  The
-/// integer-write fast paths matter: tuple hashing is one `write_*` per length
-/// prefix and per interned id.
-#[derive(Clone)]
-pub struct FxHasher(u64);
-
-const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
-
-impl Default for FxHasher {
-    fn default() -> FxHasher {
-        FxHasher(0xcbf2_9ce4_8422_2325)
-    }
-}
-
-impl FxHasher {
-    #[inline]
-    fn mix(&mut self, word: u64) {
-        self.0 = (self.0 ^ word).rotate_left(26).wrapping_mul(FX_SEED);
-    }
-}
-
-impl Hasher for FxHasher {
-    fn finish(&self) -> u64 {
-        self.0
-    }
-
-    fn write(&mut self, bytes: &[u8]) {
-        for chunk in bytes.chunks(8) {
-            let mut buf = [0u8; 8];
-            buf[..chunk.len()].copy_from_slice(chunk);
-            self.mix(u64::from_le_bytes(buf));
-        }
-    }
-
-    fn write_u8(&mut self, v: u8) {
-        self.mix(u64::from(v));
-    }
-
-    fn write_u32(&mut self, v: u32) {
-        self.mix(u64::from(v));
-    }
-
-    fn write_u64(&mut self, v: u64) {
-        self.mix(v);
-    }
-
-    fn write_usize(&mut self, v: usize) {
-        self.mix(v as u64);
-    }
-}
-
-type FxMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
 
 fn hash_tuple(tuple: &[Path]) -> u64 {
     let mut h = FxHasher::default();
@@ -77,28 +25,222 @@ fn hash_tuple(tuple: &[Path]) -> u64 {
     h.finish()
 }
 
-/// The index key of one column of a tuple: the shape of the column path's *first*
-/// value.  Column indexes map these keys to tuple ids, so an evaluator that knows a
-/// column must start with a given atom (or must be empty, or must start with a
-/// packed value) probes a bucket instead of scanning the whole relation.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-pub enum ColKey {
-    /// The column holds the empty path `ε`.
-    Empty,
-    /// The column's first value is the given atom.
-    Atom(AtomId),
-    /// The column's first value is a packed value (all packed values share one
-    /// bucket; candidates still go through full matching).
-    Packed,
+/// How many leading values of a column path the per-column [`PrefixTrie`]
+/// indexes.  Probes with longer statically-known prefixes stop here and let
+/// full matching filter the (already small) candidate set.
+pub const TRIE_DEPTH: usize = 4;
+
+const NO_IDS: &[u32] = &[];
+const NO_ENTRIES: &[TrieEntry] = &[];
+
+/// A dedup bucket: tuple ids sharing one tuple hash.  Hash collisions are
+/// rare, so the single-id case is stored inline — no heap allocation per
+/// distinct fact.
+#[derive(Clone, Debug)]
+enum IdBucket {
+    One(u32),
+    Many(Vec<u32>),
 }
 
-impl ColKey {
-    /// The key of a ground column path.
-    pub fn of_path(path: &Path) -> ColKey {
-        match path.values().first() {
-            None => ColKey::Empty,
-            Some(Value::Atom(a)) => ColKey::Atom(*a),
-            Some(Value::Packed(_)) => ColKey::Packed,
+impl IdBucket {
+    fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        match self {
+            IdBucket::One(id) => std::slice::from_ref(id).iter().copied(),
+            IdBucket::Many(ids) => ids.as_slice().iter().copied(),
+        }
+    }
+
+    fn push(&mut self, id: u32) {
+        match self {
+            IdBucket::One(a) => *self = IdBucket::Many(vec![*a, id]),
+            IdBucket::Many(ids) => ids.push(id),
+        }
+    }
+}
+
+/// One candidate in a trie bucket: the tuple id plus enough metadata — the
+/// column path's total length and the value *after* the node's prefix — for
+/// the evaluator to finish matching flat single-column patterns from the
+/// bucket alone, sequentially, without dereferencing the tuple store at all.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TrieEntry {
+    /// The tuple id (ascending within a bucket).
+    pub id: u32,
+    /// Total length of the column's path.
+    pub len: u32,
+    next_val: u32,
+    next_tag: u8,
+}
+
+const NEXT_NONE: u8 = 0;
+const NEXT_ATOM: u8 = 1;
+const NEXT_PACKED: u8 = 2;
+
+impl TrieEntry {
+    fn new(id: u32, values: &[Value], depth: usize) -> TrieEntry {
+        let (next_tag, next_val) = match values.get(depth) {
+            None => (NEXT_NONE, 0),
+            Some(Value::Atom(a)) => (NEXT_ATOM, a.symbol().index()),
+            Some(Value::Packed(p)) => (NEXT_PACKED, p.id().index()),
+        };
+        TrieEntry {
+            id,
+            len: u32::try_from(values.len()).expect("path longer than u32::MAX"),
+            next_val,
+            next_tag,
+        }
+    }
+
+    /// The atom right after the bucket's prefix, if the path continues with
+    /// an atomic value there.
+    pub fn next_atom(&self) -> Option<AtomId> {
+        (self.next_tag == NEXT_ATOM)
+            .then(|| AtomId::from_symbol(crate::interner::Symbol::from_index(self.next_val)))
+    }
+}
+
+#[derive(Clone, Debug, Default)]
+struct TrieNode {
+    /// Candidates whose column path starts with this node's value prefix,
+    /// ascending by id (insertion order only ever appends).
+    entries: Vec<TrieEntry>,
+    children: FxMap<Value, TrieNode>,
+}
+
+/// A per-column index over the leading values of the column's path, to a
+/// per-column *registered depth* (default 1 — a plain first-value index; the
+/// planner deepens columns its plans can probe further, up to
+/// [`TRIE_DEPTH`]).  Because values are interned ids, each trie edge is an
+/// O(1) hash hop on an eight-byte key — including packed values, which used
+/// to share one undiscriminated bucket and now key on their exact interned
+/// identity.
+#[derive(Clone, Debug)]
+pub struct PrefixTrie {
+    /// How many leading values this trie indexes (1..=TRIE_DEPTH).
+    depth: usize,
+    /// Ids of tuples whose column is the empty path `ε`.
+    empty: Vec<u32>,
+    /// Ids of tuples whose column's *first* value is packed (any packed
+    /// value) — serves probes that only know "starts with some packed value".
+    packed_first: Vec<u32>,
+    root: FxMap<Value, TrieNode>,
+}
+
+impl Default for PrefixTrie {
+    fn default() -> PrefixTrie {
+        PrefixTrie::new(1)
+    }
+}
+
+impl PrefixTrie {
+    fn new(depth: usize) -> PrefixTrie {
+        PrefixTrie {
+            depth: depth.clamp(1, TRIE_DEPTH),
+            empty: Vec::new(),
+            packed_first: Vec::new(),
+            root: FxMap::default(),
+        }
+    }
+
+    /// The number of leading values this trie indexes.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    fn insert(&mut self, path: &Path, id: u32) {
+        let values = path.values();
+        let Some(first) = values.first() else {
+            self.empty.push(id);
+            return;
+        };
+        if first.is_packed() {
+            self.packed_first.push(id);
+        }
+        let mut node = self.root.entry(*first).or_default();
+        node.entries.push(TrieEntry::new(id, values, 1));
+        for (d, v) in values[1..].iter().take(self.depth - 1).enumerate() {
+            node = node.children.entry(*v).or_default();
+            node.entries.push(TrieEntry::new(id, values, d + 2));
+        }
+    }
+
+    /// The candidates (ascending by id) whose column path starts with
+    /// `prefix` (which must be nonempty; values beyond the trie's registered
+    /// depth are ignored, so the result is a superset of the exact answer
+    /// that full matching filters).  Each [`TrieEntry`] carries the path
+    /// length and the value following the reached prefix, so flat
+    /// single-column patterns finish matching on the bucket alone.
+    pub fn probe(&self, prefix: &[Value]) -> &[TrieEntry] {
+        let mut walk = prefix.iter().take(self.depth);
+        let Some(first) = walk.next() else {
+            return NO_ENTRIES;
+        };
+        let Some(mut node) = self.root.get(first) else {
+            return NO_ENTRIES;
+        };
+        for v in walk {
+            match node.children.get(v) {
+                Some(child) => node = child,
+                None => return NO_ENTRIES,
+            }
+        }
+        &node.entries
+    }
+
+    /// The ids of tuples whose column is exactly `ε`.
+    pub fn probe_empty(&self) -> &[u32] {
+        &self.empty
+    }
+
+    /// The ids of tuples whose column's first value is packed.
+    pub fn probe_packed_first(&self) -> &[u32] {
+        &self.packed_first
+    }
+}
+
+/// A planner-selected multi-column index: tuples keyed by the joint hash of
+/// the *first values* of a fixed set of columns.  Registered by the evaluator
+/// for the column sets its plans can actually probe (all listed columns have
+/// a statically-known first value), then maintained incrementally on insert.
+///
+/// Buckets key on a hash, not the values themselves; collisions only enlarge
+/// the candidate set, which full matching filters anyway.
+#[derive(Clone, Debug)]
+struct JointIndex {
+    cols: Vec<usize>,
+    map: FxMap<u64, Vec<u32>>,
+}
+
+/// The joint key of one tuple under a column set, or `None` if some listed
+/// column is `ε` (such tuples can never match a joint probe, whose columns
+/// all start with a known value, so they are simply not indexed).
+fn joint_tuple_key(cols: &[usize], tuple: &[Path]) -> Option<u64> {
+    let mut h = FxHasher::default();
+    for &c in cols {
+        let first = tuple.get(c).and_then(|p| p.values().first())?;
+        hash_first_value(&mut h, first);
+    }
+    Some(h.finish())
+}
+
+/// The joint key of a probe with one known first value per column.
+pub fn joint_probe_key(firsts: &[Value]) -> u64 {
+    let mut h = FxHasher::default();
+    for v in firsts {
+        hash_first_value(&mut h, v);
+    }
+    h.finish()
+}
+
+fn hash_first_value(h: &mut FxHasher, v: &Value) {
+    match v {
+        Value::Atom(a) => {
+            h.write_u8(1);
+            h.write_u32(a.symbol().index());
+        }
+        Value::Packed(p) => {
+            h.write_u8(2);
+            h.write_u32(p.id().index());
         }
     }
 }
@@ -205,17 +347,21 @@ impl Schema {
 /// [`Relation::len`] as a watermark and later read "everything inserted since" as
 /// the borrowed slice [`Relation::slice_from`] — the shape semi-naive Datalog
 /// evaluation needs for delta views without copying tuples.  Deduplication goes
-/// through a hash map (tuple hash → candidate ids), and every column keeps a
-/// first-value index ([`ColKey`] → ids) so matching can probe instead of scan.
+/// through a hash map of interned-id hashes, every column keeps a [`PrefixTrie`]
+/// over its first [`TRIE_DEPTH`] values, and evaluator-registered
+/// [multi-column join indexes](Relation::ensure_joint_index) serve probes that
+/// know the first value of several columns at once.
 #[derive(Clone, Debug)]
 pub struct Relation {
     arity: usize,
     /// Tuples in insertion order; a tuple's index is its id.
     tuples: Vec<Tuple>,
     /// Tuple hash → ids with that hash (dedup without storing tuples twice).
-    dedup: FxMap<u64, Vec<u32>>,
-    /// One index per column: first-value key → ids, in ascending id order.
-    columns: Vec<FxMap<ColKey, Vec<u32>>>,
+    dedup: FxMap<u64, IdBucket>,
+    /// One prefix trie per column.
+    columns: Vec<PrefixTrie>,
+    /// Registered multi-column indexes (typically zero or a handful).
+    joint: Vec<JointIndex>,
 }
 
 impl Relation {
@@ -225,7 +371,8 @@ impl Relation {
             arity,
             tuples: Vec::new(),
             dedup: FxMap::default(),
-            columns: (0..arity).map(|_| FxMap::default()).collect(),
+            columns: (0..arity).map(|_| PrefixTrie::default()).collect(),
+            joint: Vec::new(),
         }
     }
 
@@ -258,17 +405,26 @@ impl Relation {
             });
         }
         let hash = hash_tuple(&tuple);
-        let bucket = self.dedup.entry(hash).or_default();
-        if bucket.iter().any(|&id| self.tuples[id as usize] == tuple) {
-            return Ok(false);
-        }
         let id = u32::try_from(self.tuples.len()).expect("more than u32::MAX tuples");
-        bucket.push(id);
+        let tuples = &self.tuples;
+        match self.dedup.entry(hash) {
+            std::collections::hash_map::Entry::Occupied(mut bucket) => {
+                if bucket.get().iter().any(|id| tuples[id as usize] == tuple) {
+                    return Ok(false);
+                }
+                bucket.get_mut().push(id);
+            }
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(IdBucket::One(id));
+            }
+        }
         for (column, path) in tuple.iter().enumerate() {
-            self.columns[column]
-                .entry(ColKey::of_path(path))
-                .or_default()
-                .push(id);
+            self.columns[column].insert(path, id);
+        }
+        for index in &mut self.joint {
+            if let Some(key) = joint_tuple_key(&index.cols, &tuple) {
+                index.map.entry(key).or_default().push(id);
+            }
         }
         self.tuples.push(tuple);
         Ok(true)
@@ -281,7 +437,7 @@ impl Relation {
         }
         self.dedup
             .get(&hash_tuple(tuple))
-            .is_some_and(|bucket| bucket.iter().any(|&id| self.tuples[id as usize] == tuple))
+            .is_some_and(|bucket| bucket.iter().any(|id| self.tuples[id as usize] == tuple))
     }
 
     /// Iterate over the tuples in insertion order.
@@ -302,13 +458,95 @@ impl Relation {
         &self.tuples[start.min(self.tuples.len())..]
     }
 
-    /// The ids (ascending) of tuples whose `column`-th path starts with `key`.
-    /// Out-of-range columns and absent keys yield the empty slice.
-    pub fn probe(&self, column: usize, key: ColKey) -> &[u32] {
+    /// The column trie of `column`, if in range.
+    pub fn column_index(&self, column: usize) -> Option<&PrefixTrie> {
+        self.columns.get(column)
+    }
+
+    /// The candidates (ascending by id) whose `column`-th path starts with
+    /// the given nonempty value prefix.  Out-of-range columns yield the empty
+    /// slice; prefixes longer than the column's registered depth probe on
+    /// their indexed prefix (a superset that full matching filters).
+    pub fn probe_prefix(&self, column: usize, prefix: &[Value]) -> &[TrieEntry] {
         self.columns
             .get(column)
-            .and_then(|index| index.get(&key))
-            .map_or(&[], Vec::as_slice)
+            .map_or(NO_ENTRIES, |trie| trie.probe(prefix))
+    }
+
+    /// The ids of tuples whose `column`-th path is exactly `ε`.
+    pub fn probe_empty(&self, column: usize) -> &[u32] {
+        self.columns
+            .get(column)
+            .map_or(NO_IDS, PrefixTrie::probe_empty)
+    }
+
+    /// The ids of tuples whose `column`-th path starts with a packed value.
+    pub fn probe_packed_first(&self, column: usize) -> &[u32] {
+        self.columns
+            .get(column)
+            .map_or(NO_IDS, PrefixTrie::probe_packed_first)
+    }
+
+    /// Deepen the prefix trie of `column` to index `depth` leading values
+    /// (clamped to [`TRIE_DEPTH`]; never shallowed).  The trie is rebuilt from
+    /// the stored tuples, so registering before a fixpoint is cheap and later
+    /// inserts index at the new depth.
+    pub fn ensure_column_depth(&mut self, column: usize, depth: usize) {
+        let depth = depth.clamp(1, TRIE_DEPTH);
+        let Some(trie) = self.columns.get_mut(column) else {
+            return;
+        };
+        if depth <= trie.depth {
+            return;
+        }
+        let mut rebuilt = PrefixTrie::new(depth);
+        for (id, tuple) in self.tuples.iter().enumerate() {
+            rebuilt.insert(&tuple[column], id as u32);
+        }
+        self.columns[column] = rebuilt;
+    }
+
+    /// Register (and backfill) a multi-column join index over `cols`, unless
+    /// one already exists.  Insertions maintain registered indexes
+    /// incrementally, so registering before a fixpoint makes every later
+    /// [`Relation::probe_joint`] current.
+    pub fn ensure_joint_index(&mut self, cols: &[usize]) {
+        if cols.len() < 2 || cols.iter().any(|&c| c >= self.arity) {
+            return;
+        }
+        if self.joint.iter().any(|j| j.cols == cols) {
+            return;
+        }
+        let mut index = JointIndex {
+            cols: cols.to_vec(),
+            map: FxMap::default(),
+        };
+        for (id, tuple) in self.tuples.iter().enumerate() {
+            if let Some(key) = joint_tuple_key(cols, tuple) {
+                index.map.entry(key).or_default().push(id as u32);
+            }
+        }
+        self.joint.push(index);
+    }
+
+    /// Is a joint index over exactly `cols` registered?
+    pub fn has_joint_index(&self, cols: &[usize]) -> bool {
+        self.joint.iter().any(|j| j.cols == cols)
+    }
+
+    /// The ids (ascending) of tuples whose columns `cols` start with the
+    /// corresponding `firsts` values, through a registered joint index.
+    /// Returns `None` when no index over `cols` is registered (callers fall
+    /// back to single-column probing); the id list is a hash-bucket superset
+    /// that full matching filters.
+    pub fn probe_joint(&self, cols: &[usize], firsts: &[Value]) -> Option<&[u32]> {
+        let index = self.joint.iter().find(|j| j.cols == cols)?;
+        Some(
+            index
+                .map
+                .get(&joint_probe_key(firsts))
+                .map_or(NO_IDS, Vec::as_slice),
+        )
     }
 
     /// All tuples, cloned into a vector in lexicographic order.
@@ -336,9 +574,16 @@ impl Eq for Relation {}
 
 /// An instance: a mapping from relation names to relations, equivalently a finite
 /// set of facts (Section 2.3).
+///
+/// Relations are held behind `Arc` with copy-on-write mutation: cloning an
+/// instance shares every relation's storage (tuples, dedup map, tries,
+/// indexes), and a relation is deep-copied only the first time a *clone*
+/// writes to it.  Evaluation never writes to EDB relations — rule heads are
+/// IDB by definition — so preparing a working instance from an input is O(#
+/// relations), not O(data), and the input's indexes are reused as-is.
 #[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct Instance {
-    relations: BTreeMap<RelName, Relation>,
+    relations: BTreeMap<RelName, Arc<Relation>>,
 }
 
 impl Instance {
@@ -369,7 +614,7 @@ impl Instance {
         // Even when `paths` is empty, register the relation with arity 1.
         inst.relations
             .entry(relation)
-            .or_insert_with(|| Relation::new(1));
+            .or_insert_with(|| Arc::new(Relation::new(1)));
         inst
     }
 
@@ -393,10 +638,11 @@ impl Instance {
     pub fn insert_fact_new(&mut self, fact: Fact) -> Result<Option<&Tuple>, CoreError> {
         let arity = fact.arity();
         let relation = fact.relation;
-        let rel = self
-            .relations
-            .entry(relation)
-            .or_insert_with(|| Relation::new(arity));
+        let rel = Arc::make_mut(
+            self.relations
+                .entry(relation)
+                .or_insert_with(|| Arc::new(Relation::new(arity))),
+        );
         Ok(rel
             .insert(relation, fact.tuple)?
             .then(|| rel.as_slice().last().expect("just inserted")))
@@ -406,27 +652,54 @@ impl Instance {
     pub fn declare_relation(&mut self, relation: RelName, arity: usize) {
         self.relations
             .entry(relation)
-            .or_insert_with(|| Relation::new(arity));
+            .or_insert_with(|| Arc::new(Relation::new(arity)));
     }
 
     /// The relation assigned to `name`, if present.
     pub fn relation(&self, name: RelName) -> Option<&Relation> {
-        self.relations.get(&name)
+        self.relations.get(&name).map(|arc| &**arc)
+    }
+
+    /// Register a multi-column join index on `name` (no-op if the relation is
+    /// absent); see [`Relation::ensure_joint_index`].  Skips the
+    /// copy-on-write clone when the index already exists.
+    pub fn ensure_joint_index(&mut self, name: RelName, cols: &[usize]) {
+        if let Some(rel) = self.relations.get_mut(&name) {
+            if !rel.has_joint_index(cols) {
+                Arc::make_mut(rel).ensure_joint_index(cols);
+            }
+        }
+    }
+
+    /// Deepen a column's prefix trie on `name` (no-op if the relation is
+    /// absent); see [`Relation::ensure_column_depth`].  Skips the
+    /// copy-on-write clone when the column is already deep enough.
+    pub fn ensure_column_depth(&mut self, name: RelName, column: usize, depth: usize) {
+        if let Some(rel) = self.relations.get_mut(&name) {
+            let current = rel
+                .column_index(column)
+                .map_or(usize::MAX, PrefixTrie::depth);
+            if current < depth.clamp(1, TRIE_DEPTH) {
+                Arc::make_mut(rel).ensure_column_depth(column, depth);
+            }
+        }
     }
 
     /// The set of paths of a unary relation (empty if the relation is absent).
     ///
     /// This is the natural way to read off the answer of a *flat unary query*
-    /// (Section 3.1).
+    /// (Section 3.1).  For a borrowing walk that builds no set, see
+    /// [`Instance::unary_paths_iter`].
     pub fn unary_paths(&self, name: RelName) -> BTreeSet<Path> {
+        self.unary_paths_iter(name).collect()
+    }
+
+    /// Iterate over the paths of a unary relation without materialising a
+    /// set, in insertion order (empty if the relation is absent).
+    pub fn unary_paths_iter(&self, name: RelName) -> impl Iterator<Item = Path> + '_ {
         self.relation(name)
-            .map(|r| {
-                r.iter()
-                    .filter(|t| t.len() == 1)
-                    .map(|t| t[0].clone())
-                    .collect()
-            })
-            .unwrap_or_default()
+            .into_iter()
+            .flat_map(|r| r.iter().filter(|t| t.len() == 1).map(|t| t[0]))
     }
 
     /// Does the instance contain the given fact?
@@ -441,9 +714,16 @@ impl Instance {
         self.relation(name).is_some_and(|r| !r.is_empty())
     }
 
-    /// Relation names present in the instance, in name order.
+    /// Relation names present in the instance, collected in name order.  For a
+    /// walk that allocates nothing, see [`Instance::relation_names_iter`].
     pub fn relation_names(&self) -> Vec<RelName> {
-        self.relations.keys().copied().collect()
+        self.relation_names_iter().collect()
+    }
+
+    /// Iterate over the relation names of the instance, in name order,
+    /// without allocating.
+    pub fn relation_names_iter(&self) -> impl Iterator<Item = RelName> + '_ {
+        self.relations.keys().copied()
     }
 
     /// Iterate over all facts of the instance *without cloning*, in deterministic
@@ -465,7 +745,7 @@ impl Instance {
 
     /// Total number of facts.
     pub fn fact_count(&self) -> usize {
-        self.relations.values().map(Relation::len).sum()
+        self.relations.values().map(|r| r.len()).sum()
     }
 
     /// An instance is *flat* if no packed value occurs anywhere in it (Section 3.1).
@@ -507,11 +787,12 @@ impl Instance {
     }
 
     /// Restrict the instance to the relations of `schema` (dropping others).
+    /// Relation storage is shared, not copied.
     pub fn project_to_schema(&self, schema: &Schema) -> Instance {
         let mut out = Instance::new();
         for (name, rel) in &self.relations {
             if schema.contains(*name) {
-                out.relations.insert(*name, rel.clone());
+                out.relations.insert(*name, Arc::clone(rel));
             }
         }
         out
@@ -535,8 +816,8 @@ impl Instance {
 
     /// All atomic values appearing anywhere in the instance (the instance's *active
     /// domain*).
-    pub fn active_atoms(&self) -> BTreeSet<crate::interner::AtomId> {
-        fn collect(value: &Value, out: &mut BTreeSet<crate::interner::AtomId>) {
+    pub fn active_atoms(&self) -> BTreeSet<AtomId> {
+        fn collect(value: &Value, out: &mut BTreeSet<AtomId>) {
             match value {
                 Value::Atom(a) => {
                     out.insert(*a);
@@ -584,6 +865,14 @@ mod tests {
         Fact::new(rel(r), paths.iter().map(|names| path_of(names)).collect())
     }
 
+    fn av(name: &str) -> Value {
+        Value::Atom(atom(name))
+    }
+
+    fn ids(entries: &[TrieEntry]) -> Vec<u32> {
+        entries.iter().map(|e| e.id).collect()
+    }
+
     #[test]
     fn schema_basics_and_monadicity() {
         let s = Schema::from_pairs([("R", 1), ("A", 0)]);
@@ -619,6 +908,10 @@ mod tests {
             inst.unary_paths(rel("R")),
             BTreeSet::from([path_of(&["a", "a"]), path_of(&["a", "b"])])
         );
+        // The borrowing iterator yields the same paths, in insertion order.
+        let via_iter: Vec<Path> = inst.unary_paths_iter(rel("R")).collect();
+        assert_eq!(via_iter, vec![path_of(&["a", "a"]), path_of(&["a", "b"])]);
+        assert_eq!(inst.unary_paths_iter(rel("Absent")).count(), 0);
     }
 
     #[test]
@@ -697,6 +990,10 @@ mod tests {
         let only_r = Schema::from_pairs([("R", 1)]);
         let projected = inst.project_to_schema(&only_r);
         assert_eq!(projected.relation_names(), vec![rel("R")]);
+        assert_eq!(
+            projected.relation_names_iter().collect::<Vec<_>>(),
+            vec![rel("R")]
+        );
     }
 
     #[test]
@@ -769,9 +1066,12 @@ mod tests {
     }
 
     #[test]
-    fn column_index_probes_by_first_value() {
+    fn prefix_trie_probes_by_leading_values() {
         let mut r = Relation::new(2);
-        r.insert(rel("T"), vec![path_of(&["a", "b"]), Path::empty()])
+        r.ensure_column_depth(0, TRIE_DEPTH);
+        r.insert(rel("T"), vec![path_of(&["a", "b", "c"]), Path::empty()])
+            .unwrap();
+        r.insert(rel("T"), vec![path_of(&["a", "b"]), path_of(&["c"])])
             .unwrap();
         r.insert(rel("T"), vec![path_of(&["a"]), path_of(&["c"])])
             .unwrap();
@@ -783,12 +1083,108 @@ mod tests {
             ],
         )
         .unwrap();
-        assert_eq!(r.probe(0, ColKey::Atom(atom("a"))), &[0, 1]);
-        assert_eq!(r.probe(0, ColKey::Packed), &[2]);
-        assert_eq!(r.probe(1, ColKey::Empty), &[0]);
-        assert_eq!(r.probe(1, ColKey::Atom(atom("c"))), &[1, 2]);
-        assert!(r.probe(1, ColKey::Atom(atom("z"))).is_empty());
-        assert!(r.probe(9, ColKey::Empty).is_empty());
+        // One-value prefixes behave like the old first-value index.
+        assert_eq!(ids(r.probe_prefix(0, &[av("a")])), vec![0, 1, 2]);
+        assert_eq!(r.probe_empty(1), &[0]);
+        assert_eq!(ids(r.probe_prefix(1, &[av("c")])), vec![1, 2, 3]);
+        // Entries carry the candidate's length and the value after the
+        // reached prefix, so flat patterns can finish matching bucket-side.
+        let bucket = r.probe_prefix(0, &[av("a")]);
+        assert_eq!(bucket[0].len, 3);
+        assert_eq!(bucket[0].next_atom(), Some(atom("b")));
+        assert_eq!(bucket[2].len, 1);
+        assert_eq!(bucket[2].next_atom(), None);
+        // Deeper prefixes discriminate further.
+        assert_eq!(ids(r.probe_prefix(0, &[av("a"), av("b")])), vec![0, 1]);
+        assert_eq!(
+            ids(r.probe_prefix(0, &[av("a"), av("b"), av("c")])),
+            vec![0]
+        );
+        // A probe deeper than any stored path finds nothing.
+        assert!(r
+            .probe_prefix(0, &[av("a"), av("b"), av("c"), av("d")])
+            .is_empty());
+        // Packed first values key on their exact identity, and the any-packed
+        // bucket serves probes that only know "starts packed".
+        let packed = Value::packed(path_of(&["z"]));
+        assert_eq!(ids(r.probe_prefix(0, &[packed])), vec![3]);
+        assert!(r
+            .probe_prefix(0, &[Value::packed(path_of(&["w"]))])
+            .is_empty());
+        assert_eq!(r.probe_packed_first(0), &[3]);
+        // Misses and out-of-range columns yield empty sets.
+        assert!(r.probe_prefix(1, &[av("z")]).is_empty());
+        assert!(r.probe_prefix(9, &[av("a")]).is_empty());
+        assert!(r.probe_empty(9).is_empty());
+    }
+
+    #[test]
+    fn prefix_trie_caps_at_trie_depth() {
+        let mut r = Relation::new(1);
+        r.ensure_column_depth(0, 64);
+        assert_eq!(r.column_index(0).unwrap().depth(), TRIE_DEPTH);
+        r.insert(rel("R"), vec![repeat_path("a", 10)]).unwrap();
+        r.insert(rel("R"), vec![repeat_path("a", 2)]).unwrap();
+        // Probing deeper than TRIE_DEPTH truncates to the indexed prefix: the
+        // result is a superset (id 0 matches, id 1 is filtered by matching).
+        let deep: Vec<Value> = (0..8).map(|_| av("a")).collect();
+        assert_eq!(ids(r.probe_prefix(0, &deep)), vec![0]);
+        let shallow: Vec<Value> = (0..TRIE_DEPTH).map(|_| av("a")).collect();
+        assert_eq!(ids(r.probe_prefix(0, &shallow)), vec![0]);
+    }
+
+    #[test]
+    fn joint_index_probes_multiple_columns_at_once() {
+        let mut r = Relation::new(3);
+        for (q, a, q2) in [
+            ("q0", "a", "q0"),
+            ("q0", "b", "q1"),
+            ("q1", "a", "q0"),
+            ("q1", "b", "q1"),
+            ("q1", "b", "q2"),
+        ] {
+            r.insert(rel("D"), vec![path_of(&[q]), path_of(&[a]), path_of(&[q2])])
+                .unwrap();
+        }
+        // Unregistered: probe_joint reports no index.
+        assert!(r.probe_joint(&[0, 1], &[av("q1"), av("b")]).is_none());
+        r.ensure_joint_index(&[0, 1]);
+        assert_eq!(
+            r.probe_joint(&[0, 1], &[av("q1"), av("b")]).unwrap(),
+            &[3, 4]
+        );
+        assert_eq!(r.probe_joint(&[0, 1], &[av("q0"), av("a")]).unwrap(), &[0]);
+        assert!(r
+            .probe_joint(&[0, 1], &[av("q2"), av("a")])
+            .unwrap()
+            .is_empty());
+        // Registration is idempotent, and later inserts maintain the index.
+        r.ensure_joint_index(&[0, 1]);
+        r.insert(
+            rel("D"),
+            vec![path_of(&["q1"]), path_of(&["b"]), path_of(&["q3"])],
+        )
+        .unwrap();
+        assert_eq!(
+            r.probe_joint(&[0, 1], &[av("q1"), av("b")]).unwrap(),
+            &[3, 4, 5]
+        );
+        // Tuples with an ε column in the set are unreachable by joint probes
+        // and therefore not indexed.
+        r.insert(
+            rel("D"),
+            vec![Path::empty(), path_of(&["b"]), path_of(&["q0"])],
+        )
+        .unwrap();
+        assert_eq!(
+            r.probe_joint(&[0, 1], &[av("q1"), av("b")]).unwrap(),
+            &[3, 4, 5]
+        );
+        // Degenerate registrations (single column, out of range) are refused.
+        r.ensure_joint_index(&[0]);
+        r.ensure_joint_index(&[0, 9]);
+        assert!(r.probe_joint(&[0], &[av("q0")]).is_none());
+        assert!(r.probe_joint(&[0, 9], &[av("q0"), av("b")]).is_none());
     }
 
     #[test]

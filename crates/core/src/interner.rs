@@ -75,6 +75,13 @@ impl Symbol {
         self.0
     }
 
+    /// Rebuild a symbol from a raw index previously obtained from
+    /// [`Symbol::index`].  Passing an index that was never handed out yields
+    /// a symbol whose name lookups panic.
+    pub fn from_index(ix: u32) -> Symbol {
+        Symbol(ix)
+    }
+
     /// Generate a fresh symbol whose name starts with `prefix` and is guaranteed not
     /// to have been interned before this call.  Used by program rewrites that need
     /// fresh relation or variable names.

@@ -21,15 +21,19 @@
 #![warn(rust_2018_idioms)]
 
 pub mod error;
+pub mod hash;
 pub mod instance;
 pub mod interner;
 pub mod path;
+pub mod store;
 pub mod value;
 
 pub use error::CoreError;
-pub use instance::{ColKey, Fact, Instance, Relation, Schema, Tuple};
+pub use hash::{fx_hash, FxHasher, FxMap};
+pub use instance::{Fact, Instance, PrefixTrie, Relation, Schema, TrieEntry, Tuple, TRIE_DEPTH};
 pub use interner::{AtomId, RelName, Symbol, VarSym};
-pub use path::Path;
+pub use path::{Path, Subpaths};
+pub use store::{store_stats, PathId, Segment, StoreStats};
 pub use value::Value;
 
 /// Convenience: intern an atomic value by name.

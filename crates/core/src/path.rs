@@ -1,7 +1,9 @@
 //! Paths: finite sequences of values, with associative concatenation (Section 2.1).
 
 use crate::interner::AtomId;
+use crate::store::{self, PathId, Segment};
 use crate::value::Value;
+use std::cmp::Ordering;
 use std::fmt;
 use std::ops::Index;
 
@@ -11,83 +13,156 @@ use std::ops::Index;
 /// [`FromIterator`] implementations all preserve that reading.  A value `v` is
 /// identified with the length-1 path `v` (see [`Path::singleton`]), which is how
 /// classical relational instances embed into sequence databases.
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
-pub struct Path(Vec<Value>);
+///
+/// Representation: a path is a hash-consed [`PathId`] into the global
+/// [`crate::store`] — four bytes, `Copy`, with equality and hashing on the id
+/// (valid because the store holds each content exactly once).  The value
+/// sequence itself is the shared `&'static [Value]` returned by
+/// [`Path::values`].  Ordering remains *content* ordering (lexicographic over
+/// values), so sorted snapshots and `BTreeSet<Path>` orders are independent of
+/// interning order and therefore deterministic across runs and thread counts.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Path(PathId);
 
 impl Path {
     /// The empty path `ε`.
-    pub fn empty() -> Path {
-        Path(Vec::new())
+    pub const fn empty() -> Path {
+        Path(PathId::EMPTY)
     }
 
     /// A one-element path holding `value`.
     pub fn singleton(value: Value) -> Path {
-        Path(vec![value])
+        match value {
+            Value::Atom(a) => Path(store::intern_singleton_atom(a)),
+            packed => Path(store::intern_vec(vec![packed])),
+        }
     }
 
     /// Build a path from any sequence of values.
     pub fn from_values(values: impl IntoIterator<Item = Value>) -> Path {
-        Path(values.into_iter().collect())
+        Path(store::intern_vec(values.into_iter().collect()))
+    }
+
+    /// Build a path from a borrowed value slice (copied only if the content is
+    /// new to the store).
+    pub fn from_slice(values: &[Value]) -> Path {
+        Path(store::intern_slice(values))
+    }
+
+    /// Build a path from a slice that lives forever — typically a sub-slice of
+    /// another path's [`Path::values`].  Never copies the values: on a store
+    /// miss the slice itself becomes the stored content.
+    pub fn from_static(values: &'static [Value]) -> Path {
+        Path(store::intern_static(values))
     }
 
     /// Build a flat path from atoms.
     pub fn from_atoms(atoms: impl IntoIterator<Item = AtomId>) -> Path {
-        Path(atoms.into_iter().map(Value::Atom).collect())
+        Path::from_values(atoms.into_iter().map(Value::Atom))
+    }
+
+    /// The interned identity of this path (equal ids ⇔ equal paths).
+    pub fn id(&self) -> PathId {
+        self.0
     }
 
     /// Number of values in the path (`|p|`).
     pub fn len(&self) -> usize {
-        self.0.len()
+        self.values().len()
     }
 
     /// Is this the empty path `ε`?
     pub fn is_empty(&self) -> bool {
-        self.0.is_empty()
+        self.0 == PathId::EMPTY
     }
 
-    /// The values of the path, in order.
-    pub fn values(&self) -> &[Value] {
-        &self.0
+    /// The values of the path, in order.  The slice is shared storage owned by
+    /// the global store, hence the `'static` lifetime.
+    pub fn values(&self) -> &'static [Value] {
+        store::resolve(self.0)
     }
 
     /// Iterate over the values of the path.
-    pub fn iter(&self) -> std::slice::Iter<'_, Value> {
-        self.0.iter()
+    pub fn iter(&self) -> std::slice::Iter<'static, Value> {
+        self.values().iter()
     }
 
-    /// Concatenation `self · other`.
+    /// Concatenation `self · other`.  A repeat concatenation of the same two
+    /// interned operands resolves through the composition memo by hashing the
+    /// two ids — the content is neither copied nor re-hashed.
     pub fn concat(&self, other: &Path) -> Path {
-        let mut out = Vec::with_capacity(self.len() + other.len());
-        out.extend_from_slice(&self.0);
-        out.extend_from_slice(&other.0);
-        Path(out)
+        if self.is_empty() {
+            return *other;
+        }
+        if other.is_empty() {
+            return *self;
+        }
+        Path::from_segments(&[Segment::Path(self.0), Segment::Path(other.0)])
     }
 
-    /// Append a single value in place.
+    /// Build the path denoted by a segment sequence (single values and whole
+    /// interned paths, spliced in order), through the thread-local
+    /// composition memo: repeat compositions hash one `u32` per segment and
+    /// never rebuild the content.  This is how evaluation grounds rule heads.
+    pub fn from_segments(segments: &[Segment]) -> Path {
+        Path(store::intern_segments(segments))
+    }
+
+    /// This path as a [`Segment`] for [`Path::from_segments`].
+    pub fn as_segment(&self) -> Segment {
+        Segment::Path(self.0)
+    }
+
+    /// Append a single value, re-interning.  This is O(len); callers building
+    /// a path value by value should collect into a `Vec<Value>` and intern
+    /// once via [`Path::from_values`].
     pub fn push(&mut self, value: Value) {
-        self.0.push(value);
+        let mut out = Vec::with_capacity(self.len() + 1);
+        out.extend_from_slice(self.values());
+        out.push(value);
+        *self = Path(store::intern_vec(out));
     }
 
     /// The contiguous subpath `p[start..end]` (half-open), as its own path.
+    /// Zero-copy: the subpath shares the parent's stored values, and a repeat
+    /// cut of the same path resolves through an O(1) `(id, start, end)` memo
+    /// without re-hashing the content.
     ///
     /// # Panics
     /// Panics if the range is out of bounds (mirrors slice indexing).
     pub fn subpath(&self, start: usize, end: usize) -> Path {
-        Path(self.0[start..end].to_vec())
+        let values = self.values();
+        let slice = &values[start..end];
+        if slice.len() == values.len() {
+            return *self;
+        }
+        if slice.is_empty() {
+            return Path::empty();
+        }
+        Path(store::subpath_id(self.0, start as u32, end as u32, slice))
     }
 
-    /// All contiguous subpaths (substrings) of this path, including `ε` and the path
-    /// itself.  This is the semantics of the `SUB` operator of Section 7.
+    /// Iterate over all contiguous subpaths (substrings) of this path,
+    /// including `ε` (reported exactly once, first) and the path itself.
+    /// This is the semantics of the `SUB` operator of Section 7.
     ///
-    /// The empty path is reported exactly once.
-    pub fn substrings(&self) -> Vec<Path> {
-        let mut out = vec![Path::empty()];
-        for start in 0..self.len() {
-            for end in (start + 1)..=self.len() {
-                out.push(self.subpath(start, end));
-            }
+    /// Each yielded path is backed by a shared sub-slice of this path's
+    /// storage: the iterator allocates nothing per item beyond first-time
+    /// interning of a genuinely new subpath id.
+    pub fn subpaths(&self) -> Subpaths {
+        Subpaths {
+            parent: *self,
+            values: self.values(),
+            start: 0,
+            end: 0,
+            emitted_empty: false,
         }
-        out
+    }
+
+    /// All contiguous subpaths, collected ([`Path::subpaths`] is the
+    /// allocation-free iterator form).
+    pub fn substrings(&self) -> Vec<Path> {
+        self.subpaths().collect()
     }
 
     /// Does `needle` occur as a contiguous subpath of `self`?
@@ -98,34 +173,39 @@ impl Path {
         if needle.len() > self.len() {
             return false;
         }
-        self.0.windows(needle.len()).any(|w| w == needle.values())
+        let needle = needle.values();
+        self.values().windows(needle.len()).any(|w| w == needle)
     }
 
     /// A path is *flat* if it contains no packed values at any depth (Section 3.1
     /// restricts query inputs and outputs to flat instances).
     pub fn is_flat(&self) -> bool {
-        self.0.iter().all(|v| !v.is_packed())
+        self.values().iter().all(|v| !v.is_packed())
     }
 
     /// Maximum packing depth over the values of the path (0 for flat paths).
     pub fn packing_depth(&self) -> usize {
-        self.0.iter().map(Value::packing_depth).max().unwrap_or(0)
+        self.values()
+            .iter()
+            .map(Value::packing_depth)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Total number of atomic-value occurrences at any depth.
     pub fn atom_count(&self) -> usize {
-        self.0.iter().map(Value::atom_count).sum()
+        self.values().iter().map(Value::atom_count).sum()
     }
 
     /// Reverse the path (used by the reversal example, Example 4.3).
     pub fn reversed(&self) -> Path {
-        Path(self.0.iter().rev().cloned().collect())
+        Path::from_values(self.values().iter().rev().copied())
     }
 
     /// The *doubled* version `k1·k1·k2·k2·…·kn·kn` of the path, as used by the
     /// doubling step in the proof of Theorem 4.15.
     pub fn doubled(&self) -> Path {
-        Path(self.0.iter().flat_map(|v| [v.clone(), v.clone()]).collect())
+        Path::from_values(self.values().iter().flat_map(|v| [*v, *v]))
     }
 
     /// Invert [`Path::doubled`]: returns `None` if the path is not a doubled path.
@@ -134,40 +214,110 @@ impl Path {
             return None;
         }
         let mut out = Vec::with_capacity(self.len() / 2);
-        for pair in self.0.chunks(2) {
+        for pair in self.values().chunks(2) {
             if pair[0] != pair[1] {
                 return None;
             }
-            out.push(pair[0].clone());
+            out.push(pair[0]);
         }
-        Some(Path(out))
+        Some(Path::from_values(out))
+    }
+}
+
+/// Iterator over the contiguous subpaths of a path; see [`Path::subpaths`].
+#[derive(Clone, Debug)]
+pub struct Subpaths {
+    parent: Path,
+    values: &'static [Value],
+    start: usize,
+    end: usize,
+    emitted_empty: bool,
+}
+
+impl Iterator for Subpaths {
+    type Item = Path;
+
+    fn next(&mut self) -> Option<Path> {
+        if !self.emitted_empty {
+            self.emitted_empty = true;
+            return Some(Path::empty());
+        }
+        if self.end < self.values.len() {
+            self.end += 1;
+        } else if self.start + 1 < self.values.len() {
+            self.start += 1;
+            self.end = self.start + 1;
+        } else {
+            return None;
+        }
+        Some(self.parent.subpath(self.start, self.end))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.values.len();
+        let total = n * (n + 1) / 2 + 1;
+        let done = if !self.emitted_empty {
+            0
+        } else {
+            // Subpaths emitted so far: all with earlier starts, plus this start's.
+            1 + (0..self.start).map(|s| n - s).sum::<usize>() + (self.end - self.start)
+        };
+        (total - done, Some(total - done))
+    }
+}
+
+impl ExactSizeIterator for Subpaths {}
+
+impl Default for Path {
+    fn default() -> Path {
+        Path::empty()
+    }
+}
+
+/// Content ordering (lexicographic over values), *not* id ordering: sorted
+/// output is deterministic regardless of interning order.  Consistent with
+/// `Eq` because equal content implies equal id.
+impl Ord for Path {
+    fn cmp(&self, other: &Path) -> Ordering {
+        if self.0 == other.0 {
+            return Ordering::Equal;
+        }
+        self.values().cmp(other.values())
+    }
+}
+
+impl PartialOrd for Path {
+    fn partial_cmp(&self, other: &Path) -> Option<Ordering> {
+        Some(self.cmp(other))
     }
 }
 
 impl Index<usize> for Path {
     type Output = Value;
     fn index(&self, ix: usize) -> &Value {
-        &self.0[ix]
+        &self.values()[ix]
     }
 }
 
 impl FromIterator<Value> for Path {
     fn from_iter<T: IntoIterator<Item = Value>>(iter: T) -> Self {
-        Path(iter.into_iter().collect())
+        Path::from_values(iter)
     }
 }
 
 impl Extend<Value> for Path {
     fn extend<T: IntoIterator<Item = Value>>(&mut self, iter: T) {
-        self.0.extend(iter);
+        let mut out = self.values().to_vec();
+        out.extend(iter);
+        *self = Path(store::intern_vec(out));
     }
 }
 
 impl IntoIterator for Path {
     type Item = Value;
-    type IntoIter = std::vec::IntoIter<Value>;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'static, Value>>;
     fn into_iter(self) -> Self::IntoIter {
-        self.0.into_iter()
+        self.values().iter().copied()
     }
 }
 
@@ -175,7 +325,7 @@ impl<'a> IntoIterator for &'a Path {
     type Item = &'a Value;
     type IntoIter = std::slice::Iter<'a, Value>;
     fn into_iter(self) -> Self::IntoIter {
-        self.0.iter()
+        self.values().iter()
     }
 }
 
@@ -184,7 +334,7 @@ impl fmt::Display for Path {
         if self.is_empty() {
             return f.write_str("eps");
         }
-        for (i, v) in self.0.iter().enumerate() {
+        for (i, v) in self.values().iter().enumerate() {
             if i > 0 {
                 f.write_str("·")?;
             }
@@ -215,6 +365,7 @@ mod tests {
         assert_eq!(e.substrings(), vec![Path::empty()]);
         assert_eq!(e.reversed(), e);
         assert_eq!(e.doubled(), e);
+        assert_eq!(Path::default(), e);
     }
 
     #[test]
@@ -228,6 +379,16 @@ mod tests {
     }
 
     #[test]
+    fn hash_consing_makes_equality_id_equality() {
+        let p = path_of(&["a", "b", "c"]);
+        let q = path_of(&["a"]).concat(&path_of(&["b", "c"]));
+        assert_eq!(p, q);
+        assert_eq!(p.id(), q.id());
+        // Distinct contents get distinct ids.
+        assert_ne!(p.id(), path_of(&["a", "b"]).id());
+    }
+
+    #[test]
     fn substrings_enumerates_all_contiguous_subpaths() {
         let p = path_of(&["a", "b", "c"]);
         let subs = p.substrings();
@@ -238,6 +399,30 @@ mod tests {
         assert!(subs.contains(&path_of(&["b", "c"])));
         assert!(subs.contains(&p));
         assert!(!subs.contains(&path_of(&["a", "c"])));
+    }
+
+    #[test]
+    fn subpaths_iterator_is_exact_sized_and_shares_storage() {
+        let p = path_of(&["sp1", "sp2", "sp3", "sp4"]);
+        let it = p.subpaths();
+        assert_eq!(it.len(), 4 * 5 / 2 + 1);
+        assert_eq!(it.clone().count(), it.len());
+        let range = p.values().as_ptr_range();
+        for sub in p.subpaths().filter(|s| s.len() >= 2 && s.len() < p.len()) {
+            // Multi-value proper subpaths are interned as shared sub-slices of
+            // the parent's storage (singletons go through the per-atom memo,
+            // which owns its own copy).
+            assert!(range.contains(&sub.values().as_ptr()), "{sub} not shared");
+        }
+        // Mid-iteration size hints stay exact.
+        let mut it = p.subpaths();
+        for remaining in (0..=it.len()).rev() {
+            assert_eq!(it.len(), remaining);
+            if remaining > 0 {
+                it.next().unwrap();
+            }
+        }
+        assert_eq!(it.next(), None);
     }
 
     #[test]
@@ -270,7 +455,7 @@ mod tests {
         let d = p.doubled();
         assert_eq!(d.len(), 6);
         assert_eq!(d.to_string(), "k1·k1·k2·k2·k3·k3");
-        assert_eq!(d.undoubled(), Some(p.clone()));
+        assert_eq!(d.undoubled(), Some(p));
         // Non-doubled paths are rejected.
         assert_eq!(path_of(&["a", "b"]).undoubled(), None);
         assert_eq!(path_of(&["a"]).undoubled(), None);
@@ -286,6 +471,20 @@ mod tests {
     }
 
     #[test]
+    fn ordering_is_content_lexicographic() {
+        // Intern in an order deliberately at odds with content order.
+        let zb = path_of(&["zz_order", "b"]);
+        let za = path_of(&["zz_order", "a"]);
+        let z = path_of(&["zz_order"]);
+        assert!(z < za, "prefix sorts first");
+        assert!(za < zb, "lexicographic on the last value");
+        assert!(Path::empty() < z);
+        let mut v = vec![zb, z, za, Path::empty()];
+        v.sort();
+        assert_eq!(v, vec![Path::empty(), z, za, zb]);
+    }
+
+    #[test]
     fn repeat_path_builds_a_powers() {
         let p = repeat_path("a", 4);
         assert_eq!(p.to_string(), "a·a·a·a");
@@ -293,11 +492,15 @@ mod tests {
     }
 
     #[test]
-    fn from_iterator_and_extend() {
+    fn from_iterator_extend_and_push() {
         let mut p: Path = [Value::atom("a"), Value::atom("b")].into_iter().collect();
         p.extend([Value::atom("c")]);
         assert_eq!(p, path_of(&["a", "b", "c"]));
+        p.push(Value::atom("d"));
+        assert_eq!(p, path_of(&["a", "b", "c", "d"]));
         let collected: Vec<&Value> = (&p).into_iter().collect();
-        assert_eq!(collected.len(), 3);
+        assert_eq!(collected.len(), 4);
+        let owned: Vec<Value> = p.into_iter().collect();
+        assert_eq!(owned.len(), 4);
     }
 }

@@ -15,16 +15,15 @@ use std::fmt;
 
 /// A value: an atomic value or a packed path `⟨p⟩`.
 ///
-/// The packed payload is boxed so that a `Value` is two words instead of four:
-/// paths are `Vec<Value>`s that evaluation copies around constantly, and almost all
-/// values in practice are atoms, so halving the element size halves most of that
-/// traffic.  Packing pays one extra allocation, only when a packed value is built.
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+/// Both variants wrap an interned `u32` identity — an [`AtomId`] symbol or a
+/// hash-consed [`Path`] id — so a `Value` is eight bytes, `Copy`, and compares
+/// and hashes in O(1) even when the packed payload is arbitrarily deep.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Value {
     /// An atomic value from **dom**.
     Atom(AtomId),
     /// A packed value `⟨p⟩`, wrapping a path and treating it as a single value.
-    Packed(Box<Path>),
+    Packed(Path),
 }
 
 impl Value {
@@ -35,7 +34,7 @@ impl Value {
 
     /// Pack a path into a packed value.
     pub fn packed(path: Path) -> Value {
-        Value::Packed(Box::new(path))
+        Value::Packed(path)
     }
 
     /// Is this an atomic value?
@@ -60,7 +59,7 @@ impl Value {
     pub fn as_packed(&self) -> Option<&Path> {
         match self {
             Value::Atom(_) => None,
-            Value::Packed(p) => Some(p.as_ref()),
+            Value::Packed(p) => Some(p),
         }
     }
 

@@ -1,11 +1,15 @@
 //! Stratum-by-stratum fixpoint evaluation (Section 2.3).
 
 use crate::error::{EvalError, LimitKind};
-use crate::matching::{equation_holds, ground_tuple, match_equation, match_predicate_sink};
-use crate::plan::{plan_rule, BodyPlan, ColumnProbe, PlannedLiteral, PlannedPredicate};
-use seqdl_core::{ColKey, Fact, Instance, RelName, Relation, Value};
+use crate::matching::{
+    equation_holds, ground_tuple, match_equation, match_predicate_flat, match_predicate_sink,
+};
+use crate::plan::{
+    plan_rule, BodyPlan, ColumnProbe, PlannedLiteral, PlannedPredicate, PrefixSource,
+};
+use seqdl_core::{Fact, Instance, Path, RelName, Relation, TrieEntry, Tuple, Value, TRIE_DEPTH};
 use seqdl_syntax::{Binding, Program, ProgramInfo, Rule, Valuation};
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Resource limits for evaluation.
@@ -51,8 +55,34 @@ pub struct EvalStats {
     pub derived_facts: usize,
     /// Number of successful rule firings (head instantiations, counting duplicates).
     pub rule_firings: usize,
+    /// Positive-predicate steps answered through an index (prefix trie, ε
+    /// bucket, packed bucket, or joint index) instead of a relation scan.
+    pub index_probes: usize,
+    /// Positive-predicate steps that fell back to scanning the relation (or
+    /// its delta window).
+    pub scans: usize,
     /// Per-stratum breakdown, one entry per declared stratum, in evaluation order.
     pub strata: Vec<StratumStats>,
+}
+
+impl EvalStats {
+    /// Fold one rule-firing pass's counters into the run totals.
+    pub fn apply_fire(&mut self, fire: FireStats) {
+        self.rule_firings += fire.firings;
+        self.index_probes += fire.index_probes;
+        self.scans += fire.scans;
+    }
+}
+
+/// Counters produced by one [`fire_rule`] pass.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FireStats {
+    /// Head instantiations (rule firings, counting duplicates).
+    pub firings: usize,
+    /// Predicate steps answered through an index probe.
+    pub index_probes: usize,
+    /// Predicate steps that scanned the relation.
+    pub scans: usize,
 }
 
 /// Counters for one declared stratum of an evaluation run.
@@ -232,6 +262,9 @@ impl Engine {
             .iter()
             .map(|r| plan_rule(r).map(|p| (*r, p)))
             .collect::<Result<_, _>>()?;
+        // Register the planner-selected indexes up front; inserts maintain
+        // them incrementally for the rest of the fixpoint.
+        register_plan_indexes(plans.iter().map(|(_, p)| p), instance);
         // For semi-naive firing: the plan positions (per rule) that match a
         // relation driving the fixpoint.  Only instantiations using at least
         // one delta fact can be new, so one restricted variant fires per position.
@@ -247,6 +280,9 @@ impl Engine {
         let mut delta_start: BTreeMap<RelName, usize> = BTreeMap::new();
         let mut iteration = 0usize;
         let mut new_facts: Vec<Fact> = Vec::new();
+        // One emit memo per rule, persisted across rounds: duplicate
+        // derivations in later rounds are recognised in one probe.
+        let mut memos: Vec<EmitMemo> = plans.iter().map(|_| EmitMemo::new()).collect();
         loop {
             if iteration >= self.limits.max_iterations {
                 return Err(EvalError::LimitExceeded {
@@ -255,15 +291,22 @@ impl Engine {
                 });
             }
             stats.iterations += 1;
-            for ((rule, plan), positions) in plans.iter().zip(&delta_positions) {
+            for (ix, ((rule, plan), positions)) in plans.iter().zip(&delta_positions).enumerate() {
+                let memo = &mut memos[ix];
                 if iteration == 0 {
-                    stats.rule_firings += fire_rule(rule, plan, instance, None, &mut new_facts)?;
+                    stats.apply_fire(fire_rule(rule, plan, instance, None, memo, &mut new_facts)?);
                     continue;
                 }
                 match self.strategy {
                     FixpointStrategy::Naive => {
-                        stats.rule_firings +=
-                            fire_rule(rule, plan, instance, None, &mut new_facts)?;
+                        stats.apply_fire(fire_rule(
+                            rule,
+                            plan,
+                            instance,
+                            None,
+                            memo,
+                            &mut new_facts,
+                        )?);
                     }
                     FixpointStrategy::SemiNaive => {
                         for &pos in positions {
@@ -276,13 +319,14 @@ impl Engine {
                             if lo >= hi {
                                 continue;
                             }
-                            stats.rule_firings += fire_rule(
+                            stats.apply_fire(fire_rule(
                                 rule,
                                 plan,
                                 instance,
                                 Some(DeltaWindow { pos, lo, hi }),
+                                memo,
                                 &mut new_facts,
-                            )?;
+                            )?);
                         }
                     }
                 }
@@ -393,17 +437,100 @@ pub fn prepare_idb_instance(info: &ProgramInfo, input: &Instance) -> Result<Inst
     Ok(instance)
 }
 
+/// Register every planner-selected index of `plans` on the instance's
+/// relations: multi-column join indexes
+/// ([`seqdl_core::Relation::ensure_joint_index`]) and deepened column tries
+/// ([`seqdl_core::Relation::ensure_column_depth`]).  Call once before a
+/// fixpoint: inserts maintain registered indexes, so they stay current for
+/// the whole evaluation.
+pub fn register_plan_indexes<'a>(
+    plans: impl IntoIterator<Item = &'a BodyPlan>,
+    instance: &mut Instance,
+) {
+    for plan in plans {
+        for (relation, cols) in plan.joint_index_requests() {
+            instance.ensure_joint_index(relation, cols);
+        }
+        for (relation, column, depth) in plan.column_depth_requests() {
+            instance.ensure_column_depth(relation, column, depth);
+        }
+    }
+}
+
+/// A per-rule emit-deduplication memo, keyed by the *segment identity* of the
+/// grounded head: one interned id per head term (atom binding, path binding,
+/// or constant).  A firing whose segment tuple was seen before in this
+/// fixpoint is a duplicate derivation — it is counted, but recognised in one
+/// hash probe without grounding any path and without touching the relation's
+/// dedup index.  Create one per rule and reuse it across rounds.
+#[derive(Debug, Default)]
+pub struct EmitMemo {
+    seen: seqdl_core::FxMap<EmitKey, ()>,
+}
+
+impl EmitMemo {
+    /// An empty memo.
+    pub fn new() -> EmitMemo {
+        EmitMemo::default()
+    }
+}
+
+/// Heads of up to two terms (the overwhelmingly common case) pack the memo
+/// key into one `u128`; up to four terms use an inline array; longer heads
+/// spill to the heap.  Small keys keep the memo's working set dense — the
+/// per-duplicate probe is the hot memory access of a fixpoint.
+const EMIT_INLINE: usize = 4;
+
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+enum EmitKey {
+    Packed(u128),
+    Inline(u8, [seqdl_core::Segment; EMIT_INLINE]),
+    Heap(Box<[seqdl_core::Segment]>),
+}
+
+/// A segment as a 40-bit code (8-bit tag + 32-bit id); two fit a `u128` with
+/// room to spare, and the tag for "no segment" is 0, so length is implicit.
+fn segment_code(seg: seqdl_core::Segment) -> u64 {
+    match seg {
+        seqdl_core::Segment::Value(Value::Atom(a)) => (1u64 << 32) | u64::from(a.symbol().index()),
+        seqdl_core::Segment::Value(Value::Packed(p)) => (2u64 << 32) | u64::from(p.id().index()),
+        seqdl_core::Segment::Path(p) => (3u64 << 32) | u64::from(p.index()),
+    }
+}
+
+impl EmitKey {
+    fn from_slice(segs: &[seqdl_core::Segment]) -> EmitKey {
+        match segs {
+            [] => EmitKey::Packed(0),
+            [a] => EmitKey::Packed(u128::from(segment_code(*a))),
+            [a, b] => {
+                EmitKey::Packed(u128::from(segment_code(*a)) | (u128::from(segment_code(*b)) << 40))
+            }
+            _ if segs.len() <= EMIT_INLINE => {
+                let mut inline =
+                    [seqdl_core::Segment::Path(seqdl_core::PathId::EMPTY); EMIT_INLINE];
+                inline[..segs.len()].copy_from_slice(segs);
+                EmitKey::Inline(segs.len() as u8, inline)
+            }
+            _ => EmitKey::Heap(segs.into()),
+        }
+    }
+}
+
 /// Evaluate one rule against the instance, appending every derived head fact to
-/// `out` and returning the number of head instantiations (rule firings, counting
-/// duplicates).  If a [`DeltaWindow`] is given, the predicate at that plan
-/// position only draws tuples with ids inside the window — the semi-naive delta
-/// restriction, shardable by a parallel executor.
+/// `out` and returning the pass's [`FireStats`] (head instantiations plus
+/// index-probe/scan counters).  If a [`DeltaWindow`] is given, the predicate
+/// at that plan position only draws tuples with ids inside the window — the
+/// semi-naive delta restriction, shardable by a parallel executor.
 ///
 /// Evaluation is a fully pipelined depth-first nested-loop join: a single
 /// valuation is threaded through every body step by backtracking, and the head
 /// is grounded at the innermost level, so no intermediate frontier of
 /// valuations is ever materialised.  The function only *reads* `instance`, so
-/// independent calls may run concurrently on shared references.
+/// independent calls may run concurrently on shared references.  `memo` is
+/// the rule's [`EmitMemo`]; passing a fresh one is always correct (it only
+/// short-circuits duplicate emissions), reusing one across the rounds of a
+/// fixpoint is what makes duplicate-heavy workloads cheap.
 ///
 /// # Errors
 /// Unsafe rules surface as [`EvalError::Unplannable`].
@@ -412,40 +539,92 @@ pub fn fire_rule(
     plan: &BodyPlan,
     instance: &Instance,
     window: Option<DeltaWindow>,
+    memo: &mut EmitMemo,
     out: &mut Vec<Fact>,
-) -> Result<usize, EvalError> {
+) -> Result<FireStats, EvalError> {
     let head = &rule.head;
     // Errors discovered inside the enumeration (an unsafe rule reaching a
     // step with unbound variables) land here; the sink-based matchers have no
     // return channel.  Errors are fatal, so finishing the walk first is fine.
     let err: RefCell<Option<EvalError>> = RefCell::new(None);
+    let counters: Cell<FireStats> = Cell::new(FireStats::default());
     let mut firings = 0usize;
     let mut nu = Valuation::new();
+    // Read-only view of the head's relation for emit-time deduplication:
+    // firings that re-derive a fact already in the instance are counted but
+    // never buffered, so they cost no allocation and no merge work.  `absorb`
+    // stays the authority — facts first derived within this same pass are
+    // still deduplicated there.
+    let head_relation = instance
+        .relation(head.relation)
+        .filter(|r| r.arity() == head.args.len());
+    let term_counts: Vec<usize> = head.args.iter().map(|a| a.terms().len()).collect();
+    // Resolve every positive-predicate step's relation once per pass: the
+    // instance is frozen for the duration of the call, so per-candidate
+    // B-tree lookups are wasted work.
+    let step_relations: Vec<Option<&Relation>> = plan
+        .steps
+        .iter()
+        .map(|s| match s {
+            PlannedLiteral::MatchPredicate(p) => instance
+                .relation(p.pred.relation)
+                .filter(|r| r.arity() == p.pred.args.len()),
+            _ => None,
+        })
+        .collect();
+    let mut tuple_scratch: Tuple = Vec::with_capacity(head.args.len());
+    let mut seg_scratch: Vec<seqdl_core::Segment> = Vec::new();
     let mut emit = |nu: &mut Valuation| {
-        let Some(tuple) = ground_tuple(head, nu) else {
-            err.borrow_mut()
-                .get_or_insert_with(|| EvalError::Unplannable {
-                    rule: rule.to_string(),
-                });
-            return;
-        };
+        seg_scratch.clear();
+        for arg in &head.args {
+            if nu.segments_into(arg, &mut seg_scratch).is_none() {
+                err.borrow_mut()
+                    .get_or_insert_with(|| EvalError::Unplannable {
+                        rule: rule.to_string(),
+                    });
+                return;
+            }
+        }
         firings += 1;
-        out.push(Fact::new(head.relation, tuple));
+        // One probe on the segment identity answers "derived this before?"
+        // without grounding a single path.
+        match memo.seen.entry(EmitKey::from_slice(&seg_scratch)) {
+            std::collections::hash_map::Entry::Occupied(_) => return,
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(());
+            }
+        }
+        tuple_scratch.clear();
+        let mut offset = 0usize;
+        for &n in &term_counts {
+            tuple_scratch.push(Path::from_segments(&seg_scratch[offset..offset + n]));
+            offset += n;
+        }
+        if head_relation.is_some_and(|r| r.contains(&tuple_scratch)) {
+            return;
+        }
+        out.push(Fact::new(head.relation, tuple_scratch.clone()));
     };
     eval_steps(
         &plan.steps,
         0,
         instance,
+        &step_relations,
         window,
         rule,
         &mut nu,
         &err,
+        &counters,
         &mut emit,
     );
     drop(emit);
     match err.into_inner() {
         Some(e) => Err(e),
-        None => Ok(firings),
+        None => {
+            let mut stats = counters.get();
+            stats.firings = firings;
+            Ok(stats)
+        }
     }
 }
 
@@ -457,10 +636,12 @@ fn eval_steps(
     steps: &[PlannedLiteral],
     base_ix: usize,
     instance: &Instance,
+    step_relations: &[Option<&Relation>],
     window: Option<DeltaWindow>,
     rule: &Rule,
     nu: &mut Valuation,
     err: &RefCell<Option<EvalError>>,
+    counters: &Cell<FireStats>,
     emit: &mut dyn FnMut(&mut Valuation),
 ) {
     if err.borrow().is_some() {
@@ -476,14 +657,11 @@ fn eval_steps(
     match step {
         PlannedLiteral::MatchPredicate(planned) => {
             let pred = &planned.pred;
-            // An absent or arity-mismatched relation has no matching tuples: the
-            // positive match fails outright.
-            let Some(relation) = instance.relation(pred.relation) else {
+            // An absent or arity-mismatched relation has no matching tuples
+            // (pre-resolved once per pass): the positive match fails outright.
+            let Some(relation) = step_relations[base_ix] else {
                 return;
             };
-            if relation.arity() != pred.args.len() {
-                return;
-            }
             // Tuples outside the delta window are excluded at the restricted
             // position; everywhere else the full store is visible.
             let (first_id, last_id) = match window {
@@ -492,29 +670,100 @@ fn eval_steps(
             };
             let tuples = relation.as_slice();
             let mut cont = |nu: &mut Valuation| {
+                // The last body step emits directly — no recursion frame and
+                // no re-dispatch for the by far most frequent continuation.
+                if rest.is_empty() {
+                    if err.borrow().is_none() {
+                        emit(nu);
+                    }
+                    return;
+                }
                 eval_steps(
                     rest,
                     base_ix + 1,
                     instance,
+                    step_relations,
                     window,
                     rule,
                     nu,
                     err,
+                    counters,
                     &mut *emit,
                 );
             };
-            match probe_key(planned, nu) {
-                Some((column, key)) => {
-                    let ids = relation.probe(column, key);
-                    let lo = ids.partition_point(|&id| (id as usize) < first_id);
-                    let hi = ids.partition_point(|&id| (id as usize) < last_id);
-                    for &id in &ids[lo..hi] {
-                        match_predicate_sink(pred, &tuples[id as usize], nu, &mut cont);
+            // Flat predicates (constants and atomic variables only) match in
+            // one non-recursive pass with a single continuation call; the
+            // general matcher handles everything else.
+            let mut handle = |tuple: &seqdl_core::Tuple, nu: &mut Valuation| {
+                if planned.flat {
+                    let mut newly = [None; crate::plan::FLAT_MAX_VARS];
+                    if let Some(n) = match_predicate_flat(&pred.args, tuple, nu, &mut newly) {
+                        cont(nu);
+                        for v in newly[..n].iter().rev().flatten() {
+                            nu.pop_binding(*v);
+                        }
+                    }
+                } else {
+                    match_predicate_sink(pred, tuple, nu, &mut cont);
+                }
+            };
+            match choose_candidates(relation, planned, nu) {
+                Some(chosen) => {
+                    bump(counters, |c| c.index_probes += 1);
+                    match chosen.list {
+                        CandList::Entries(entries) => {
+                            let lo = entries.partition_point(|e| (e.id as usize) < first_id);
+                            let hi = entries.partition_point(|e| (e.id as usize) < last_id);
+                            let window = &entries[lo..hi];
+                            // Bucket-side matching: for unary flat patterns
+                            // whose trie bucket consumed the whole resolved
+                            // prefix, the entry's length and next-value decide
+                            // the match — a sequential walk with no tuple
+                            // dereference at all.
+                            let bucket_side = planned.extend.filter(|_| {
+                                chosen.trie_col == Some((0, planned.probes[0].sources.len()))
+                            });
+                            match bucket_side {
+                                Some(None) => {
+                                    let n = planned.probes[0].sources.len() as u32;
+                                    for e in window {
+                                        if e.len == n {
+                                            cont(nu);
+                                        }
+                                    }
+                                }
+                                Some(Some(v)) => {
+                                    let n = planned.probes[0].sources.len() as u32;
+                                    for e in window {
+                                        if e.len == n + 1 {
+                                            if let Some(b) = e.next_atom() {
+                                                nu.bind_new(v, Binding::Atom(b));
+                                                cont(nu);
+                                                nu.pop_binding(v);
+                                            }
+                                        }
+                                    }
+                                }
+                                None => {
+                                    for e in window {
+                                        handle(&tuples[e.id as usize], nu);
+                                    }
+                                }
+                            }
+                        }
+                        CandList::Ids(ids) => {
+                            let lo = ids.partition_point(|&id| (id as usize) < first_id);
+                            let hi = ids.partition_point(|&id| (id as usize) < last_id);
+                            for &id in &ids[lo..hi] {
+                                handle(&tuples[id as usize], nu);
+                            }
+                        }
                     }
                 }
                 None => {
+                    bump(counters, |c| c.scans += 1);
                     for tuple in &tuples[first_id..last_id] {
-                        match_predicate_sink(pred, tuple, nu, &mut cont);
+                        handle(tuple, nu);
                     }
                 }
             }
@@ -526,10 +775,12 @@ fn eval_steps(
                         rest,
                         base_ix + 1,
                         instance,
+                        step_relations,
                         window,
                         rule,
                         &mut ext,
                         err,
+                        counters,
                         emit,
                     );
                 }
@@ -544,11 +795,33 @@ fn eval_steps(
                 return;
             };
             if !instance.contains_fact(&Fact::new(pred.relation, tuple)) {
-                eval_steps(rest, base_ix + 1, instance, window, rule, nu, err, emit);
+                eval_steps(
+                    rest,
+                    base_ix + 1,
+                    instance,
+                    step_relations,
+                    window,
+                    rule,
+                    nu,
+                    err,
+                    counters,
+                    emit,
+                );
             }
         }
         PlannedLiteral::CheckNegatedEquation(eq) => match equation_holds(eq, nu) {
-            Some(false) => eval_steps(rest, base_ix + 1, instance, window, rule, nu, err, emit),
+            Some(false) => eval_steps(
+                rest,
+                base_ix + 1,
+                instance,
+                step_relations,
+                window,
+                rule,
+                nu,
+                err,
+                counters,
+                emit,
+            ),
             Some(true) => {}
             None => {
                 err.borrow_mut().get_or_insert_with(unplannable);
@@ -557,35 +830,192 @@ fn eval_steps(
     }
 }
 
-/// The first usable column-index key for `planned` under the valuation `nu`, as
-/// `(column, key)`.  Returns `None` when no column yields a key, in which case the
-/// caller falls back to scanning the relation.
-fn probe_key(planned: &PlannedPredicate, nu: &Valuation) -> Option<(usize, ColKey)> {
-    for (column, probe) in planned.probes.iter().enumerate() {
-        match probe {
-            ColumnProbe::Scan => {}
-            ColumnProbe::Empty => return Some((column, ColKey::Empty)),
-            ColumnProbe::Const(a) => return Some((column, ColKey::Atom(*a))),
-            ColumnProbe::Packed => return Some((column, ColKey::Packed)),
-            ColumnProbe::AtomVar(v) => {
-                if let Some(Binding::Atom(a)) = nu.get(*v) {
-                    return Some((column, ColKey::Atom(*a)));
+fn bump(counters: &Cell<FireStats>, f: impl FnOnce(&mut FireStats)) {
+    let mut c = counters.get();
+    f(&mut c);
+    counters.set(c);
+}
+
+/// A placeholder for value buffers (never read before being overwritten).
+const DUMMY_VALUE: Value = Value::Packed(Path::empty());
+
+/// Joint probes over more columns than this fall back to column probing.
+const MAX_JOINT_COLS: usize = 8;
+
+/// An indexed candidate list: trie buckets carry [`TrieEntry`] metadata for
+/// bucket-side matching, the other indexes (joint, ε, any-packed) carry bare
+/// tuple ids.
+enum CandList<'r> {
+    Entries(&'r [TrieEntry]),
+    Ids(&'r [u32]),
+}
+
+impl CandList<'_> {
+    fn len(&self) -> usize {
+        match self {
+            CandList::Entries(e) => e.len(),
+            CandList::Ids(i) => i.len(),
+        }
+    }
+}
+
+/// The winning candidate list plus its provenance: `trie_col` is set when the
+/// list came from a column trie that consumed the *entire* resolved prefix
+/// (column, prefix length) — the precondition for bucket-side matching.
+struct Chosen<'r> {
+    list: CandList<'r>,
+    trie_col: Option<(usize, usize)>,
+}
+
+/// Keep `best` the smallest candidate list seen so far.
+fn consider<'r>(best: &mut Option<Chosen<'r>>, cand: Chosen<'r>) {
+    if best
+        .as_ref()
+        .map_or(true, |b| cand.list.len() < b.list.len())
+    {
+        *best = Some(cand);
+    }
+}
+
+/// The smallest available indexed candidate list for `planned` under `nu`:
+/// the joint index (when the planner selected one), each column's resolved
+/// prefix through its trie, exact-`ε` buckets, and any-packed buckets all
+/// compete, and the shortest list wins.  `None` means no column offers an
+/// index at all — scan the relation.
+fn choose_candidates<'r>(
+    relation: &'r Relation,
+    planned: &PlannedPredicate,
+    nu: &Valuation,
+) -> Option<Chosen<'r>> {
+    let mut best: Option<Chosen<'r>> = None;
+    if let Some(cols) = planned.joint_cols.as_deref() {
+        if cols.len() <= MAX_JOINT_COLS {
+            let mut firsts = [DUMMY_VALUE; MAX_JOINT_COLS];
+            let mut ok = true;
+            for (i, &c) in cols.iter().enumerate() {
+                match first_value(&planned.probes[c], nu) {
+                    Some(v) => firsts[i] = v,
+                    None => {
+                        ok = false;
+                        break;
+                    }
                 }
             }
-            ColumnProbe::PathVar(v) => {
-                if let Some(Binding::Path(p)) = nu.get(*v) {
-                    match p.values().first() {
-                        Some(Value::Atom(a)) => return Some((column, ColKey::Atom(*a))),
-                        Some(Value::Packed(_)) => return Some((column, ColKey::Packed)),
-                        // A variable bound to ε constrains nothing about the
-                        // column's first value; try the next column.
-                        None => {}
-                    }
+            if ok {
+                if let Some(ids) = relation.probe_joint(cols, &firsts[..cols.len()]) {
+                    consider(
+                        &mut best,
+                        Chosen {
+                            list: CandList::Ids(ids),
+                            trie_col: None,
+                        },
+                    );
                 }
             }
         }
     }
-    None
+    let mut buf = [DUMMY_VALUE; TRIE_DEPTH];
+    for (column, probe) in planned.probes.iter().enumerate() {
+        if !probe.can_probe() {
+            continue;
+        }
+        if matches!(&best, Some(b) if b.list.len() == 0) {
+            break;
+        }
+        let (n, complete) = resolve_prefix(probe, nu, &mut buf);
+        if n > 0 {
+            let full_walk = relation
+                .column_index(column)
+                .is_some_and(|trie| n <= trie.depth());
+            consider(
+                &mut best,
+                Chosen {
+                    list: CandList::Entries(relation.probe_prefix(column, &buf[..n])),
+                    trie_col: full_walk.then_some((column, n)),
+                },
+            );
+        } else if complete {
+            // Every source resolved to zero values and the sources cover the
+            // whole argument: the column must be exactly ε.
+            consider(
+                &mut best,
+                Chosen {
+                    list: CandList::Ids(relation.probe_empty(column)),
+                    trie_col: None,
+                },
+            );
+        } else if probe.leading_packed_var {
+            consider(
+                &mut best,
+                Chosen {
+                    list: CandList::Ids(relation.probe_packed_first(column)),
+                    trie_col: None,
+                },
+            );
+        }
+    }
+    best
+}
+
+/// Resolve the statically-known leading values of one column into `buf`,
+/// returning how many were filled (capped at [`TRIE_DEPTH`]) and whether the
+/// sources were consumed completely (so `probe.exact` still pins the column).
+fn resolve_prefix(
+    probe: &ColumnProbe,
+    nu: &Valuation,
+    buf: &mut [Value; TRIE_DEPTH],
+) -> (usize, bool) {
+    let mut n = 0usize;
+    for source in &probe.sources {
+        if n == TRIE_DEPTH {
+            return (n, false);
+        }
+        match source {
+            PrefixSource::Const(a) => {
+                buf[n] = Value::Atom(*a);
+                n += 1;
+            }
+            PrefixSource::Packed(v) => {
+                buf[n] = *v;
+                n += 1;
+            }
+            PrefixSource::AtomVar(v) => match nu.get(*v) {
+                Some(Binding::Atom(a)) => {
+                    buf[n] = Value::Atom(*a);
+                    n += 1;
+                }
+                _ => return (n, false),
+            },
+            PrefixSource::PathVar(v) => match nu.get(*v) {
+                Some(Binding::Path(p)) => {
+                    for value in p.values() {
+                        if n == TRIE_DEPTH {
+                            return (n, false);
+                        }
+                        buf[n] = *value;
+                        n += 1;
+                    }
+                }
+                _ => return (n, false),
+            },
+        }
+    }
+    (n, probe.exact)
+}
+
+/// The runtime first value of a joint-index column (guaranteed by the planner
+/// to resolve; `None` only on a defensive miss, which disables the joint
+/// probe for this call).
+fn first_value(probe: &ColumnProbe, nu: &Valuation) -> Option<Value> {
+    match probe.sources.first()? {
+        PrefixSource::Const(a) => Some(Value::Atom(*a)),
+        PrefixSource::Packed(v) => Some(*v),
+        PrefixSource::AtomVar(v) => match nu.get(*v) {
+            Some(Binding::Atom(a)) => Some(Value::Atom(*a)),
+            _ => None,
+        },
+        PrefixSource::PathVar(_) => None,
+    }
 }
 
 #[cfg(test)]

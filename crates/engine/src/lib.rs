@@ -42,10 +42,10 @@ pub mod plan;
 
 pub use error::{EvalError, LimitKind};
 pub use eval::{
-    fire_rule, prepare_idb_instance, seed_instance, DeltaWindow, Engine, EvalLimits, EvalStats,
-    FixpointStrategy, StratumStats,
+    fire_rule, prepare_idb_instance, register_plan_indexes, seed_instance, DeltaWindow, EmitMemo,
+    Engine, EvalLimits, EvalStats, FireStats, FixpointStrategy, StratumStats,
 };
-pub use plan::{plan_rule, BodyPlan};
+pub use plan::{plan_rule, BodyPlan, ColumnProbe, PlannedLiteral, PlannedPredicate, PrefixSource};
 
 use seqdl_core::{Instance, Path, RelName};
 use seqdl_syntax::Program;

@@ -6,16 +6,91 @@
 //! absorb any contiguous (possibly empty) block of the remaining path, so matching
 //! enumerates all decompositions.
 
+use crate::plan::FLAT_MAX_VARS;
 use seqdl_core::{Path, Value};
-use seqdl_syntax::{Binding, Equation, PathExpr, Predicate, Term, Valuation, VarKind};
+use seqdl_syntax::{Binding, Equation, PathExpr, Predicate, Term, Valuation, Var, VarKind};
+
+/// Non-backtracking matcher for [flat](crate::plan::PlannedPredicate::flat)
+/// predicates: every term is a constant or an atomic variable, so each column
+/// either matches its path value-for-value or fails — no decompositions, no
+/// continuation chain.  Newly bound variables are recorded in `newly` (the
+/// caller pops them after running its continuation); on failure they are
+/// already backtracked out.  Returns how many entries of `newly` were used.
+pub fn match_predicate_flat(
+    args: &[PathExpr],
+    tuple: &[Path],
+    nu: &mut Valuation,
+    newly: &mut [Option<Var>; FLAT_MAX_VARS],
+) -> Option<usize> {
+    let mut bound = 0usize;
+    let mut ok = true;
+    'outer: for (arg, path) in args.iter().zip(tuple) {
+        let terms = arg.terms();
+        let values = path.values();
+        if terms.len() != values.len() {
+            ok = false;
+            break;
+        }
+        for (term, value) in terms.iter().zip(values) {
+            let Value::Atom(b) = value else {
+                ok = false;
+                break 'outer;
+            };
+            match term {
+                Term::Const(a) => {
+                    if a != b {
+                        ok = false;
+                        break 'outer;
+                    }
+                }
+                Term::Var(v) => match nu.get(*v) {
+                    Some(Binding::Atom(bd)) => {
+                        if bd != b {
+                            ok = false;
+                            break 'outer;
+                        }
+                    }
+                    None => {
+                        nu.bind_new(*v, Binding::Atom(*b));
+                        newly[bound] = Some(*v);
+                        bound += 1;
+                    }
+                    Some(Binding::Path(_)) => {
+                        ok = false;
+                        break 'outer;
+                    }
+                },
+                Term::Packed(_) => {
+                    ok = false;
+                    break 'outer;
+                }
+            }
+        }
+    }
+    if ok {
+        Some(bound)
+    } else {
+        for v in newly[..bound].iter().rev().flatten() {
+            nu.pop_binding(*v);
+        }
+        None
+    }
+}
 
 /// All extensions of `valuation` that make `expr` denote exactly `path`.
 pub fn match_expr(expr: &PathExpr, path: &Path, valuation: &Valuation) -> Vec<Valuation> {
     let mut out = Vec::new();
     let mut scratch = valuation.clone();
-    match_terms(expr.terms(), path.values(), &mut scratch, &mut |nu| {
-        out.push(nu.clone());
-    });
+    match_terms(
+        expr.terms(),
+        *path,
+        0,
+        path.values(),
+        &mut scratch,
+        &mut |nu| {
+            out.push(nu.clone());
+        },
+    );
     out
 }
 
@@ -65,7 +140,7 @@ fn match_args(
         return;
     };
     let (path, paths) = tuple.split_first().expect("arity checked by the caller");
-    match_terms(arg.terms(), path.values(), nu, &mut |nu| {
+    match_terms(arg.terms(), *path, 0, path.values(), nu, &mut |nu| {
         match_args(rest, paths, nu, sink);
     });
 }
@@ -106,13 +181,19 @@ pub fn match_equation(eq: &Equation, valuation: &Valuation) -> Option<Vec<Valuat
     }
 }
 
-/// Match a term sequence against a value sequence, calling `sink` at every
-/// complete match.  Backtracks on `nu` in place: any binding added during the walk
-/// is removed again, so `nu` leaves in the state it entered, and the bindings
-/// vector's capacity is reused across candidates instead of reallocating.
+/// Match a term sequence against the value suffix `parent.values()[base..]`
+/// (passed pre-sliced as `values`), calling `sink` at every complete match.
+/// Backtracks on `nu` in place: any binding added during the walk is removed
+/// again, so `nu` leaves in the state it entered.  Carrying the parent path's
+/// identity lets every path-variable binding resolve through the store's
+/// `(id, start, end)` subpath memo — a whole-suffix bind at `base == 0` reuses
+/// the parent's id outright, and enumerated prefixes hash three `u32`s instead
+/// of their value content.
 fn match_terms(
     terms: &[Term],
-    values: &[Value],
+    parent: Path,
+    base: usize,
+    values: &'static [Value],
     nu: &mut Valuation,
     sink: &mut dyn FnMut(&mut Valuation),
 ) {
@@ -126,14 +207,14 @@ fn match_terms(
         Term::Const(a) => {
             if let Some(Value::Atom(b)) = values.first() {
                 if a == b {
-                    match_terms(rest, &values[1..], nu, sink);
+                    match_terms(rest, parent, base + 1, &values[1..], nu, sink);
                 }
             }
         }
         Term::Packed(inner) => {
             if let Some(Value::Packed(p)) = values.first() {
-                match_terms(inner.terms(), p.values(), nu, &mut |nu| {
-                    match_terms(rest, &values[1..], nu, sink);
+                match_terms(inner.terms(), *p, 0, p.values(), nu, &mut |nu| {
+                    match_terms(rest, parent, base + 1, &values[1..], nu, sink);
                 });
             }
         }
@@ -146,13 +227,13 @@ fn match_terms(
                 match nu.get(*v) {
                     Some(Binding::Atom(bound)) => {
                         if *bound == b {
-                            match_terms(rest, &values[1..], nu, sink);
+                            match_terms(rest, parent, base + 1, &values[1..], nu, sink);
                         }
                     }
                     None => {
-                        nu.bind(*v, Binding::Atom(b));
-                        match_terms(rest, &values[1..], nu, sink);
-                        nu.unbind(*v);
+                        nu.bind_new(*v, Binding::Atom(b));
+                        match_terms(rest, parent, base + 1, &values[1..], nu, sink);
+                        nu.pop_binding(*v);
                     }
                     // A binding of the wrong shape cannot occur: `Valuation::bind`
                     // checks it.
@@ -175,23 +256,24 @@ fn match_terms(
                     Some(Binding::Atom(_)) => unreachable!("valuation binding of the wrong kind"),
                 };
                 match bound_prefix {
-                    Some(Some(n)) => match_terms(rest, &values[n..], nu, sink),
+                    Some(Some(n)) => match_terms(rest, parent, base + n, &values[n..], nu, sink),
                     Some(None) => {}
                     None if rest.is_empty() => {
                         // A trailing unbound path variable must absorb everything
                         // that is left; bind it directly instead of enumerating
                         // every prefix only to reject all but the full one.
-                        nu.bind(*v, Binding::Path(Path::from_values(values.iter().cloned())));
+                        let suffix = parent.subpath(base, base + values.len());
+                        nu.bind_new(*v, Binding::Path(suffix));
                         sink(nu);
-                        nu.unbind(*v);
+                        nu.pop_binding(*v);
                     }
                     None => {
                         // Try every prefix (including the empty one).
                         for split in 0..=values.len() {
-                            let prefix = Path::from_values(values[..split].iter().cloned());
-                            nu.bind(*v, Binding::Path(prefix));
-                            match_terms(rest, &values[split..], nu, sink);
-                            nu.unbind(*v);
+                            let prefix = parent.subpath(base, base + split);
+                            nu.bind_new(*v, Binding::Path(prefix));
+                            match_terms(rest, parent, base + split, &values[split..], nu, sink);
+                            nu.pop_binding(*v);
                         }
                     }
                 }
@@ -219,7 +301,7 @@ fn match_args_find(args: &[PathExpr], tuple: &[Path], nu: &mut Valuation) -> boo
         return true;
     };
     let (path, paths) = tuple.split_first().expect("arity checked by the caller");
-    match_terms_find(arg.terms(), path.values(), nu, &mut |nu| {
+    match_terms_find(arg.terms(), *path, 0, path.values(), nu, &mut |nu| {
         match_args_find(rest, paths, nu)
     })
 }
@@ -229,7 +311,9 @@ fn match_args_find(args: &[PathExpr], tuple: &[Path], nu: &mut Valuation) -> boo
 /// does.  `nu` is restored before returning, matched or not.
 fn match_terms_find(
     terms: &[Term],
-    values: &[Value],
+    parent: Path,
+    base: usize,
+    values: &'static [Value],
     nu: &mut Valuation,
     cont: &mut dyn FnMut(&mut Valuation) -> bool,
 ) -> bool {
@@ -238,13 +322,17 @@ fn match_terms_find(
     };
     match first {
         Term::Const(a) => match values.first() {
-            Some(Value::Atom(b)) if a == b => match_terms_find(rest, &values[1..], nu, cont),
+            Some(Value::Atom(b)) if a == b => {
+                match_terms_find(rest, parent, base + 1, &values[1..], nu, cont)
+            }
             _ => false,
         },
         Term::Packed(inner) => match values.first() {
-            Some(Value::Packed(p)) => match_terms_find(inner.terms(), p.values(), nu, &mut |nu| {
-                match_terms_find(rest, &values[1..], nu, &mut *cont)
-            }),
+            Some(Value::Packed(p)) => {
+                match_terms_find(inner.terms(), *p, 0, p.values(), nu, &mut |nu| {
+                    match_terms_find(rest, parent, base + 1, &values[1..], nu, &mut *cont)
+                })
+            }
             _ => false,
         },
         Term::Var(v) => match v.kind {
@@ -255,13 +343,14 @@ fn match_terms_find(
                 let b = *b;
                 match nu.get(*v) {
                     Some(Binding::Atom(bound)) if *bound == b => {
-                        match_terms_find(rest, &values[1..], nu, cont)
+                        match_terms_find(rest, parent, base + 1, &values[1..], nu, cont)
                     }
                     Some(_) => false,
                     None => {
-                        nu.bind(*v, Binding::Atom(b));
-                        let found = match_terms_find(rest, &values[1..], nu, cont);
-                        nu.unbind(*v);
+                        nu.bind_new(*v, Binding::Atom(b));
+                        let found =
+                            match_terms_find(rest, parent, base + 1, &values[1..], nu, cont);
+                        nu.pop_binding(*v);
                         found
                     }
                 }
@@ -280,19 +369,27 @@ fn match_terms_find(
                     Some(Binding::Atom(_)) => unreachable!("valuation binding of the wrong kind"),
                 };
                 match bound_prefix {
-                    Some(n) => match_terms_find(rest, &values[n..], nu, cont),
+                    Some(n) => match_terms_find(rest, parent, base + n, &values[n..], nu, cont),
                     None if rest.is_empty() => {
-                        nu.bind(*v, Binding::Path(Path::from_values(values.iter().cloned())));
+                        let suffix = parent.subpath(base, base + values.len());
+                        nu.bind_new(*v, Binding::Path(suffix));
                         let found = cont(nu);
-                        nu.unbind(*v);
+                        nu.pop_binding(*v);
                         found
                     }
                     None => {
                         for split in 0..=values.len() {
-                            let prefix = Path::from_values(values[..split].iter().cloned());
-                            nu.bind(*v, Binding::Path(prefix));
-                            let found = match_terms_find(rest, &values[split..], nu, cont);
-                            nu.unbind(*v);
+                            let prefix = parent.subpath(base, base + split);
+                            nu.bind_new(*v, Binding::Path(prefix));
+                            let found = match_terms_find(
+                                rest,
+                                parent,
+                                base + split,
+                                &values[split..],
+                                nu,
+                                cont,
+                            );
+                            nu.pop_binding(*v);
                             if found {
                                 return true;
                             }

@@ -51,8 +51,8 @@ use parking_lot::{Mutex, RwLock};
 use seqdl_core::{Fact, Instance, RelName, Relation};
 use seqdl_engine::error::LimitKind;
 use seqdl_engine::{
-    fire_rule, plan_rule, prepare_idb_instance, BodyPlan, DeltaWindow, Engine, EvalError,
-    EvalStats, FixpointStrategy, StratumStats,
+    fire_rule, plan_rule, prepare_idb_instance, register_plan_indexes, BodyPlan, DeltaWindow,
+    EmitMemo, Engine, EvalError, EvalStats, FireStats, FixpointStrategy, StratumStats,
 };
 use seqdl_syntax::Program;
 use seqdl_syntax::{ProgramInfo, Rule, Stratum};
@@ -82,17 +82,22 @@ struct Job<'a> {
     window: Option<DeltaWindow>,
 }
 
-/// The result of one job: the derived facts and the firing count, or the first
-/// evaluation error the job hit.
+/// The result of one job: the derived facts and the firing-pass counters, or
+/// the first evaluation error the job hit.
 struct JobOutcome {
     id: usize,
-    result: Result<(Vec<Fact>, usize), EvalError>,
+    result: Result<(Vec<Fact>, FireStats), EvalError>,
 }
 
 fn run_job(job: Job<'_>, instance: &Instance) -> JobOutcome {
     let mut out = Vec::new();
-    let result =
-        fire_rule(job.rule, job.plan, instance, job.window, &mut out).map(|firings| (out, firings));
+    // Jobs are independent work units, so each gets a fresh emit memo; it
+    // still collapses duplicate derivations within the job's delta shard.
+    let mut memo = EmitMemo::new();
+    let result = fire_rule(
+        job.rule, job.plan, instance, job.window, &mut memo, &mut out,
+    )
+    .map(|fire| (out, fire));
     JobOutcome { id: job.id, result }
 }
 
@@ -274,6 +279,10 @@ impl Executor {
             .iter()
             .map(|s| s.rules.iter().map(plan_rule).collect::<Result<Vec<_>, _>>())
             .collect::<Result<_, _>>()?;
+        // Register the planner-selected multi-column indexes before the pool
+        // starts: workers only ever read the instance, and inserts (which all
+        // happen under the driver's write lock) maintain the indexes.
+        register_plan_indexes(plans.iter().flatten(), &mut instance);
         let mut stats = EvalStats::default();
         let threads = self.effective_threads();
         let shard = ShardPolicy {
@@ -628,8 +637,8 @@ fn merge(
     let mut guard = instance.write();
     let mut grew = false;
     for outcome in outcomes {
-        let (mut facts, firings) = outcome.result?;
-        stats.rule_firings += firings;
+        let (mut facts, fire) = outcome.result?;
+        stats.apply_fire(fire);
         grew |= engine.absorb(&mut guard, &mut facts, stats)?;
     }
     Ok(grew)

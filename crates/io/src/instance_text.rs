@@ -30,10 +30,10 @@ impl std::error::Error for InstanceParseError {}
 /// per line, both sorted for reproducible output.
 pub fn write_instance(instance: &Instance) -> String {
     let mut out = String::new();
-    let mut names = instance.relation_names();
-    names.sort();
-    for name in &names {
-        if let Some(relation) = instance.relation(*name) {
+    // `relation_names_iter` walks the instance's map in name order without
+    // materialising a vector.
+    for name in instance.relation_names_iter() {
+        if let Some(relation) = instance.relation(name) {
             out.push_str(&format!("@relation {}/{}.\n", name, relation.arity()));
         }
     }

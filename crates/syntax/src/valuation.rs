@@ -2,8 +2,16 @@
 //! variables (Section 2.3).
 
 use crate::term::{PathExpr, Term, Var, VarKind};
-use seqdl_core::{AtomId, Path, Value};
+use seqdl_core::{AtomId, Path, Segment, Value};
+use std::cell::RefCell;
 use std::fmt;
+
+thread_local! {
+    /// Reusable grounding buffer for [`Valuation::apply`]; nested packed
+    /// subexpressions use their own vectors, so `segments_into` never
+    /// re-enters `apply` while the buffer is borrowed.
+    static APPLY_SCRATCH: RefCell<Vec<Segment>> = const { RefCell::new(Vec::new()) };
+}
 
 /// What a variable is bound to: an atomic value (for `@x`) or a path (for `$x`).
 #[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
@@ -47,14 +55,27 @@ impl fmt::Display for Binding {
 /// A valuation is *appropriate* for a syntactic construct if it is defined on all
 /// variables of that construct; [`Valuation::apply`] returns `None` otherwise.
 ///
-/// Rules bind a handful of variables, and the evaluator clones a valuation at every
-/// candidate extension, so the map is stored as a small vector sorted by the
-/// interned variable id: lookups are a short linear scan, and a clone is one
-/// allocation plus a flat element copy instead of a tree-node walk.
-#[derive(Clone, PartialEq, Eq, Debug, Default)]
+/// Rules bind a handful of variables, and the backtracking matcher binds and
+/// unbinds on a single valuation millions of times, in strictly LIFO order.
+/// The map is therefore stored as a small *unsorted* vector in binding order:
+/// a bind is a push, the matcher's unbind is a pop, and lookups scan from the
+/// most recently bound end (which is also the variable most likely to be
+/// queried next).  Equality is map equality, independent of binding order,
+/// and [`Valuation::iter`] yields variable order, so observable behaviour is
+/// unchanged.
+#[derive(Clone, Debug, Default)]
 pub struct Valuation {
     entries: Vec<(Var, Binding)>,
 }
+
+impl PartialEq for Valuation {
+    fn eq(&self, other: &Valuation) -> bool {
+        self.entries.len() == other.entries.len()
+            && self.entries.iter().all(|(v, b)| other.get(*v) == Some(b))
+    }
+}
+
+impl Eq for Valuation {}
 
 impl Valuation {
     /// The empty valuation.
@@ -62,18 +83,10 @@ impl Valuation {
         Valuation::default()
     }
 
-    fn position(&self, var: Var) -> Result<usize, usize> {
-        // Valuations hold a handful of entries; a linear sorted scan beats binary
-        // search at these sizes.
-        for (ix, (v, _)) in self.entries.iter().enumerate() {
-            if *v == var {
-                return Ok(ix);
-            }
-            if *v > var {
-                return Err(ix);
-            }
-        }
-        Err(self.entries.len())
+    fn position(&self, var: Var) -> Option<usize> {
+        // Scan from the most recent binding: the matcher queries what it just
+        // bound far more often than early bindings.
+        self.entries.iter().rposition(|(v, _)| *v == var)
     }
 
     /// Bind `var` to `binding`.
@@ -87,14 +100,44 @@ impl Valuation {
             "binding {binding} does not fit variable {var}"
         );
         match self.position(var) {
-            Ok(ix) => self.entries[ix].1 = binding,
-            Err(ix) => self.entries.insert(ix, (var, binding)),
+            Some(ix) => self.entries[ix].1 = binding,
+            None => self.entries.push((var, binding)),
         }
     }
 
     /// Bind an atomic variable to an atomic value.
     pub fn bind_atom(&mut self, var: Var, value: AtomId) {
         self.bind(var, Binding::Atom(value));
+    }
+
+    /// Bind a variable the caller knows is unbound (skips the overwrite
+    /// scan).  The backtracking matcher pairs this with
+    /// [`Valuation::pop_binding`].
+    ///
+    /// # Panics
+    /// Panics if the binding's shape does not fit the variable's kind; in
+    /// debug builds, also if `var` is already bound.
+    pub fn bind_new(&mut self, var: Var, binding: Binding) {
+        assert!(
+            binding.fits(var.kind),
+            "binding {binding} does not fit variable {var}"
+        );
+        debug_assert!(!self.contains(var), "bind_new on bound variable {var}");
+        self.entries.push((var, binding));
+    }
+
+    /// Remove the *most recent* binding, which the caller knows is `var` —
+    /// the O(1) LIFO twin of [`Valuation::bind_new`].
+    ///
+    /// # Panics
+    /// In debug builds, panics if the most recent binding is not `var`.
+    pub fn pop_binding(&mut self, var: Var) {
+        debug_assert_eq!(
+            self.entries.last().map(|(v, _)| *v),
+            Some(var),
+            "pop_binding out of LIFO order"
+        );
+        self.entries.pop();
     }
 
     /// Bind a path variable to a path.
@@ -111,22 +154,24 @@ impl Valuation {
 
     /// Remove the binding of `var`, returning it if there was one.  Together with
     /// [`Valuation::bind`] this lets backtracking matchers explore extensions on a
-    /// single valuation instead of cloning one per candidate.
+    /// single valuation instead of cloning one per candidate.  The matcher
+    /// unbinds in LIFO order, so this is almost always a pop.
     pub fn unbind(&mut self, var: Var) -> Option<Binding> {
-        match self.position(var) {
-            Ok(ix) => Some(self.entries.remove(ix).1),
-            Err(_) => None,
+        let ix = self.position(var)?;
+        if ix + 1 == self.entries.len() {
+            return self.entries.pop().map(|(_, b)| b);
         }
+        Some(self.entries.remove(ix).1)
     }
 
     /// The binding of `var`, if any.
     pub fn get(&self, var: Var) -> Option<&Binding> {
-        self.position(var).ok().map(|ix| &self.entries[ix].1)
+        self.position(var).map(|ix| &self.entries[ix].1)
     }
 
     /// Is `var` bound?
     pub fn contains(&self, var: Var) -> bool {
-        self.position(var).is_ok()
+        self.position(var).is_some()
     }
 
     /// Number of bound variables.
@@ -141,7 +186,9 @@ impl Valuation {
 
     /// Iterate over `(variable, binding)` pairs in variable order.
     pub fn iter(&self) -> impl Iterator<Item = (Var, &Binding)> + '_ {
-        self.entries.iter().map(|(v, b)| (*v, b))
+        let mut sorted: Vec<&(Var, Binding)> = self.entries.iter().collect();
+        sorted.sort_by_key(|(v, _)| *v);
+        sorted.into_iter().map(|(v, b)| (*v, b))
     }
 
     /// Is this valuation appropriate for (defined on all variables of) `expr`?
@@ -153,41 +200,51 @@ impl Valuation {
     ///
     /// Returns `None` if some variable of the expression is unbound.
     pub fn apply(&self, expr: &PathExpr) -> Option<Path> {
-        // Pre-size the output: paths produced here are built once and copied
-        // around afterwards, so one exact allocation beats realloc-doubling.
-        let mut values = Vec::with_capacity(self.denoted_len(expr)?);
-        self.apply_into(expr, &mut values)?;
-        Some(Path::from_values(values))
-    }
-
-    /// The length of the path `expr` denotes under this valuation (`None` if some
-    /// variable is unbound).  One packed term contributes one value.
-    fn denoted_len(&self, expr: &PathExpr) -> Option<usize> {
-        let mut n = 0usize;
-        for term in expr.terms() {
-            n += match term {
-                Term::Const(_) | Term::Packed(_) => 1,
-                Term::Var(v) => match self.get(*v)? {
-                    Binding::Atom(_) => 1,
-                    Binding::Path(p) => p.len(),
-                },
-            };
+        // Single-term expressions denote an already interned path: reuse its
+        // id instead of copying and re-hashing the content.  `$x` heads and
+        // goal filters hit this on every firing.
+        match expr.terms() {
+            [] => return Some(Path::empty()),
+            [Term::Const(a)] => return Some(Path::singleton(Value::Atom(*a))),
+            [Term::Var(v)] => {
+                return match self.get(*v)? {
+                    Binding::Atom(a) => Some(Path::singleton(Value::Atom(*a))),
+                    Binding::Path(p) => Some(*p),
+                }
+            }
+            _ => {}
         }
-        Some(n)
+        // Ground the expression as a *segment sequence* — one entry per term,
+        // each the interned identity of what the term denotes — and resolve it
+        // through the store's composition memo: re-deriving an already known
+        // path hashes one id per term instead of copying and re-hashing the
+        // concatenated content.
+        APPLY_SCRATCH.with(|scratch| {
+            let mut segments = scratch.borrow_mut();
+            segments.clear();
+            self.segments_into(expr, &mut segments)?;
+            Some(Path::from_segments(&segments))
+        })
     }
 
-    fn apply_into(&self, expr: &PathExpr, out: &mut Vec<Value>) -> Option<()> {
+    /// Append the segment sequence `expr` denotes under this valuation — one
+    /// [`Segment`] per term, each the interned identity of what the term
+    /// denotes.  `None` if some variable is unbound.  Because the per-term
+    /// segment count is static, a rule head's full segment sequence is an
+    /// unambiguous identity for the derived tuple: the evaluator keys its
+    /// emit-dedup memo on it without grounding anything.
+    pub fn segments_into(&self, expr: &PathExpr, out: &mut Vec<Segment>) -> Option<()> {
         for term in expr.terms() {
             match term {
-                Term::Const(a) => out.push(Value::Atom(*a)),
+                Term::Const(a) => out.push(Segment::Value(Value::Atom(*a))),
                 Term::Var(v) => match self.get(*v)? {
-                    Binding::Atom(a) => out.push(Value::Atom(*a)),
-                    Binding::Path(p) => out.extend(p.iter().cloned()),
+                    Binding::Atom(a) => out.push(Segment::Value(Value::Atom(*a))),
+                    Binding::Path(p) => out.push(p.as_segment()),
                 },
                 Term::Packed(inner) => {
                     let mut nested = Vec::new();
-                    self.apply_into(inner, &mut nested)?;
-                    out.push(Value::packed(Path::from_values(nested)));
+                    self.segments_into(inner, &mut nested)?;
+                    out.push(Segment::Value(Value::packed(Path::from_segments(&nested))));
                 }
             }
         }
@@ -210,7 +267,7 @@ impl Valuation {
 impl fmt::Display for Valuation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str("{")?;
-        for (i, (v, b)) in self.entries.iter().enumerate() {
+        for (i, (v, b)) in self.iter().enumerate() {
             if i > 0 {
                 f.write_str(", ")?;
             }
