@@ -1,0 +1,69 @@
+//! RAM lowering A/B: the lowered flat instruction programs on the shared
+//! interpreter (`ram`) against the legacy tree-walking matcher (`legacy`) on
+//! the reachability (Section 5.1.1) and NFA-product (Example 2.1) ladders,
+//! single-threaded semi-naive — the same derivations in the same order, so
+//! the delta is pure execution overhead.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seqdl_engine::FixpointStrategy;
+
+fn bench_reachability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ram_lowering/reachability");
+    for (nodes, edges) in [
+        (8usize, 16usize),
+        (16, 48),
+        (32, 128),
+        (64, 384),
+        (128, 1024),
+    ] {
+        for (path, use_ram) in [("ram", true), ("legacy", false)] {
+            group.bench_with_input(
+                BenchmarkId::new(path, nodes),
+                &(nodes, edges),
+                |b, &(n, e)| {
+                    b.iter(|| {
+                        seqdl_bench::reachability_run_configured(
+                            n,
+                            e,
+                            FixpointStrategy::SemiNaive,
+                            use_ram,
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_nfa(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ram_lowering/nfa");
+    for (states, words, len) in [
+        (3usize, 8usize, 8usize),
+        (5, 8, 16),
+        (8, 16, 24),
+        (12, 32, 40),
+        (16, 48, 64),
+    ] {
+        for (path, use_ram) in [("ram", true), ("legacy", false)] {
+            group.bench_with_input(
+                BenchmarkId::new(path, format!("{states}x{len}")),
+                &(states, words, len),
+                |b, &(s, w, l)| {
+                    b.iter(|| {
+                        seqdl_bench::nfa_run_configured(
+                            s,
+                            w,
+                            l,
+                            FixpointStrategy::SemiNaive,
+                            use_ram,
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reachability, bench_nfa);
+criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! Textual reproduction of every figure of the paper plus the derived experiment
 //! tables recorded in EXPERIMENTS.md.
 //!
-//! Usage: `cargo run -p seqdl-bench --bin harness [--release] [--threads N] [--mem-stats] [section…]`
+//! Usage: `cargo run -p seqdl-bench --bin harness [--release] [--threads N] [--mem-stats] [--no-ram] [section…]`
 //! where `section` is any of `fig1 fig2 fig3 arity equations packing folding
 //! linearity reachability nfa query algebra regex termination`; with no arguments every section is printed.
 //! `--threads N` sets the worker-pool size of the stratified executor columns in
@@ -9,6 +9,8 @@
 //! `--mem-stats` appends memory-footprint columns (result facts, distinct
 //! interned paths, approximate store KiB) to the reachability and NFA rows and
 //! a peak-RSS footer per section; store numbers are cumulative per process.
+//! `--no-ram` runs the reachability, NFA, and query sections through the legacy
+//! tree-walking matcher instead of the lowered RAM instruction programs.
 
 use seqdl_bench as drivers;
 use seqdl_engine::FixpointStrategy;
@@ -34,6 +36,13 @@ fn main() {
             true
         }
         None => false,
+    };
+    let use_ram = match args.iter().position(|a| a == "--no-ram") {
+        Some(i) => {
+            args.remove(i);
+            false
+        }
+        None => true,
     };
     let args = args;
     let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name);
@@ -174,19 +183,25 @@ fn main() {
             (128, 1024),
         ] {
             let t1 = Instant::now();
-            let semi_result = drivers::reachability_result(nodes, edges);
+            let semi_result = drivers::reachability_result_configured(nodes, edges, use_ram);
             let t_semi = t1.elapsed();
             let semi = drivers::reachability_answer(&semi_result);
             // The quadratic naive baseline is only tractable at the small end.
             let naive_time = (nodes <= 32).then(|| {
                 let t0 = Instant::now();
-                let naive = drivers::reachability_run(nodes, edges, FixpointStrategy::Naive);
+                let naive = drivers::reachability_run_configured(
+                    nodes,
+                    edges,
+                    FixpointStrategy::Naive,
+                    use_ram,
+                );
                 let elapsed = t0.elapsed();
                 assert_eq!(naive, semi);
                 elapsed
             });
             let t2 = Instant::now();
-            let parallel = drivers::reachability_run_parallel(nodes, edges, threads);
+            let parallel =
+                drivers::reachability_run_parallel_configured(nodes, edges, threads, use_ram);
             let t_exec = t2.elapsed();
             assert_eq!(semi, parallel, "executor must agree with the engine");
             let naive_col = naive_time.map_or("-".to_string(), |t| format!("{t:?}"));
@@ -235,19 +250,25 @@ fn main() {
             (16, 48, 64),
         ] {
             let t1 = Instant::now();
-            let semi_result = drivers::nfa_result(states, words, len);
+            let semi_result = drivers::nfa_result_configured(states, words, len, use_ram);
             let t_semi = t1.elapsed();
             let b = drivers::nfa_answer(&semi_result);
             // The quadratic naive baseline is only tractable at the small end.
             let naive_time = (states <= 8).then(|| {
                 let t0 = Instant::now();
-                let a = drivers::nfa_run(states, words, len, FixpointStrategy::Naive);
+                let a = drivers::nfa_run_configured(
+                    states,
+                    words,
+                    len,
+                    FixpointStrategy::Naive,
+                    use_ram,
+                );
                 let elapsed = t0.elapsed();
                 assert_eq!(a, b);
                 elapsed
             });
             let t2 = Instant::now();
-            let c = drivers::nfa_run_parallel(states, words, len, threads);
+            let c = drivers::nfa_run_parallel_configured(states, words, len, threads, use_ram);
             let t_exec = t2.elapsed();
             assert_eq!(b, c, "executor must agree with the engine");
             let naive_col = naive_time.map_or("-".to_string(), |t| format!("{t:?}"));
@@ -287,11 +308,11 @@ fn main() {
         ] {
             let t0 = Instant::now();
             let (full_answers, full_stats) =
-                drivers::reachability_query_full(nodes, edges, threads);
+                drivers::reachability_query_full_configured(nodes, edges, threads, use_ram);
             let t_full = t0.elapsed();
             let t1 = Instant::now();
             let (demanded_answers, demanded_stats) =
-                drivers::reachability_query_demanded(nodes, edges, threads);
+                drivers::reachability_query_demanded_configured(nodes, edges, threads, use_ram);
             let t_demanded = t1.elapsed();
             assert_eq!(
                 full_answers, demanded_answers,

@@ -295,6 +295,7 @@ fn bench_json_is_valid_and_has_the_required_sections() {
         "query_demand",
         "engine_scaling",
         "path_interning",
+        "ram_lowering",
     ] {
         assert!(
             doc.get(section).and_then(Json::as_object).is_some(),
@@ -337,6 +338,83 @@ fn path_interning_section_records_the_gate_workloads() {
             .is_some_and(|m| m.contains_key("peak_rss_kib")),
         "path_interning.mem must record peak_rss_kib"
     );
+}
+
+#[test]
+fn ram_lowering_section_records_the_full_ladders() {
+    let doc = load();
+    let section = doc
+        .get("ram_lowering")
+        .expect("ram_lowering section present");
+    assert!(section.get("note").and_then(Json::as_str).is_some());
+    assert!(section
+        .get("baseline_commit")
+        .and_then(Json::as_str)
+        .is_some());
+    let medians = section
+        .get("medians_us")
+        .and_then(Json::as_object)
+        .expect("ram_lowering.medians_us object");
+    let ladders = [
+        "reachability/semi_naive/8",
+        "reachability/semi_naive/16",
+        "reachability/semi_naive/32",
+        "reachability/semi_naive/64",
+        "reachability/semi_naive/128",
+        "nfa/semi_naive/3x8",
+        "nfa/semi_naive/5x16",
+        "nfa/semi_naive/8x24",
+        "nfa/semi_naive/12x40",
+        "nfa/semi_naive/16x64",
+    ];
+    for workload in ladders {
+        let get = |side: &str| {
+            let key = format!("{workload}/{side}");
+            medians
+                .get(&key)
+                .and_then(Json::as_number)
+                .unwrap_or_else(|| panic!("missing median {key:?}"))
+        };
+        let (before, after) = (get("before"), get("after"));
+        assert!(before > 0.0 && after > 0.0, "{workload} medians positive");
+        // Parity-or-better everywhere except the two smallest reachability
+        // sizes, whose 26-31us totals pay the per-run lower() setup; the
+        // recorded note explains the protocol.
+        assert!(
+            before / after >= 0.8,
+            "ram_lowering {workload} regresses beyond the recorded setup cost: {before} -> {after}"
+        );
+    }
+    let ratio = |wl: &str| {
+        medians[&format!("{wl}/before")].as_number().unwrap()
+            / medians[&format!("{wl}/after")].as_number().unwrap()
+    };
+    assert!(
+        ratio("reachability/semi_naive/128") >= 1.15,
+        "largest reachability size must show a clear RAM-path win"
+    );
+    assert!(
+        ratio("nfa/semi_naive/16x64") >= 1.0,
+        "largest NFA size must be at least parity"
+    );
+    let counters = section
+        .get("counters")
+        .and_then(Json::as_object)
+        .expect("ram_lowering.counters object");
+    for key in [
+        "reachability/128/instructions_executed",
+        "reachability/128/fused_probes",
+        "nfa/16x64/instructions_executed",
+        "nfa/16x64/fused_probes",
+    ] {
+        assert!(
+            counters
+                .get(key)
+                .and_then(Json::as_number)
+                .is_some_and(|v| v > 0.0),
+            "missing or non-positive counter {key:?}"
+        );
+    }
 }
 
 #[test]

@@ -65,11 +65,11 @@ pub fn help_text() -> String {
         "Usage:\n",
         "  seqdl run         --program q.sdl --instance db.sdi [--output S] [--strategy naive|semi-naive]\n",
         "                    [--threads N] [--shard-size N] [--max-iterations N] [--max-facts N]\n",
-        "                    [--max-path-len N] [--stats] [--save out.sdi]\n",
+        "                    [--max-path-len N] [--no-ram] [--stats] [--save out.sdi]\n",
         "  seqdl query       --program q.sdl --instance db.sdi --goal \"Reach(a·b·$x)?\"\n",
-        "                    [--threads N] [--stats] [--show-rewrite] (demand-driven: only rules\n",
-        "                    relevant to the goal fire, via the magic-set rewrite)\n",
-        "  seqdl analyze     --program q.sdl\n",
+        "                    [--threads N] [--no-ram] [--stats] [--show-rewrite] (demand-driven:\n",
+        "                    only rules relevant to the goal fire, via the magic-set rewrite)\n",
+        "  seqdl analyze     --program q.sdl [--show-ram]\n",
         "  seqdl termination --program q.sdl\n",
         "  seqdl rewrite     --program q.sdl --eliminate arity|equations|packing|intermediate [--output S]\n",
         "  seqdl normalize   --program q.sdl\n",
@@ -82,6 +82,10 @@ pub fn help_text() -> String {
         "\n",
         "Programs are .sdl files (Sequence Datalog source); instances are .sdi files\n",
         "(ground facts, one per line).  See the repository README for the syntax.\n",
+        "\n",
+        "By default rules are compiled to a flat RAM-style instruction program\n",
+        "(`seqdl analyze --show-ram` prints the listing); `--no-ram` falls back to\n",
+        "the legacy tree-walking matcher.\n",
     )
     .to_string()
 }
@@ -151,7 +155,10 @@ fn engine_from_flags(flags: &Flags) -> Result<Engine, CliError> {
             )))
         }
     };
-    Ok(Engine::new().with_limits(limits).with_strategy(strategy))
+    Ok(Engine::new()
+        .with_limits(limits)
+        .with_strategy(strategy)
+        .with_ram(!flags.has("no-ram")))
 }
 
 /// The stratified SCC executor configured by the flags: the engine's limits and
@@ -238,18 +245,19 @@ fn write_stats(report: &mut String, executor: &Executor, stats: &seqdl_engine::E
     // from probing, not merely from fewer firings.
     writeln!(
         report,
-        "index probes: {}, relation scans: {}",
-        stats.index_probes, stats.scans
+        "index probes: {}, relation scans: {}, instructions executed: {}, fused probes: {}",
+        stats.index_probes, stats.scans, stats.instructions_executed, stats.fused_probes
     )
     .expect("write to string");
     for (i, stratum) in stats.strata.iter().enumerate() {
         writeln!(
             report,
-            "stratum {i}: {} rule(s), {} iteration(s), {} fact(s), {} firing(s), {:?}",
+            "stratum {i}: {} rule(s), {} iteration(s), {} fact(s), {} firing(s), {} delta shard(s), {:?}",
             stratum.rules,
             stratum.iterations,
             stratum.derived_facts,
             stratum.rule_firings,
+            stratum.shards,
             stratum.wall
         )
         .expect("write to string");
@@ -426,6 +434,15 @@ fn cmd_analyze(flags: &Flags) -> Result<String, CliError> {
             members.join(" -> ")
         )
         .expect("write to string");
+    }
+    if flags.has("show-ram") {
+        match seqdl_engine::ram::lower(&program) {
+            Ok(lowered) => {
+                writeln!(report, "RAM program:").expect("write to string");
+                write!(report, "{lowered}").expect("write to string");
+            }
+            Err(e) => writeln!(report, "RAM program: {e}").expect("write to string"),
+        }
     }
     writeln!(report, "features: {}", features.letters()).expect("write to string");
     writeln!(report, "fragment: {fragment}").expect("write to string");
@@ -947,6 +964,88 @@ mod tests {
             "{output}"
         );
         assert!(output.contains("{T}* -> {S}"), "{output}");
+    }
+
+    #[test]
+    fn analyze_show_ram_pins_the_reachability_listing_shape() {
+        // The §5.1.1 reachability program: base rule hoisted into the merge
+        // section (probe+emit, one instruction), recursive rule in the {T}
+        // loop with its delta-tagged T probe and a fused terminal R probe,
+        // and the fully-bound boolean goal reduced to a filter.
+        let program = write_program(
+            "show-ram.sdl",
+            "T(@x·@y) <- R(@x·@y).\nT(@x·@z) <- T(@x·@y), R(@y·@z).\nS <- T(a·b).",
+        );
+        let output = cmd_analyze(&flags(&["--program", &program, "--show-ram"])).unwrap();
+        assert!(output.contains("RAM program:"), "{output}");
+        assert!(output.contains("merge (once):"), "{output}");
+        assert!(output.contains("loop {T}:"), "{output}");
+        assert!(
+            output.contains("probe+emit R(@x·@y) -> T(@x·@y)"),
+            "{output}"
+        );
+        assert!(output.contains("probe   T(@x·@y)"), "{output}");
+        assert!(output.contains("[delta]"), "{output}");
+        assert!(
+            output.contains("probe+emit R(@y·@z) -> T(@x·@z)"),
+            "{output}"
+        );
+        assert!(
+            output.contains("filter  T(a·b)  ; fused probe (fully bound)"),
+            "{output}"
+        );
+        assert!(output.contains("purge delta {T}"), "{output}");
+        assert!(output.contains("exit when delta {T} is empty"), "{output}");
+        // Without the flag the listing is absent.
+        let plain = cmd_analyze(&flags(&["--program", &program])).unwrap();
+        assert!(!plain.contains("RAM program:"), "{plain}");
+    }
+
+    #[test]
+    fn run_stats_surface_instruction_counters_and_no_ram_disables_them() {
+        let program = write_program("ram-stats.sdl", "S($x) <- R($x).");
+        let instance = write_instance_file(
+            "ram-stats.sdi",
+            &Instance::unary(rel("R"), [path_of(&["a"]), path_of(&["b"])]),
+        );
+        let with_ram = cmd_run(&flags(&[
+            "--program",
+            &program,
+            "--instance",
+            &instance,
+            "--stats",
+        ]))
+        .unwrap();
+        assert!(with_ram.contains("instructions executed: "), "{with_ram}");
+        assert!(with_ram.contains("fused probes: "), "{with_ram}");
+        assert!(with_ram.contains("delta shard(s)"), "{with_ram}");
+        let instructions: usize = with_ram
+            .split("instructions executed: ")
+            .nth(1)
+            .and_then(|rest| rest.split(',').next())
+            .and_then(|n| n.trim().parse().ok())
+            .expect("parse instruction count");
+        assert!(instructions > 0, "{with_ram}");
+        // The legacy matcher executes no RAM instructions, but the answers
+        // are identical.
+        let without = cmd_run(&flags(&[
+            "--program",
+            &program,
+            "--instance",
+            &instance,
+            "--stats",
+            "--no-ram",
+        ]))
+        .unwrap();
+        assert!(
+            without.contains("instructions executed: 0, fused probes: 0"),
+            "{without}"
+        );
+        assert_eq!(
+            with_ram.lines().take(3).collect::<Vec<_>>(),
+            without.lines().take(3).collect::<Vec<_>>(),
+            "answers must not depend on the execution path"
+        );
     }
 
     #[test]

@@ -360,6 +360,12 @@ pub struct Relation {
     dedup: FxMap<u64, IdBucket>,
     /// One prefix trie per column.
     columns: Vec<PrefixTrie>,
+    /// Bitmask of maintained column tries (bit `c` = column `c`; columns
+    /// ≥ 64 are always maintained).  A cleared bit means the column's trie
+    /// is empty and skipped on insert — the evaluator clears bits for
+    /// columns no plan of the running program can ever probe, so derived
+    /// relations stop paying per-insert indexing for answers nobody asks.
+    active_columns: u64,
     /// Registered multi-column indexes (typically zero or a handful).
     joint: Vec<JointIndex>,
 }
@@ -372,8 +378,38 @@ impl Relation {
             tuples: Vec::new(),
             dedup: FxMap::default(),
             columns: (0..arity).map(|_| PrefixTrie::default()).collect(),
+            active_columns: !0,
             joint: Vec::new(),
         }
+    }
+
+    /// Is the trie of `column` maintained (and therefore trustworthy)?
+    /// Columns beyond the mask's width are always maintained.
+    pub fn column_active(&self, column: usize) -> bool {
+        column >= u64::BITS as usize || self.active_columns & (1u64 << column) != 0
+    }
+
+    /// Restrict maintained column tries to the set in `keep` (bit `c` =
+    /// column `c`).  Newly-deactivated columns drop their trie (inserts stop
+    /// indexing them); newly-reactivated columns rebuild theirs from the
+    /// stored tuples at the previously registered depth, so the index is
+    /// immediately current again.
+    pub fn set_active_columns(&mut self, keep: u64) {
+        for column in 0..self.columns.len().min(u64::BITS as usize) {
+            let bit = 1u64 << column;
+            let was = self.active_columns & bit != 0;
+            let now = keep & bit != 0;
+            if was && !now {
+                self.columns[column] = PrefixTrie::new(self.columns[column].depth);
+            } else if now && !was {
+                let mut rebuilt = PrefixTrie::new(self.columns[column].depth);
+                for (id, tuple) in self.tuples.iter().enumerate() {
+                    rebuilt.insert(&tuple[column], id as u32);
+                }
+                self.columns[column] = rebuilt;
+            }
+        }
+        self.active_columns = keep;
     }
 
     /// The arity of the relation.
@@ -419,7 +455,9 @@ impl Relation {
             }
         }
         for (column, path) in tuple.iter().enumerate() {
-            self.columns[column].insert(path, id);
+            if self.column_active(column) {
+                self.columns[column].insert(path, id);
+            }
         }
         for index in &mut self.joint {
             if let Some(key) = joint_tuple_key(&index.cols, &tuple) {
@@ -458,9 +496,12 @@ impl Relation {
         &self.tuples[start.min(self.tuples.len())..]
     }
 
-    /// The column trie of `column`, if in range.
+    /// The column trie of `column`, if in range and maintained; deactivated
+    /// columns report `None` so callers fall back to scanning.
     pub fn column_index(&self, column: usize) -> Option<&PrefixTrie> {
-        self.columns.get(column)
+        self.column_active(column)
+            .then(|| self.columns.get(column))
+            .flatten()
     }
 
     /// The candidates (ascending by id) whose `column`-th path starts with
@@ -468,22 +509,19 @@ impl Relation {
     /// slice; prefixes longer than the column's registered depth probe on
     /// their indexed prefix (a superset that full matching filters).
     pub fn probe_prefix(&self, column: usize, prefix: &[Value]) -> &[TrieEntry] {
-        self.columns
-            .get(column)
+        self.column_index(column)
             .map_or(NO_ENTRIES, |trie| trie.probe(prefix))
     }
 
     /// The ids of tuples whose `column`-th path is exactly `ε`.
     pub fn probe_empty(&self, column: usize) -> &[u32] {
-        self.columns
-            .get(column)
+        self.column_index(column)
             .map_or(NO_IDS, PrefixTrie::probe_empty)
     }
 
     /// The ids of tuples whose `column`-th path starts with a packed value.
     pub fn probe_packed_first(&self, column: usize) -> &[u32] {
-        self.columns
-            .get(column)
+        self.column_index(column)
             .map_or(NO_IDS, PrefixTrie::probe_packed_first)
     }
 
@@ -493,6 +531,9 @@ impl Relation {
     /// inserts index at the new depth.
     pub fn ensure_column_depth(&mut self, column: usize, depth: usize) {
         let depth = depth.clamp(1, TRIE_DEPTH);
+        if !self.column_active(column) {
+            return;
+        }
         let Some(trie) = self.columns.get_mut(column) else {
             return;
         };
@@ -668,6 +709,15 @@ impl Instance {
             if !rel.has_joint_index(cols) {
                 Arc::make_mut(rel).ensure_joint_index(cols);
             }
+        }
+    }
+
+    /// Restrict the maintained column tries of relation `name` to the mask
+    /// `keep` (no-op when the relation is absent); see
+    /// [`Relation::set_active_columns`].
+    pub fn restrict_column_indexes(&mut self, name: RelName, keep: u64) {
+        if let Some(rel) = self.relations.get_mut(&name) {
+            Arc::make_mut(rel).set_active_columns(keep);
         }
     }
 

@@ -30,7 +30,9 @@ pub mod value;
 
 pub use error::CoreError;
 pub use hash::{fx_hash, FxHasher, FxMap};
-pub use instance::{Fact, Instance, PrefixTrie, Relation, Schema, TrieEntry, Tuple, TRIE_DEPTH};
+pub use instance::{
+    joint_probe_key, Fact, Instance, PrefixTrie, Relation, Schema, TrieEntry, Tuple, TRIE_DEPTH,
+};
 pub use interner::{AtomId, RelName, Symbol, VarSym};
 pub use path::{Path, Subpaths};
 pub use store::{store_stats, PathId, Segment, StoreStats};

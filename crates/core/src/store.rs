@@ -72,8 +72,13 @@ const EMPTY_VALUES: &[Value] = &[];
 const NO_ID: u32 = u32::MAX;
 
 struct StoreInner {
-    /// Content → id; the hash-consing table.
-    by_content: FxMap<&'static [Value], u32>,
+    /// Content hash → candidate ids; the hash-consing table.  Keying on the
+    /// precomputed content hash (instead of the slice) means one content walk
+    /// per intern call total: the caller hashes once and every probe and the
+    /// final insert reuse that hash, where a slice-keyed map re-hashed the
+    /// content at each of its own probes.  Collisions only lengthen the
+    /// candidate list, which the equality checks filter.
+    by_content: FxMap<u64, Vec<u32>>,
     /// Id → content; append-only, so prefixes of this table never change.
     entries: Vec<&'static [Value]>,
     /// Bytes of leaked owned slices (shared sub-slices add nothing here).
@@ -89,8 +94,8 @@ struct StoreInner {
 fn store() -> &'static RwLock<StoreInner> {
     static STORE: OnceLock<RwLock<StoreInner>> = OnceLock::new();
     STORE.get_or_init(|| {
-        let mut by_content = FxMap::default();
-        by_content.insert(EMPTY_VALUES, 0);
+        let mut by_content: FxMap<u64, Vec<u32>> = FxMap::default();
+        by_content.insert(fx_hash(EMPTY_VALUES), vec![0]);
         RwLock::new(StoreInner {
             by_content,
             entries: vec![EMPTY_VALUES],
@@ -222,14 +227,14 @@ fn intern_content(content: NewContent<'_>) -> PathId {
     }
     {
         let guard = store().read();
-        if let Some(&id) = guard.by_content.get(slice) {
+        if let Some(id) = find_by_content(&guard, hash, slice) {
             tls_record(hash, PathId(id));
             return PathId(id);
         }
     }
     let id = {
         let mut guard = store().write();
-        if let Some(&id) = guard.by_content.get(content.as_slice()) {
+        if let Some(id) = find_by_content(&guard, hash, content.as_slice()) {
             PathId(id)
         } else {
             let stored: &'static [Value] = match content {
@@ -243,17 +248,27 @@ fn intern_content(content: NewContent<'_>) -> PathId {
                     Box::leak(s.to_vec().into_boxed_slice())
                 }
             };
-            PathId(push_entry(&mut guard, stored))
+            PathId(push_entry(&mut guard, hash, stored))
         }
     };
     tls_record(hash, id);
     id
 }
 
-fn push_entry(guard: &mut StoreInner, stored: &'static [Value]) -> u32 {
+/// The id under `hash` whose stored content equals `slice`, if any.
+fn find_by_content(guard: &StoreInner, hash: u64, slice: &[Value]) -> Option<u32> {
+    guard
+        .by_content
+        .get(&hash)?
+        .iter()
+        .copied()
+        .find(|&id| guard.entries[id as usize] == slice)
+}
+
+fn push_entry(guard: &mut StoreInner, hash: u64, stored: &'static [Value]) -> u32 {
     let id = u32::try_from(guard.entries.len()).expect("path store overflow");
     guard.entries.push(stored);
-    guard.by_content.insert(stored, id);
+    guard.by_content.entry(hash).or_default().push(id);
     id
 }
 
@@ -448,12 +463,13 @@ pub(crate) fn intern_singleton_atom(a: AtomId) -> PathId {
                 // The content may already be interned through the general path
                 // (e.g. as a length-1 sub-slice); keep the consing invariant.
                 let single = [Value::Atom(a)];
-                let id = match guard.by_content.get(&single[..]) {
-                    Some(&id) => id,
+                let hash = fx_hash(&single[..]);
+                let id = match find_by_content(&guard, hash, &single[..]) {
+                    Some(id) => id,
                     None => {
                         guard.owned_bytes += std::mem::size_of::<Value>();
                         let stored: &'static [Value] = Box::leak(Box::new(single));
-                        push_entry(&mut guard, stored)
+                        push_entry(&mut guard, hash, stored)
                     }
                 };
                 if guard.singleton.len() <= ix {
@@ -501,7 +517,9 @@ pub fn store_stats() -> StoreStats {
     let slice_ref = std::mem::size_of::<&'static [Value]>();
     // Hash-map overhead estimated as key + value + one word of control per
     // bucket at the current capacity.
-    let map_bytes = guard.by_content.capacity() * (slice_ref + std::mem::size_of::<u32>() + 8);
+    let map_bytes = guard.by_content.capacity()
+        * (std::mem::size_of::<u64>() + std::mem::size_of::<Vec<u32>>() + 8)
+        + guard.entries.len() * std::mem::size_of::<u32>();
     StoreStats {
         distinct_paths: guard.entries.len(),
         owned_bytes: guard.owned_bytes,

@@ -61,6 +61,18 @@ pub struct EvalStats {
     /// Positive-predicate steps that fell back to scanning the relation (or
     /// its delta window).
     pub scans: usize,
+    /// RAM instruction dispatches executed by [`crate::ram::fire_proc`]
+    /// (including choice-point resumes and fused-loop candidate advances);
+    /// zero when the legacy matcher runs.
+    pub instructions_executed: usize,
+    /// Executions of instructions the RAM lowering fused: fully-bound
+    /// predicate probes compiled to existence-check filters, and terminal
+    /// probe+emit loops; zero when the legacy matcher runs.
+    pub fused_probes: usize,
+    /// High-water mark of shard jobs any single delta window fanned out into
+    /// during the *current* stratum; the per-stratum breakdown consumes it
+    /// into [`StratumStats::shards`] at each stratum boundary.
+    pub delta_shards: usize,
     /// Per-stratum breakdown, one entry per declared stratum, in evaluation order.
     pub strata: Vec<StratumStats>,
 }
@@ -71,6 +83,14 @@ impl EvalStats {
         self.rule_firings += fire.firings;
         self.index_probes += fire.index_probes;
         self.scans += fire.scans;
+        self.instructions_executed += fire.instructions;
+        self.fused_probes += fire.fused_probes;
+    }
+
+    /// Record that one delta window fanned out into `shards` shard jobs; the
+    /// per-stratum maximum lands in [`StratumStats::shards`].
+    pub fn note_shards(&mut self, shards: usize) {
+        self.delta_shards = self.delta_shards.max(shards);
     }
 }
 
@@ -83,6 +103,10 @@ pub struct FireStats {
     pub index_probes: usize,
     /// Predicate steps that scanned the relation.
     pub scans: usize,
+    /// RAM instruction dispatches (zero on the legacy matcher).
+    pub instructions: usize,
+    /// Executions of fused instructions (zero on the legacy matcher).
+    pub fused_probes: usize,
 }
 
 /// Counters for one declared stratum of an evaluation run.
@@ -99,6 +123,11 @@ pub struct StratumStats {
     pub derived_facts: usize,
     /// Rule firings (head instantiations, counting duplicates) in the stratum.
     pub rule_firings: usize,
+    /// Highest number of shard jobs any single delta window of this stratum
+    /// fanned out into (1 when delta variants fired unsharded, 0 when the
+    /// stratum never fired a windowed variant) — the audit trail for the
+    /// executor's shard-policy clamp at `--threads N`.
+    pub shards: usize,
     /// Wall-clock time spent evaluating the stratum.
     pub wall: std::time::Duration,
 }
@@ -126,6 +155,7 @@ pub struct DeltaWindow {
 pub struct Engine {
     limits: EvalLimits,
     strategy: FixpointStrategy,
+    use_ram: bool,
 }
 
 impl Default for Engine {
@@ -135,11 +165,13 @@ impl Default for Engine {
 }
 
 impl Engine {
-    /// An engine with default limits and semi-naive evaluation.
+    /// An engine with default limits, semi-naive evaluation, and RAM-lowered
+    /// rule execution.
     pub fn new() -> Engine {
         Engine {
             limits: EvalLimits::default(),
             strategy: FixpointStrategy::SemiNaive,
+            use_ram: true,
         }
     }
 
@@ -153,6 +185,20 @@ impl Engine {
     pub fn with_strategy(mut self, strategy: FixpointStrategy) -> Engine {
         self.strategy = strategy;
         self
+    }
+
+    /// Enable or disable the RAM lowering (`false` selects the legacy
+    /// tree-walking matcher — the `--no-ram` escape hatch used for
+    /// differential testing).  Output is identical either way; only the inner
+    /// rule-firing machinery changes.
+    pub fn with_ram(mut self, use_ram: bool) -> Engine {
+        self.use_ram = use_ram;
+        self
+    }
+
+    /// Whether rules fire through the RAM instruction interpreter.
+    pub fn ram_enabled(&self) -> bool {
+        self.use_ram
     }
 
     /// The configured resource limits.
@@ -220,17 +266,41 @@ impl Engine {
         let info = ProgramInfo::analyse(program)?;
         let mut instance = prepare_idb_instance(&info, input)?;
         seed_instance(&mut instance, seeds)?;
+        // Whole-program probe analysis: derived relations keep only the
+        // column tries some plan can actually consult.  The same plans are
+        // then handed down per stratum, so each rule is planned exactly once
+        // per run.
+        let mut stratum_plans: Vec<Vec<(&Rule, BodyPlan)>> = program
+            .strata
+            .iter()
+            .map(|s| {
+                s.rules
+                    .iter()
+                    .map(|r| plan_rule(r).map(|p| (r, p)))
+                    .collect::<Result<_, _>>()
+            })
+            .collect::<Result<_, _>>()?;
+        restrict_head_indexes(
+            info.idb.iter().copied(),
+            stratum_plans.iter().flatten().map(|(_, p)| p),
+            &mut instance,
+        );
         let mut stats = EvalStats::default();
-        for stratum in &program.strata {
+        for (stratum, plans) in program.strata.iter().zip(stratum_plans.drain(..)) {
             let start = std::time::Instant::now();
             let before = (stats.iterations, stats.derived_facts, stats.rule_firings);
-            let rules: Vec<&Rule> = stratum.rules.iter().collect();
-            self.eval_rule_set(&rules, &stratum.head_relations(), &mut instance, &mut stats)?;
+            self.eval_planned_rule_set(
+                plans,
+                &stratum.head_relations(),
+                &mut instance,
+                &mut stats,
+            )?;
             stats.strata.push(StratumStats {
                 rules: stratum.rules.len(),
                 iterations: stats.iterations - before.0,
                 derived_facts: stats.derived_facts - before.1,
                 rule_firings: stats.rule_firings - before.2,
+                shards: std::mem::take(&mut stats.delta_shards),
                 wall: start.elapsed(),
             });
         }
@@ -255,23 +325,54 @@ impl Engine {
         instance: &mut Instance,
         stats: &mut EvalStats,
     ) -> Result<(), EvalError> {
-        if rules.is_empty() {
-            return Ok(());
-        }
         let plans: Vec<(&Rule, BodyPlan)> = rules
             .iter()
             .map(|r| plan_rule(r).map(|p| (*r, p)))
             .collect::<Result<_, _>>()?;
+        self.eval_planned_rule_set(plans, recursive_over, instance, stats)
+    }
+
+    /// [`eval_rule_set`](Engine::eval_rule_set) for rules already planned by
+    /// the caller — the whole-run entry points plan once and share the plans
+    /// between index analysis and evaluation.
+    fn eval_planned_rule_set(
+        &self,
+        plans: Vec<(&Rule, BodyPlan)>,
+        recursive_over: &BTreeSet<RelName>,
+        instance: &mut Instance,
+        stats: &mut EvalStats,
+    ) -> Result<(), EvalError> {
+        if plans.is_empty() {
+            return Ok(());
+        }
         // Register the planner-selected indexes up front; inserts maintain
         // them incrementally for the rest of the fixpoint.
         register_plan_indexes(plans.iter().map(|(_, p)| p), instance);
+        // Lower each planned rule to its RAM procedure once per fixpoint (the
+        // plan *moves* into the procedure — no clone); the legacy matcher
+        // fires straight off the plans when RAM is disabled.
+        let rule_count = plans.len();
+        let (procs, plans): (Option<Vec<crate::ram::RuleProc>>, Vec<(&Rule, BodyPlan)>) =
+            if self.use_ram {
+                let procs = plans
+                    .into_iter()
+                    .map(|(rule, plan)| crate::ram::lower_rule(rule, plan, recursive_over))
+                    .collect();
+                (Some(procs), Vec::new())
+            } else {
+                (None, plans)
+            };
         // For semi-naive firing: the plan positions (per rule) that match a
         // relation driving the fixpoint.  Only instantiations using at least
-        // one delta fact can be new, so one restricted variant fires per position.
-        let delta_positions: Vec<Vec<usize>> = plans
-            .iter()
-            .map(|(_, plan)| plan.delta_positions(recursive_over))
-            .collect();
+        // one delta fact can be new, so one restricted variant fires per
+        // position (precomputed by the lowering on the RAM path).
+        let delta_positions: Vec<Vec<usize>> = match &procs {
+            Some(procs) => procs.iter().map(|p| p.delta_positions.clone()).collect(),
+            None => plans
+                .iter()
+                .map(|(_, plan)| plan.delta_positions(recursive_over))
+                .collect(),
+        };
 
         // Semi-naive delta as *watermarks* into the insertion-ordered store: for
         // each fixpoint-driving relation, the id of the first tuple inserted in
@@ -282,7 +383,7 @@ impl Engine {
         let mut new_facts: Vec<Fact> = Vec::new();
         // One emit memo per rule, persisted across rounds: duplicate
         // derivations in later rounds are recognised in one probe.
-        let mut memos: Vec<EmitMemo> = plans.iter().map(|_| EmitMemo::new()).collect();
+        let mut memos: Vec<EmitMemo> = (0..rule_count).map(|_| EmitMemo::new()).collect();
         loop {
             if iteration >= self.limits.max_iterations {
                 return Err(EvalError::LimitExceeded {
@@ -291,22 +392,36 @@ impl Engine {
                 });
             }
             stats.iterations += 1;
-            for (ix, ((rule, plan), positions)) in plans.iter().zip(&delta_positions).enumerate() {
+            for (ix, positions) in delta_positions.iter().enumerate() {
                 let memo = &mut memos[ix];
+                let plan = match &procs {
+                    Some(procs) => &procs[ix].plan,
+                    None => &plans[ix].1,
+                };
+                // One dispatch point for both execution paths: the lowered RAM
+                // procedure when enabled, the legacy tree-walking matcher
+                // otherwise.
+                let fire = |window: Option<DeltaWindow>,
+                            memo: &mut EmitMemo,
+                            out: &mut Vec<Fact>|
+                 -> Result<FireStats, EvalError> {
+                    match &procs {
+                        Some(procs) => {
+                            crate::ram::fire_proc(&procs[ix], instance, window, memo, out)
+                        }
+                        None => {
+                            let (rule, plan) = &plans[ix];
+                            fire_rule(rule, plan, instance, window, memo, out)
+                        }
+                    }
+                };
                 if iteration == 0 {
-                    stats.apply_fire(fire_rule(rule, plan, instance, None, memo, &mut new_facts)?);
+                    stats.apply_fire(fire(None, memo, &mut new_facts)?);
                     continue;
                 }
                 match self.strategy {
                     FixpointStrategy::Naive => {
-                        stats.apply_fire(fire_rule(
-                            rule,
-                            plan,
-                            instance,
-                            None,
-                            memo,
-                            &mut new_facts,
-                        )?);
+                        stats.apply_fire(fire(None, memo, &mut new_facts)?);
                     }
                     FixpointStrategy::SemiNaive => {
                         for &pos in positions {
@@ -319,10 +434,9 @@ impl Engine {
                             if lo >= hi {
                                 continue;
                             }
-                            stats.apply_fire(fire_rule(
-                                rule,
-                                plan,
-                                instance,
+                            // The sequential engine never splits a window.
+                            stats.note_shards(1);
+                            stats.apply_fire(fire(
                                 Some(DeltaWindow { pos, lo, hi }),
                                 memo,
                                 &mut new_facts,
@@ -457,6 +571,40 @@ pub fn register_plan_indexes<'a>(
     }
 }
 
+/// Deactivate every column trie of the `heads` relations that no plan in
+/// `plans` can ever probe ([`ColumnProbe::can_probe`] is the same static
+/// predicate [`choose_candidates`] uses at runtime, so a deactivated column
+/// is one the whole evaluation never consults).  Head relations are the
+/// growing ones — every insert during the fixpoint pays for exactly the
+/// indexes some probe can use, instead of indexing every column by default.
+///
+/// Restriction is safe even when over-eager: [`choose_candidates`] skips
+/// deactivated columns entirely and falls back to scanning, and
+/// re-activation (by a later evaluation whose plans do probe the column)
+/// rebuilds the trie from the stored tuples.
+pub fn restrict_head_indexes<'a>(
+    heads: impl IntoIterator<Item = RelName>,
+    plans: impl IntoIterator<Item = &'a BodyPlan>,
+    instance: &mut Instance,
+) {
+    let mut needed: seqdl_core::FxMap<RelName, u64> = seqdl_core::FxMap::default();
+    for plan in plans {
+        for step in &plan.steps {
+            if let PlannedLiteral::MatchPredicate(p) = step {
+                let mask = needed.entry(p.pred.relation).or_insert(0);
+                for (column, probe) in p.probes.iter().enumerate() {
+                    if probe.can_probe() && column < u64::BITS as usize {
+                        *mask |= 1u64 << column;
+                    }
+                }
+            }
+        }
+    }
+    for head in heads {
+        instance.restrict_column_indexes(head, needed.get(&head).copied().unwrap_or(0));
+    }
+}
+
 /// A per-rule emit-deduplication memo, keyed by the *segment identity* of the
 /// grounded head: one interned id per head term (atom binding, path binding,
 /// or constant).  A firing whose segment tuple was seen before in this
@@ -465,7 +613,7 @@ pub fn register_plan_indexes<'a>(
 /// dedup index.  Create one per rule and reuse it across rounds.
 #[derive(Debug, Default)]
 pub struct EmitMemo {
-    seen: seqdl_core::FxMap<EmitKey, ()>,
+    pub(crate) seen: seqdl_core::FxMap<EmitKey, ()>,
 }
 
 impl EmitMemo {
@@ -482,7 +630,7 @@ impl EmitMemo {
 const EMIT_INLINE: usize = 4;
 
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
-enum EmitKey {
+pub(crate) enum EmitKey {
     Packed(u128),
     Inline(u8, [seqdl_core::Segment; EMIT_INLINE]),
     Heap(Box<[seqdl_core::Segment]>),
@@ -499,7 +647,7 @@ fn segment_code(seg: seqdl_core::Segment) -> u64 {
 }
 
 impl EmitKey {
-    fn from_slice(segs: &[seqdl_core::Segment]) -> EmitKey {
+    pub(crate) fn from_slice(segs: &[seqdl_core::Segment]) -> EmitKey {
         match segs {
             [] => EmitKey::Packed(0),
             [a] => EmitKey::Packed(u128::from(segment_code(*a))),
@@ -837,15 +985,16 @@ fn bump(counters: &Cell<FireStats>, f: impl FnOnce(&mut FireStats)) {
 }
 
 /// A placeholder for value buffers (never read before being overwritten).
-const DUMMY_VALUE: Value = Value::Packed(Path::empty());
+pub(crate) const DUMMY_VALUE: Value = Value::Packed(Path::empty());
 
 /// Joint probes over more columns than this fall back to column probing.
-const MAX_JOINT_COLS: usize = 8;
+pub(crate) const MAX_JOINT_COLS: usize = 8;
 
 /// An indexed candidate list: trie buckets carry [`TrieEntry`] metadata for
 /// bucket-side matching, the other indexes (joint, ε, any-packed) carry bare
 /// tuple ids.
-enum CandList<'r> {
+#[derive(Clone, Copy)]
+pub(crate) enum CandList<'r> {
     Entries(&'r [TrieEntry]),
     Ids(&'r [u32]),
 }
@@ -862,9 +1011,10 @@ impl CandList<'_> {
 /// The winning candidate list plus its provenance: `trie_col` is set when the
 /// list came from a column trie that consumed the *entire* resolved prefix
 /// (column, prefix length) — the precondition for bucket-side matching.
-struct Chosen<'r> {
-    list: CandList<'r>,
-    trie_col: Option<(usize, usize)>,
+#[derive(Clone, Copy)]
+pub(crate) struct Chosen<'r> {
+    pub(crate) list: CandList<'r>,
+    pub(crate) trie_col: Option<(usize, usize)>,
 }
 
 /// Keep `best` the smallest candidate list seen so far.
@@ -882,7 +1032,7 @@ fn consider<'r>(best: &mut Option<Chosen<'r>>, cand: Chosen<'r>) {
 /// prefix through its trie, exact-`ε` buckets, and any-packed buckets all
 /// compete, and the shortest list wins.  `None` means no column offers an
 /// index at all — scan the relation.
-fn choose_candidates<'r>(
+pub(crate) fn choose_candidates<'r>(
     relation: &'r Relation,
     planned: &PlannedPredicate,
     nu: &Valuation,
@@ -916,7 +1066,7 @@ fn choose_candidates<'r>(
     }
     let mut buf = [DUMMY_VALUE; TRIE_DEPTH];
     for (column, probe) in planned.probes.iter().enumerate() {
-        if !probe.can_probe() {
+        if !probe.can_probe() || !relation.column_active(column) {
             continue;
         }
         if matches!(&best, Some(b) if b.list.len() == 0) {
@@ -1006,7 +1156,7 @@ fn resolve_prefix(
 /// The runtime first value of a joint-index column (guaranteed by the planner
 /// to resolve; `None` only on a defensive miss, which disables the joint
 /// probe for this call).
-fn first_value(probe: &ColumnProbe, nu: &Valuation) -> Option<Value> {
+pub(crate) fn first_value(probe: &ColumnProbe, nu: &Valuation) -> Option<Value> {
     match probe.sources.first()? {
         PrefixSource::Const(a) => Some(Value::Atom(*a)),
         PrefixSource::Packed(v) => Some(*v),

@@ -39,13 +39,16 @@ pub mod error;
 pub mod eval;
 pub mod matching;
 pub mod plan;
+pub mod ram;
 
 pub use error::{EvalError, LimitKind};
 pub use eval::{
-    fire_rule, prepare_idb_instance, register_plan_indexes, seed_instance, DeltaWindow, EmitMemo,
-    Engine, EvalLimits, EvalStats, FireStats, FixpointStrategy, StratumStats,
+    fire_rule, prepare_idb_instance, register_plan_indexes, restrict_head_indexes, seed_instance,
+    DeltaWindow, EmitMemo, Engine, EvalLimits, EvalStats, FireStats, FixpointStrategy,
+    StratumStats,
 };
 pub use plan::{plan_rule, BodyPlan, ColumnProbe, PlannedLiteral, PlannedPredicate, PrefixSource};
+pub use ram::{fire_proc, RuleProc};
 
 use seqdl_core::{Instance, Path, RelName};
 use seqdl_syntax::Program;

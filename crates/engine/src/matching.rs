@@ -402,6 +402,103 @@ fn match_terms_find(
     }
 }
 
+/// In-place matcher for probes the lowering proved *deterministic*: under the
+/// binding state the plan guarantees at this step, every tuple admits at most
+/// one extension (each argument consumes its path left-to-right with no
+/// choice point — constants, atomic variables, bound path variables, and at
+/// most one unbound path variable sitting last in its term list).  Bindings
+/// are applied directly to `nu`; on a mismatch everything added here is
+/// truncated away and the call returns `false`.  On success the bindings stay
+/// (the caller backtracks by truncating to its own entry depth), and they are
+/// exactly the bindings the general enumerator would have produced for the
+/// single extension — in the same order.
+pub fn match_predicate_det(pred: &Predicate, tuple: &[Path], nu: &mut Valuation) -> bool {
+    let start = nu.len();
+    if pred.args.len() != tuple.len() {
+        return false;
+    }
+    for (arg, path) in pred.args.iter().zip(tuple) {
+        if !det_terms(arg.terms(), *path, 0, path.values(), nu) {
+            nu.truncate(start);
+            return false;
+        }
+    }
+    true
+}
+
+/// One deterministic left-to-right pass of `terms` over `values` (the suffix
+/// of `parent` starting at `base`); binds onto `nu` without backtracking.
+fn det_terms(
+    terms: &[Term],
+    parent: Path,
+    mut base: usize,
+    mut values: &'static [Value],
+    nu: &mut Valuation,
+) -> bool {
+    let last = terms.len().wrapping_sub(1);
+    for (i, term) in terms.iter().enumerate() {
+        match term {
+            Term::Const(a) => match values.first() {
+                Some(Value::Atom(b)) if a == b => {
+                    base += 1;
+                    values = &values[1..];
+                }
+                _ => return false,
+            },
+            Term::Packed(inner) => match values.first() {
+                Some(Value::Packed(p)) => {
+                    if !det_terms(inner.terms(), *p, 0, p.values(), nu) {
+                        return false;
+                    }
+                    base += 1;
+                    values = &values[1..];
+                }
+                _ => return false,
+            },
+            Term::Var(v) => match v.kind {
+                VarKind::Atom => {
+                    let Some(Value::Atom(b)) = values.first() else {
+                        return false;
+                    };
+                    let b = *b;
+                    match nu.get(*v) {
+                        Some(Binding::Atom(bound)) => {
+                            if *bound != b {
+                                return false;
+                            }
+                        }
+                        None => nu.bind_new(*v, Binding::Atom(b)),
+                        Some(Binding::Path(_)) => {
+                            unreachable!("valuation binding of the wrong kind")
+                        }
+                    }
+                    base += 1;
+                    values = &values[1..];
+                }
+                VarKind::Path => match nu.get(*v) {
+                    Some(Binding::Path(bound)) => {
+                        let n = bound.len();
+                        if values.len() < n || &values[..n] != bound.values() {
+                            return false;
+                        }
+                        base += n;
+                        values = &values[n..];
+                    }
+                    None => {
+                        debug_assert!(i == last, "det lowering proved the trailing position");
+                        let suffix = parent.subpath(base, base + values.len());
+                        nu.bind_new(*v, Binding::Path(suffix));
+                        base += values.len();
+                        values = &values[values.len()..];
+                    }
+                    Some(Binding::Atom(_)) => unreachable!("valuation binding of the wrong kind"),
+                },
+            },
+        }
+    }
+    values.is_empty()
+}
+
 /// A variable assignment enumerator used by negated-predicate checks: does *some*
 /// tuple of `tuples` match `pred` under an extension of `valuation`?
 pub fn matches_some_tuple(pred: &Predicate, tuples: &[Vec<Path>], valuation: &Valuation) -> bool {

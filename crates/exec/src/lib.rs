@@ -50,9 +50,10 @@ pub use schedule::{Component, Schedule, StratumSchedule};
 use parking_lot::{Mutex, RwLock};
 use seqdl_core::{Fact, Instance, RelName, Relation};
 use seqdl_engine::error::LimitKind;
+use seqdl_engine::ram::{self, RuleProc};
 use seqdl_engine::{
-    fire_rule, plan_rule, prepare_idb_instance, register_plan_indexes, BodyPlan, DeltaWindow,
-    EmitMemo, Engine, EvalError, EvalStats, FireStats, FixpointStrategy, StratumStats,
+    fire_proc, fire_rule, plan_rule, prepare_idb_instance, register_plan_indexes, BodyPlan,
+    DeltaWindow, EmitMemo, Engine, EvalError, EvalStats, FireStats, FixpointStrategy, StratumStats,
 };
 use seqdl_syntax::Program;
 use seqdl_syntax::{ProgramInfo, Rule, Stratum};
@@ -79,6 +80,8 @@ struct Job<'a> {
     id: usize,
     rule: &'a Rule,
     plan: &'a BodyPlan,
+    /// The rule's lowered RAM procedure; `None` runs the legacy matcher.
+    proc: Option<&'a RuleProc>,
     window: Option<DeltaWindow>,
 }
 
@@ -94,9 +97,12 @@ fn run_job(job: Job<'_>, instance: &Instance) -> JobOutcome {
     // Jobs are independent work units, so each gets a fresh emit memo; it
     // still collapses duplicate derivations within the job's delta shard.
     let mut memo = EmitMemo::new();
-    let result = fire_rule(
-        job.rule, job.plan, instance, job.window, &mut memo, &mut out,
-    )
+    let result = match job.proc {
+        Some(proc) => fire_proc(proc, instance, job.window, &mut memo, &mut out),
+        None => fire_rule(
+            job.rule, job.plan, instance, job.window, &mut memo, &mut out,
+        ),
+    }
     .map(|fire| (out, fire));
     JobOutcome { id: job.id, result }
 }
@@ -283,6 +289,22 @@ impl Executor {
         // starts: workers only ever read the instance, and inserts (which all
         // happen under the driver's write lock) maintain the indexes.
         register_plan_indexes(plans.iter().flatten(), &mut instance);
+        // Derived relations keep only the column tries some plan can probe;
+        // every other column stops paying per-insert indexing.
+        seqdl_engine::restrict_head_indexes(
+            info.idb.iter().copied(),
+            plans.iter().flatten(),
+            &mut instance,
+        );
+        // Lower the whole program to RAM up front (unless disabled): jobs
+        // borrow the procedures for the lifetime of the worker pool.  The
+        // lowering derives its fixpoint scopes from the same precedence-graph
+        // condensation as the schedule, so delta positions agree exactly.
+        let lowered: Option<ram::Program> = self
+            .engine
+            .ram_enabled()
+            .then(|| ram::lower(program))
+            .transpose()?;
         let mut stats = EvalStats::default();
         let threads = self.effective_threads();
         let shard = ShardPolicy {
@@ -297,6 +319,7 @@ impl Executor {
                 &program.strata,
                 &schedule,
                 &plans,
+                lowered.as_ref(),
                 shard,
                 &lock,
                 &mut stats,
@@ -326,6 +349,7 @@ impl Executor {
                     &program.strata,
                     &schedule,
                     &plans,
+                    lowered.as_ref(),
                     shard,
                     &lock,
                     &mut stats,
@@ -414,12 +438,16 @@ fn drive<'a>(
     strata: &'a [Stratum],
     schedule: &Schedule,
     plans: &'a [Vec<BodyPlan>],
+    lowered: Option<&'a ram::Program>,
     shard: ShardPolicy,
     instance: &RwLock<Instance>,
     stats: &mut EvalStats,
     mut round: impl FnMut(Vec<Job<'a>>) -> Vec<JobOutcome>,
 ) -> Result<(), EvalError> {
-    for ((stratum, sched), stratum_plans) in strata.iter().zip(&schedule.strata).zip(plans) {
+    for (si, ((stratum, sched), stratum_plans)) in
+        strata.iter().zip(&schedule.strata).zip(plans).enumerate()
+    {
+        let procs: Option<&'a [RuleProc]> = lowered.map(|l| l.strata[si].procs.as_slice());
         let start = Instant::now();
         let before = (stats.iterations, stats.derived_facts, stats.rule_firings);
         for level in &sched.levels {
@@ -439,6 +467,7 @@ fn drive<'a>(
                         id: jobs.len(),
                         rule: &stratum.rules[rule_ix],
                         plan: &stratum_plans[rule_ix],
+                        proc: procs.map(|p| &p[rule_ix]),
                         window: None,
                     });
                 }
@@ -464,6 +493,7 @@ fn drive<'a>(
                     engine,
                     stratum,
                     stratum_plans,
+                    procs,
                     &recursive,
                     shard,
                     &mut rounds,
@@ -478,6 +508,7 @@ fn drive<'a>(
             iterations: stats.iterations - before.0,
             derived_facts: stats.derived_facts - before.1,
             rule_firings: stats.rule_firings - before.2,
+            shards: std::mem::take(&mut stats.delta_shards),
             wall: start.elapsed(),
         });
     }
@@ -487,7 +518,7 @@ fn drive<'a>(
 /// Per-component fixpoint state inside a lock-step group.
 struct ComponentState<'a, 'c> {
     component: &'c Component,
-    rules: Vec<(&'a Rule, &'a BodyPlan)>,
+    rules: Vec<(&'a Rule, &'a BodyPlan, Option<&'a RuleProc>)>,
     /// Per rule: the plan positions that draw from this component's delta.
     delta_positions: Vec<Vec<usize>>,
     /// Watermark per component relation: its length at the previous iteration
@@ -509,6 +540,7 @@ fn fixpoint_group<'a, R: FnMut(Vec<Job<'a>>) -> Vec<JobOutcome>>(
     engine: &Engine,
     stratum: &'a Stratum,
     plans: &'a [BodyPlan],
+    procs: Option<&'a [RuleProc]>,
     components: &[&Component],
     shard: ShardPolicy,
     rounds: &mut usize,
@@ -520,14 +552,14 @@ fn fixpoint_group<'a, R: FnMut(Vec<Job<'a>>) -> Vec<JobOutcome>>(
     let mut states: Vec<ComponentState<'a, '_>> = components
         .iter()
         .map(|component| {
-            let rules: Vec<(&'a Rule, &'a BodyPlan)> = component
+            let rules: Vec<(&'a Rule, &'a BodyPlan, Option<&'a RuleProc>)> = component
                 .rule_indices
                 .iter()
-                .map(|&i| (&stratum.rules[i], &plans[i]))
+                .map(|&i| (&stratum.rules[i], &plans[i], procs.map(|p| &p[i])))
                 .collect();
             let delta_positions = rules
                 .iter()
-                .map(|(_, plan)| plan.delta_positions(&component.relations))
+                .map(|(_, plan, _)| plan.delta_positions(&component.relations))
                 .collect();
             ComponentState {
                 component,
@@ -548,17 +580,20 @@ fn fixpoint_group<'a, R: FnMut(Vec<Job<'a>>) -> Vec<JobOutcome>>(
             let guard = instance.read();
             for state in states.iter().filter(|s| s.active) {
                 if state.iteration == 0 || naive {
-                    for &(rule, plan) in &state.rules {
+                    for &(rule, plan, proc) in &state.rules {
                         jobs.push(Job {
                             id: jobs.len(),
                             rule,
                             plan,
+                            proc,
                             window: None,
                         });
                     }
                     continue;
                 }
-                for ((rule, plan), positions) in state.rules.iter().zip(&state.delta_positions) {
+                for (&(rule, plan, proc), positions) in
+                    state.rules.iter().zip(&state.delta_positions)
+                {
                     for &pos in positions {
                         let relation = plan.predicate_at(pos)?.pred.relation;
                         let hi = guard.relation(relation).map_or(0, Relation::len);
@@ -569,6 +604,7 @@ fn fixpoint_group<'a, R: FnMut(Vec<Job<'a>>) -> Vec<JobOutcome>>(
                         // Split the delta into equal shards; the shard count is
                         // clamped to a small multiple of the worker count.
                         let size = shard.size_for(hi - lo);
+                        stats.note_shards((hi - lo).div_ceil(size));
                         let mut shard_lo = lo;
                         while shard_lo < hi {
                             let shard_hi = (shard_lo + size).min(hi);
@@ -576,6 +612,7 @@ fn fixpoint_group<'a, R: FnMut(Vec<Job<'a>>) -> Vec<JobOutcome>>(
                                 id: jobs.len(),
                                 rule,
                                 plan,
+                                proc,
                                 window: Some(DeltaWindow {
                                     pos,
                                     lo: shard_lo,

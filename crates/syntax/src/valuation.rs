@@ -179,6 +179,24 @@ impl Valuation {
         self.entries.len()
     }
 
+    /// Drop every binding added after the valuation had `len` entries — the
+    /// bulk LIFO twin of [`Valuation::pop_binding`], used by frame-based
+    /// matchers that record a depth on entry and backtrack to it wholesale.
+    ///
+    /// # Panics
+    /// In debug builds, panics if `len` exceeds the current length.
+    pub fn truncate(&mut self, len: usize) {
+        debug_assert!(len <= self.entries.len(), "truncate past the binding end");
+        self.entries.truncate(len);
+    }
+
+    /// The `(variable, binding)` pairs added after the valuation had `start`
+    /// entries, in binding order — the delta a frame-based matcher buffers
+    /// from a nested enumeration and replays later with [`Valuation::bind_new`].
+    pub fn bindings_since(&self, start: usize) -> &[(Var, Binding)] {
+        &self.entries[start..]
+    }
+
     /// Is the valuation empty?
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
