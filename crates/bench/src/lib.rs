@@ -26,6 +26,7 @@ pub fn bench_engine() -> Engine {
         max_iterations: 100_000,
         max_facts: 5_000_000,
         max_path_len: 1_000_000,
+        ..EvalLimits::default()
     })
 }
 

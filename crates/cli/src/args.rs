@@ -45,6 +45,8 @@ pub const VALUE_FLAGS: &[&str] = &[
     "max-iterations",
     "max-facts",
     "max-path-len",
+    "max-store-bytes",
+    "timeout",
     "threads",
     "shard-size",
     "goal",

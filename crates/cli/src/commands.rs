@@ -65,10 +65,12 @@ pub fn help_text() -> String {
         "Usage:\n",
         "  seqdl run         --program q.sdl --instance db.sdi [--output S] [--strategy naive|semi-naive]\n",
         "                    [--threads N] [--shard-size N] [--max-iterations N] [--max-facts N]\n",
-        "                    [--max-path-len N] [--no-ram] [--stats] [--save out.sdi]\n",
+        "                    [--max-path-len N] [--timeout 50ms|2s] [--max-store-bytes 64m]\n",
+        "                    [--no-ram] [--stats] [--save out.sdi]\n",
         "  seqdl query       --program q.sdl --instance db.sdi --goal \"Reach(a·b·$x)?\"\n",
-        "                    [--threads N] [--no-ram] [--stats] [--show-rewrite] (demand-driven:\n",
-        "                    only rules relevant to the goal fire, via the magic-set rewrite)\n",
+        "                    [--threads N] [--timeout 50ms] [--no-ram] [--stats] [--show-rewrite]\n",
+        "                    (demand-driven: only rules relevant to the goal fire, via the\n",
+        "                    magic-set rewrite)\n",
         "  seqdl analyze     --program q.sdl [--show-ram]\n",
         "  seqdl termination --program q.sdl\n",
         "  seqdl rewrite     --program q.sdl --eliminate arity|equations|packing|intermediate [--output S]\n",
@@ -86,6 +88,12 @@ pub fn help_text() -> String {
         "By default rules are compiled to a flat RAM-style instruction program\n",
         "(`seqdl analyze --show-ram` prints the listing); `--no-ram` falls back to\n",
         "the legacy tree-walking matcher.\n",
+        "\n",
+        "Resource governance: `--timeout D` imposes a wall-clock deadline (bare\n",
+        "numbers are milliseconds; `ms`/`s`/`m` suffixes accepted), and\n",
+        "`--max-store-bytes N` bounds the path store's growth (`k`/`m`/`g`\n",
+        "suffixes accepted).  A run stopped by either — or by Ctrl-C — exits\n",
+        "nonzero and reports the statistics accumulated up to that point.\n",
     )
     .to_string()
 }
@@ -135,6 +143,55 @@ fn output_relation(flags: &Flags, program: &Program) -> Result<RelName, CliError
         .ok_or_else(|| CliError::Command("program has no rules; pass --output explicitly".into()))
 }
 
+/// Parse a `--timeout` value: a bare number means milliseconds; `ms`, `s`,
+/// and `m` suffixes are accepted (`50ms`, `2s`, `1m`).
+fn parse_timeout(value: &str) -> Result<std::time::Duration, CliError> {
+    let value = value.trim();
+    let (number, scale_ms) = if let Some(n) = value.strip_suffix("ms") {
+        (n, 1u64)
+    } else if let Some(n) = value.strip_suffix('s') {
+        (n, 1_000)
+    } else if let Some(n) = value.strip_suffix('m') {
+        (n, 60_000)
+    } else {
+        (value, 1)
+    };
+    number
+        .trim()
+        .parse::<u64>()
+        .map(|n| std::time::Duration::from_millis(n * scale_ms))
+        .map_err(|_| {
+            CliError::Command(format!(
+                "--timeout expects a duration like `500`, `50ms`, `2s`, or `1m`, got `{value}`"
+            ))
+        })
+}
+
+/// Parse a `--max-store-bytes` value: a bare number is bytes; `k`/`kb`,
+/// `m`/`mb`, and `g`/`gb` suffixes scale by powers of 1024.
+fn parse_bytes(value: &str) -> Result<usize, CliError> {
+    let value = value.trim();
+    let lower = value.to_ascii_lowercase();
+    let (number, scale) = if let Some(n) = lower.strip_suffix("kb").or(lower.strip_suffix('k')) {
+        (n.to_string(), 1usize << 10)
+    } else if let Some(n) = lower.strip_suffix("mb").or(lower.strip_suffix('m')) {
+        (n.to_string(), 1 << 20)
+    } else if let Some(n) = lower.strip_suffix("gb").or(lower.strip_suffix('g')) {
+        (n.to_string(), 1 << 30)
+    } else {
+        (lower, 1)
+    };
+    number
+        .trim()
+        .parse::<usize>()
+        .map(|n| n.saturating_mul(scale))
+        .map_err(|_| {
+            CliError::Command(format!(
+                "--max-store-bytes expects a size like `1048576`, `64k`, or `4m`, got `{value}`"
+            ))
+        })
+}
+
 fn engine_from_flags(flags: &Flags) -> Result<Engine, CliError> {
     let mut limits = EvalLimits::default();
     if let Some(n) = flags.get_usize("max-iterations")? {
@@ -145,6 +202,12 @@ fn engine_from_flags(flags: &Flags) -> Result<Engine, CliError> {
     }
     if let Some(n) = flags.get_usize("max-path-len")? {
         limits.max_path_len = n;
+    }
+    if let Some(value) = flags.get("timeout") {
+        limits.deadline = Some(parse_timeout(value)?);
+    }
+    if let Some(value) = flags.get("max-store-bytes") {
+        limits.max_store_bytes = Some(parse_bytes(value)?);
     }
     let strategy = match flags.get("strategy") {
         None | Some("semi-naive") | Some("seminaive") => FixpointStrategy::SemiNaive,
@@ -158,7 +221,10 @@ fn engine_from_flags(flags: &Flags) -> Result<Engine, CliError> {
     Ok(Engine::new()
         .with_limits(limits)
         .with_strategy(strategy)
-        .with_ram(!flags.has("no-ram")))
+        .with_ram(!flags.has("no-ram"))
+        // Ctrl-C cancels a running evaluation at the next governor checkpoint
+        // instead of killing the process: the run returns with partial stats.
+        .with_cancel_token(seqdl_core::CancelToken::linked_to(&crate::INTERRUPTED)))
 }
 
 /// The stratified SCC executor configured by the flags: the engine's limits and
@@ -226,6 +292,24 @@ fn unknown_relation_error(name: RelName, known: &[RelName]) -> CliError {
     ))
 }
 
+/// Render an evaluation error from `run`/`query`, appending the partial
+/// statistics a cancelled run accumulated before it stopped — so a `--timeout`
+/// or Ctrl-C still reports how far the evaluation got (and the process exits
+/// nonzero).
+fn eval_error_report(executor: &Executor, error: &seqdl_engine::EvalError) -> CliError {
+    let mut message = error.to_string();
+    if let Some(stats) = error.partial_stats() {
+        message.push_str("\npartial progress at cancellation:\n");
+        write_stats(&mut message, executor, stats);
+        // The stats block ends with a newline; the CLI error printer adds its
+        // own, so trim the trailing one.
+        while message.ends_with('\n') {
+            message.pop();
+        }
+    }
+    CliError::Command(message)
+}
+
 /// Append the `--stats` block shared by `run` and `query`.
 fn write_stats(report: &mut String, executor: &Executor, stats: &seqdl_engine::EvalStats) {
     writeln!(
@@ -271,7 +355,7 @@ fn cmd_run(flags: &Flags) -> Result<String, CliError> {
     let executor = executor_from_flags(flags)?;
     let (result, stats) = executor
         .run_with_stats(&program, &instance)
-        .map_err(command_error)?;
+        .map_err(|e| eval_error_report(&executor, &e))?;
 
     let mut report = String::new();
     let relation = result.relation(output);
@@ -379,7 +463,7 @@ fn cmd_query(flags: &Flags) -> Result<String, CliError> {
     let mp = magic(&program, &goal).map_err(command_error)?;
     let (result, stats) = executor
         .run_with_stats_seeded(&mp.program, &instance, &mp.seeds)
-        .map_err(command_error)?;
+        .map_err(|e| eval_error_report(&executor, &e))?;
     let answers = mp.answers(&result);
     print_answers(&mut report, &answers);
     if flags.has("show-rewrite") {
@@ -435,6 +519,15 @@ fn cmd_analyze(flags: &Flags) -> Result<String, CliError> {
         )
         .expect("write to string");
     }
+    writeln!(
+        report,
+        "cancel checkpoints: every stratum boundary ({} here), every fixpoint round, \
+         and every {} interpreter instructions (amortised); `--timeout`, \
+         `--max-store-bytes`, and Ctrl-C take effect there",
+        program.stratum_count(),
+        seqdl_engine::GOVERNOR_CHECK_INTERVAL
+    )
+    .expect("write to string");
     if flags.has("show-ram") {
         match seqdl_engine::ram::lower(&program) {
             Ok(lowered) => {
@@ -789,6 +882,82 @@ mod tests {
             output.contains("stratum 1: 1 rule(s), 1 iteration(s)"),
             "{output}"
         );
+    }
+
+    #[test]
+    fn timeout_and_byte_values_parse_with_suffixes() {
+        assert_eq!(parse_timeout("500").unwrap().as_millis(), 500);
+        assert_eq!(parse_timeout("50ms").unwrap().as_millis(), 50);
+        assert_eq!(parse_timeout("2s").unwrap().as_millis(), 2_000);
+        assert_eq!(parse_timeout("1m").unwrap().as_millis(), 60_000);
+        assert!(parse_timeout("soon").is_err());
+        assert_eq!(parse_bytes("1024").unwrap(), 1024);
+        assert_eq!(parse_bytes("64k").unwrap(), 64 << 10);
+        assert_eq!(parse_bytes("4MB").unwrap(), 4 << 20);
+        assert_eq!(parse_bytes("1g").unwrap(), 1 << 30);
+        assert!(parse_bytes("lots").is_err());
+    }
+
+    #[test]
+    fn run_with_timeout_cancels_and_reports_partial_stats() {
+        // Non-terminating without the deadline: path-doubling recursion with
+        // limits far beyond what 50ms can evaluate.
+        let program = write_program("timeout.sdl", "T(a).\nT(a·$x) <- T($x).");
+        let instance = write_instance_file("timeout.sdi", &Instance::new());
+        let started = std::time::Instant::now();
+        let err = cmd_run(&flags(&[
+            "--program",
+            &program,
+            "--instance",
+            &instance,
+            "--output",
+            "T",
+            "--timeout",
+            "50ms",
+            "--max-iterations",
+            "100000000",
+            "--max-facts",
+            "100000000",
+            "--max-path-len",
+            "100000000",
+        ]))
+        .unwrap_err();
+        let elapsed = started.elapsed();
+        let message = err.to_string();
+        assert!(message.contains("cancelled"), "{message}");
+        assert!(message.contains("deadline"), "{message}");
+        assert!(
+            message.contains("partial progress at cancellation:"),
+            "{message}"
+        );
+        assert!(message.contains("iterations:"), "{message}");
+        // The deadline is enforced at governor checkpoints, so termination is
+        // prompt — well within the acceptance bound of 2× the deadline (with
+        // slack for debug-build scheduling noise).
+        assert!(
+            elapsed < std::time::Duration::from_millis(1_000),
+            "cancelled run took {elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn run_reports_store_budget_violations() {
+        let program = write_program("store-budget.sdl", "T(a).\nT(a·$x) <- T($x).");
+        let instance = write_instance_file("store-budget.sdi", &Instance::new());
+        let err = cmd_run(&flags(&[
+            "--program",
+            &program,
+            "--instance",
+            &instance,
+            "--output",
+            "T",
+            "--max-store-bytes",
+            "4k",
+            "--max-iterations",
+            "100000000",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("path-store bytes"), "{err}");
     }
 
     #[test]

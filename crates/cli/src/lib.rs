@@ -29,6 +29,40 @@ pub mod commands;
 pub use args::{parse_flags, ArgError, Flags};
 pub use commands::{run_command, CliError};
 
+use std::sync::atomic::AtomicBool;
+
+/// Process-wide interrupt flag: the SIGINT handler sets it (the only
+/// async-signal-safe thing it does), and every engine built by the CLI links
+/// its [`seqdl_core::CancelToken`] to it — so Ctrl-C makes a running
+/// evaluation return [`seqdl_engine::EvalError::Cancelled`] with partial
+/// statistics at the next governor checkpoint instead of killing the process.
+pub static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+/// Install the SIGINT handler that sets [`INTERRUPTED`].  Called once by the
+/// `seqdl` binary before dispatching; library users (and the unit tests) can
+/// skip it and cancel through their own tokens.
+#[cfg(unix)]
+pub fn install_sigint_handler() {
+    use std::sync::atomic::Ordering;
+    extern "C" fn on_sigint(_signum: i32) {
+        // Async-signal-safe: a single atomic store, no allocation, no locks.
+        INTERRUPTED.store(true, Ordering::Release);
+    }
+    const SIGINT: i32 = 2;
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    // Registering a handler cannot fail for SIGINT with a valid function
+    // pointer; the previous handler (the default) is intentionally discarded.
+    unsafe {
+        signal(SIGINT, on_sigint);
+    }
+}
+
+/// No-op on platforms without POSIX signals.
+#[cfg(not(unix))]
+pub fn install_sigint_handler() {}
+
 /// Entry point used by the `seqdl` binary: dispatch on the subcommand name.
 ///
 /// # Errors

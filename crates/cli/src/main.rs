@@ -1,6 +1,7 @@
 //! The `seqdl` binary: a thin wrapper around [`seqdl_cli::run_cli`].
 
 fn main() {
+    seqdl_cli::install_sigint_handler();
     let args: Vec<String> = std::env::args().skip(1).collect();
     match seqdl_cli::run_cli(&args) {
         Ok(output) => {

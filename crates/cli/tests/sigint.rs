@@ -1,0 +1,78 @@
+//! End-to-end SIGINT handling: interrupting a running `seqdl run` makes the
+//! process exit nonzero with a cancellation message and partial statistics,
+//! instead of dying on the default signal disposition.
+#![cfg(unix)]
+
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn temp_file(name: &str, contents: &str) -> std::path::PathBuf {
+    let mut path = std::env::temp_dir();
+    path.push(format!("seqdl-sigint-{}-{name}", std::process::id()));
+    std::fs::write(&path, contents).expect("write temp file");
+    path
+}
+
+#[test]
+fn sigint_cancels_a_running_evaluation_with_partial_stats() {
+    // A diverging program with the safety limits pushed out of the way: only
+    // the signal stops it.
+    let program = temp_file("diverge.sdl", "T(a).\nT(a·$x) <- T($x).\n");
+    let instance = temp_file("empty.sdi", "");
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_seqdl"))
+        .args([
+            "run",
+            "--program",
+            program.to_str().expect("utf-8 temp path"),
+            "--instance",
+            instance.to_str().expect("utf-8 temp path"),
+            "--output",
+            "T",
+            "--stats",
+            "--max-iterations",
+            "100000000",
+            "--max-facts",
+            "100000000",
+            "--max-path-len",
+            "100000000",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn seqdl");
+
+    // Let the evaluation get going, then interrupt it.
+    std::thread::sleep(Duration::from_millis(400));
+    let kill = Command::new("/bin/kill")
+        .args(["-INT", &child.id().to_string()])
+        .status()
+        .expect("send SIGINT");
+    assert!(kill.success(), "kill -INT failed");
+
+    // The run must notice the signal at a governor checkpoint and exit
+    // promptly on its own error path.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let status = loop {
+        match child.try_wait().expect("poll child") {
+            Some(status) => break status,
+            None if Instant::now() > deadline => {
+                child.kill().ok();
+                panic!("seqdl did not exit within 10s of SIGINT");
+            }
+            None => std::thread::sleep(Duration::from_millis(25)),
+        }
+    };
+    let output = child.wait_with_output().expect("collect output");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+
+    // Exited via the CLI's error path (code 1), not killed by the signal.
+    assert_eq!(status.code(), Some(1), "stderr:\n{stderr}");
+    assert!(stderr.contains("cancelled"), "stderr:\n{stderr}");
+    assert!(stderr.contains("interrupted"), "stderr:\n{stderr}");
+    assert!(
+        stderr.contains("partial progress at cancellation:"),
+        "stderr:\n{stderr}"
+    );
+    assert!(stderr.contains("iterations:"), "stderr:\n{stderr}");
+}

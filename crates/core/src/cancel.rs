@@ -1,0 +1,205 @@
+//! Cooperative cancellation for long-running evaluations.
+//!
+//! A [`CancelToken`] is a cheaply cloneable handle (an `Arc` around an atomic
+//! flag plus a reason slot) shared between whoever *requests* cancellation — a
+//! deadline watchdog, a SIGINT handler, a panicking executor worker — and the
+//! evaluation loops that *observe* it.  Observation is cooperative: the
+//! evaluators poll [`CancelToken::is_cancelled`] at fixpoint-round and stratum
+//! boundaries and (amortised) inside the RAM interpreter's instruction loop,
+//! then unwind with a structured error carrying the partial statistics
+//! accumulated so far.
+//!
+//! The token never allocates on the signal path: [`CancelToken::linked_to`]
+//! attaches a `'static` [`AtomicBool`] that an async-signal handler may set,
+//! and the reason string for that path is materialised lazily by the observer,
+//! not the handler.
+
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Shared cancellation flag with a human-readable reason.
+///
+/// Cloning is cheap (an `Arc` bump); all clones observe the same state.  The
+/// first call to [`CancelToken::cancel`] wins: later reasons are ignored so the
+/// reported cause is the event that actually triggered cancellation.
+#[derive(Clone, Debug)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        CancelToken::new()
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    flag: AtomicBool,
+    /// Optional external flag (e.g. set by a signal handler) folded into
+    /// [`CancelToken::is_cancelled`].
+    external: Option<&'static AtomicBool>,
+    /// Deterministic test hook: when >= 0, each [`CancelToken::checkpoint`]
+    /// call decrements the countdown and cancels the token once it reaches
+    /// zero.  -1 means "disabled".
+    countdown: AtomicI64,
+    reason: Mutex<Option<String>>,
+}
+
+impl Inner {
+    fn new(external: Option<&'static AtomicBool>) -> Inner {
+        Inner {
+            flag: AtomicBool::new(false),
+            external,
+            countdown: AtomicI64::new(-1),
+            reason: Mutex::new(None),
+        }
+    }
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken {
+            inner: Arc::new(Inner::new(None)),
+        }
+    }
+
+    /// A token that additionally observes `flag`: once `flag` reads `true`
+    /// (typically set from a signal handler, which must not allocate), the
+    /// token reports itself cancelled with the reason `"interrupted"`.
+    pub fn linked_to(flag: &'static AtomicBool) -> CancelToken {
+        CancelToken {
+            inner: Arc::new(Inner::new(Some(flag))),
+        }
+    }
+
+    /// Request cancellation with `reason`.  The first caller wins; subsequent
+    /// calls are no-ops so the original cause is preserved.
+    pub fn cancel(&self, reason: &str) {
+        let mut slot = match self.inner.reason.lock() {
+            Ok(slot) => slot,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if slot.is_none() {
+            *slot = Some(reason.to_string());
+        }
+        drop(slot);
+        self.inner.flag.store(true, Ordering::Release);
+    }
+
+    /// Has cancellation been requested (directly or via the linked flag)?
+    pub fn is_cancelled(&self) -> bool {
+        if self.inner.flag.load(Ordering::Acquire) {
+            return true;
+        }
+        if let Some(external) = self.inner.external {
+            if external.load(Ordering::Acquire) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The reason recorded by the first [`CancelToken::cancel`] call, or
+    /// `"interrupted"` if cancellation arrived through the linked external
+    /// flag, or `"cancelled"` as a last resort.
+    pub fn reason(&self) -> String {
+        let slot = match self.inner.reason.lock() {
+            Ok(slot) => slot,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if let Some(reason) = slot.as_ref() {
+            return reason.clone();
+        }
+        drop(slot);
+        if let Some(external) = self.inner.external {
+            if external.load(Ordering::Acquire) {
+                return "interrupted".to_string();
+            }
+        }
+        "cancelled".to_string()
+    }
+
+    /// Arm the deterministic countdown: the token cancels itself on the `n`th
+    /// subsequent [`CancelToken::checkpoint`] call.  Used by tests to cancel
+    /// at an exact, reproducible point of the evaluation.
+    pub fn cancel_after(&self, n: u64) {
+        self.inner.countdown.store(n as i64, Ordering::Release);
+    }
+
+    /// Notify the token that the evaluation reached a cancellation checkpoint.
+    /// Only meaningful when a countdown is armed via
+    /// [`CancelToken::cancel_after`]; a no-op otherwise.
+    pub fn checkpoint(&self) {
+        if self.inner.countdown.load(Ordering::Acquire) < 0 {
+            return;
+        }
+        if self.inner.countdown.fetch_sub(1, Ordering::AcqRel) <= 1 {
+            self.inner.countdown.store(-1, Ordering::Release);
+            self.cancel("test countdown elapsed");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_is_not_cancelled() {
+        let token = CancelToken::new();
+        assert!(!token.is_cancelled());
+        assert_eq!(token.reason(), "cancelled");
+    }
+
+    #[test]
+    fn first_cancel_reason_wins() {
+        let token = CancelToken::new();
+        token.cancel("deadline exceeded");
+        token.cancel("later reason");
+        assert!(token.is_cancelled());
+        assert_eq!(token.reason(), "deadline exceeded");
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        clone.cancel("poisoned");
+        assert!(token.is_cancelled());
+        assert_eq!(token.reason(), "poisoned");
+    }
+
+    #[test]
+    fn linked_flag_is_observed() {
+        static FLAG: AtomicBool = AtomicBool::new(false);
+        let token = CancelToken::linked_to(&FLAG);
+        assert!(!token.is_cancelled());
+        FLAG.store(true, Ordering::Release);
+        assert!(token.is_cancelled());
+        assert_eq!(token.reason(), "interrupted");
+        FLAG.store(false, Ordering::Release);
+    }
+
+    #[test]
+    fn countdown_cancels_on_nth_checkpoint() {
+        let token = CancelToken::new();
+        token.cancel_after(3);
+        token.checkpoint();
+        token.checkpoint();
+        assert!(!token.is_cancelled());
+        token.checkpoint();
+        assert!(token.is_cancelled());
+        assert_eq!(token.reason(), "test countdown elapsed");
+    }
+
+    #[test]
+    fn checkpoint_without_countdown_is_noop() {
+        let token = CancelToken::new();
+        for _ in 0..100 {
+            token.checkpoint();
+        }
+        assert!(!token.is_cancelled());
+    }
+}

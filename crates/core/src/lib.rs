@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod cancel;
 pub mod error;
 pub mod hash;
 pub mod instance;
@@ -28,13 +29,14 @@ pub mod path;
 pub mod store;
 pub mod value;
 
+pub use cancel::CancelToken;
 pub use error::CoreError;
 pub use hash::{fx_hash, FxHasher, FxMap};
 pub use instance::{
     joint_probe_key, Fact, Instance, PrefixTrie, Relation, Schema, TrieEntry, Tuple, TRIE_DEPTH,
 };
 pub use interner::{AtomId, RelName, Symbol, VarSym};
-pub use path::{Path, Subpaths};
+pub use path::{Path, PathView, Subpaths};
 pub use store::{store_stats, PathId, Segment, StoreStats};
 pub use value::Value;
 

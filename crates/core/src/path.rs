@@ -224,6 +224,159 @@ impl Path {
     }
 }
 
+/// An *unregistered* view `parent[start..end]` of an interned path: a
+/// contiguous slice of the parent's shared storage that is **not** itself
+/// interned in the global store.
+///
+/// The backtracking matcher enumerates O(L) candidate cuts per path variable
+/// (O(L²) for adjacent variables) and almost all of them are rejected by a
+/// later literal.  Registering every candidate made the store grow with the
+/// number of *attempted* matches rather than the number of *derived* facts —
+/// the "growth caveat" of [`crate::store`].  A `PathView` defers interning:
+/// bindings hold views, all comparisons during matching run over the value
+/// slice, and only the cuts that survive to fact emission (or equation
+/// grounding) are interned via [`PathView::to_path`].
+///
+/// Equality, hashing, and ordering are over the *content* (the value
+/// sequence), with an O(1) fast path when two views share a parent and range,
+/// so views of equal content behave identically no matter how they were cut.
+#[derive(Clone, Copy)]
+pub struct PathView {
+    parent: Path,
+    start: u32,
+    end: u32,
+}
+
+impl PathView {
+    /// The view `parent[start..end]` (half-open).  No interning happens.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds (mirrors slice indexing).
+    pub fn cut(parent: Path, start: usize, end: usize) -> PathView {
+        // Validate the range eagerly so `values()` cannot panic later.
+        let _ = &parent.values()[start..end];
+        PathView {
+            parent,
+            start: start as u32,
+            end: end as u32,
+        }
+    }
+
+    /// The values of the view, in order — a sub-slice of the parent's shared
+    /// storage, so no allocation or interning.
+    pub fn values(&self) -> &'static [Value] {
+        &self.parent.values()[self.start as usize..self.end as usize]
+    }
+
+    /// Number of values in the view.
+    pub fn len(&self) -> usize {
+        (self.end - self.start) as usize
+    }
+
+    /// Is the view empty?
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// The interned path with this view's content.  This is the *only* point
+    /// where a view touches the store: full-range views resolve to the parent
+    /// in O(1), empty views to `ε`, and proper cuts go through the
+    /// `(id, start, end)` subpath memo.
+    pub fn to_path(&self) -> Path {
+        self.parent.subpath(self.start as usize, self.end as usize)
+    }
+
+    /// This view as a [`Segment`] for [`Path::from_segments`]; interns the
+    /// content (views are registered exactly when they reach an emission).
+    pub fn as_segment(&self) -> Segment {
+        self.to_path().as_segment()
+    }
+
+    /// The interned parent path this view cuts into.
+    pub fn parent(&self) -> Path {
+        self.parent
+    }
+
+    /// The `(start, end)` range of the view within its parent.
+    pub fn range(&self) -> (usize, usize) {
+        (self.start as usize, self.end as usize)
+    }
+}
+
+/// A whole interned path, viewed (no cut, no store traffic).
+impl From<Path> for PathView {
+    fn from(parent: Path) -> PathView {
+        let len = parent.len() as u32;
+        PathView {
+            parent,
+            start: 0,
+            end: len,
+        }
+    }
+}
+
+impl PartialEq for PathView {
+    fn eq(&self, other: &PathView) -> bool {
+        if self.parent.id() == other.parent.id()
+            && self.start == other.start
+            && self.end == other.end
+        {
+            return true;
+        }
+        self.values() == other.values()
+    }
+}
+
+impl Eq for PathView {}
+
+impl std::hash::Hash for PathView {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // Content hashing, consistent with content equality.
+        self.values().hash(state);
+    }
+}
+
+/// Content ordering, consistent with [`Path`]'s content ordering.
+impl Ord for PathView {
+    fn cmp(&self, other: &PathView) -> Ordering {
+        if self.parent.id() == other.parent.id()
+            && self.start == other.start
+            && self.end == other.end
+        {
+            return Ordering::Equal;
+        }
+        self.values().cmp(other.values())
+    }
+}
+
+impl PartialOrd for PathView {
+    fn partial_cmp(&self, other: &PathView) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Display for PathView {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let values = self.values();
+        if values.is_empty() {
+            return f.write_str("eps");
+        }
+        for (i, v) in values.iter().enumerate() {
+            if i > 0 {
+                f.write_str("·")?;
+            }
+            v.fmt_into(f)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for PathView {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
 /// Iterator over the contiguous subpaths of a path; see [`Path::subpaths`].
 #[derive(Clone, Debug)]
 pub struct Subpaths {
@@ -489,6 +642,48 @@ mod tests {
         let p = repeat_path("a", 4);
         assert_eq!(p.to_string(), "a·a·a·a");
         assert!(p.iter().all(|v| v.as_atom() == Some(atom("a"))));
+    }
+
+    #[test]
+    fn path_views_defer_interning_until_to_path() {
+        // A unique long parent: enumerating all O(L²) cuts as views must not
+        // grow the store with them.  (Other tests share the global store, so
+        // the assertion is a slack bound, not exact equality.)
+        let p = repeat_path("pview", 64);
+        let before = crate::store_stats().distinct_paths;
+        let views: Vec<PathView> = (0..=p.len())
+            .flat_map(|i| (i..=p.len()).map(move |j| (i, j)))
+            .map(|(i, j)| PathView::cut(p, i, j))
+            .collect();
+        assert!(views.len() > 2000);
+        // Cutting, reading, comparing, and hashing views registers nothing.
+        for v in &views {
+            assert_eq!(v.len(), v.values().len());
+            let _ = format!("{v}");
+        }
+        let grown = crate::store_stats().distinct_paths - before;
+        assert!(grown < 50, "views interned {grown} paths");
+        // Content equality across distinct parents and ranges.
+        let q = path_of(&["zz", "pview", "pview"]);
+        assert_eq!(PathView::cut(p, 1, 3), PathView::cut(q, 1, 3));
+        assert_ne!(PathView::cut(p, 0, 2), PathView::cut(q, 0, 2));
+        // Full-range and empty views resolve to existing interned paths.
+        assert_eq!(PathView::from(p).to_path(), p);
+        assert_eq!(PathView::cut(p, 2, 2).to_path(), Path::empty());
+        // Proper cuts intern on demand and agree with subpath.
+        assert_eq!(PathView::cut(p, 1, 3).to_path(), p.subpath(1, 3));
+    }
+
+    #[test]
+    fn path_view_ordering_matches_content() {
+        let p = path_of(&["m", "a", "b"]);
+        let q = path_of(&["a", "b", "z"]);
+        let va = PathView::cut(p, 1, 3); // a·b
+        let vb = PathView::cut(q, 0, 2); // a·b
+        assert_eq!(va.cmp(&vb), std::cmp::Ordering::Equal);
+        assert!(PathView::cut(p, 1, 2) < va, "prefix sorts first");
+        assert!(va < PathView::cut(q, 0, 3));
+        assert_eq!(va.to_path().to_string(), format!("{va}"));
     }
 
     #[test]

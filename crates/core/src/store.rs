@@ -31,18 +31,17 @@
 //! store" shape the multi-threaded executor wants.  Only interning *new*
 //! content takes the write lock.
 //!
-//! **Growth caveat.**  Because bindings are interned paths, the matcher's
-//! backtracking prefix enumeration registers every *speculative* cut of a
-//! matched path — up to O(L²) distinct subpaths for a length-L path probed
-//! by adjacent unbound path variables — and the store never forgets them.
-//! Cuts are zero-copy views into the parent's storage (only the table entry
-//! and memo rows are new bytes), and the evaluator's `max_path_len` /
-//! `max_facts` limits bound the blowup for paper-scale workloads, but a
-//! long-running service evaluating very long paths should expect the store
-//! to grow with the distinct subpaths *tried*, not just those kept.  A
-//! follow-up can bind enumerated prefixes as unregistered `(parent, start,
-//! end)` views and intern only on fact emission; `store_stats` exists so
-//! deployments can watch for this.
+//! **Growth discipline.**  The matcher's backtracking prefix enumeration
+//! tries up to O(L²) distinct cuts of a length-L path probed by adjacent
+//! unbound path variables, and the store never forgets an interned path.
+//! Speculative cuts therefore stay *out* of the store: bindings hold
+//! unregistered `(parent, start, end)` views ([`crate::PathView`]) whose
+//! comparisons run over the shared value slice, and a cut is interned only
+//! when it survives to a fact emission or equation grounding
+//! ([`crate::PathView::to_path`]).  Store growth thus tracks the facts an
+//! evaluation *keeps*, not the matches it *tried*; `store_stats` (and the
+//! evaluator's `max_store_bytes` budget) exist so deployments can watch and
+//! bound what remains.
 
 use crate::hash::{fx_hash, FxMap};
 use crate::interner::AtomId;

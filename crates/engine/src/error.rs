@@ -1,5 +1,6 @@
 //! Errors raised during evaluation.
 
+use crate::eval::EvalStats;
 use seqdl_core::CoreError;
 use seqdl_syntax::SyntaxError;
 use std::fmt;
@@ -48,6 +49,27 @@ pub enum EvalError {
         /// The configured limit value.
         limit: usize,
     },
+    /// The evaluation was cancelled — by a deadline, a caller-held
+    /// [`seqdl_core::CancelToken`], or a SIGINT — at a governor checkpoint
+    /// (stratum boundary, fixpoint round, or amortised RAM-instruction
+    /// check).  The instance built so far is discarded, but the statistics
+    /// accumulated up to the cancellation point travel with the error so
+    /// callers can report partial progress.
+    Cancelled {
+        /// Why the evaluation was cancelled (e.g. `"deadline of 50ms exceeded"`).
+        reason: String,
+        /// Statistics accumulated up to the cancellation point.
+        partial_stats: Box<EvalStats>,
+    },
+    /// A worker job panicked inside the parallel executor.  The panic was
+    /// contained by `catch_unwind`, the cancel token was poisoned so the
+    /// surviving workers drained, and the error carries the offending rule.
+    WorkerPanic {
+        /// Rendering of the rule whose job panicked.
+        rule: String,
+        /// The panic payload, if it was a string.
+        detail: String,
+    },
 }
 
 /// Which evaluation limit was exceeded.
@@ -59,6 +81,8 @@ pub enum LimitKind {
     Facts,
     /// A derived path grew too long.
     PathLength,
+    /// The global path store grew past the configured byte budget.
+    StoreBytes,
 }
 
 impl fmt::Display for LimitKind {
@@ -67,6 +91,7 @@ impl fmt::Display for LimitKind {
             LimitKind::Iterations => f.write_str("fixpoint iterations"),
             LimitKind::Facts => f.write_str("derived facts"),
             LimitKind::PathLength => f.write_str("derived path length"),
+            LimitKind::StoreBytes => f.write_str("path-store bytes"),
         }
     }
 }
@@ -93,6 +118,40 @@ impl fmt::Display for EvalError {
             EvalError::LimitExceeded { what, limit } => {
                 write!(f, "evaluation exceeded the limit of {limit} {what}")
             }
+            EvalError::Cancelled { reason, .. } => {
+                write!(f, "evaluation cancelled: {reason}")
+            }
+            EvalError::WorkerPanic { rule, detail } => {
+                write!(
+                    f,
+                    "executor worker panicked evaluating rule `{rule}`: {detail}"
+                )
+            }
+        }
+    }
+}
+
+impl EvalError {
+    /// Attach the run's accumulated statistics to a [`EvalError::Cancelled`]
+    /// raised deep inside the evaluation (governor checkpoints return it with
+    /// empty stats, since they cannot see the run totals).  Every other error
+    /// passes through unchanged.
+    #[must_use]
+    pub fn with_partial_stats(self, stats: EvalStats) -> EvalError {
+        match self {
+            EvalError::Cancelled { reason, .. } => EvalError::Cancelled {
+                reason,
+                partial_stats: Box::new(stats),
+            },
+            other => other,
+        }
+    }
+
+    /// The partial statistics carried by a [`EvalError::Cancelled`], if any.
+    pub fn partial_stats(&self) -> Option<&EvalStats> {
+        match self {
+            EvalError::Cancelled { partial_stats, .. } => Some(partial_stats),
+            _ => None,
         }
     }
 }
@@ -112,6 +171,7 @@ impl From<CoreError> for EvalError {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

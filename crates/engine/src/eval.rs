@@ -7,10 +7,13 @@ use crate::matching::{
 use crate::plan::{
     plan_rule, BodyPlan, ColumnProbe, PlannedLiteral, PlannedPredicate, PrefixSource,
 };
-use seqdl_core::{Fact, Instance, Path, RelName, Relation, TrieEntry, Tuple, Value, TRIE_DEPTH};
+use seqdl_core::{
+    CancelToken, Fact, Instance, Path, RelName, Relation, TrieEntry, Tuple, Value, TRIE_DEPTH,
+};
 use seqdl_syntax::{Binding, Program, ProgramInfo, Rule, Valuation};
 use std::cell::{Cell, RefCell};
 use std::collections::{BTreeMap, BTreeSet};
+use std::time::{Duration, Instant};
 
 /// Resource limits for evaluation.
 ///
@@ -24,6 +27,15 @@ pub struct EvalLimits {
     pub max_facts: usize,
     /// Maximum length of any derived path.
     pub max_path_len: usize,
+    /// Wall-clock deadline for the whole run; `None` disables it.  Exceeding
+    /// the deadline surfaces as [`EvalError::Cancelled`] with partial stats,
+    /// observed at the next governor checkpoint (stratum boundary, fixpoint
+    /// round, or amortised RAM-instruction check).
+    pub deadline: Option<Duration>,
+    /// Budget on global path-store *growth* (bytes beyond the store's size at
+    /// run start); `None` disables it.  Exceeding the budget surfaces as
+    /// [`EvalError::LimitExceeded`] with [`LimitKind::StoreBytes`].
+    pub max_store_bytes: Option<usize>,
 }
 
 impl Default for EvalLimits {
@@ -32,7 +44,109 @@ impl Default for EvalLimits {
             max_iterations: 10_000,
             max_facts: 1_000_000,
             max_path_len: 100_000,
+            deadline: None,
+            max_store_bytes: None,
         }
+    }
+}
+
+/// How often the RAM interpreter's instruction loop polls the governor: one
+/// cheap flag-plus-deadline check every this many dispatched instructions, so
+/// the hot loop stays tight while cancellation latency stays bounded.
+pub const GOVERNOR_CHECK_INTERVAL: usize = 4096;
+
+/// The run-scoped resource governor: one per evaluation, shared (by
+/// reference) with every fixpoint loop, worker job, and interpreter call of
+/// that run.  It folds three concerns into two checkpoint calls:
+///
+/// * **cancellation** — a caller-held [`CancelToken`] (SIGINT, a poisoning
+///   worker panic, an external supervisor);
+/// * **deadline** — [`EvalLimits::deadline`] measured from governor creation;
+/// * **memory budget** — [`EvalLimits::max_store_bytes`] measured as global
+///   path-store growth over the baseline captured at governor creation.
+///
+/// [`ResourceGovernor::check_fast`] (cancellation + deadline) is cheap enough
+/// for the interpreter's amortised instruction checkpoint; the full
+/// [`ResourceGovernor::check`] additionally reads the global store statistics
+/// and runs at fixpoint-round and stratum boundaries.
+#[derive(Debug)]
+pub struct ResourceGovernor {
+    deadline: Option<(Instant, Duration)>,
+    cancel: Option<CancelToken>,
+    max_store_bytes: Option<usize>,
+    store_baseline: usize,
+}
+
+impl ResourceGovernor {
+    /// A governor for a run starting now, under `limits`, observing `cancel`
+    /// if given.
+    pub fn for_run(limits: &EvalLimits, cancel: Option<CancelToken>) -> ResourceGovernor {
+        ResourceGovernor {
+            deadline: limits.deadline.map(|d| (Instant::now() + d, d)),
+            cancel,
+            max_store_bytes: limits.max_store_bytes,
+            store_baseline: if limits.max_store_bytes.is_some() {
+                seqdl_core::store_stats().total_bytes()
+            } else {
+                0
+            },
+        }
+    }
+
+    /// The cancel token this governor observes, if any.
+    pub fn cancel_token(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
+    }
+
+    /// Cancellation-and-deadline checkpoint — cheap enough for the
+    /// interpreter's amortised instruction check.  The
+    /// [`EvalError::Cancelled`] it returns carries empty statistics; the
+    /// run's entry point attaches the accumulated ones on the way out.
+    ///
+    /// # Errors
+    /// [`EvalError::Cancelled`] when the token is cancelled or the deadline
+    /// has passed.
+    pub fn check_fast(&self) -> Result<(), EvalError> {
+        if let Some(token) = &self.cancel {
+            token.checkpoint();
+            if token.is_cancelled() {
+                return Err(EvalError::Cancelled {
+                    reason: token.reason(),
+                    partial_stats: Box::default(),
+                });
+            }
+        }
+        if let Some((at, limit)) = self.deadline {
+            if Instant::now() >= at {
+                return Err(EvalError::Cancelled {
+                    reason: format!("deadline of {limit:?} exceeded"),
+                    partial_stats: Box::default(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Full checkpoint: [`ResourceGovernor::check_fast`] plus the store-growth
+    /// budget.  Runs at every fixpoint round and stratum boundary.
+    ///
+    /// # Errors
+    /// [`EvalError::Cancelled`] on cancellation or deadline,
+    /// [`EvalError::LimitExceeded`] on a blown store budget.
+    pub fn check(&self) -> Result<(), EvalError> {
+        self.check_fast()?;
+        if let Some(budget) = self.max_store_bytes {
+            let grown = seqdl_core::store_stats()
+                .total_bytes()
+                .saturating_sub(self.store_baseline);
+            if grown > budget {
+                return Err(EvalError::LimitExceeded {
+                    what: LimitKind::StoreBytes,
+                    limit: budget,
+                });
+            }
+        }
+        Ok(())
     }
 }
 
@@ -151,11 +265,12 @@ pub struct DeltaWindow {
 }
 
 /// The evaluation engine.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct Engine {
     limits: EvalLimits,
     strategy: FixpointStrategy,
     use_ram: bool,
+    cancel: Option<CancelToken>,
 }
 
 impl Default for Engine {
@@ -172,6 +287,7 @@ impl Engine {
             limits: EvalLimits::default(),
             strategy: FixpointStrategy::SemiNaive,
             use_ram: true,
+            cancel: None,
         }
     }
 
@@ -199,6 +315,20 @@ impl Engine {
     /// Whether rules fire through the RAM instruction interpreter.
     pub fn ram_enabled(&self) -> bool {
         self.use_ram
+    }
+
+    /// Attach a [`CancelToken`] the engine polls at every governor checkpoint.
+    /// Cancelling the token (from any thread, or a signal handler via
+    /// [`CancelToken::linked_to`]) makes the run return
+    /// [`EvalError::Cancelled`] with the statistics accumulated so far.
+    pub fn with_cancel_token(mut self, token: CancelToken) -> Engine {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// The attached cancel token, if any.
+    pub fn cancel_token(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
     }
 
     /// The configured resource limits.
@@ -263,6 +393,25 @@ impl Engine {
         input: &Instance,
         seeds: &[Fact],
     ) -> Result<(Instance, EvalStats), EvalError> {
+        let governor = ResourceGovernor::for_run(&self.limits, self.cancel.clone());
+        let mut stats = EvalStats::default();
+        match self.run_seeded_inner(program, input, seeds, &governor, &mut stats) {
+            Ok(instance) => Ok((instance, stats)),
+            Err(e) => Err(e.with_partial_stats(stats)),
+        }
+    }
+
+    /// The body of [`Engine::run_with_stats_seeded`], with the statistics
+    /// owned by the caller so a cancellation can surface them partially
+    /// filled.
+    fn run_seeded_inner(
+        &self,
+        program: &Program,
+        input: &Instance,
+        seeds: &[Fact],
+        governor: &ResourceGovernor,
+        stats: &mut EvalStats,
+    ) -> Result<Instance, EvalError> {
         let info = ProgramInfo::analyse(program)?;
         let mut instance = prepare_idb_instance(&info, input)?;
         seed_instance(&mut instance, seeds)?;
@@ -285,15 +434,17 @@ impl Engine {
             stratum_plans.iter().flatten().map(|(_, p)| p),
             &mut instance,
         );
-        let mut stats = EvalStats::default();
         for (stratum, plans) in program.strata.iter().zip(stratum_plans.drain(..)) {
-            let start = std::time::Instant::now();
+            // Stratum-boundary checkpoint (full: includes the store budget).
+            governor.check()?;
+            let start = Instant::now();
             let before = (stats.iterations, stats.derived_facts, stats.rule_firings);
             self.eval_planned_rule_set(
                 plans,
                 &stratum.head_relations(),
                 &mut instance,
-                &mut stats,
+                stats,
+                governor,
             )?;
             stats.strata.push(StratumStats {
                 rules: stratum.rules.len(),
@@ -304,7 +455,7 @@ impl Engine {
                 wall: start.elapsed(),
             });
         }
-        Ok((instance, stats))
+        Ok(instance)
     }
 
     /// Evaluate a scoped set of rules over `instance`, the engine's inner loop
@@ -325,11 +476,31 @@ impl Engine {
         instance: &mut Instance,
         stats: &mut EvalStats,
     ) -> Result<(), EvalError> {
+        let governor = ResourceGovernor::for_run(&self.limits, self.cancel.clone());
+        self.eval_rule_set_governed(rules, recursive_over, instance, stats, &governor)
+    }
+
+    /// [`eval_rule_set`](Engine::eval_rule_set) under a caller-owned
+    /// [`ResourceGovernor`] — the parallel executor scopes one governor to a
+    /// whole run and shares it across strata (and with its sequential-retry
+    /// path), so deadlines and store baselines are measured once per run, not
+    /// once per rule set.
+    ///
+    /// # Errors
+    /// Ill-formed rules, exceeded resource limits, and cancellation.
+    pub fn eval_rule_set_governed(
+        &self,
+        rules: &[&Rule],
+        recursive_over: &BTreeSet<RelName>,
+        instance: &mut Instance,
+        stats: &mut EvalStats,
+        governor: &ResourceGovernor,
+    ) -> Result<(), EvalError> {
         let plans: Vec<(&Rule, BodyPlan)> = rules
             .iter()
             .map(|r| plan_rule(r).map(|p| (*r, p)))
             .collect::<Result<_, _>>()?;
-        self.eval_planned_rule_set(plans, recursive_over, instance, stats)
+        self.eval_planned_rule_set(plans, recursive_over, instance, stats, governor)
     }
 
     /// [`eval_rule_set`](Engine::eval_rule_set) for rules already planned by
@@ -341,6 +512,7 @@ impl Engine {
         recursive_over: &BTreeSet<RelName>,
         instance: &mut Instance,
         stats: &mut EvalStats,
+        governor: &ResourceGovernor,
     ) -> Result<(), EvalError> {
         if plans.is_empty() {
             return Ok(());
@@ -392,6 +564,8 @@ impl Engine {
                 });
             }
             stats.iterations += 1;
+            // Fixpoint-round checkpoint (full: includes the store budget).
+            governor.check()?;
             for (ix, positions) in delta_positions.iter().enumerate() {
                 let memo = &mut memos[ix];
                 let plan = match &procs {
@@ -406,12 +580,17 @@ impl Engine {
                             out: &mut Vec<Fact>|
                  -> Result<FireStats, EvalError> {
                     match &procs {
-                        Some(procs) => {
-                            crate::ram::fire_proc(&procs[ix], instance, window, memo, out)
-                        }
+                        Some(procs) => crate::ram::fire_proc(
+                            &procs[ix],
+                            instance,
+                            window,
+                            memo,
+                            out,
+                            Some(governor),
+                        ),
                         None => {
                             let (rule, plan) = &plans[ix];
-                            fire_rule(rule, plan, instance, window, memo, out)
+                            fire_rule(rule, plan, instance, window, memo, out, Some(governor))
                         }
                     }
                 };
@@ -680,8 +859,13 @@ impl EmitKey {
 /// short-circuits duplicate emissions), reusing one across the rounds of a
 /// fixpoint is what makes duplicate-heavy workloads cheap.
 ///
+/// `governor`, when given, is polled once every
+/// [`GOVERNOR_CHECK_INTERVAL`] candidate tuples, so a single firing pass over
+/// a huge relation still observes deadlines and cancellation.
+///
 /// # Errors
-/// Unsafe rules surface as [`EvalError::Unplannable`].
+/// Unsafe rules surface as [`EvalError::Unplannable`]; cancellation as
+/// [`EvalError::Cancelled`].
 pub fn fire_rule(
     rule: &Rule,
     plan: &BodyPlan,
@@ -689,6 +873,7 @@ pub fn fire_rule(
     window: Option<DeltaWindow>,
     memo: &mut EmitMemo,
     out: &mut Vec<Fact>,
+    governor: Option<&ResourceGovernor>,
 ) -> Result<FireStats, EvalError> {
     let head = &rule.head;
     // Errors discovered inside the enumeration (an unsafe rule reaching a
@@ -753,6 +938,7 @@ pub fn fire_rule(
         }
         out.push(Fact::new(head.relation, tuple_scratch.clone()));
     };
+    let ticks = Cell::new(0usize);
     eval_steps(
         &plan.steps,
         0,
@@ -763,6 +949,8 @@ pub fn fire_rule(
         &mut nu,
         &err,
         &counters,
+        governor,
+        &ticks,
         &mut emit,
     );
     drop(emit);
@@ -790,6 +978,8 @@ fn eval_steps(
     nu: &mut Valuation,
     err: &RefCell<Option<EvalError>>,
     counters: &Cell<FireStats>,
+    governor: Option<&ResourceGovernor>,
+    ticks: &Cell<usize>,
     emit: &mut dyn FnMut(&mut Valuation),
 ) {
     if err.borrow().is_some() {
@@ -836,6 +1026,8 @@ fn eval_steps(
                     nu,
                     err,
                     counters,
+                    governor,
+                    ticks,
                     &mut *emit,
                 );
             };
@@ -843,6 +1035,24 @@ fn eval_steps(
             // one non-recursive pass with a single continuation call; the
             // general matcher handles everything else.
             let mut handle = |tuple: &seqdl_core::Tuple, nu: &mut Valuation| {
+                // An error (including a cancellation recorded below) aborts
+                // the walk: remaining candidates fall through cheaply.
+                if err.borrow().is_some() {
+                    return;
+                }
+                // Amortised governor checkpoint, one cheap check per
+                // GOVERNOR_CHECK_INTERVAL candidate tuples: a firing pass
+                // over a huge relation cannot outrun the deadline unobserved.
+                let t = ticks.get().wrapping_add(1);
+                ticks.set(t);
+                if t % GOVERNOR_CHECK_INTERVAL == 0 {
+                    if let Some(g) = governor {
+                        if let Err(e) = g.check_fast() {
+                            err.borrow_mut().get_or_insert(e);
+                            return;
+                        }
+                    }
+                }
                 if planned.flat {
                     let mut newly = [None; crate::plan::FLAT_MAX_VARS];
                     if let Some(n) = match_predicate_flat(&pred.args, tuple, nu, &mut newly) {
@@ -929,6 +1139,8 @@ fn eval_steps(
                         &mut ext,
                         err,
                         counters,
+                        governor,
+                        ticks,
                         emit,
                     );
                 }
@@ -953,6 +1165,8 @@ fn eval_steps(
                     nu,
                     err,
                     counters,
+                    governor,
+                    ticks,
                     emit,
                 );
             }
@@ -968,6 +1182,8 @@ fn eval_steps(
                 nu,
                 err,
                 counters,
+                governor,
+                ticks,
                 emit,
             ),
             Some(true) => {}
@@ -1169,6 +1385,7 @@ pub(crate) fn first_value(probe: &ColumnProbe, nu: &Valuation) -> Option<Value> 
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use seqdl_core::{path_of, rel, repeat_path};
@@ -1179,6 +1396,7 @@ mod tests {
             max_iterations: 1000,
             max_facts: 100_000,
             max_path_len: 10_000,
+            ..EvalLimits::default()
         })
     }
 
@@ -1394,8 +1612,7 @@ mod tests {
         let program = parse_program("T(a).\nT(a·$x) <- T($x).").unwrap();
         let tight = Engine::new().with_limits(EvalLimits {
             max_iterations: 50,
-            max_facts: 100_000,
-            max_path_len: 100_000,
+            ..EvalLimits::default()
         });
         let err = tight.run(&program, &Instance::new()).unwrap_err();
         assert!(matches!(err, EvalError::LimitExceeded { .. }));

@@ -34,6 +34,7 @@
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
+#![warn(clippy::unwrap_used)]
 
 pub mod error;
 pub mod eval;
@@ -45,7 +46,7 @@ pub use error::{EvalError, LimitKind};
 pub use eval::{
     fire_rule, prepare_idb_instance, register_plan_indexes, restrict_head_indexes, seed_instance,
     DeltaWindow, EmitMemo, Engine, EvalLimits, EvalStats, FireStats, FixpointStrategy,
-    StratumStats,
+    ResourceGovernor, StratumStats, GOVERNOR_CHECK_INTERVAL,
 };
 pub use plan::{plan_rule, BodyPlan, ColumnProbe, PlannedLiteral, PlannedPredicate, PrefixSource};
 pub use ram::{fire_proc, RuleProc};
@@ -82,6 +83,7 @@ pub fn run_boolean_query(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use seqdl_core::{rel, repeat_path};

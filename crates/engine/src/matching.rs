@@ -7,7 +7,7 @@
 //! enumerates all decompositions.
 
 use crate::plan::FLAT_MAX_VARS;
-use seqdl_core::{Path, Value};
+use seqdl_core::{Path, PathView, Value};
 use seqdl_syntax::{Binding, Equation, PathExpr, Predicate, Term, Valuation, Var, VarKind};
 
 /// Non-backtracking matcher for [flat](crate::plan::PlannedPredicate::flat)
@@ -139,6 +139,8 @@ fn match_args(
         sink(nu);
         return;
     };
+    // invariant: relation arity equals the argument count — enforced when the
+    // program is analysed and when facts are inserted, before matching runs.
     let (path, paths) = tuple.split_first().expect("arity checked by the caller");
     match_terms(arg.terms(), *path, 0, path.values(), nu, &mut |nu| {
         match_args(rest, paths, nu, sink);
@@ -262,15 +264,17 @@ fn match_terms(
                         // A trailing unbound path variable must absorb everything
                         // that is left; bind it directly instead of enumerating
                         // every prefix only to reject all but the full one.
-                        let suffix = parent.subpath(base, base + values.len());
+                        let suffix = PathView::cut(parent, base, base + values.len());
                         nu.bind_new(*v, Binding::Path(suffix));
                         sink(nu);
                         nu.pop_binding(*v);
                     }
                     None => {
-                        // Try every prefix (including the empty one).
+                        // Try every prefix (including the empty one), as
+                        // unregistered views: a speculative cut rejected by a
+                        // later term must not grow the global store.
                         for split in 0..=values.len() {
-                            let prefix = parent.subpath(base, base + split);
+                            let prefix = PathView::cut(parent, base, base + split);
                             nu.bind_new(*v, Binding::Path(prefix));
                             match_terms(rest, parent, base + split, &values[split..], nu, sink);
                             nu.pop_binding(*v);
@@ -300,6 +304,8 @@ fn match_args_find(args: &[PathExpr], tuple: &[Path], nu: &mut Valuation) -> boo
     let Some((arg, rest)) = args.split_first() else {
         return true;
     };
+    // invariant: relation arity equals the argument count — enforced when the
+    // program is analysed and when facts are inserted, before matching runs.
     let (path, paths) = tuple.split_first().expect("arity checked by the caller");
     match_terms_find(arg.terms(), *path, 0, path.values(), nu, &mut |nu| {
         match_args_find(rest, paths, nu)
@@ -371,7 +377,7 @@ fn match_terms_find(
                 match bound_prefix {
                     Some(n) => match_terms_find(rest, parent, base + n, &values[n..], nu, cont),
                     None if rest.is_empty() => {
-                        let suffix = parent.subpath(base, base + values.len());
+                        let suffix = PathView::cut(parent, base, base + values.len());
                         nu.bind_new(*v, Binding::Path(suffix));
                         let found = cont(nu);
                         nu.pop_binding(*v);
@@ -379,7 +385,7 @@ fn match_terms_find(
                     }
                     None => {
                         for split in 0..=values.len() {
-                            let prefix = parent.subpath(base, base + split);
+                            let prefix = PathView::cut(parent, base, base + split);
                             nu.bind_new(*v, Binding::Path(prefix));
                             let found = match_terms_find(
                                 rest,
@@ -486,7 +492,7 @@ fn det_terms(
                     }
                     None => {
                         debug_assert!(i == last, "det lowering proved the trailing position");
-                        let suffix = parent.subpath(base, base + values.len());
+                        let suffix = PathView::cut(parent, base, base + values.len());
                         nu.bind_new(*v, Binding::Path(suffix));
                         base += values.len();
                         values = &values[values.len()..];
@@ -512,6 +518,7 @@ pub fn ground_tuple(pred: &Predicate, valuation: &Valuation) -> Option<Vec<Path>
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use seqdl_core::{atom, path_of, rel, Path};
@@ -569,7 +576,7 @@ mod tests {
         assert_eq!(matches.len(), 1);
         assert_eq!(
             matches[0].get(Var::path("x")),
-            Some(&Binding::Path(path_of(&["a", "b"])))
+            Some(&Binding::Path(path_of(&["a", "b"]).into()))
         );
         assert!(match_expr(
             &expr("$x·$x"),
@@ -587,7 +594,7 @@ mod tests {
         assert_eq!(matches.len(), 1);
         assert_eq!(
             matches[0].get(Var::path("y")),
-            Some(&Binding::Path(path_of(&["b"])))
+            Some(&Binding::Path(path_of(&["b"]).into()))
         );
         // A conflicting binding yields no matches.
         let mut nu = Valuation::new();
@@ -603,7 +610,7 @@ mod tests {
         assert_eq!(matches.len(), 1);
         assert_eq!(
             matches[0].get(Var::path("s")),
-            Some(&Binding::Path(path_of(&["a", "b"])))
+            Some(&Binding::Path(path_of(&["a", "b"]).into()))
         );
         // A packed expression never matches an atomic value.
         assert!(match_expr(&expr("<$s>"), &path_of(&["a"]), &Valuation::new()).is_empty());
@@ -652,7 +659,7 @@ mod tests {
         assert_eq!(matches.len(), 1);
         assert_eq!(
             matches[0].get(Var::path("y")),
-            Some(&Binding::Path(path_of(&["a"])))
+            Some(&Binding::Path(path_of(&["a"]).into()))
         );
         // Fully bound equations are just checked.
         let mut nu2 = matches[0].clone();

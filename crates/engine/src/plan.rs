@@ -351,6 +351,7 @@ pub fn plan_rule(rule: &Rule) -> Result<BodyPlan, EvalError> {
         .collect();
     while !pending.is_empty() {
         let pick = pending.iter().position(|l| {
+            // invariant: `pending` was filtered to equation literals just above.
             let eq = l.atom.as_equation().expect("filtered to equations");
             eq.lhs.vars().iter().all(|v| bound.contains(v))
                 || eq.rhs.vars().iter().all(|v| bound.contains(v))
@@ -358,6 +359,7 @@ pub fn plan_rule(rule: &Rule) -> Result<BodyPlan, EvalError> {
         match pick {
             Some(ix) => {
                 let lit = pending.remove(ix);
+                // invariant: same filter as above — `pending` holds only equations.
                 let eq = lit
                     .atom
                     .as_equation()
@@ -386,6 +388,7 @@ pub fn plan_rule(rule: &Rule) -> Result<BodyPlan, EvalError> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use seqdl_core::path_of;

@@ -355,6 +355,8 @@ impl<'r> Frame<'r> {
                     }
                 }
                 (Mode::Flat, cand) => {
+                    // invariant: flat-mode frames are only built by probe lowering, which
+                    // always attaches the planned predicate.
                     let planned = planned.expect("flat mode only on probe frames");
                     let tuple = &self.tuples[cand.id()];
                     let mut newly = [None; FLAT_MAX_VARS];
@@ -365,6 +367,8 @@ impl<'r> Frame<'r> {
                     }
                 }
                 (Mode::Det, cand) => {
+                    // invariant: det-mode frames are only built by probe lowering, which
+                    // always attaches the planned predicate.
                     let planned = planned.expect("det mode only on probe frames");
                     let tuple = &self.tuples[cand.id()];
                     if match_predicate_det(&planned.pred, tuple, nu) {
@@ -372,6 +376,8 @@ impl<'r> Frame<'r> {
                     }
                 }
                 (Mode::General, cand) => {
+                    // invariant: general-mode frames are only built by probe lowering, which
+                    // always attaches the planned predicate.
                     let planned = planned.expect("general mode only on probe frames");
                     let tuple = &self.tuples[cand.id()];
                     self.ext.clear();
@@ -505,15 +511,22 @@ fn predicate_of<'a>(proc: &'a RuleProc, step: usize) -> Result<&'a PlannedPredic
 /// its window semantics, emit memo, and counter meanings, plus the RAM-only
 /// `instructions`/`fused_probes` counters.
 ///
+/// `governor`, when given, is polled once every
+/// [`crate::eval::GOVERNOR_CHECK_INTERVAL`] dispatched instructions — an
+/// amortised checkpoint, so the dispatch loop stays tight while a runaway
+/// firing pass still observes deadlines and cancellation.
+///
 /// # Errors
 /// Unsafe rules surface as [`EvalError::Unplannable`]; malformed instruction
-/// sequences as [`EvalError::PlanInvariant`].
+/// sequences as [`EvalError::PlanInvariant`]; cancellation as
+/// [`EvalError::Cancelled`].
 pub fn fire_proc(
     proc: &RuleProc,
     instance: &Instance,
     window: Option<DeltaWindow>,
     memo: &mut EmitMemo,
     out: &mut Vec<Fact>,
+    governor: Option<&crate::eval::ResourceGovernor>,
 ) -> Result<FireStats, EvalError> {
     let rule = &proc.rule;
     let head = &rule.head;
@@ -573,6 +586,13 @@ pub fn fire_proc(
     let mut pc = 0usize;
     'forward: loop {
         stats.instructions += 1;
+        // Amortised governor checkpoint: one cheap cancellation-and-deadline
+        // poll per GOVERNOR_CHECK_INTERVAL dispatches.
+        if stats.instructions % crate::eval::GOVERNOR_CHECK_INTERVAL == 0 {
+            if let Some(g) = governor {
+                g.check_fast()?;
+            }
+        }
         match &code[pc] {
             Inst::Filter(op) => {
                 let pass = match op {

@@ -180,6 +180,8 @@ pub fn lower_stratum(stratum: &Stratum) -> Result<StratumProgram, EvalError> {
         .rules
         .iter()
         .map(|r| {
+            // invariant: the condensation was built from this same stratum's rules,
+            // so every head relation is one of its nodes.
             condensation
                 .component_of(r.head.relation)
                 .expect("every rule head is a node of the stratum's precedence graph")
@@ -234,6 +236,7 @@ pub fn lower(program: &seqdl_syntax::Program) -> Result<Program, EvalError> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use seqdl_core::rel;

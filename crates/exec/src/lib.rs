@@ -42,6 +42,7 @@
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
+#![warn(clippy::unwrap_used)]
 
 pub mod schedule;
 
@@ -53,14 +54,95 @@ use seqdl_engine::error::LimitKind;
 use seqdl_engine::ram::{self, RuleProc};
 use seqdl_engine::{
     fire_proc, fire_rule, plan_rule, prepare_idb_instance, register_plan_indexes, BodyPlan,
-    DeltaWindow, EmitMemo, Engine, EvalError, EvalStats, FireStats, FixpointStrategy, StratumStats,
+    DeltaWindow, EmitMemo, Engine, EvalError, EvalStats, FireStats, FixpointStrategy,
+    ResourceGovernor, StratumStats,
 };
 use seqdl_syntax::Program;
 use seqdl_syntax::{ProgramInfo, Rule, Stratum};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::thread;
 use std::time::Instant;
+
+/// Deterministic fault injection for the robustness test suite: arm a global
+/// countdown and the Kth worker job fired through [`run_job`] panics inside
+/// the `catch_unwind` region, exercising the poison → drain → recovery path.
+/// Compiled only under the `fail-inject` feature; release builds carry no
+/// trace of it.
+#[cfg(feature = "fail-inject")]
+pub mod fail {
+    use std::sync::atomic::{AtomicIsize, Ordering};
+
+    /// `-1` means disarmed; `k ≥ 0` means "panic on the job firing that
+    /// decrements this to below zero" — i.e. the (k+1)-th firing after arming.
+    static COUNTDOWN: AtomicIsize = AtomicIsize::new(-1);
+
+    /// Arm the injector: the `k`-th subsequent worker-job firing panics
+    /// (`k = 0` panics on the very next one).
+    pub fn arm(k: usize) {
+        COUNTDOWN.store(isize::try_from(k).unwrap_or(isize::MAX), Ordering::SeqCst);
+    }
+
+    /// Disarm the injector without firing.
+    pub fn disarm() {
+        COUNTDOWN.store(-1, Ordering::SeqCst);
+    }
+
+    /// Still waiting to fire?  `false` once the armed panic has happened (or
+    /// the injector was never armed) — tests assert this to prove the fault
+    /// was actually injected.
+    pub fn armed() -> bool {
+        COUNTDOWN.load(Ordering::SeqCst) >= 0
+    }
+
+    /// Called by every worker-job firing; panics exactly once per [`arm`].
+    pub fn maybe_panic() {
+        let chosen = COUNTDOWN
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| {
+                (v >= 0).then(|| v - 1)
+            })
+            .map_or(false, |prev| prev == 0);
+        if chosen {
+            panic!("fail-inject: injected worker panic");
+        }
+    }
+}
+
+/// Shared panic-poison flag for one executor run.  The first panicking job
+/// sets it; every job drawn afterwards sees it and drains as an empty success,
+/// so the round's merge (which processes outcomes in job order) surfaces
+/// exactly one [`EvalError::WorkerPanic`].  A successful sequential recovery
+/// clears the flag so the strata that follow run in parallel again.  This is
+/// deliberately *not* the user-facing [`seqdl_core::CancelToken`]: poisoning
+/// is an internal executor condition that a retry may absolve, while a
+/// cancelled user token must stay cancelled.
+#[derive(Debug, Default)]
+struct Poison {
+    flag: AtomicBool,
+}
+
+impl Poison {
+    fn is_set(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+
+    fn set(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    fn reset(&self) {
+        self.flag.store(false, Ordering::Release);
+    }
+}
+
+/// The error reported when the worker pool's channels disconnect mid-round —
+/// only possible if a pool thread died outside the contained panic path.
+fn pool_died() -> EvalError {
+    EvalError::Internal {
+        detail: "executor worker pool disconnected".to_string(),
+    }
+}
 
 /// Default number of delta tuples per shard when a recursive iteration is
 /// split across the pool; override with [`Executor::with_shard_size`].
@@ -92,31 +174,82 @@ struct JobOutcome {
     result: Result<(Vec<Fact>, FireStats), EvalError>,
 }
 
-fn run_job(job: Job<'_>, instance: &Instance) -> JobOutcome {
-    let mut out = Vec::new();
-    // Jobs are independent work units, so each gets a fresh emit memo; it
-    // still collapses duplicate derivations within the job's delta shard.
-    let mut memo = EmitMemo::new();
-    let result = match job.proc {
-        Some(proc) => fire_proc(proc, instance, job.window, &mut memo, &mut out),
-        None => fire_rule(
-            job.rule, job.plan, instance, job.window, &mut memo, &mut out,
-        ),
+/// Evaluate one job against the shared instance, containing panics.
+///
+/// Every job produces exactly one [`JobOutcome`], so the driver's per-round
+/// collect can never block on a missing result:
+///
+/// * if the run is already poisoned, the job *drains* — it returns an empty
+///   success without evaluating anything, so the merge surfaces only the
+///   panicking job's [`EvalError::WorkerPanic`];
+/// * if evaluation panics, `catch_unwind` contains it, the poison flag is set
+///   (draining the surviving workers' queues), and the outcome carries the
+///   offending rule's rendering plus the panic payload.
+fn run_job(
+    job: Job<'_>,
+    instance: &Instance,
+    governor: &ResourceGovernor,
+    poison: &Poison,
+) -> JobOutcome {
+    let id = job.id;
+    if poison.is_set() {
+        return JobOutcome {
+            id,
+            result: Ok((Vec::new(), FireStats::default())),
+        };
     }
-    .map(|fire| (out, fire));
-    JobOutcome { id: job.id, result }
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        #[cfg(feature = "fail-inject")]
+        fail::maybe_panic();
+        let mut out = Vec::new();
+        // Jobs are independent work units, so each gets a fresh emit memo; it
+        // still collapses duplicate derivations within the job's delta shard.
+        let mut memo = EmitMemo::new();
+        match job.proc {
+            Some(proc) => fire_proc(
+                proc,
+                instance,
+                job.window,
+                &mut memo,
+                &mut out,
+                Some(governor),
+            ),
+            None => fire_rule(
+                job.rule,
+                job.plan,
+                instance,
+                job.window,
+                &mut memo,
+                &mut out,
+                Some(governor),
+            ),
+        }
+        .map(|fire| (out, fire))
+    }))
+    .unwrap_or_else(|panic| {
+        let detail = panic
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| panic.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "worker panicked".to_string());
+        poison.set();
+        Err(EvalError::WorkerPanic {
+            rule: job.rule.to_string(),
+            detail,
+        })
+    });
+    JobOutcome { id, result }
 }
 
 /// The worker loop: take jobs from the shared queue until it closes, evaluate
-/// each under a read lock, send the private buffer back.
-///
-/// Every drawn job produces exactly one [`JobOutcome`] — even if evaluation
-/// panics, the panic is caught and sent back as [`EvalError::Internal`] — so
-/// the driver's per-round collect can never block on a missing result.
+/// each under a read lock, send the private buffer back.  Panic containment
+/// and poison draining live in [`run_job`].
 fn worker(
     jobs: &Mutex<mpsc::Receiver<Job<'_>>>,
     results: mpsc::Sender<JobOutcome>,
     instance: &RwLock<Instance>,
+    governor: &ResourceGovernor,
+    poison: &Poison,
 ) {
     loop {
         // Hold the queue lock only while drawing one job; blocking in `recv`
@@ -126,27 +259,25 @@ fn worker(
             Ok(job) => job,
             Err(_) => return,
         };
-        let id = job.id;
-        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            run_job(job, &instance.read())
-        }))
-        .unwrap_or_else(|panic| {
-            let detail = panic
-                .downcast_ref::<&str>()
-                .map(|s| (*s).to_string())
-                .or_else(|| panic.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "worker panicked".to_string());
-            JobOutcome {
-                id,
-                result: Err(EvalError::Internal {
-                    detail: format!("executor worker panicked: {detail}"),
-                }),
-            }
-        });
+        let outcome = run_job(job, &instance.read(), governor, poison);
         if results.send(outcome).is_err() {
             return;
         }
     }
+}
+
+/// What the executor does when a worker job panics mid-stratum.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum RecoveryPolicy {
+    /// Surface the [`EvalError::WorkerPanic`] immediately.
+    Fail,
+    /// Retry the affected stratum once on the engine's single-threaded path
+    /// before giving up (the default).  The retry starts from the partially
+    /// grown — but always consistent — instance; stratum rules are monotone
+    /// over it, so the retried fixpoint lands on exactly the instance an
+    /// undisturbed run computes.
+    #[default]
+    Sequential,
 }
 
 /// The stratified parallel executor.
@@ -155,11 +286,12 @@ fn worker(
 /// merge/limit bookkeeping) plus a thread count.  `threads == 1` evaluates
 /// in-line with no pool at all; `threads == 0` uses the machine's available
 /// parallelism.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct Executor {
     engine: Engine,
     threads: usize,
     shard_size: usize,
+    recovery: RecoveryPolicy,
 }
 
 impl Default for Executor {
@@ -175,6 +307,7 @@ impl Executor {
             engine: Engine::new(),
             threads: 1,
             shard_size: DELTA_SHARD,
+            recovery: RecoveryPolicy::default(),
         }
     }
 
@@ -182,6 +315,17 @@ impl Executor {
     pub fn with_engine(mut self, engine: Engine) -> Executor {
         self.engine = engine;
         self
+    }
+
+    /// Set the [`RecoveryPolicy`] applied when a worker job panics.
+    pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Executor {
+        self.recovery = recovery;
+        self
+    }
+
+    /// The configured panic-recovery policy.
+    pub fn recovery(&self) -> RecoveryPolicy {
+        self.recovery
     }
 
     /// Set the base number of delta tuples per shard (minimum 1; default 128).
@@ -312,20 +456,35 @@ impl Executor {
             max_shards: SHARD_FANOUT * threads.max(1),
         };
         let lock = RwLock::new(instance);
+        // One governor per run: the deadline clock starts here, the store
+        // baseline is sampled here, and every checkpoint below (stratum
+        // boundaries, fixpoint rounds, amortised in-job instruction checks)
+        // polls the same governor from every thread.
+        let governor =
+            ResourceGovernor::for_run(&self.engine.limits(), self.engine.cancel_token().cloned());
+        let poison = Poison::default();
+        let ctx = RunCtx {
+            engine: &self.engine,
+            governor: &governor,
+            poison: &poison,
+            recovery: self.recovery,
+            shard,
+        };
 
         let outcome = if threads <= 1 {
             drive(
-                &self.engine,
+                &ctx,
                 &program.strata,
                 &schedule,
                 &plans,
                 lowered.as_ref(),
-                shard,
                 &lock,
                 &mut stats,
                 |jobs| {
                     let guard = lock.read();
-                    jobs.into_iter().map(|job| run_job(job, &guard)).collect()
+                    jobs.into_iter()
+                        .map(|job| run_job(job, &guard, &governor, &poison))
+                        .collect()
                 },
             )
         } else {
@@ -339,18 +498,19 @@ impl Executor {
                     let results = out_tx.clone();
                     let queue = &job_queue;
                     let shared = &lock;
-                    scope.spawn(move || worker(queue, results, shared));
+                    let gov = &governor;
+                    let poi = &poison;
+                    scope.spawn(move || worker(queue, results, shared, gov, poi));
                 }
                 // Workers hold clones; dropping the original lets a round's
                 // collect fail fast (instead of hanging) if the pool ever dies.
                 drop(out_tx);
                 let outcome = drive(
-                    &self.engine,
+                    &ctx,
                     &program.strata,
                     &schedule,
                     &plans,
                     lowered.as_ref(),
-                    shard,
                     &lock,
                     &mut stats,
                     |jobs| {
@@ -359,17 +519,32 @@ impl Executor {
                         // (small rounds — the serial tail of a fixpoint — never
                         // pay a channel round-trip), then collect the rest.
                         let expected = jobs.len();
+                        let mut outcomes = Vec::with_capacity(expected);
                         let mut jobs = jobs.into_iter();
                         let first = jobs.next();
                         for job in jobs {
-                            job_tx.send(job).expect("worker pool alive");
+                            let id = job.id;
+                            if job_tx.send(job).is_err() {
+                                outcomes.push(JobOutcome {
+                                    id,
+                                    result: Err(pool_died()),
+                                });
+                            }
                         }
-                        let mut outcomes = Vec::with_capacity(expected);
                         if let Some(job) = first {
-                            outcomes.push(run_job(job, &lock.read()));
+                            outcomes.push(run_job(job, &lock.read(), &governor, &poison));
                         }
                         while outcomes.len() < expected {
-                            outcomes.push(out_rx.recv().expect("worker pool alive"));
+                            match out_rx.recv() {
+                                Ok(outcome) => outcomes.push(outcome),
+                                Err(_) => {
+                                    outcomes.push(JobOutcome {
+                                        id: usize::MAX,
+                                        result: Err(pool_died()),
+                                    });
+                                    break;
+                                }
+                            }
                         }
                         outcomes
                     },
@@ -379,9 +554,24 @@ impl Executor {
                 outcome
             })
         };
-        outcome?;
-        Ok((lock.into_inner(), stats))
+        match outcome {
+            Ok(()) => Ok((lock.into_inner(), stats)),
+            // Cancelled errors pick up the run's accumulated statistics here —
+            // governor checkpoints deep in the evaluation cannot see them.
+            Err(e) => Err(e.with_partial_stats(stats)),
+        }
     }
+}
+
+/// Per-run context shared by the schedule driver and the fixpoint loops: the
+/// embedded engine (limits, strategy, merge bookkeeping), the run's resource
+/// governor, the panic-poison flag, and the recovery and sharding policies.
+struct RunCtx<'e> {
+    engine: &'e Engine,
+    governor: &'e ResourceGovernor,
+    poison: &'e Poison,
+    recovery: RecoveryPolicy,
+    shard: ShardPolicy,
 }
 
 /// How delta windows are split into shard jobs: at least `base` tuples per
@@ -432,14 +622,18 @@ fn next_round(rounds: &mut usize, engine: &Engine) -> Result<(), EvalError> {
 /// The schedule driver: walk strata, then levels; fire each level's
 /// non-recursive components in one single-pass round, then advance the level's
 /// recursive components as lock-step semi-naive fixpoints.
-#[allow(clippy::too_many_arguments)]
+///
+/// This is also where panic recovery lives: when a stratum's parallel attempt
+/// surfaces [`EvalError::WorkerPanic`] and the policy is
+/// [`RecoveryPolicy::Sequential`], the stratum retries once on the engine's
+/// single-threaded path (which never runs worker jobs) before the run gives
+/// up.
 fn drive<'a>(
-    engine: &Engine,
+    ctx: &RunCtx<'_>,
     strata: &'a [Stratum],
     schedule: &Schedule,
     plans: &'a [Vec<BodyPlan>],
     lowered: Option<&'a ram::Program>,
-    shard: ShardPolicy,
     instance: &RwLock<Instance>,
     stats: &mut EvalStats,
     mut round: impl FnMut(Vec<Job<'a>>) -> Vec<JobOutcome>,
@@ -447,61 +641,45 @@ fn drive<'a>(
     for (si, ((stratum, sched), stratum_plans)) in
         strata.iter().zip(&schedule.strata).zip(plans).enumerate()
     {
+        // Stratum boundary: the full governor check — cancellation, deadline,
+        // and the store byte budget — runs before any job is scheduled.
+        ctx.governor.check()?;
         let procs: Option<&'a [RuleProc]> = lowered.map(|l| l.strata[si].procs.as_slice());
         let start = Instant::now();
         let before = (stats.iterations, stats.derived_facts, stats.rule_firings);
-        for level in &sched.levels {
-            // Each level's single pass and each lock-step group is its own
-            // fixpoint scope for the iteration limit; see [`next_round`].
-            let mut rounds = 0usize;
-            // Phase 1: every non-recursive component of the level — independent
-            // SCCs — fires together in one single-pass round.
-            let mut jobs: Vec<Job<'a>> = Vec::new();
-            for &c in level {
-                let component = &sched.components[c];
-                if component.recursive {
-                    continue;
-                }
-                for &rule_ix in &component.rule_indices {
-                    jobs.push(Job {
-                        id: jobs.len(),
-                        rule: &stratum.rules[rule_ix],
-                        plan: &stratum_plans[rule_ix],
-                        proc: procs.map(|p| &p[rule_ix]),
-                        window: None,
-                    });
-                }
-            }
-            if !jobs.is_empty() {
-                next_round(&mut rounds, engine)?;
-                stats.iterations += 1;
-                let outcomes = round(jobs);
-                merge(engine, instance, outcomes, stats)?;
-            }
-            // Phase 2: the recursive components of the level.  They never read
-            // from one another, so their fixpoints advance in lock-step: every
-            // round pools the rule-variant × delta-shard jobs of *all*
-            // components still growing, and each component converges (and drops
-            // out) independently.
-            let recursive: Vec<&Component> = level
-                .iter()
-                .map(|&c| &sched.components[c])
-                .filter(|c| c.recursive)
-                .collect();
-            if !recursive.is_empty() {
-                fixpoint_group(
-                    engine,
-                    stratum,
-                    stratum_plans,
-                    procs,
-                    &recursive,
-                    shard,
-                    &mut rounds,
-                    instance,
+        let attempt = run_stratum(
+            ctx,
+            stratum,
+            sched,
+            stratum_plans,
+            procs,
+            instance,
+            stats,
+            &mut round,
+        );
+        match attempt {
+            Ok(()) => {}
+            Err(EvalError::WorkerPanic { .. }) if ctx.recovery == RecoveryPolicy::Sequential => {
+                // A worker job panicked; the poison flag has already drained
+                // the surviving workers' queues.  Retry the whole stratum once
+                // sequentially: the instance is consistent (merges are atomic
+                // under the write lock) and stratum rules are monotone over
+                // it, so re-running from the partially grown state reaches
+                // exactly the fixpoint an undisturbed run computes.
+                let rules: Vec<&Rule> = stratum.rules.iter().collect();
+                let mut guard = instance.write();
+                ctx.engine.eval_rule_set_governed(
+                    &rules,
+                    &stratum.head_relations(),
+                    &mut guard,
                     stats,
-                    &mut round,
+                    ctx.governor,
                 )?;
+                drop(guard);
+                // Recovery succeeded: later strata run in parallel again.
+                ctx.poison.reset();
             }
+            Err(e) => return Err(e),
         }
         stats.strata.push(StratumStats {
             rules: stratum.rules.len(),
@@ -511,6 +689,76 @@ fn drive<'a>(
             shards: std::mem::take(&mut stats.delta_shards),
             wall: start.elapsed(),
         });
+    }
+    Ok(())
+}
+
+/// One stratum's parallel schedule: walk the levels, fire each level's
+/// non-recursive components in one single-pass round, then advance the level's
+/// recursive components as a lock-step fixpoint group.
+#[allow(clippy::too_many_arguments)]
+fn run_stratum<'a>(
+    ctx: &RunCtx<'_>,
+    stratum: &'a Stratum,
+    sched: &StratumSchedule,
+    stratum_plans: &'a [BodyPlan],
+    procs: Option<&'a [RuleProc]>,
+    instance: &RwLock<Instance>,
+    stats: &mut EvalStats,
+    round: &mut impl FnMut(Vec<Job<'a>>) -> Vec<JobOutcome>,
+) -> Result<(), EvalError> {
+    for level in &sched.levels {
+        // Each level's single pass and each lock-step group is its own
+        // fixpoint scope for the iteration limit; see [`next_round`].
+        let mut rounds = 0usize;
+        // Phase 1: every non-recursive component of the level — independent
+        // SCCs — fires together in one single-pass round.
+        let mut jobs: Vec<Job<'a>> = Vec::new();
+        for &c in level {
+            let component = &sched.components[c];
+            if component.recursive {
+                continue;
+            }
+            for &rule_ix in &component.rule_indices {
+                jobs.push(Job {
+                    id: jobs.len(),
+                    rule: &stratum.rules[rule_ix],
+                    plan: &stratum_plans[rule_ix],
+                    proc: procs.map(|p| &p[rule_ix]),
+                    window: None,
+                });
+            }
+        }
+        if !jobs.is_empty() {
+            next_round(&mut rounds, ctx.engine)?;
+            ctx.governor.check()?;
+            stats.iterations += 1;
+            let outcomes = round(jobs);
+            merge(ctx.engine, instance, outcomes, stats)?;
+        }
+        // Phase 2: the recursive components of the level.  They never read
+        // from one another, so their fixpoints advance in lock-step: every
+        // round pools the rule-variant × delta-shard jobs of *all*
+        // components still growing, and each component converges (and drops
+        // out) independently.
+        let recursive: Vec<&Component> = level
+            .iter()
+            .map(|&c| &sched.components[c])
+            .filter(|c| c.recursive)
+            .collect();
+        if !recursive.is_empty() {
+            fixpoint_group(
+                ctx,
+                stratum,
+                stratum_plans,
+                procs,
+                &recursive,
+                &mut rounds,
+                instance,
+                stats,
+                round,
+            )?;
+        }
     }
     Ok(())
 }
@@ -537,18 +785,17 @@ struct ComponentState<'a, 'c> {
 /// what sequential per-component fixpoints would.
 #[allow(clippy::too_many_arguments)]
 fn fixpoint_group<'a, R: FnMut(Vec<Job<'a>>) -> Vec<JobOutcome>>(
-    engine: &Engine,
+    ctx: &RunCtx<'_>,
     stratum: &'a Stratum,
     plans: &'a [BodyPlan],
     procs: Option<&'a [RuleProc]>,
     components: &[&Component],
-    shard: ShardPolicy,
     rounds: &mut usize,
     instance: &RwLock<Instance>,
     stats: &mut EvalStats,
     round: &mut R,
 ) -> Result<(), EvalError> {
-    let naive = engine.strategy() == FixpointStrategy::Naive;
+    let naive = ctx.engine.strategy() == FixpointStrategy::Naive;
     let mut states: Vec<ComponentState<'a, '_>> = components
         .iter()
         .map(|component| {
@@ -573,7 +820,11 @@ fn fixpoint_group<'a, R: FnMut(Vec<Job<'a>>) -> Vec<JobOutcome>>(
         .collect();
 
     while states.iter().any(|s| s.active) {
-        next_round(rounds, engine)?;
+        next_round(rounds, ctx.engine)?;
+        // Every fixpoint round is a governor checkpoint: a cancelled token, an
+        // expired deadline, or a blown store budget stops the loop here even
+        // if every individual job stays under the amortised in-job check.
+        ctx.governor.check()?;
         stats.iterations += 1;
         let mut jobs: Vec<Job<'a>> = Vec::new();
         {
@@ -603,7 +854,7 @@ fn fixpoint_group<'a, R: FnMut(Vec<Job<'a>>) -> Vec<JobOutcome>>(
                         }
                         // Split the delta into equal shards; the shard count is
                         // clamped to a small multiple of the worker count.
-                        let size = shard.size_for(hi - lo);
+                        let size = ctx.shard.size_for(hi - lo);
                         stats.note_shards((hi - lo).div_ceil(size));
                         let mut shard_lo = lo;
                         while shard_lo < hi {
@@ -642,7 +893,7 @@ fn fixpoint_group<'a, R: FnMut(Vec<Job<'a>>) -> Vec<JobOutcome>>(
                 .collect()
         };
         let outcomes = round(jobs);
-        merge(engine, instance, outcomes, stats)?;
+        merge(ctx.engine, instance, outcomes, stats)?;
         // A component keeps iterating exactly while its own relations grew;
         // growth is visible as a length past the pre-merge watermark.
         let guard = instance.read();
@@ -682,6 +933,7 @@ fn merge(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use seqdl_core::{path_of, rel};
@@ -817,10 +1069,11 @@ mod tests {
             max_iterations: 20,
             max_facts: 100_000,
             max_path_len: 100_000,
+            ..EvalLimits::default()
         });
         for threads in [1usize, 4] {
             let err = Executor::new()
-                .with_engine(tight)
+                .with_engine(tight.clone())
                 .with_threads(threads)
                 .run(&program, &Instance::new())
                 .unwrap_err();

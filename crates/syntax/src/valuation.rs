@@ -2,7 +2,7 @@
 //! variables (Section 2.3).
 
 use crate::term::{PathExpr, Term, Var, VarKind};
-use seqdl_core::{AtomId, Path, Segment, Value};
+use seqdl_core::{AtomId, Path, PathView, Segment, Value};
 use std::cell::RefCell;
 use std::fmt;
 
@@ -14,20 +14,28 @@ thread_local! {
 }
 
 /// What a variable is bound to: an atomic value (for `@x`) or a path (for `$x`).
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+///
+/// Path bindings are [`PathView`]s — possibly unregistered cuts of an interned
+/// path.  The backtracking matcher binds every speculative prefix cut it
+/// enumerates, so holding views (compared by content over shared storage)
+/// keeps rejected candidates out of the global store; a binding is interned
+/// exactly when it reaches an emission or grounding ([`Binding::as_path`],
+/// [`Valuation::apply`], [`Valuation::segments_into`]).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
 pub enum Binding {
     /// Binding of an atomic variable.
     Atom(AtomId),
     /// Binding of a path variable.
-    Path(Path),
+    Path(PathView),
 }
 
 impl Binding {
-    /// View the binding as a path (an atomic value is the length-1 path holding it).
+    /// View the binding as a path (an atomic value is the length-1 path holding
+    /// it).  Interns the content if the underlying view was a speculative cut.
     pub fn as_path(&self) -> Path {
         match self {
             Binding::Atom(a) => Path::singleton(Value::Atom(*a)),
-            Binding::Path(p) => p.clone(),
+            Binding::Path(v) => v.to_path(),
         }
     }
 
@@ -142,7 +150,7 @@ impl Valuation {
 
     /// Bind a path variable to a path.
     pub fn bind_path(&mut self, var: Var, path: Path) {
-        self.bind(var, Binding::Path(path));
+        self.bind(var, Binding::Path(path.into()));
     }
 
     /// A copy of this valuation with one extra binding.
@@ -227,7 +235,7 @@ impl Valuation {
             [Term::Var(v)] => {
                 return match self.get(*v)? {
                     Binding::Atom(a) => Some(Path::singleton(Value::Atom(*a))),
-                    Binding::Path(p) => Some(*p),
+                    Binding::Path(p) => Some(p.to_path()),
                 }
             }
             _ => {}
@@ -345,7 +353,7 @@ mod tests {
     #[should_panic(expected = "does not fit")]
     fn binding_kind_mismatch_panics() {
         let mut nu = Valuation::new();
-        nu.bind(Var::atom("x"), Binding::Path(path_of(&["a", "b"])));
+        nu.bind(Var::atom("x"), Binding::Path(path_of(&["a", "b"]).into()));
     }
 
     #[test]
@@ -354,7 +362,7 @@ mod tests {
         let y = Var::path("y");
         let mut nu = Valuation::new();
         nu.bind_path(x, path_of(&["a"]));
-        let nu2 = nu.extended(y, Binding::Path(path_of(&["b"])));
+        let nu2 = nu.extended(y, Binding::Path(path_of(&["b"]).into()));
         assert_eq!(nu2.len(), 2);
         assert_eq!(nu.len(), 1);
         let only_y = nu2.restricted_to(&[y]);
@@ -368,7 +376,7 @@ mod tests {
             Binding::Atom(atom("a")).as_path(),
             Path::singleton(Value::Atom(atom("a")))
         );
-        assert_eq!(Binding::Path(Path::empty()).as_path(), Path::empty());
+        assert_eq!(Binding::Path(Path::empty().into()).as_path(), Path::empty());
     }
 
     #[test]

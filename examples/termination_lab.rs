@@ -31,6 +31,7 @@ fn main() {
         max_iterations: 100,
         max_facts: 10_000,
         max_path_len: 128,
+        ..EvalLimits::default()
     });
     match limited.run(&diverging, &Instance::new()) {
         Err(EvalError::LimitExceeded { what, limit }) => {

@@ -22,6 +22,7 @@ fn engine_with_max_iterations(max_iterations: usize) -> Engine {
         max_iterations,
         max_facts: 100_000,
         max_path_len: 100_000,
+        ..EvalLimits::default()
     })
 }
 
@@ -50,7 +51,7 @@ fn limits_trigger_identically_on_recursive_strata() {
         );
         for threads in [1usize, 2, 4] {
             let exec_result = Executor::new()
-                .with_engine(engine)
+                .with_engine(engine.clone())
                 .with_threads(threads)
                 .run(&program, &input);
             assert_eq!(
@@ -78,7 +79,7 @@ fn diverging_programs_fail_identically_at_every_thread_count() {
     assert!(matches!(engine_err, EvalError::LimitExceeded { .. }));
     for threads in [1usize, 2, 4] {
         let exec_err = Executor::new()
-            .with_engine(engine)
+            .with_engine(engine.clone())
             .with_threads(threads)
             .run(&program, &Instance::new())
             .unwrap_err();
@@ -127,7 +128,7 @@ fn executor_is_never_stricter_than_the_engine_on_chained_recursion() {
         let engine_ok = engine.run(&program, &input).is_ok();
         for threads in [1usize, 2, 4] {
             let exec_ok = Executor::new()
-                .with_engine(engine)
+                .with_engine(engine.clone())
                 .with_threads(threads)
                 .run(&program, &input)
                 .is_ok();

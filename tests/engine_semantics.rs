@@ -231,6 +231,7 @@ fn fact_limit_stops_blowing_up_programs() {
         max_iterations: 100,
         max_facts: 50,
         max_path_len: 10_000,
+        ..EvalLimits::default()
     };
     let result = Engine::new().with_limits(limits).run(&program, &input);
     assert!(matches!(result, Err(EvalError::LimitExceeded { .. })));
@@ -243,6 +244,7 @@ fn path_length_limit_stops_growing_programs() {
         max_iterations: 1_000,
         max_facts: 1_000_000,
         max_path_len: 32,
+        ..EvalLimits::default()
     };
     let result = Engine::new()
         .with_limits(limits)

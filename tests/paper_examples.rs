@@ -103,6 +103,7 @@ fn example_2_3_nonterminating_program_hits_a_limit() {
         max_iterations: 50,
         max_facts: 10_000,
         max_path_len: 64,
+        ..EvalLimits::default()
     };
     let engine = Engine::new().with_limits(limits);
     let err = engine

@@ -179,6 +179,7 @@ fn eval_limits() -> EvalLimits {
         max_iterations: 400,
         max_facts: 60_000,
         max_path_len: 2_000,
+        ..EvalLimits::default()
     }
 }
 
