@@ -1,7 +1,8 @@
 //! Textual reproduction of every figure of the paper plus the derived experiment
 //! tables recorded in EXPERIMENTS.md.
 //!
-//! Usage: `cargo run -p seqdl-bench --bin harness [--release] [--threads N] [--mem-stats] [--no-ram] [section…]`
+//! Usage: `cargo run -p seqdl-bench --bin harness [--release] [--threads N] [--mem-stats] [--no-ram]
+//! [--stats-format text|json] [--profile] [--trace-out trace.json] [section…]`
 //! where `section` is any of `fig1 fig2 fig3 arity equations packing folding
 //! linearity reachability nfa query algebra regex termination`; with no arguments every section is printed.
 //! `--threads N` sets the worker-pool size of the stratified executor columns in
@@ -11,10 +12,63 @@
 //! a peak-RSS footer per section; store numbers are cumulative per process.
 //! `--no-ram` runs the reachability, NFA, and query sections through the legacy
 //! tree-walking matcher instead of the lowered RAM instruction programs.
+//! `--stats-format json` appends the machine-readable evaluation-statistics
+//! document (the `seqdl --stats-format json` schema) for the largest workload
+//! of the reachability, NFA, and query sections; `--profile` appends the
+//! per-rule hot-rules table for the same runs; `--trace-out FILE` records the
+//! reachability section's largest executor run as Chrome trace-event JSON
+//! (open at https://ui.perfetto.dev).
 
 use seqdl_bench as drivers;
 use seqdl_engine::FixpointStrategy;
 use std::time::Instant;
+
+/// The observability add-ons requested for the reachability/NFA/query
+/// sections.
+struct Observability {
+    json: bool,
+    profile: bool,
+    trace_out: Option<String>,
+}
+
+impl Observability {
+    fn active(&self) -> bool {
+        self.json || self.profile || self.trace_out.is_some()
+    }
+
+    /// Print the requested per-run add-ons for one labeled workload.
+    fn emit(&self, label: &str, stats: &seqdl_engine::EvalStats) {
+        if self.profile {
+            println!("per-rule profile ({label}, hottest first):");
+            let mut order: Vec<&seqdl_engine::RuleStats> = stats.rules.iter().collect();
+            order.sort_by(|a, b| {
+                b.wall
+                    .cmp(&a.wall)
+                    .then_with(|| (a.stratum, a.rule_ix).cmp(&(b.stratum, b.rule_ix)))
+            });
+            for r in order {
+                println!(
+                    "  s{}r{}: {} firing(s), {} fact(s), {:?}, {} probe(s), {} scan(s) — {}",
+                    r.stratum,
+                    r.rule_ix,
+                    r.firings,
+                    r.derived_facts,
+                    r.wall,
+                    r.index_probes,
+                    r.scans,
+                    r.rule
+                );
+            }
+        }
+        if self.json {
+            println!("stats json ({label}):");
+            print!(
+                "{}",
+                seqdl_engine::stats_json(stats, &seqdl_core::store_stats(), None)
+            );
+        }
+    }
+}
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -43,6 +97,49 @@ fn main() {
             false
         }
         None => true,
+    };
+    let json = match args.iter().position(|a| a == "--stats-format") {
+        Some(i) => {
+            let value = args.get(i + 1).cloned();
+            match value.as_deref() {
+                Some("json") => {
+                    args.drain(i..=i + 1);
+                    true
+                }
+                Some("text") => {
+                    args.drain(i..=i + 1);
+                    false
+                }
+                _ => {
+                    eprintln!("--stats-format expects `text` or `json`");
+                    std::process::exit(2);
+                }
+            }
+        }
+        None => false,
+    };
+    let profile = match args.iter().position(|a| a == "--profile") {
+        Some(i) => {
+            args.remove(i);
+            true
+        }
+        None => false,
+    };
+    let trace_out = match args.iter().position(|a| a == "--trace-out") {
+        Some(i) => {
+            let Some(value) = args.get(i + 1).cloned() else {
+                eprintln!("--trace-out expects a file path");
+                std::process::exit(2);
+            };
+            args.drain(i..=i + 1);
+            Some(value)
+        }
+        None => None,
+    };
+    let obs = Observability {
+        json,
+        profile,
+        trace_out,
     };
     let args = args;
     let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name);
@@ -224,6 +321,24 @@ fn main() {
         if mem_stats {
             println!("peak RSS: {} KiB", drivers::peak_rss_kib());
         }
+        if obs.active() {
+            // One extra run of the largest workload with the add-ons applied:
+            // the trace session wraps exactly this run, so the exported spans
+            // show one executor schedule with real thread ids.
+            let trace = obs
+                .trace_out
+                .as_ref()
+                .map(|p| (p.clone(), seqdl_trace::start()));
+            let (_, stats) =
+                drivers::reachability_exec_stats_configured(128, 1024, threads, use_ram);
+            if let Some((path, session)) = trace {
+                let events = session.finish();
+                std::fs::write(&path, seqdl_trace::chrome_trace_json(&events))
+                    .expect("write trace file");
+                println!("trace: {} event(s) written to {path}", events.len());
+            }
+            obs.emit(&format!("reachability 128x1024, exec({threads})"), &stats);
+        }
     }
 
     if want("nfa") {
@@ -291,6 +406,10 @@ fn main() {
         if mem_stats {
             println!("peak RSS: {} KiB", drivers::peak_rss_kib());
         }
+        if obs.json || obs.profile {
+            let (_, stats) = drivers::nfa_exec_stats_configured(16, 48, 64, threads, use_ram);
+            obs.emit(&format!("nfa 16x64, exec({threads})"), &stats);
+        }
     }
 
     if want("query") {
@@ -326,6 +445,11 @@ fn main() {
                 "{nodes:>8} {edges:>8} {t_full:>12?} {:>12} {t_demanded:>12?} {:>12} {:>9}",
                 full_stats.rule_firings, demanded_stats.rule_firings, full_answers
             );
+        }
+        if obs.json || obs.profile {
+            let (_, stats) =
+                drivers::reachability_query_demanded_configured(128, 1024, threads, use_ram);
+            obs.emit(&format!("query demanded 128x1024, exec({threads})"), &stats);
         }
     }
 

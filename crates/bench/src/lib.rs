@@ -7,6 +7,8 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod json;
+
 use seqdl_core::{rel, repeat_path, Instance, Path, RelName};
 use seqdl_engine::{Engine, EvalLimits, FixpointStrategy};
 use seqdl_fragments::witnesses;
@@ -459,6 +461,40 @@ pub fn nfa_run_parallel_configured(
         .expect("terminates")
         .unary_paths_iter(w.output)
         .count()
+}
+
+/// [`reachability_run_parallel_configured`] returning the run's statistics
+/// alongside the answer — the observability hook behind the harness's
+/// `--stats-format json`, `--profile`, and `--trace-out` modes.
+pub fn reachability_exec_stats_configured(
+    nodes: usize,
+    edges: usize,
+    threads: usize,
+    use_ram: bool,
+) -> (bool, seqdl_engine::EvalStats) {
+    let w = witnesses::reachability();
+    let input = Workloads::new(17).digraph_instance(nodes, edges);
+    let (out, stats) = bench_executor_configured(threads, use_ram)
+        .run_with_stats(&w.program, &input)
+        .expect("terminates");
+    (out.nullary_true(w.output), stats)
+}
+
+/// [`nfa_run_parallel_configured`] returning the run's statistics alongside
+/// the accepted-word count.
+pub fn nfa_exec_stats_configured(
+    states: usize,
+    words: usize,
+    word_len: usize,
+    threads: usize,
+    use_ram: bool,
+) -> (usize, seqdl_engine::EvalStats) {
+    let w = witnesses::nfa_acceptance();
+    let input = Workloads::new(23).nfa_instance(states, 2, words, word_len);
+    let (out, stats) = bench_executor_configured(threads, use_ram)
+        .run_with_stats(&w.program, &input)
+        .expect("terminates");
+    (out.unary_paths_iter(w.output).count(), stats)
 }
 
 // ---------------------------------------------------------------------------

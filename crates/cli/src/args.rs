@@ -52,6 +52,8 @@ pub const VALUE_FLAGS: &[&str] = &[
     "goal",
     "state-prefix",
     "save",
+    "trace-out",
+    "stats-format",
 ];
 
 /// Parse the arguments following the subcommand name.

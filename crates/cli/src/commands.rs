@@ -66,9 +66,11 @@ pub fn help_text() -> String {
         "  seqdl run         --program q.sdl --instance db.sdi [--output S] [--strategy naive|semi-naive]\n",
         "                    [--threads N] [--shard-size N] [--max-iterations N] [--max-facts N]\n",
         "                    [--max-path-len N] [--timeout 50ms|2s] [--max-store-bytes 64m]\n",
-        "                    [--no-ram] [--stats] [--save out.sdi]\n",
+        "                    [--no-ram] [--stats] [--profile] [--stats-format text|json]\n",
+        "                    [--trace-out trace.json] [--save out.sdi]\n",
         "  seqdl query       --program q.sdl --instance db.sdi --goal \"Reach(a·b·$x)?\"\n",
-        "                    [--threads N] [--timeout 50ms] [--no-ram] [--stats] [--show-rewrite]\n",
+        "                    [--threads N] [--timeout 50ms] [--no-ram] [--stats] [--profile]\n",
+        "                    [--stats-format text|json] [--trace-out trace.json] [--show-rewrite]\n",
         "                    (demand-driven: only rules relevant to the goal fire, via the\n",
         "                    magic-set rewrite)\n",
         "  seqdl analyze     --program q.sdl [--show-ram]\n",
@@ -94,6 +96,16 @@ pub fn help_text() -> String {
         "`--max-store-bytes N` bounds the path store's growth (`k`/`m`/`g`\n",
         "suffixes accepted).  A run stopped by either — or by Ctrl-C — exits\n",
         "nonzero and reports the statistics accumulated up to that point.\n",
+        "\n",
+        "Observability: `--stats` prints evaluation counters with per-stratum\n",
+        "wall percentages and the path store's size; `--profile` prints a\n",
+        "hot-rules table (per-rule firings, derived facts, wall time, and\n",
+        "index counters, hottest first); `--stats-format json` replaces the\n",
+        "text block with a stable JSON document (outcome, totals, strata,\n",
+        "per-rule profile, store) that the bench harness consumes; and\n",
+        "`--trace-out FILE` records the run's spans (run → stratum → round →\n",
+        "rule, with real thread ids) as Chrome trace-event JSON — open it at\n",
+        "https://ui.perfetto.dev or chrome://tracing.\n",
     )
     .to_string()
 }
@@ -292,20 +304,87 @@ fn unknown_relation_error(name: RelName, known: &[RelName]) -> CliError {
     ))
 }
 
+/// The rendering requested by `--stats-format` (the default is the historical
+/// human-readable block).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum StatsFormat {
+    Text,
+    Json,
+}
+
+fn stats_format(flags: &Flags) -> Result<StatsFormat, CliError> {
+    match flags.get("stats-format") {
+        None | Some("text") => Ok(StatsFormat::Text),
+        Some("json") => Ok(StatsFormat::Json),
+        Some(other) => Err(CliError::Command(format!(
+            "unknown stats format `{other}` (expected `text` or `json`)"
+        ))),
+    }
+}
+
+/// A tracing session opened for `--trace-out FILE`, carried across the run so
+/// the Chrome trace-event JSON is written whether the run succeeds or fails.
+struct TraceCapture {
+    path: String,
+    session: seqdl_trace::Session,
+}
+
+fn start_trace(flags: &Flags) -> Option<TraceCapture> {
+    flags.get("trace-out").map(|path| TraceCapture {
+        path: path.to_string(),
+        session: seqdl_trace::start(),
+    })
+}
+
+impl TraceCapture {
+    /// Stop recording, write the trace file, and return a one-line note for
+    /// the report.
+    fn write(self) -> Result<String, CliError> {
+        let events = self.session.finish();
+        std::fs::write(&self.path, seqdl_trace::chrome_trace_json(&events))
+            .map_err(|e| CliError::Command(format!("cannot write {}: {e}", self.path)))?;
+        Ok(format!(
+            "trace: {} event(s) written to {}",
+            events.len(),
+            self.path
+        ))
+    }
+}
+
 /// Render an evaluation error from `run`/`query`, appending the partial
 /// statistics a cancelled run accumulated before it stopped — so a `--timeout`
 /// or Ctrl-C still reports how far the evaluation got (and the process exits
-/// nonzero).
-fn eval_error_report(executor: &Executor, error: &seqdl_engine::EvalError) -> CliError {
+/// nonzero).  Under `--stats-format json` the partial statistics and the
+/// outcome (`cancelled`/`limit`/`error`) are appended as the same JSON
+/// document a successful run would print, so tooling parses failures too.
+fn eval_error_report(
+    executor: &Executor,
+    error: &seqdl_engine::EvalError,
+    format: StatsFormat,
+) -> CliError {
     let mut message = error.to_string();
-    if let Some(stats) = error.partial_stats() {
-        message.push_str("\npartial progress at cancellation:\n");
-        write_stats(&mut message, executor, stats);
-        // The stats block ends with a newline; the CLI error printer adds its
-        // own, so trim the trailing one.
-        while message.ends_with('\n') {
-            message.pop();
+    match format {
+        StatsFormat::Json => {
+            let default_stats = seqdl_engine::EvalStats::default();
+            let stats = error.partial_stats().unwrap_or(&default_stats);
+            message.push('\n');
+            message.push_str(&seqdl_engine::stats_json(
+                stats,
+                &seqdl_core::store_stats(),
+                Some(error),
+            ));
         }
+        StatsFormat::Text => {
+            if let Some(stats) = error.partial_stats() {
+                message.push_str("\npartial progress at cancellation:\n");
+                write_stats(&mut message, executor, stats);
+            }
+        }
+    }
+    // The stats block ends with a newline; the CLI error printer adds its
+    // own, so trim the trailing one.
+    while message.ends_with('\n') {
+        message.pop();
     }
     CliError::Command(message)
 }
@@ -333,15 +412,81 @@ fn write_stats(report: &mut String, executor: &Executor, stats: &seqdl_engine::E
         stats.index_probes, stats.scans, stats.instructions_executed, stats.fused_probes
     )
     .expect("write to string");
+    let eval_wall: std::time::Duration = stats.strata.iter().map(|s| s.wall).sum();
     for (i, stratum) in stats.strata.iter().enumerate() {
+        let pct = if eval_wall.is_zero() {
+            0.0
+        } else {
+            stratum.wall.as_secs_f64() / eval_wall.as_secs_f64() * 100.0
+        };
         writeln!(
             report,
-            "stratum {i}: {} rule(s), {} iteration(s), {} fact(s), {} firing(s), {} delta shard(s), {:?}",
+            "stratum {i}: {} rule(s), {} iteration(s), {} fact(s), {} firing(s), {} delta shard(s), {:?} ({pct:.1}% of eval wall)",
             stratum.rules,
             stratum.iterations,
             stratum.derived_facts,
             stratum.rule_firings,
             stratum.shards,
+            stratum.wall
+        )
+        .expect("write to string");
+    }
+    let store = seqdl_core::store_stats();
+    writeln!(
+        report,
+        "store: {} distinct path(s), {:.1} KiB",
+        store.distinct_paths,
+        store.total_bytes() as f64 / 1024.0
+    )
+    .expect("write to string");
+}
+
+/// Append the `--profile` hot-rules table: every rule that fired, hottest (by
+/// accumulated pass wall time) first, with its counters, then one roll-up
+/// line per stratum.  Parallel passes overlap, so summed rule walls can
+/// exceed a stratum's wall clock.
+fn write_profile(report: &mut String, stats: &seqdl_engine::EvalStats) {
+    if stats.rules.is_empty() {
+        report.push_str("per-rule profile: no rule fired\n");
+        return;
+    }
+    report.push_str("per-rule profile (hottest first):\n");
+    let mut order: Vec<&seqdl_engine::RuleStats> = stats.rules.iter().collect();
+    order.sort_by(|a, b| {
+        b.wall
+            .cmp(&a.wall)
+            .then_with(|| (a.stratum, a.rule_ix).cmp(&(b.stratum, b.rule_ix)))
+    });
+    for r in &order {
+        writeln!(
+            report,
+            "  s{}r{}: {} firing(s), {} fact(s), {:?}, {} probe(s), {} scan(s), {} instruction(s), {} fused, {} memo hit(s) — {}",
+            r.stratum,
+            r.rule_ix,
+            r.firings,
+            r.derived_facts,
+            r.wall,
+            r.index_probes,
+            r.scans,
+            r.instructions,
+            r.fused_probes,
+            r.emit_memo_hits,
+            r.rule
+        )
+        .expect("write to string");
+    }
+    for (i, stratum) in stats.strata.iter().enumerate() {
+        let (mut firings, mut facts, mut wall) = (0usize, 0usize, std::time::Duration::ZERO);
+        let mut rules = 0usize;
+        for r in stats.rules.iter().filter(|r| r.stratum == i) {
+            rules += 1;
+            firings += r.firings;
+            facts += r.derived_facts;
+            wall += r.wall;
+        }
+        writeln!(
+            report,
+            "  stratum {i} rollup: {rules} rule(s) profiled, {firings} firing(s), {facts} fact(s), {wall:?} summed rule wall (stratum wall {:?})",
             stratum.wall
         )
         .expect("write to string");
@@ -353,9 +498,11 @@ fn cmd_run(flags: &Flags) -> Result<String, CliError> {
     let instance = load_instance_flag(flags)?;
     let output = output_relation(flags, &program)?;
     let executor = executor_from_flags(flags)?;
-    let (result, stats) = executor
-        .run_with_stats(&program, &instance)
-        .map_err(|e| eval_error_report(&executor, &e))?;
+    let format = stats_format(flags)?;
+    let trace = start_trace(flags);
+    let run = executor.run_with_stats(&program, &instance);
+    let trace_note = trace.map(TraceCapture::write).transpose()?;
+    let (result, stats) = run.map_err(|e| eval_error_report(&executor, &e, format))?;
 
     let mut report = String::new();
     let relation = result.relation(output);
@@ -385,8 +532,25 @@ fn cmd_run(flags: &Flags) -> Result<String, CliError> {
             }
         }
     }
-    if flags.has("stats") {
-        write_stats(&mut report, &executor, &stats);
+    match format {
+        StatsFormat::Json => {
+            report.push_str(&seqdl_engine::stats_json(
+                &stats,
+                &seqdl_core::store_stats(),
+                None,
+            ));
+        }
+        StatsFormat::Text => {
+            if flags.has("stats") {
+                write_stats(&mut report, &executor, &stats);
+            }
+            if flags.has("profile") {
+                write_profile(&mut report, &stats);
+            }
+        }
+    }
+    if let Some(note) = trace_note {
+        writeln!(report, "{note}").expect("write to string");
     }
     if let Some(path) = flags.get("save") {
         seqdl_io::save_instance(path, &result).map_err(command_error)?;
@@ -461,9 +625,11 @@ fn cmd_query(flags: &Flags) -> Result<String, CliError> {
     }
 
     let mp = magic(&program, &goal).map_err(command_error)?;
-    let (result, stats) = executor
-        .run_with_stats_seeded(&mp.program, &instance, &mp.seeds)
-        .map_err(|e| eval_error_report(&executor, &e))?;
+    let format = stats_format(flags)?;
+    let trace = start_trace(flags);
+    let run = executor.run_with_stats_seeded(&mp.program, &instance, &mp.seeds);
+    let trace_note = trace.map(TraceCapture::write).transpose()?;
+    let (result, stats) = run.map_err(|e| eval_error_report(&executor, &e, format))?;
     let answers = mp.answers(&result);
     print_answers(&mut report, &answers);
     if flags.has("show-rewrite") {
@@ -474,7 +640,7 @@ fn cmd_query(flags: &Flags) -> Result<String, CliError> {
             writeln!(report, "% seed: {seed}").expect("write to string");
         }
     }
-    if flags.has("stats") {
+    if flags.has("stats") && format == StatsFormat::Text {
         writeln!(
             report,
             "magic rewrite: {} rule(s) (from {}), {} seed fact(s), answers in {}",
@@ -485,6 +651,19 @@ fn cmd_query(flags: &Flags) -> Result<String, CliError> {
         )
         .expect("write to string");
         write_stats(&mut report, &executor, &stats);
+    }
+    if flags.has("profile") && format == StatsFormat::Text {
+        write_profile(&mut report, &stats);
+    }
+    if format == StatsFormat::Json {
+        report.push_str(&seqdl_engine::stats_json(
+            &stats,
+            &seqdl_core::store_stats(),
+            None,
+        ));
+    }
+    if let Some(note) = trace_note {
+        writeln!(report, "{note}").expect("write to string");
     }
     Ok(report)
 }
@@ -854,6 +1033,147 @@ mod tests {
             .and_then(|n| n.trim().parse().ok())
             .expect("parse probe count");
         assert!(probes > 0, "expected index probes on the reachability join");
+    }
+
+    /// The §5.1.1 reachability workload used by the observability tests: a
+    /// transitive-closure program and a small chain digraph.
+    fn reachability_files(tag: &str) -> (String, String) {
+        let program = write_program(
+            &format!("reach-{tag}.sdl"),
+            "T(@x·@y) <- R(@x·@y).\nT(@x·@z) <- T(@x·@y), R(@y·@z).",
+        );
+        let mut graph = Instance::new();
+        for (x, y) in [("a", "b"), ("b", "c"), ("c", "d"), ("d", "e")] {
+            graph
+                .insert_fact(seqdl_core::Fact::new(rel("R"), vec![path_of(&[x, y])]))
+                .unwrap();
+        }
+        let instance = write_instance_file(&format!("reach-{tag}.sdi"), &graph);
+        (program, instance)
+    }
+
+    #[test]
+    fn profile_firings_sum_to_the_total_rule_firings() {
+        let (program, instance) = reachability_files("profile");
+        let output = cmd_run(&flags(&[
+            "--program",
+            &program,
+            "--instance",
+            &instance,
+            "--output",
+            "T",
+            "--stats",
+            "--profile",
+        ]))
+        .unwrap();
+        assert!(
+            output.contains("per-rule profile (hottest first):"),
+            "{output}"
+        );
+        assert!(output.contains("stratum 0 rollup:"), "{output}");
+        let total: usize = output
+            .split("rule firings: ")
+            .nth(1)
+            .and_then(|rest| rest.lines().next())
+            .and_then(|n| n.trim().parse().ok())
+            .expect("parse total rule firings");
+        let profiled: usize = output
+            .lines()
+            .filter(|l| {
+                l.starts_with("  s") && !l.starts_with("  stratum") && l.contains(" firing(s), ")
+            })
+            .map(|l| {
+                l.split(": ")
+                    .nth(1)
+                    .and_then(|rest| rest.split(" firing(s)").next())
+                    .and_then(|n| n.trim().parse::<usize>().ok())
+                    .expect("parse per-rule firings")
+            })
+            .sum();
+        assert!(total > 0, "{output}");
+        assert_eq!(profiled, total, "{output}");
+        // Both rules of the recursive component are attributed by name.
+        assert!(output.contains("T(@x·@y) <- R(@x·@y)."), "{output}");
+        assert!(
+            output.contains("T(@x·@z) <- T(@x·@y), R(@y·@z)."),
+            "{output}"
+        );
+    }
+
+    #[test]
+    fn trace_out_writes_chrome_trace_json_with_worker_threads() {
+        let (program, instance) = reachability_files("trace");
+        let trace_file = temp_path("trace.json");
+        let output = cmd_run(&flags(&[
+            "--program",
+            &program,
+            "--instance",
+            &instance,
+            "--output",
+            "T",
+            "--threads",
+            "4",
+            "--trace-out",
+            trace_file.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(output.contains("event(s) written to"), "{output}");
+        let json = std::fs::read_to_string(&trace_file).unwrap();
+        assert!(json.trim_start().starts_with('['), "{json}");
+        assert!(json.trim_end().ends_with(']'), "{json}");
+        assert!(json.contains("\"ph\":\"B\""), "{json}");
+        assert!(json.contains("\"ph\":\"E\""), "{json}");
+        assert!(json.contains("\"name\":\"run\""), "{json}");
+        // Rule passes run on pool workers while the driver holds the round
+        // span, so a parallel run records at least two distinct thread ids.
+        let tids: std::collections::BTreeSet<u32> = json
+            .split("\"tid\":")
+            .skip(1)
+            .map(|part| {
+                part.split(|c: char| !c.is_ascii_digit())
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .expect("parse tid")
+            })
+            .collect();
+        assert!(tids.len() >= 2, "expected >=2 tids, got {tids:?}");
+        std::fs::remove_file(&trace_file).ok();
+    }
+
+    #[test]
+    fn stats_format_json_emits_the_versioned_document() {
+        let (program, instance) = reachability_files("json");
+        let output = cmd_run(&flags(&[
+            "--program",
+            &program,
+            "--instance",
+            &instance,
+            "--output",
+            "T",
+            "--stats-format",
+            "json",
+        ]))
+        .unwrap();
+        for key in [
+            "\"version\": 1",
+            "{\"status\":\"ok\"}",
+            "\"totals\": {",
+            "\"strata\": [",
+            "\"rules\": [",
+            "\"store\": {",
+            "\"wall_pct\":",
+        ] {
+            assert!(output.contains(key), "missing {key} in:\n{output}");
+        }
+        let bad = cmd_run(&flags(&[
+            "--program",
+            &program,
+            "--instance",
+            &instance,
+            "--stats-format",
+            "yaml",
+        ]));
+        assert!(bad.is_err());
     }
 
     #[test]

@@ -183,12 +183,21 @@ pub struct EvalStats {
     /// predicate probes compiled to existence-check filters, and terminal
     /// probe+emit loops; zero when the legacy matcher runs.
     pub fused_probes: usize,
+    /// Firings whose derived fact was recognised as a duplicate by the
+    /// per-rule emit memo (one segment-identity probe instead of grounding
+    /// and re-deriving the head tuple).
+    pub emit_memo_hits: usize,
     /// High-water mark of shard jobs any single delta window fanned out into
     /// during the *current* stratum; the per-stratum breakdown consumes it
     /// into [`StratumStats::shards`] at each stratum boundary.
     pub delta_shards: usize,
     /// Per-stratum breakdown, one entry per declared stratum, in evaluation order.
     pub strata: Vec<StratumStats>,
+    /// Per-rule profile, one entry per (stratum, rule) that fired at least one
+    /// pass, in first-fire order.  Populated identically by the sequential
+    /// engine and (merged deterministically from shard jobs) the parallel
+    /// executor.
+    pub rules: Vec<RuleStats>,
 }
 
 impl EvalStats {
@@ -199,6 +208,48 @@ impl EvalStats {
         self.scans += fire.scans;
         self.instructions_executed += fire.instructions;
         self.fused_probes += fire.fused_probes;
+        self.emit_memo_hits += fire.emit_memo_hits;
+    }
+
+    /// Fold one rule-firing pass into both the run totals and the per-rule
+    /// profile entry keyed by `(stratum, rule_ix)`.  `rule` renders the rule
+    /// lazily — it is only invoked the first time the entry is created.
+    /// `derived` counts the facts the pass buffered (new at emit time; the
+    /// merge-time dedup across rules is not attributed back).
+    pub fn apply_rule_fire(
+        &mut self,
+        stratum: usize,
+        rule_ix: usize,
+        rule: impl FnOnce() -> String,
+        fire: FireStats,
+        wall: std::time::Duration,
+        derived: usize,
+    ) {
+        self.apply_fire(fire);
+        let pos = self
+            .rules
+            .iter()
+            .position(|r| r.stratum == stratum && r.rule_ix == rule_ix);
+        let entry = match pos {
+            Some(p) => &mut self.rules[p],
+            None => {
+                self.rules.push(RuleStats {
+                    stratum,
+                    rule_ix,
+                    rule: rule(),
+                    ..RuleStats::default()
+                });
+                self.rules.last_mut().expect("entry just pushed")
+            }
+        };
+        entry.firings += fire.firings;
+        entry.derived_facts += derived;
+        entry.wall += wall;
+        entry.index_probes += fire.index_probes;
+        entry.scans += fire.scans;
+        entry.instructions += fire.instructions;
+        entry.fused_probes += fire.fused_probes;
+        entry.emit_memo_hits += fire.emit_memo_hits;
     }
 
     /// Record that one delta window fanned out into `shards` shard jobs; the
@@ -221,6 +272,39 @@ pub struct FireStats {
     pub instructions: usize,
     /// Executions of fused instructions (zero on the legacy matcher).
     pub fused_probes: usize,
+    /// Firings deduplicated by the emit memo (segment-identity probe hits,
+    /// plus duplicates a fused bucket-count loop collapsed without probing).
+    pub emit_memo_hits: usize,
+}
+
+/// Per-rule profile entry of an evaluation run: one rule's share of the
+/// counters in [`EvalStats`], plus where it sits in the stratification.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RuleStats {
+    /// Index of the stratum the rule belongs to (in evaluation order).
+    pub stratum: usize,
+    /// Index of the rule within its stratum's rule list.
+    pub rule_ix: usize,
+    /// Rendering of the rule.
+    pub rule: String,
+    /// Head instantiations (counting duplicates).
+    pub firings: usize,
+    /// Facts the rule's firing passes buffered (new at emit time; cross-rule
+    /// duplicates dropped later at the merge point are still counted here).
+    pub derived_facts: usize,
+    /// Wall-clock time spent in the rule's firing passes.  Under the parallel
+    /// executor passes overlap, so rule walls can sum past the stratum wall.
+    pub wall: std::time::Duration,
+    /// Predicate steps answered through an index probe.
+    pub index_probes: usize,
+    /// Predicate steps that scanned the relation.
+    pub scans: usize,
+    /// RAM instruction dispatches (zero on the legacy matcher).
+    pub instructions: usize,
+    /// Executions of fused instructions (zero on the legacy matcher).
+    pub fused_probes: usize,
+    /// Firings deduplicated by the emit memo.
+    pub emit_memo_hits: usize,
 }
 
 /// Counters for one declared stratum of an evaluation run.
@@ -434,8 +518,16 @@ impl Engine {
             stratum_plans.iter().flatten().map(|(_, p)| p),
             &mut instance,
         );
-        for (stratum, plans) in program.strata.iter().zip(stratum_plans.drain(..)) {
+        let _run_span = seqdl_trace::span(|| "run".to_string());
+        for (si, (stratum, plans)) in program
+            .strata
+            .iter()
+            .zip(stratum_plans.drain(..))
+            .enumerate()
+        {
+            let _stratum_span = seqdl_trace::span(|| format!("stratum {si}"));
             // Stratum-boundary checkpoint (full: includes the store budget).
+            seqdl_trace::instant("governor check");
             governor.check()?;
             let start = Instant::now();
             let before = (stats.iterations, stats.derived_facts, stats.rule_firings);
@@ -551,6 +643,11 @@ impl Engine {
         // the previous iteration.  The delta itself is then a borrowed
         // [`DeltaWindow`] over the relation's id space — no tuples are copied out.
         let mut delta_start: BTreeMap<RelName, usize> = BTreeMap::new();
+        // Ordinal of the stratum being evaluated, for the per-rule profile:
+        // strata entries are pushed at stratum boundaries, so the entry under
+        // construction is the current length.  Holds for the executor's
+        // sequential-retry path too (it re-runs the stratum before pushing).
+        let stratum_ix = stats.strata.len();
         let mut iteration = 0usize;
         let mut new_facts: Vec<Fact> = Vec::new();
         // One emit memo per rule, persisted across rounds: duplicate
@@ -564,7 +661,9 @@ impl Engine {
                 });
             }
             stats.iterations += 1;
+            let _round_span = seqdl_trace::span(|| format!("round {iteration}"));
             // Fixpoint-round checkpoint (full: includes the store budget).
+            seqdl_trace::instant("governor check");
             governor.check()?;
             for (ix, positions) in delta_positions.iter().enumerate() {
                 let memo = &mut memos[ix];
@@ -594,13 +693,44 @@ impl Engine {
                         }
                     }
                 };
+                let rule_ref: &Rule = match &procs {
+                    Some(procs) => &procs[ix].rule,
+                    None => plans[ix].0,
+                };
+                // One profiled pass: a rule span around the fire, counters
+                // into the per-rule profile keyed by (stratum, rule index).
+                let profiled = |window: Option<DeltaWindow>,
+                                memo: &mut EmitMemo,
+                                out: &mut Vec<Fact>,
+                                stats: &mut EvalStats|
+                 -> Result<(), EvalError> {
+                    let _rule_span = seqdl_trace::span(|| format!("rule s{stratum_ix}r{ix}"));
+                    let buffered = out.len();
+                    let pass_start = Instant::now();
+                    let fire_stats = fire(window, memo, out)?;
+                    let wall = pass_start.elapsed();
+                    if seqdl_trace::enabled() {
+                        seqdl_trace::counter("index probes", fire_stats.index_probes as u64);
+                        seqdl_trace::counter("scans", fire_stats.scans as u64);
+                        seqdl_trace::counter("emits", fire_stats.firings as u64);
+                    }
+                    stats.apply_rule_fire(
+                        stratum_ix,
+                        ix,
+                        || rule_ref.to_string(),
+                        fire_stats,
+                        wall,
+                        out.len() - buffered,
+                    );
+                    Ok(())
+                };
                 if iteration == 0 {
-                    stats.apply_fire(fire(None, memo, &mut new_facts)?);
+                    profiled(None, memo, &mut new_facts, stats)?;
                     continue;
                 }
                 match self.strategy {
                     FixpointStrategy::Naive => {
-                        stats.apply_fire(fire(None, memo, &mut new_facts)?);
+                        profiled(None, memo, &mut new_facts, stats)?;
                     }
                     FixpointStrategy::SemiNaive => {
                         for &pos in positions {
@@ -615,11 +745,12 @@ impl Engine {
                             }
                             // The sequential engine never splits a window.
                             stats.note_shards(1);
-                            stats.apply_fire(fire(
+                            profiled(
                                 Some(DeltaWindow { pos, lo, hi }),
                                 memo,
                                 &mut new_facts,
-                            )?);
+                                stats,
+                            )?;
                         }
                     }
                 }
@@ -882,6 +1013,7 @@ pub fn fire_rule(
     let err: RefCell<Option<EvalError>> = RefCell::new(None);
     let counters: Cell<FireStats> = Cell::new(FireStats::default());
     let mut firings = 0usize;
+    let mut memo_hits = 0usize;
     let mut nu = Valuation::new();
     // Read-only view of the head's relation for emit-time deduplication:
     // firings that re-derive a fact already in the instance are counted but
@@ -922,7 +1054,10 @@ pub fn fire_rule(
         // One probe on the segment identity answers "derived this before?"
         // without grounding a single path.
         match memo.seen.entry(EmitKey::from_slice(&seg_scratch)) {
-            std::collections::hash_map::Entry::Occupied(_) => return,
+            std::collections::hash_map::Entry::Occupied(_) => {
+                memo_hits += 1;
+                return;
+            }
             std::collections::hash_map::Entry::Vacant(slot) => {
                 slot.insert(());
             }
@@ -959,6 +1094,7 @@ pub fn fire_rule(
         None => {
             let mut stats = counters.get();
             stats.firings = firings;
+            stats.emit_memo_hits = memo_hits;
             Ok(stats)
         }
     }

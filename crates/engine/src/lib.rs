@@ -41,15 +41,17 @@ pub mod eval;
 pub mod matching;
 pub mod plan;
 pub mod ram;
+pub mod stats_json;
 
 pub use error::{EvalError, LimitKind};
 pub use eval::{
     fire_rule, prepare_idb_instance, register_plan_indexes, restrict_head_indexes, seed_instance,
     DeltaWindow, EmitMemo, Engine, EvalLimits, EvalStats, FireStats, FixpointStrategy,
-    ResourceGovernor, StratumStats, GOVERNOR_CHECK_INTERVAL,
+    ResourceGovernor, RuleStats, StratumStats, GOVERNOR_CHECK_INTERVAL,
 };
 pub use plan::{plan_rule, BodyPlan, ColumnProbe, PlannedLiteral, PlannedPredicate, PrefixSource};
 pub use ram::{fire_proc, RuleProc};
+pub use stats_json::stats_json;
 
 use seqdl_core::{Instance, Path, RelName};
 use seqdl_syntax::Program;

@@ -481,7 +481,10 @@ fn emit_segs(
 ) {
     stats.firings += 1;
     match memo.seen.entry(EmitKey::from_slice(seg_scratch)) {
-        std::collections::hash_map::Entry::Occupied(_) => return,
+        std::collections::hash_map::Entry::Occupied(_) => {
+            stats.emit_memo_hits += 1;
+            return;
+        }
         std::collections::hash_map::Entry::Vacant(slot) => {
             slot.insert(());
         }
@@ -715,6 +718,11 @@ pub fn fire_proc(
                                 if k > 0 {
                                     stats.instructions += k;
                                     stats.firings += k - 1;
+                                    // The k-1 collapsed duplicates never probe
+                                    // the memo; count them as memo hits so the
+                                    // fused path's counters match the general
+                                    // loop's firings − distinct-emissions split.
+                                    stats.emit_memo_hits += k - 1;
                                     emit_segs(
                                         rule,
                                         head_relation,

@@ -63,7 +63,7 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::thread;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Deterministic fault injection for the robustness test suite: arm a global
 /// countdown and the Kth worker job fired through [`run_job`] panics inside
@@ -160,6 +160,9 @@ const SHARD_FANOUT: usize = 4;
 #[derive(Clone, Copy, Debug)]
 struct Job<'a> {
     id: usize,
+    /// Index of the rule within its stratum's rule list — the per-rule
+    /// profile key shard jobs are merged under.
+    rule_ix: usize,
     rule: &'a Rule,
     plan: &'a BodyPlan,
     /// The rule's lowered RAM procedure; `None` runs the legacy matcher.
@@ -171,6 +174,10 @@ struct Job<'a> {
 /// the first evaluation error the job hit.
 struct JobOutcome {
     id: usize,
+    /// Stratum-relative rule index, copied from the job.
+    rule_ix: usize,
+    /// Wall-clock time the job's firing pass took on its worker thread.
+    wall: Duration,
     result: Result<(Vec<Fact>, FireStats), EvalError>,
 }
 
@@ -195,9 +202,23 @@ fn run_job(
     if poison.is_set() {
         return JobOutcome {
             id,
+            rule_ix: job.rule_ix,
+            wall: Duration::ZERO,
             result: Ok((Vec::new(), FireStats::default())),
         };
     }
+    let _rule_span = seqdl_trace::span(|| {
+        format!(
+            "rule r{} {}{}",
+            job.rule_ix,
+            job.rule.head.relation,
+            match job.window {
+                Some(w) => format!(" Δ{}..{}", w.lo, w.hi),
+                None => String::new(),
+            }
+        )
+    });
+    let pass_start = Instant::now();
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         #[cfg(feature = "fail-inject")]
         fail::maybe_panic();
@@ -238,7 +259,20 @@ fn run_job(
             detail,
         })
     });
-    JobOutcome { id, result }
+    let wall = pass_start.elapsed();
+    if seqdl_trace::enabled() {
+        if let Ok((_, fire)) = &result {
+            seqdl_trace::counter("index probes", fire.index_probes as u64);
+            seqdl_trace::counter("scans", fire.scans as u64);
+            seqdl_trace::counter("emits", fire.firings as u64);
+        }
+    }
+    JobOutcome {
+        id,
+        rule_ix: job.rule_ix,
+        wall,
+        result,
+    }
 }
 
 /// The worker loop: take jobs from the shared queue until it closes, evaluate
@@ -471,6 +505,7 @@ impl Executor {
             shard,
         };
 
+        let _run_span = seqdl_trace::span(|| "run".to_string());
         let outcome = if threads <= 1 {
             drive(
                 &ctx,
@@ -523,10 +558,12 @@ impl Executor {
                         let mut jobs = jobs.into_iter();
                         let first = jobs.next();
                         for job in jobs {
-                            let id = job.id;
+                            let (id, rule_ix) = (job.id, job.rule_ix);
                             if job_tx.send(job).is_err() {
                                 outcomes.push(JobOutcome {
                                     id,
+                                    rule_ix,
+                                    wall: Duration::ZERO,
                                     result: Err(pool_died()),
                                 });
                             }
@@ -540,6 +577,8 @@ impl Executor {
                                 Err(_) => {
                                     outcomes.push(JobOutcome {
                                         id: usize::MAX,
+                                        rule_ix: 0,
+                                        wall: Duration::ZERO,
                                         result: Err(pool_died()),
                                     });
                                     break;
@@ -641,8 +680,10 @@ fn drive<'a>(
     for (si, ((stratum, sched), stratum_plans)) in
         strata.iter().zip(&schedule.strata).zip(plans).enumerate()
     {
+        let _stratum_span = seqdl_trace::span(|| format!("stratum {si}"));
         // Stratum boundary: the full governor check — cancellation, deadline,
         // and the store byte budget — runs before any job is scheduled.
+        seqdl_trace::instant("governor check");
         ctx.governor.check()?;
         let procs: Option<&'a [RuleProc]> = lowered.map(|l| l.strata[si].procs.as_slice());
         let start = Instant::now();
@@ -666,6 +707,7 @@ fn drive<'a>(
                 // under the write lock) and stratum rules are monotone over
                 // it, so re-running from the partially grown state reaches
                 // exactly the fixpoint an undisturbed run computes.
+                let _recovery_span = seqdl_trace::span(|| format!("recover stratum {si}"));
                 let rules: Vec<&Rule> = stratum.rules.iter().collect();
                 let mut guard = instance.write();
                 ctx.engine.eval_rule_set_governed(
@@ -707,7 +749,8 @@ fn run_stratum<'a>(
     stats: &mut EvalStats,
     round: &mut impl FnMut(Vec<Job<'a>>) -> Vec<JobOutcome>,
 ) -> Result<(), EvalError> {
-    for level in &sched.levels {
+    for (li, level) in sched.levels.iter().enumerate() {
+        let _level_span = seqdl_trace::span(|| format!("level {li}"));
         // Each level's single pass and each lock-step group is its own
         // fixpoint scope for the iteration limit; see [`next_round`].
         let mut rounds = 0usize;
@@ -722,6 +765,7 @@ fn run_stratum<'a>(
             for &rule_ix in &component.rule_indices {
                 jobs.push(Job {
                     id: jobs.len(),
+                    rule_ix,
                     rule: &stratum.rules[rule_ix],
                     plan: &stratum_plans[rule_ix],
                     proc: procs.map(|p| &p[rule_ix]),
@@ -730,11 +774,13 @@ fn run_stratum<'a>(
             }
         }
         if !jobs.is_empty() {
+            let _round_span = seqdl_trace::span(|| "round 0".to_string());
             next_round(&mut rounds, ctx.engine)?;
+            seqdl_trace::instant("governor check");
             ctx.governor.check()?;
             stats.iterations += 1;
             let outcomes = round(jobs);
-            merge(ctx.engine, instance, outcomes, stats)?;
+            merge(ctx.engine, instance, outcomes, stats, stratum)?;
         }
         // Phase 2: the recursive components of the level.  They never read
         // from one another, so their fixpoints advance in lock-step: every
@@ -766,7 +812,8 @@ fn run_stratum<'a>(
 /// Per-component fixpoint state inside a lock-step group.
 struct ComponentState<'a, 'c> {
     component: &'c Component,
-    rules: Vec<(&'a Rule, &'a BodyPlan, Option<&'a RuleProc>)>,
+    /// `(stratum-relative rule index, rule, plan, proc)` per component rule.
+    rules: Vec<(usize, &'a Rule, &'a BodyPlan, Option<&'a RuleProc>)>,
     /// Per rule: the plan positions that draw from this component's delta.
     delta_positions: Vec<Vec<usize>>,
     /// Watermark per component relation: its length at the previous iteration
@@ -799,14 +846,14 @@ fn fixpoint_group<'a, R: FnMut(Vec<Job<'a>>) -> Vec<JobOutcome>>(
     let mut states: Vec<ComponentState<'a, '_>> = components
         .iter()
         .map(|component| {
-            let rules: Vec<(&'a Rule, &'a BodyPlan, Option<&'a RuleProc>)> = component
+            let rules: Vec<(usize, &'a Rule, &'a BodyPlan, Option<&'a RuleProc>)> = component
                 .rule_indices
                 .iter()
-                .map(|&i| (&stratum.rules[i], &plans[i], procs.map(|p| &p[i])))
+                .map(|&i| (i, &stratum.rules[i], &plans[i], procs.map(|p| &p[i])))
                 .collect();
             let delta_positions = rules
                 .iter()
-                .map(|(_, plan, _)| plan.delta_positions(&component.relations))
+                .map(|(_, _, plan, _)| plan.delta_positions(&component.relations))
                 .collect();
             ComponentState {
                 component,
@@ -819,11 +866,15 @@ fn fixpoint_group<'a, R: FnMut(Vec<Job<'a>>) -> Vec<JobOutcome>>(
         })
         .collect();
 
+    let mut group_round = 0usize;
     while states.iter().any(|s| s.active) {
+        let _round_span = seqdl_trace::span(|| format!("round {group_round}"));
+        group_round += 1;
         next_round(rounds, ctx.engine)?;
         // Every fixpoint round is a governor checkpoint: a cancelled token, an
         // expired deadline, or a blown store budget stops the loop here even
         // if every individual job stays under the amortised in-job check.
+        seqdl_trace::instant("governor check");
         ctx.governor.check()?;
         stats.iterations += 1;
         let mut jobs: Vec<Job<'a>> = Vec::new();
@@ -831,9 +882,10 @@ fn fixpoint_group<'a, R: FnMut(Vec<Job<'a>>) -> Vec<JobOutcome>>(
             let guard = instance.read();
             for state in states.iter().filter(|s| s.active) {
                 if state.iteration == 0 || naive {
-                    for &(rule, plan, proc) in &state.rules {
+                    for &(rule_ix, rule, plan, proc) in &state.rules {
                         jobs.push(Job {
                             id: jobs.len(),
+                            rule_ix,
                             rule,
                             plan,
                             proc,
@@ -842,7 +894,7 @@ fn fixpoint_group<'a, R: FnMut(Vec<Job<'a>>) -> Vec<JobOutcome>>(
                     }
                     continue;
                 }
-                for (&(rule, plan, proc), positions) in
+                for (&(rule_ix, rule, plan, proc), positions) in
                     state.rules.iter().zip(&state.delta_positions)
                 {
                     for &pos in positions {
@@ -861,6 +913,7 @@ fn fixpoint_group<'a, R: FnMut(Vec<Job<'a>>) -> Vec<JobOutcome>>(
                             let shard_hi = (shard_lo + size).min(hi);
                             jobs.push(Job {
                                 id: jobs.len(),
+                                rule_ix,
                                 rule,
                                 plan,
                                 proc,
@@ -893,7 +946,7 @@ fn fixpoint_group<'a, R: FnMut(Vec<Job<'a>>) -> Vec<JobOutcome>>(
                 .collect()
         };
         let outcomes = round(jobs);
-        merge(ctx.engine, instance, outcomes, stats)?;
+        merge(ctx.engine, instance, outcomes, stats, stratum)?;
         // A component keeps iterating exactly while its own relations grew;
         // growth is visible as a length past the pre-merge watermark.
         let guard = instance.read();
@@ -914,19 +967,35 @@ fn fixpoint_group<'a, R: FnMut(Vec<Job<'a>>) -> Vec<JobOutcome>>(
 
 /// Merge a round's private buffers into the shared store under the write lock,
 /// in ascending job order — the single mutation point of the executor.  Errors
-/// are reported in job order too, so failures are deterministic.
+/// are reported in job order too, so failures are deterministic, and so is the
+/// per-rule profile: shard jobs fold into `stats.rules` in job order under the
+/// same lock, keyed by `(stratum, rule index)`, regardless of which worker ran
+/// them or when they finished.
 fn merge(
     engine: &Engine,
     instance: &RwLock<Instance>,
     mut outcomes: Vec<JobOutcome>,
     stats: &mut EvalStats,
+    stratum: &Stratum,
 ) -> Result<bool, EvalError> {
+    let _merge_span = seqdl_trace::span(|| "merge".to_string());
+    // The stratum under construction: `drive` pushes its `StratumStats` entry
+    // only after the stratum completes.
+    let stratum_ix = stats.strata.len();
     outcomes.sort_by_key(|o| o.id);
     let mut guard = instance.write();
     let mut grew = false;
     for outcome in outcomes {
+        let rule_ix = outcome.rule_ix;
         let (mut facts, fire) = outcome.result?;
-        stats.apply_fire(fire);
+        stats.apply_rule_fire(
+            stratum_ix,
+            rule_ix,
+            || stratum.rules[rule_ix].to_string(),
+            fire,
+            outcome.wall,
+            facts.len(),
+        );
         grew |= engine.absorb(&mut guard, &mut facts, stats)?;
     }
     Ok(grew)

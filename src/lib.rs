@@ -17,6 +17,7 @@
 //! * [`regex`] — regular expressions compiled to Sequence Datalog (recursion as
 //!   syntactic sugar, cf. Section 1);
 //! * [`termination`] — conservative termination analysis (cf. Section 2.3);
+//! * [`trace`] — the span/event sink behind `--trace-out` and the profiler;
 //! * [`io`] — program (`.sdl`) and instance (`.sdi`) files;
 //! * [`wgen`] — synthetic workload generators.
 //!
@@ -45,6 +46,7 @@ pub use seqdl_regex as regex;
 pub use seqdl_rewrite as rewrite;
 pub use seqdl_syntax as syntax;
 pub use seqdl_termination as termination;
+pub use seqdl_trace as trace;
 pub use seqdl_unify as unify;
 pub use seqdl_wgen as wgen;
 
