@@ -130,7 +130,7 @@ pub fn eval(expr: &AlgebraExpr, instance: &Instance) -> Result<BTreeSet<Tuple>, 
 fn tuple_valuation(tuple: &[Path]) -> Valuation {
     let mut nu = Valuation::new();
     for (i, p) in tuple.iter().enumerate() {
-        nu.bind_path(Var::path(&(i + 1).to_string()), p.clone());
+        nu.bind_path(Var::path(&(i + 1).to_string()), *p);
     }
     nu
 }

@@ -1,0 +1,296 @@
+//! The diagnostic vocabulary: stable lint codes, severities, and per-rule
+//! anchors.
+//!
+//! Every finding the checker can produce is one of the [`Lint`] variants
+//! below; its code (`SD-…`) is a stable machine-readable identifier that
+//! tooling may match on, its default [`Severity`] decides whether `seqdl
+//! check` fails the program, and its [`Anchor`] points at the rule or
+//! relation the finding is about.
+
+use std::fmt;
+
+/// How serious a diagnostic is.
+///
+/// Errors reject the program (evaluation would refuse it anyway); warnings
+/// flag suspicious-but-legal constructs and fail `seqdl check` only under
+/// `--deny warnings`; infos are observations.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Severity {
+    /// An observation; never fails a check.
+    Info,
+    /// Suspicious but legal; fails `seqdl check --deny warnings`.
+    Warning,
+    /// The program is ill-formed; evaluation would reject it.
+    Error,
+}
+
+impl Severity {
+    /// The stable machine-readable token (`"error"`, `"warning"`, `"info"`).
+    pub fn token(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Info => "info",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.token())
+    }
+}
+
+/// The lints the checker knows, each with a stable code.
+///
+/// Codes are grouped by hundreds: `SD-E0xx` are well-formedness errors,
+/// `SD-W1xx` reachability/satisfiability warnings, `SD-W2xx` variable
+/// hygiene, `SD-W3xx` divergence risk, `SD-I4xx` informational notes.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Lint {
+    /// A rule has unlimited variables (Section 2.2) beyond the more specific
+    /// cases below.
+    UnsafeRule,
+    /// A relation name is used with two different arities.
+    InconsistentArity,
+    /// The program violates stratified negation.
+    NotStratified,
+    /// A head variable never occurs in the rule body.
+    HeadOnlyVariable,
+    /// A variable occurs in the body only under negated literals, so nothing
+    /// binds it.
+    NegationShadowedVariable,
+    /// A rule whose head relation cannot reach any output relation.
+    DeadRule,
+    /// An IDB relation none of whose facts can reach any output relation.
+    DeadRelation,
+    /// A relation that is statically empty (no facts, no satisfiable
+    /// producing rule) yet read positively by some rule.
+    EmptyRelation,
+    /// A rule whose body is statically unsatisfiable.
+    AlwaysFalseRule,
+    /// A rule identical to an earlier rule up to variable renaming.
+    DuplicateRule,
+    /// A rule that derives a subset of what an earlier rule already derives.
+    SubsumedRule,
+    /// A body variable that occurs exactly once and so never constrains the
+    /// result.
+    UnusedVariable,
+    /// A recursive clique without a termination guarantee.
+    DivergenceRisk,
+    /// The program's language-fragment classification.
+    FragmentNote,
+}
+
+impl Lint {
+    /// Every lint, in code order — the source of the README table and the
+    /// JSON-schema test.
+    pub const ALL: [Lint; 14] = [
+        Lint::UnsafeRule,
+        Lint::InconsistentArity,
+        Lint::NotStratified,
+        Lint::HeadOnlyVariable,
+        Lint::NegationShadowedVariable,
+        Lint::DeadRule,
+        Lint::DeadRelation,
+        Lint::EmptyRelation,
+        Lint::AlwaysFalseRule,
+        Lint::DuplicateRule,
+        Lint::SubsumedRule,
+        Lint::UnusedVariable,
+        Lint::DivergenceRisk,
+        Lint::FragmentNote,
+    ];
+
+    /// The stable lint code.
+    pub fn code(self) -> &'static str {
+        match self {
+            Lint::UnsafeRule => "SD-E001",
+            Lint::InconsistentArity => "SD-E002",
+            Lint::NotStratified => "SD-E003",
+            Lint::HeadOnlyVariable => "SD-E004",
+            Lint::NegationShadowedVariable => "SD-E005",
+            Lint::DeadRule => "SD-W101",
+            Lint::DeadRelation => "SD-W102",
+            Lint::EmptyRelation => "SD-W103",
+            Lint::AlwaysFalseRule => "SD-W104",
+            Lint::DuplicateRule => "SD-W105",
+            Lint::SubsumedRule => "SD-W106",
+            Lint::UnusedVariable => "SD-W201",
+            Lint::DivergenceRisk => "SD-W301",
+            Lint::FragmentNote => "SD-I401",
+        }
+    }
+
+    /// The human-readable kebab-case name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Lint::UnsafeRule => "unsafe-rule",
+            Lint::InconsistentArity => "inconsistent-arity",
+            Lint::NotStratified => "not-stratified",
+            Lint::HeadOnlyVariable => "head-only-variable",
+            Lint::NegationShadowedVariable => "negation-shadowed-variable",
+            Lint::DeadRule => "dead-rule",
+            Lint::DeadRelation => "dead-relation",
+            Lint::EmptyRelation => "empty-relation",
+            Lint::AlwaysFalseRule => "always-false-rule",
+            Lint::DuplicateRule => "duplicate-rule",
+            Lint::SubsumedRule => "subsumed-rule",
+            Lint::UnusedVariable => "unused-variable",
+            Lint::DivergenceRisk => "divergence-risk",
+            Lint::FragmentNote => "fragment",
+        }
+    }
+
+    /// The default severity.
+    pub fn severity(self) -> Severity {
+        match self {
+            Lint::UnsafeRule
+            | Lint::InconsistentArity
+            | Lint::NotStratified
+            | Lint::HeadOnlyVariable
+            | Lint::NegationShadowedVariable => Severity::Error,
+            Lint::DeadRule
+            | Lint::DeadRelation
+            | Lint::EmptyRelation
+            | Lint::AlwaysFalseRule
+            | Lint::DuplicateRule
+            | Lint::SubsumedRule
+            | Lint::UnusedVariable
+            | Lint::DivergenceRisk => Severity::Warning,
+            Lint::FragmentNote => Severity::Info,
+        }
+    }
+
+    /// Look a lint up by its stable code.
+    pub fn from_code(code: &str) -> Option<Lint> {
+        Lint::ALL.into_iter().find(|l| l.code() == code)
+    }
+
+    /// One-line description for the lint table.
+    pub fn summary(self) -> &'static str {
+        match self {
+            Lint::UnsafeRule => "a rule variable is not limited (Section 2.2)",
+            Lint::InconsistentArity => "a relation is used with two different arities",
+            Lint::NotStratified => "negation is not stratified",
+            Lint::HeadOnlyVariable => "a head variable never occurs in the body",
+            Lint::NegationShadowedVariable => {
+                "a variable occurs only under negation, so nothing binds it"
+            }
+            Lint::DeadRule => "the rule cannot contribute to any output relation",
+            Lint::DeadRelation => "the relation cannot contribute to any output relation",
+            Lint::EmptyRelation => "the relation is statically empty but read positively",
+            Lint::AlwaysFalseRule => "the rule body is statically unsatisfiable",
+            Lint::DuplicateRule => "the rule repeats an earlier rule up to renaming",
+            Lint::SubsumedRule => "an earlier rule already derives everything this rule can",
+            Lint::UnusedVariable => "a body variable occurs only once and constrains nothing",
+            Lint::DivergenceRisk => "a recursive clique has no termination guarantee",
+            Lint::FragmentNote => "the program's fragment classification",
+        }
+    }
+}
+
+/// What a diagnostic points at.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Anchor {
+    /// A specific rule, by stratum and index within the stratum.
+    Rule {
+        /// Index of the stratum.
+        stratum: usize,
+        /// Index of the rule within its stratum.
+        rule_index: usize,
+        /// Rendering of the rule.
+        rule: String,
+    },
+    /// A relation name.
+    Relation {
+        /// The relation's name.
+        relation: String,
+    },
+    /// The program as a whole.
+    Program,
+}
+
+/// One finding: a lint instance with its message and anchor.
+#[derive(Clone, Debug)]
+pub struct Diagnostic {
+    /// Which lint fired.
+    pub lint: Lint,
+    /// The severity it fired at (the lint's default).
+    pub severity: Severity,
+    /// Human-readable explanation.
+    pub message: String,
+    /// What the finding points at.
+    pub anchor: Anchor,
+}
+
+impl Diagnostic {
+    /// Build a diagnostic at the lint's default severity.
+    pub fn new(lint: Lint, message: impl Into<String>, anchor: Anchor) -> Diagnostic {
+        Diagnostic {
+            lint,
+            severity: lint.severity(),
+            message: message.into(),
+            anchor,
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]: ", self.severity, self.lint.code())?;
+        match &self.anchor {
+            Anchor::Rule {
+                stratum,
+                rule_index,
+                rule,
+            } => write!(f, "stratum {stratum} rule {rule_index} \"{rule}\": ")?,
+            Anchor::Relation { relation } => write!(f, "relation {relation}: ")?,
+            Anchor::Program => {}
+        }
+        f.write_str(&self.message)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_unique_and_round_trip() {
+        let mut seen = std::collections::BTreeSet::new();
+        for lint in Lint::ALL {
+            assert!(seen.insert(lint.code()), "duplicate code {}", lint.code());
+            assert_eq!(Lint::from_code(lint.code()), Some(lint));
+        }
+        assert_eq!(Lint::from_code("SD-X999"), None);
+    }
+
+    #[test]
+    fn codes_encode_their_severity() {
+        for lint in Lint::ALL {
+            let expected = match lint.severity() {
+                Severity::Error => "SD-E",
+                Severity::Warning => "SD-W",
+                Severity::Info => "SD-I",
+            };
+            assert!(lint.code().starts_with(expected), "{}", lint.code());
+        }
+    }
+
+    #[test]
+    fn diagnostics_render_with_code_and_anchor() {
+        let d = Diagnostic::new(
+            Lint::DeadRule,
+            "unreachable from output S",
+            Anchor::Rule {
+                stratum: 0,
+                rule_index: 1,
+                rule: "U($x) <- R($x).".to_string(),
+            },
+        );
+        let text = d.to_string();
+        assert!(text.starts_with("warning[SD-W101]"), "{text}");
+        assert!(text.contains("stratum 0 rule 1"), "{text}");
+    }
+}

@@ -1,0 +1,145 @@
+//! Rendering a [`CheckReport`] for humans (text) and for tooling (JSON).
+//!
+//! The JSON document follows the `stats_json` conventions of
+//! `seqdl-engine`: hand-rolled (no serde in this workspace), versioned
+//! through a top-level `"version"` field, and pinned by
+//! `crates/bench/tests/check_json_schema.rs`:
+//!
+//! ```json
+//! {
+//!   "version": 1,
+//!   "outputs": ["S"],
+//!   "fragment": "IR",
+//!   "termination": {"verdict": "terminating"},
+//!   "summary": {"errors": 0, "warnings": 2, "infos": 1},
+//!   "diagnostics": [
+//!     {"code": "SD-W101", "name": "dead-rule", "severity": "warning",
+//!      "message": "cannot contribute to output(s) S",
+//!      "anchor": {"kind": "rule", "stratum": 0, "rule_index": 1,
+//!                 "rule": "U($x) <- R($x)."}}
+//!   ]
+//! }
+//! ```
+//!
+//! `anchor.kind` is `"rule"` (with `stratum`, `rule_index`, `rule`),
+//! `"relation"` (with `relation`), or `"program"` (no further fields).
+
+use crate::check::CheckReport;
+use crate::diag::{Anchor, Severity};
+use seqdl_termination::Verdict;
+use seqdl_trace::json_escape;
+use std::fmt::Write as _;
+
+/// Render the report as human-readable text: one line per diagnostic, then
+/// the summary line.
+pub fn render_text(report: &CheckReport) -> String {
+    let mut out = String::new();
+    for diag in &report.diagnostics {
+        let _ = writeln!(out, "{diag}");
+    }
+    let _ = writeln!(out, "{}", report.summary());
+    out
+}
+
+fn anchor_json(anchor: &Anchor) -> String {
+    match anchor {
+        Anchor::Rule {
+            stratum,
+            rule_index,
+            rule,
+        } => format!(
+            "{{\"kind\":\"rule\",\"stratum\":{stratum},\"rule_index\":{rule_index},\"rule\":\"{}\"}}",
+            json_escape(rule)
+        ),
+        Anchor::Relation { relation } => format!(
+            "{{\"kind\":\"relation\",\"relation\":\"{}\"}}",
+            json_escape(relation)
+        ),
+        Anchor::Program => "{\"kind\":\"program\"}".to_string(),
+    }
+}
+
+/// Serialize the report as the versioned JSON document described in the
+/// [module docs](self).
+#[must_use]
+pub fn check_json(report: &CheckReport) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"version\": 1,");
+    let outputs: Vec<String> = report
+        .outputs
+        .iter()
+        .map(|r| format!("\"{}\"", json_escape(&r.to_string())))
+        .collect();
+    let _ = writeln!(out, "  \"outputs\": [{}],", outputs.join(", "));
+    let _ = writeln!(
+        out,
+        "  \"fragment\": \"{}\",",
+        json_escape(&report.features.letters())
+    );
+    let verdict = match report.termination.verdict {
+        Verdict::Terminating => "terminating",
+        Verdict::Unknown => "unknown",
+    };
+    let _ = writeln!(out, "  \"termination\": {{\"verdict\": \"{verdict}\"}},");
+    let _ = writeln!(
+        out,
+        "  \"summary\": {{\"errors\": {}, \"warnings\": {}, \"infos\": {}}},",
+        report.count(Severity::Error),
+        report.count(Severity::Warning),
+        report.count(Severity::Info),
+    );
+    out.push_str("  \"diagnostics\": [");
+    for (i, diag) in report.diagnostics.iter().enumerate() {
+        let _ = write!(
+            out,
+            "{}\n    {{\"code\": \"{}\", \"name\": \"{}\", \"severity\": \"{}\", \
+             \"message\": \"{}\", \"anchor\": {}}}",
+            if i == 0 { "" } else { "," },
+            diag.lint.code(),
+            diag.lint.name(),
+            diag.severity.token(),
+            json_escape(&diag.message),
+            anchor_json(&diag.anchor),
+        );
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use crate::check::{check_program, CheckOptions};
+    use seqdl_core::rel;
+    use seqdl_syntax::parse_program;
+
+    fn sample() -> CheckReport {
+        let program = parse_program("T($x) <- R($x).\nU($x) <- R($x).\nS($x) <- T($x).").unwrap();
+        check_program(&program, &CheckOptions::for_outputs([rel("S")]))
+    }
+
+    #[test]
+    fn text_rendering_lists_diagnostics_and_summary() {
+        let text = render_text(&sample());
+        assert!(text.contains("warning[SD-W101]"), "{text}");
+        assert!(text.contains("check: 0 error(s)"), "{text}");
+    }
+
+    #[test]
+    fn json_document_carries_every_section() {
+        let doc = check_json(&sample());
+        for key in [
+            "\"version\": 1",
+            "\"outputs\": [\"S\"]",
+            "\"termination\": {\"verdict\": \"terminating\"}",
+            "\"summary\": {\"errors\": 0,",
+            "\"code\": \"SD-W101\"",
+            "\"severity\": \"warning\"",
+            "\"kind\":\"rule\"",
+            "\"rule_index\":",
+        ] {
+            assert!(doc.contains(key), "missing {key} in:\n{doc}");
+        }
+    }
+}

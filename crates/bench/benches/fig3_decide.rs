@@ -3,7 +3,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
     c.bench_function("fig3/decide_all_pairs", |b| {
-        b.iter(|| seqdl_bench::figure3_decide_all())
+        b.iter(seqdl_bench::figure3_decide_all)
     });
 }
 criterion_group!(benches, bench);

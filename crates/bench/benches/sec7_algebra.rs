@@ -3,7 +3,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench(c: &mut Criterion) {
     c.bench_function("sec7/normal_form", |b| {
-        b.iter(|| seqdl_bench::normal_form_size())
+        b.iter(seqdl_bench::normal_form_size)
     });
     let mut group = c.benchmark_group("sec7/roundtrip");
     for (nodes, edges) in [(6usize, 10usize), (10, 20)] {

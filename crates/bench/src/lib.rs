@@ -348,7 +348,7 @@ pub fn peak_rss_kib() -> usize {
         .and_then(|status| {
             status.lines().find_map(|l| {
                 l.strip_prefix("VmHWM:")
-                    .and_then(|rest| rest.trim().split_whitespace().next()?.parse().ok())
+                    .and_then(|rest| rest.split_whitespace().next()?.parse().ok())
             })
         })
         .unwrap_or(0)
@@ -597,7 +597,7 @@ pub fn algebra_roundtrip(nodes: usize, edges: usize) -> (usize, usize) {
         .expect("evaluation succeeds")
         .into_iter()
         .filter(|t| t.len() == 1)
-        .map(|t| t[0].clone())
+        .map(|t| t[0])
         .collect();
     (datalog.len(), algebra.len())
 }

@@ -1,0 +1,190 @@
+//! Schema check for the `seqdl check --format json` document:
+//! `seqdl_analysis::check_json` output must parse with the independent
+//! reader in `seqdl_bench::json` and keep the keys, lint codes, severities,
+//! and rule anchors the CI artifacts consume.  Run explicitly in CI as
+//! `cargo test -p seqdl-bench --test check_json_schema`.
+
+use seqdl_analysis::{check_json, check_program, CheckOptions, Lint, Severity};
+use seqdl_bench::json::{parse, Json};
+use seqdl_core::rel;
+use seqdl_syntax::parse_program;
+
+/// A program exercising warning diagnostics of every anchor kind: a dead
+/// rule (rule anchor), its dead relation (relation anchor), a duplicate, an
+/// unused variable, a divergence-risk clique, and the fragment note
+/// (program anchor).
+fn defect_document() -> Json {
+    let program = parse_program(concat!(
+        "U($x) <- R($x).\n",
+        "T($x) <- R($x), B($y).\n",
+        "T($z) <- R($z), B($w).\n",
+        "S(a·$x) <- S($x).\n",
+        "S($x) <- T($x).\n",
+    ))
+    .unwrap();
+    let report = check_program(&program, &CheckOptions::for_outputs([rel("S")]));
+    assert!(!report.has_errors(), "fixture must be warning-only");
+    let text = check_json(&report);
+    parse(&text).unwrap_or_else(|e| panic!("check JSON does not parse: {e}\n{text}"))
+}
+
+#[test]
+fn document_has_the_versioned_sections_and_types() {
+    let doc = defect_document();
+    assert_eq!(
+        doc.get("version").and_then(Json::as_number),
+        Some(1.0),
+        "schema version"
+    );
+    let outputs = doc
+        .get("outputs")
+        .and_then(Json::as_array)
+        .expect("outputs array");
+    assert_eq!(outputs.len(), 1);
+    assert_eq!(outputs[0].as_str(), Some("S"));
+    // The fragment is the feature-letter string (a subset of AEINPR).
+    let fragment = doc
+        .get("fragment")
+        .and_then(Json::as_str)
+        .expect("fragment string");
+    assert!(
+        fragment.chars().all(|c| "AEINPR".contains(c)),
+        "fragment letters: {fragment}"
+    );
+    let verdict = doc
+        .get("termination")
+        .and_then(|t| t.get("verdict"))
+        .and_then(Json::as_str)
+        .expect("termination verdict");
+    assert!(
+        verdict == "terminating" || verdict == "unknown",
+        "{verdict}"
+    );
+    let summary = doc
+        .get("summary")
+        .and_then(Json::as_object)
+        .expect("summary object");
+    for key in ["errors", "warnings", "infos"] {
+        assert!(
+            summary.get(key).and_then(Json::as_number).is_some(),
+            "summary.{key} must be a number"
+        );
+    }
+}
+
+#[test]
+fn diagnostics_carry_codes_severities_and_anchors() {
+    let doc = defect_document();
+    let diagnostics = doc
+        .get("diagnostics")
+        .and_then(Json::as_array)
+        .expect("diagnostics array");
+    assert!(!diagnostics.is_empty());
+    let mut codes = Vec::new();
+    let mut anchor_kinds = Vec::new();
+    for d in diagnostics {
+        let code = d.get("code").and_then(Json::as_str).expect("code string");
+        // Every reported code resolves to a registered lint, and the JSON
+        // severity and name agree with the registry.
+        let lint = Lint::from_code(code).unwrap_or_else(|| panic!("unknown code {code}"));
+        assert_eq!(d.get("name").and_then(Json::as_str), Some(lint.name()));
+        let severity = d
+            .get("severity")
+            .and_then(Json::as_str)
+            .expect("severity string");
+        let expected = match lint.severity() {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Info => "info",
+        };
+        assert_eq!(severity, expected, "{code}");
+        assert!(
+            d.get("message").and_then(Json::as_str).is_some(),
+            "{code}: message must be a string"
+        );
+        let anchor = d.get("anchor").expect("anchor object");
+        let kind = anchor
+            .get("kind")
+            .and_then(Json::as_str)
+            .expect("anchor kind");
+        match kind {
+            "rule" => {
+                assert!(
+                    anchor.get("stratum").and_then(Json::as_number).is_some(),
+                    "{code}: rule anchors carry a stratum"
+                );
+                assert!(
+                    anchor.get("rule_index").and_then(Json::as_number).is_some(),
+                    "{code}: rule anchors carry a rule_index"
+                );
+                let rule = anchor
+                    .get("rule")
+                    .and_then(Json::as_str)
+                    .expect("rule text");
+                assert!(rule.contains('.'), "{code}: anchor rule renders as source");
+            }
+            "relation" => {
+                assert!(
+                    anchor.get("relation").and_then(Json::as_str).is_some(),
+                    "{code}: relation anchors carry the relation name"
+                );
+            }
+            "program" => {}
+            other => panic!("unknown anchor kind {other}"),
+        }
+        codes.push(code.to_string());
+        anchor_kinds.push(kind.to_string());
+    }
+    // The fixture fires the dead-rule, dead-relation, duplicate,
+    // unused-variable, and divergence lints plus the fragment note.
+    for code in [
+        "SD-W101", "SD-W102", "SD-W105", "SD-W201", "SD-W301", "SD-I401",
+    ] {
+        assert!(codes.iter().any(|c| c == code), "missing {code}: {codes:?}");
+    }
+    for kind in ["rule", "relation", "program"] {
+        assert!(
+            anchor_kinds.iter().any(|k| k == kind),
+            "missing anchor kind {kind}: {anchor_kinds:?}"
+        );
+    }
+    // Counts in the summary agree with the diagnostics array.
+    let summary = doc.get("summary").expect("summary");
+    let count = |sev: &str| {
+        diagnostics
+            .iter()
+            .filter(|d| d.get("severity").and_then(Json::as_str) == Some(sev))
+            .count() as f64
+    };
+    assert_eq!(
+        summary.get("errors").and_then(Json::as_number),
+        Some(count("error"))
+    );
+    assert_eq!(
+        summary.get("warnings").and_then(Json::as_number),
+        Some(count("warning"))
+    );
+    assert_eq!(
+        summary.get("infos").and_then(Json::as_number),
+        Some(count("info"))
+    );
+}
+
+#[test]
+fn error_documents_report_error_severity() {
+    // $y is head-only: SD-E004 at error severity.
+    let program = parse_program("S($x, $y) <- R($x).").unwrap();
+    let report = check_program(&program, &CheckOptions::for_outputs([rel("S")]));
+    assert!(report.has_errors());
+    let doc = parse(&check_json(&report)).unwrap();
+    let errors = doc
+        .get("summary")
+        .and_then(|s| s.get("errors"))
+        .and_then(Json::as_number)
+        .expect("error count");
+    assert!(errors >= 1.0);
+    let diagnostics = doc.get("diagnostics").and_then(Json::as_array).unwrap();
+    assert!(diagnostics
+        .iter()
+        .any(|d| d.get("code").and_then(Json::as_str) == Some("SD-E004")));
+}

@@ -36,6 +36,8 @@ pub const VALUE_FLAGS: &[&str] = &[
     "program",
     "instance",
     "output",
+    "format",
+    "deny",
     "input",
     "target",
     "strategy",

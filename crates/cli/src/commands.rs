@@ -2,6 +2,7 @@
 
 use crate::args::{ArgError, Flags};
 use seqdl_algebra::datalog_to_algebra;
+use seqdl_analysis::{check_json, check_program, render_text, CheckOptions, Severity};
 use seqdl_core::{Instance, RelName, Tuple};
 use seqdl_engine::{Engine, EvalLimits, FixpointStrategy};
 use seqdl_exec::{Executor, Schedule};
@@ -12,11 +13,7 @@ use seqdl_rewrite::{
     eliminate_arity, eliminate_equations, eliminate_packing_nonrecursive,
     fold_intermediate_predicates, goal_matches, magic, parse_goal, to_normal_form,
 };
-use seqdl_syntax::{
-    analysis::{check_safety, check_stratification},
-    parse_expr, Equation, FeatureSet, Program, ProgramInfo,
-};
-use seqdl_termination::analyse as analyse_termination;
+use seqdl_syntax::{parse_expr, Equation, Program};
 use seqdl_unify::{is_one_sided_nonlinear, solve, solve_allowing_empty, SolveOptions};
 use std::fmt;
 use std::fmt::Write as _;
@@ -73,6 +70,8 @@ pub fn help_text() -> String {
         "                    [--stats-format text|json] [--trace-out trace.json] [--show-rewrite]\n",
         "                    (demand-driven: only rules relevant to the goal fire, via the\n",
         "                    magic-set rewrite)\n",
+        "  seqdl check       --program q.sdl [--instance db.sdi] [--output S] [--format text|json]\n",
+        "                    [--deny warnings]\n",
         "  seqdl analyze     --program q.sdl [--show-ram]\n",
         "  seqdl termination --program q.sdl\n",
         "  seqdl rewrite     --program q.sdl --eliminate arity|equations|packing|intermediate [--output S]\n",
@@ -86,6 +85,18 @@ pub fn help_text() -> String {
         "\n",
         "Programs are .sdl files (Sequence Datalog source); instances are .sdi files\n",
         "(ground facts, one per line).  See the repository README for the syntax.\n",
+        "\n",
+        "Static analysis: `seqdl check` runs the lint pipeline (dead rules,\n",
+        "always-false bodies, duplicate and subsumed rules, variable hygiene,\n",
+        "divergence risk) and reports findings with stable codes (SD-E…, SD-W…,\n",
+        "SD-I…).  `--deny warnings` exits nonzero on any warning; `--format json`\n",
+        "emits a versioned machine-readable document.  A program may annotate\n",
+        "intentional findings with `% expect: SD-W101` comment lines — expected\n",
+        "codes do not fail `--deny warnings`, and an expected code that does NOT\n",
+        "fire is an error.  `run` and `query` print the same warnings as a\n",
+        "pre-flight and prune rules that cannot contribute to the output before\n",
+        "evaluation (disable with `--no-strip-dead`; `--save` also disables the\n",
+        "pruning, since it must materialise every relation).\n",
         "\n",
         "By default rules are compiled to a flat RAM-style instruction program\n",
         "(`seqdl analyze --show-ram` prints the listing); `--no-ram` falls back to\n",
@@ -119,6 +130,7 @@ pub fn run_command(command: &str, flags: &Flags) -> Result<String, CliError> {
         "help" | "--help" | "-h" => Ok(help_text()),
         "run" => cmd_run(flags),
         "query" => cmd_query(flags),
+        "check" => cmd_check(flags),
         "analyze" | "analyse" => cmd_analyze(flags),
         "termination" => cmd_termination(flags),
         "rewrite" => cmd_rewrite(flags),
@@ -493,18 +505,156 @@ fn write_profile(report: &mut String, stats: &seqdl_engine::EvalStats) {
     }
 }
 
+/// The lint codes a program file declares as intentional: one or more per
+/// `% expect: SD-W101[, SD-W102 …]` comment line.  Read from the raw file
+/// text, because the loader strips comment lines before parsing.
+fn expected_lints(path: &str) -> Vec<String> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let mut codes = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        let Some(rest) = line
+            .strip_prefix('%')
+            .or_else(|| line.strip_prefix('#'))
+            .map(str::trim_start)
+            .and_then(|r| r.strip_prefix("expect:"))
+        else {
+            continue;
+        };
+        for token in rest.split(|c: char| c == ',' || c.is_whitespace()) {
+            if !token.is_empty() {
+                codes.push(token.to_string());
+            }
+        }
+    }
+    codes
+}
+
+/// The [`CheckOptions`] shared by `check`, `run`, and `query`: lints are
+/// computed relative to the declared (or defaulted) output relations, and —
+/// when an instance is at hand — relative to which EDB relations actually
+/// hold facts.
+fn check_options(
+    outputs: impl IntoIterator<Item = RelName>,
+    instance: Option<&Instance>,
+) -> CheckOptions {
+    let mut options = CheckOptions::for_outputs(outputs);
+    options.nonempty_edb = instance.map(seqdl_rewrite::nonempty_relations);
+    options
+}
+
+/// `seqdl check`: run the full lint pipeline and report diagnostics.  Exits
+/// nonzero on errors, on `--deny warnings` with unexpected warnings present,
+/// and on `% expect:` codes that did not fire.
+fn cmd_check(flags: &Flags) -> Result<String, CliError> {
+    let path = flags.require("program")?.to_string();
+    let program = load_program(&path).map_err(command_error)?;
+    let instance = match flags.get("instance") {
+        Some(_) => Some(load_instance_flag(flags)?),
+        None => None,
+    };
+    let outputs = match flags.get("output") {
+        Some(name) => vec![RelName::new(name)],
+        // Default to the conventional output (the last rule's head); a
+        // program with no rules checks everything reachable from nothing.
+        None => output_relation(flags, &program).ok().into_iter().collect(),
+    };
+    let deny_warnings = match flags.get("deny") {
+        None => false,
+        Some("warnings") => true,
+        Some(other) => {
+            return Err(CliError::Command(format!(
+                "unknown --deny class `{other}` (expected `warnings`)"
+            )))
+        }
+    };
+    let report = check_program(&program, &check_options(outputs, instance.as_ref()));
+    let rendered = match flags.get("format") {
+        None | Some("text") => render_text(&report),
+        Some("json") => check_json(&report),
+        Some(other) => {
+            return Err(CliError::Command(format!(
+                "unknown check format `{other}` (expected `text` or `json`)"
+            )))
+        }
+    };
+
+    let expected = expected_lints(&path);
+    let fired = report.codes();
+    let mut failures: Vec<String> = Vec::new();
+    if report.has_errors() {
+        failures.push(format!("{} error(s)", report.count(Severity::Error)));
+    }
+    for code in &expected {
+        if !fired.contains(code.as_str()) {
+            failures.push(format!("expected lint {code} did not fire"));
+        }
+    }
+    if deny_warnings {
+        let denied = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+            .filter(|d| !expected.iter().any(|c| c == d.lint.code()))
+            .count();
+        if denied > 0 {
+            failures.push(format!("{denied} warning(s) denied"));
+        }
+    }
+    if failures.is_empty() {
+        Ok(rendered)
+    } else {
+        let mut message = rendered;
+        if !message.ends_with('\n') {
+            message.push('\n');
+        }
+        write!(message, "check failed: {}", failures.join("; ")).expect("write to string");
+        Err(CliError::Command(message))
+    }
+}
+
+/// The pre-flight block `run` and `query` print before evaluating: every
+/// warning- or error-severity diagnostic, one line each (errors here are
+/// advisory — evaluation performs its own validation and fails on its own
+/// terms).
+fn preflight_warnings(program: &Program, options: &CheckOptions) -> String {
+    let report = check_program(program, options);
+    let mut block = String::new();
+    for d in &report.diagnostics {
+        if d.severity >= Severity::Warning {
+            writeln!(block, "{d}").expect("write to string");
+        }
+    }
+    block
+}
+
 fn cmd_run(flags: &Flags) -> Result<String, CliError> {
     let program = load_program_flag(flags)?;
     let instance = load_instance_flag(flags)?;
     let output = output_relation(flags, &program)?;
     let executor = executor_from_flags(flags)?;
     let format = stats_format(flags)?;
+    let options = check_options([output], Some(&instance));
+    let preflight = preflight_warnings(&program, &options);
+    // Prune rules that cannot contribute to the requested output before
+    // lowering to RAM.  `--save` materialises the full result, so it keeps
+    // every rule; `--no-strip-dead` disables the rewrite explicitly.
+    let stripped = (!flags.has("no-strip-dead") && flags.get("save").is_none()).then(|| {
+        seqdl_rewrite::strip_dead_with_edb(
+            &program,
+            &options.outputs,
+            options.nonempty_edb.as_ref(),
+        )
+    });
+    let eval_program = stripped.as_ref().map_or(&program, |s| &s.program);
     let trace = start_trace(flags);
-    let run = executor.run_with_stats(&program, &instance);
+    let run = executor.run_with_stats(eval_program, &instance);
     let trace_note = trace.map(TraceCapture::write).transpose()?;
     let (result, stats) = run.map_err(|e| eval_error_report(&executor, &e, format))?;
 
-    let mut report = String::new();
+    let mut report = preflight;
     let relation = result.relation(output);
     match relation {
         None => {
@@ -542,6 +692,15 @@ fn cmd_run(flags: &Flags) -> Result<String, CliError> {
         }
         StatsFormat::Text => {
             if flags.has("stats") {
+                if let Some(strip) = &stripped {
+                    writeln!(
+                        report,
+                        "strip-dead: {} of {} rule(s) removed before lowering",
+                        strip.removed.len(),
+                        program.rule_count()
+                    )
+                    .expect("write to string");
+                }
                 write_stats(&mut report, &executor, &stats);
             }
             if flags.has("profile") {
@@ -625,9 +784,20 @@ fn cmd_query(flags: &Flags) -> Result<String, CliError> {
     }
 
     let mp = magic(&program, &goal).map_err(command_error)?;
+    report.push_str(&preflight_warnings(
+        &program,
+        &check_options([goal.relation], Some(&instance)),
+    ));
     let format = stats_format(flags)?;
+    // Prune magic rules that cannot reach the answer relation before
+    // lowering.  No EDB emptiness here: the seeds make relations nonempty
+    // that the raw instance knows nothing about.
+    let stripped = (!flags.has("no-strip-dead")).then(|| {
+        seqdl_rewrite::strip_dead(&mp.program, &std::collections::BTreeSet::from([mp.answer]))
+    });
+    let eval_program = stripped.as_ref().map_or(&mp.program, |s| &s.program);
     let trace = start_trace(flags);
-    let run = executor.run_with_stats_seeded(&mp.program, &instance, &mp.seeds);
+    let run = executor.run_with_stats_seeded(eval_program, &instance, &mp.seeds);
     let trace_note = trace.map(TraceCapture::write).transpose()?;
     let (result, stats) = run.map_err(|e| eval_error_report(&executor, &e, format))?;
     let answers = mp.answers(&result);
@@ -650,6 +820,15 @@ fn cmd_query(flags: &Flags) -> Result<String, CliError> {
             mp.answer
         )
         .expect("write to string");
+        if let Some(strip) = &stripped {
+            writeln!(
+                report,
+                "strip-dead: {} of {} magic rule(s) removed before lowering",
+                strip.removed.len(),
+                mp.program.rule_count()
+            )
+            .expect("write to string");
+        }
         write_stats(&mut report, &executor, &stats);
     }
     if flags.has("profile") && format == StatsFormat::Text {
@@ -670,8 +849,13 @@ fn cmd_query(flags: &Flags) -> Result<String, CliError> {
 
 fn cmd_analyze(flags: &Flags) -> Result<String, CliError> {
     let program = load_program_flag(flags)?;
-    let features = FeatureSet::of_program(&program);
-    let fragment = Fragment::of_program(&program);
+    // One shared analysis entry point: features, fragment, safety,
+    // stratification, arity, and termination all come from the same
+    // `check_program` report that `seqdl check` renders.  No outputs are
+    // declared here, so reachability lints stay quiet.
+    let check = check_program(&program, &CheckOptions::default());
+    let features = &check.features;
+    let fragment = &check.fragment;
     let mut report = String::new();
     writeln!(report, "rules: {}", program.rule_count()).expect("write to string");
     writeln!(report, "strata: {}", program.stratum_count()).expect("write to string");
@@ -733,25 +917,40 @@ fn cmd_analyze(flags: &Flags) -> Result<String, CliError> {
     writeln!(report, "EDB relations: {}", edb.join(", ")).expect("write to string");
     writeln!(report, "IDB relations: {}", idb.join(", ")).expect("write to string");
 
-    match check_safety(&program) {
-        Ok(()) => writeln!(report, "safety: all rules are safe").expect("write to string"),
-        Err(e) => writeln!(report, "safety: {e}").expect("write to string"),
+    use seqdl_analysis::Lint;
+    let first_message = |codes: &[Lint]| {
+        check
+            .diagnostics
+            .iter()
+            .find(|d| codes.contains(&d.lint))
+            .map(|d| d.message.clone())
+    };
+    match first_message(&[
+        Lint::UnsafeRule,
+        Lint::HeadOnlyVariable,
+        Lint::NegationShadowedVariable,
+    ]) {
+        None => writeln!(report, "safety: all rules are safe").expect("write to string"),
+        Some(m) => writeln!(report, "safety: {m}").expect("write to string"),
     }
-    match check_stratification(&program) {
-        Ok(()) => writeln!(report, "stratification: valid").expect("write to string"),
-        Err(e) => writeln!(report, "stratification: {e}").expect("write to string"),
+    match first_message(&[Lint::NotStratified]) {
+        None => writeln!(report, "stratification: valid").expect("write to string"),
+        Some(m) => writeln!(report, "stratification: {m}").expect("write to string"),
     }
-    match ProgramInfo::analyse(&program) {
-        Ok(_) => {}
-        Err(e) => writeln!(report, "analysis: {e}").expect("write to string"),
+    if let Some(m) = first_message(&[Lint::InconsistentArity]) {
+        writeln!(report, "analysis: {m}").expect("write to string");
     }
-    write!(report, "termination: {}", analyse_termination(&program)).expect("write to string");
+    writeln!(report, "{}", check.summary()).expect("write to string");
+    write!(report, "termination: {}", check.termination).expect("write to string");
     Ok(report)
 }
 
 fn cmd_termination(flags: &Flags) -> Result<String, CliError> {
     let program = load_program_flag(flags)?;
-    Ok(analyse_termination(&program).to_string())
+    // Shares the `check_program` entry point with `check` and `analyze`
+    // instead of re-deriving the program structure on its own.
+    let check = check_program(&program, &CheckOptions::default());
+    Ok(check.termination.to_string())
 }
 
 fn cmd_rewrite(flags: &Flags) -> Result<String, CliError> {
@@ -1535,6 +1734,144 @@ mod tests {
             without.lines().take(3).collect::<Vec<_>>(),
             "answers must not depend on the execution path"
         );
+    }
+
+    #[test]
+    fn check_passes_clean_programs_and_reports_the_fragment() {
+        let program = write_program("check-clean.sdl", "T($x) <- R($x).\nS($x) <- T($x).");
+        let output = cmd_check(&flags(&["--program", &program])).unwrap();
+        assert!(output.contains("SD-I401"), "{output}");
+        assert!(
+            output.contains("check: 0 error(s), 0 warning(s)"),
+            "{output}"
+        );
+        // Clean even under --deny warnings.
+        cmd_check(&flags(&["--program", &program, "--deny", "warnings"])).unwrap();
+    }
+
+    #[test]
+    fn check_flags_dead_rules_and_denies_warnings() {
+        let program = write_program(
+            "check-dead.sdl",
+            "U($x) <- R($x).\nS($x) <- R($x).", // U is dead relative to output S
+        );
+        let output = cmd_check(&flags(&["--program", &program])).unwrap();
+        assert!(output.contains("SD-W101"), "{output}");
+        assert!(output.contains("SD-W102"), "{output}");
+        let err = cmd_check(&flags(&["--program", &program, "--deny", "warnings"])).unwrap_err();
+        let message = err.to_string();
+        assert!(message.contains("check failed:"), "{message}");
+        assert!(message.contains("warning(s) denied"), "{message}");
+    }
+
+    #[test]
+    fn check_errors_on_unsafe_programs() {
+        // $y occurs only in the head: SD-E004, error severity.
+        let program = write_program("check-unsafe.sdl", "S($x, $y) <- R($x).");
+        let err = cmd_check(&flags(&["--program", &program])).unwrap_err();
+        let message = err.to_string();
+        assert!(message.contains("SD-E004"), "{message}");
+        assert!(message.contains("check failed:"), "{message}");
+    }
+
+    #[test]
+    fn check_expect_annotations_suppress_deny_and_must_fire() {
+        // The dead rule is declared intentional: --deny warnings passes.
+        let program = write_program(
+            "check-expect.sdl",
+            "% expect: SD-W101, SD-W102\nU($x) <- R($x).\nS($x) <- R($x).",
+        );
+        let output = cmd_check(&flags(&["--program", &program, "--deny", "warnings"])).unwrap();
+        assert!(output.contains("SD-W101"), "{output}");
+        // An expected code that does not fire is itself a failure.
+        let stale = write_program(
+            "check-expect-stale.sdl",
+            "% expect: SD-W105\nS($x) <- R($x).",
+        );
+        let err = cmd_check(&flags(&["--program", &stale])).unwrap_err();
+        assert!(
+            err.to_string()
+                .contains("expected lint SD-W105 did not fire"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn check_format_json_emits_the_versioned_document() {
+        let program = write_program("check-json.sdl", "U($x) <- R($x).\nS($x) <- R($x).");
+        let output = cmd_check(&flags(&["--program", &program, "--format", "json"])).unwrap();
+        assert!(output.contains("\"version\": 1"), "{output}");
+        assert!(output.contains("\"diagnostics\": ["), "{output}");
+        assert!(output.contains("\"code\": \"SD-W101\""), "{output}");
+        assert!(cmd_check(&flags(&["--program", &program, "--format", "yaml"])).is_err());
+    }
+
+    #[test]
+    fn run_preflights_warnings_and_strips_dead_rules() {
+        let program = write_program(
+            "run-strip.sdl",
+            "U($x) <- R($x).\nS($x) <- R($x).", // U cannot contribute to S
+        );
+        let instance = write_instance_file(
+            "run-strip.sdi",
+            &Instance::unary(rel("R"), [path_of(&["a"])]),
+        );
+        let output = cmd_run(&flags(&[
+            "--program",
+            &program,
+            "--instance",
+            &instance,
+            "--output",
+            "S",
+            "--stats",
+        ]))
+        .unwrap();
+        assert!(output.contains("warning[SD-W101]"), "{output}");
+        assert!(
+            output.contains("strip-dead: 1 of 2 rule(s) removed before lowering"),
+            "{output}"
+        );
+        assert!(output.contains("S: 1 fact(s)"), "{output}");
+        // The rewrite is observable in the instruction counter: stripping the
+        // dead rule executes strictly fewer RAM instructions.
+        let instructions = |report: &str| -> usize {
+            report
+                .split("instructions executed: ")
+                .nth(1)
+                .and_then(|rest| rest.split(',').next())
+                .and_then(|n| n.trim().parse().ok())
+                .expect("parse instruction count")
+        };
+        let unstripped = cmd_run(&flags(&[
+            "--program",
+            &program,
+            "--instance",
+            &instance,
+            "--output",
+            "S",
+            "--stats",
+            "--no-strip-dead",
+        ]))
+        .unwrap();
+        assert!(!unstripped.contains("strip-dead:"), "{unstripped}");
+        assert!(
+            instructions(&output) < instructions(&unstripped),
+            "stripped {} vs unstripped {}",
+            instructions(&output),
+            instructions(&unstripped)
+        );
+        // Answers are identical either way.
+        assert_eq!(
+            output.lines().take(3).collect::<Vec<_>>(),
+            unstripped.lines().take(3).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn analyze_prints_the_check_summary_line() {
+        let program = write_program("analyze-check.sdl", "S($x) <- R($x).");
+        let output = cmd_analyze(&flags(&["--program", &program])).unwrap();
+        assert!(output.contains("check: 0 error(s)"), "{output}");
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //!
 //! ```text
 //! seqdl run        --program q.sdl --instance db.sdi [--output S] [--strategy naive] [--stats]
+//! seqdl check      --program q.sdl [--instance db.sdi] [--format json] [--deny warnings]
 //! seqdl analyze    --program q.sdl
 //! seqdl termination --program q.sdl
 //! seqdl rewrite    --program q.sdl --eliminate equations [--output S]

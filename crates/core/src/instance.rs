@@ -1006,7 +1006,7 @@ mod tests {
             ))
             .unwrap();
         assert!(!packed.is_flat());
-        assert!(packed.is_classical() == false);
+        assert!(!packed.is_classical());
     }
 
     #[test]

@@ -71,7 +71,7 @@ pub fn path_of(names: &[&str]) -> Path {
 /// Convenience: build the path `a^n` (the atom `name` repeated `n` times).
 pub fn repeat_path(name: &str, n: usize) -> Path {
     let a = atom(name);
-    Path::from_values(std::iter::repeat(Value::Atom(a)).take(n))
+    Path::from_values(std::iter::repeat_n(Value::Atom(a), n))
 }
 
 #[cfg(test)]

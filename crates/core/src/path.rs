@@ -210,7 +210,7 @@ impl Path {
 
     /// Invert [`Path::doubled`]: returns `None` if the path is not a doubled path.
     pub fn undoubled(&self) -> Option<Path> {
-        if self.len() % 2 != 0 {
+        if !self.len().is_multiple_of(2) {
             return None;
         }
         let mut out = Vec::with_capacity(self.len() / 2);

@@ -243,7 +243,7 @@ fn intern_content(content: NewContent<'_>) -> PathId {
                 }
                 NewContent::Static(s) => s,
                 NewContent::Borrowed(s) => {
-                    guard.owned_bytes += s.len() * std::mem::size_of::<Value>();
+                    guard.owned_bytes += std::mem::size_of_val(s);
                     Box::leak(s.to_vec().into_boxed_slice())
                 }
             };

@@ -161,7 +161,7 @@ mod tests {
         assert_eq!(flat.packing_depth(), 0);
         let one = Value::packed(path_of(&["a", "b", "a"]));
         assert_eq!(one.packing_depth(), 1);
-        let two = Value::packed(Path::from_values([one.clone(), flat.clone()]));
+        let two = Value::packed(Path::from_values([one, flat]));
         assert_eq!(two.packing_depth(), 2);
         assert_eq!(two.atom_count(), 4);
     }

@@ -1088,7 +1088,6 @@ pub fn fire_rule(
         &ticks,
         &mut emit,
     );
-    drop(emit);
     match err.into_inner() {
         Some(e) => Err(e),
         None => {
@@ -1181,7 +1180,7 @@ fn eval_steps(
                 // over a huge relation cannot outrun the deadline unobserved.
                 let t = ticks.get().wrapping_add(1);
                 ticks.set(t);
-                if t % GOVERNOR_CHECK_INTERVAL == 0 {
+                if t.is_multiple_of(GOVERNOR_CHECK_INTERVAL) {
                     if let Some(g) = governor {
                         if let Err(e) = g.check_fast() {
                             err.borrow_mut().get_or_insert(e);
@@ -1371,10 +1370,7 @@ pub(crate) struct Chosen<'r> {
 
 /// Keep `best` the smallest candidate list seen so far.
 fn consider<'r>(best: &mut Option<Chosen<'r>>, cand: Chosen<'r>) {
-    if best
-        .as_ref()
-        .map_or(true, |b| cand.list.len() < b.list.len())
-    {
+    if best.as_ref().is_none_or(|b| cand.list.len() < b.list.len()) {
         *best = Some(cand);
     }
 }

@@ -331,7 +331,7 @@ impl<'r> Frame<'r> {
                 let lo = self.bounds[self.next_ext];
                 let hi = self.bounds[self.next_ext + 1];
                 for (v, b) in &self.ext[lo..hi] {
-                    nu.bind_new(*v, b.clone());
+                    nu.bind_new(*v, *b);
                 }
                 self.next_ext += 1;
                 return true;
@@ -501,7 +501,7 @@ fn emit_segs(
     out.push(Fact::new(rule.head.relation, tuple_scratch.clone()));
 }
 
-fn predicate_of<'a>(proc: &'a RuleProc, step: usize) -> Result<&'a PlannedPredicate, EvalError> {
+fn predicate_of(proc: &RuleProc, step: usize) -> Result<&PlannedPredicate, EvalError> {
     match proc.plan.steps.get(step) {
         Some(PlannedLiteral::MatchPredicate(p)) => Ok(p),
         _ => Err(plan_invariant(step, "a positive predicate")),
@@ -699,7 +699,7 @@ pub fn fire_proc(
                                             emit_segs(
                                                 rule,
                                                 head_relation,
-                                                &term_counts,
+                                                term_counts,
                                                 memo,
                                                 &seg_scratch,
                                                 &mut tuple_scratch,
@@ -726,7 +726,7 @@ pub fn fire_proc(
                                     emit_segs(
                                         rule,
                                         head_relation,
-                                        &term_counts,
+                                        term_counts,
                                         memo,
                                         &seg_scratch,
                                         &mut tuple_scratch,
@@ -750,7 +750,7 @@ pub fn fire_proc(
                                     emit_segs(
                                         rule,
                                         head_relation,
-                                        &term_counts,
+                                        term_counts,
                                         memo,
                                         &seg_scratch,
                                         &mut tuple_scratch,
@@ -766,7 +766,7 @@ pub fn fire_proc(
                             emit_head(
                                 rule,
                                 head_relation,
-                                &term_counts,
+                                term_counts,
                                 &nu,
                                 memo,
                                 &mut seg_scratch,
@@ -802,7 +802,7 @@ pub fn fire_proc(
                 emit_head(
                     rule,
                     head_relation,
-                    &term_counts,
+                    term_counts,
                     &nu,
                     memo,
                     &mut seg_scratch,

@@ -667,6 +667,7 @@ fn next_round(rounds: &mut usize, engine: &Engine) -> Result<(), EvalError> {
 /// [`RecoveryPolicy::Sequential`], the stratum retries once on the engine's
 /// single-threaded path (which never runs worker jobs) before the run gives
 /// up.
+#[allow(clippy::too_many_arguments)]
 fn drive<'a>(
     ctx: &RunCtx<'_>,
     strata: &'a [Stratum],

@@ -100,6 +100,7 @@ impl Schedule {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use seqdl_core::rel;

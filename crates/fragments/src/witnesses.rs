@@ -225,7 +225,7 @@ mod tests {
     #[test]
     fn reversal_variants_agree_and_reverse() {
         let paths = [path_of(&["x", "y", "z"]), path_of(&["p", "q"])];
-        let input = Instance::unary(rel("R"), paths.clone());
+        let input = Instance::unary(rel("R"), paths);
         let with = run_unary_query(&reversal_with_arity().program, &input, rel("S")).unwrap();
         let without = run_unary_query(&reversal_without_arity().program, &input, rel("S")).unwrap();
         assert_eq!(with, without);

@@ -173,7 +173,7 @@ mod tests {
     fn packed_values_round_trip() {
         let packed =
             Path::from_values([Value::Atom(atom("c")), Value::packed(path_of(&["a", "b"]))]);
-        let instance = Instance::unary(rel("R"), [packed.clone()]);
+        let instance = Instance::unary(rel("R"), [packed]);
         let back = roundtrip(&instance);
         assert!(back.unary_paths(rel("R")).contains(&packed));
     }

@@ -210,7 +210,7 @@ impl Regex {
         // inner expressions (e.g. (a?)*).
         inner.match_at(word, from, &mut |next| {
             if next == from {
-                return !at_least_one && false || (at_least_one && continuation(next));
+                return at_least_one && continuation(next);
             }
             Self::match_star(inner, word, next, continuation, false)
         }) || (at_least_one && inner.nullable() && continuation(from))

@@ -282,9 +282,9 @@ mod tests {
             let mut next = Vec::new();
             for w in &frontier {
                 for a in alphabet {
-                    let mut e = w.clone();
+                    let mut e = *w;
                     e.push(seqdl_core::Value::Atom(seqdl_core::atom(a)));
-                    next.push(e.clone());
+                    next.push(e);
                     words.push(e);
                 }
             }

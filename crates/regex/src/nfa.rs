@@ -190,7 +190,7 @@ impl Nfa {
         for len in 0..=max_len {
             for word in &frontier {
                 if self.accepts(word) {
-                    out.push(word.clone());
+                    out.push(*word);
                 }
             }
             if len == max_len {
@@ -199,7 +199,7 @@ impl Nfa {
             let mut next = Vec::new();
             for word in &frontier {
                 for &a in alphabet {
-                    let mut extended = word.clone();
+                    let mut extended = *word;
                     extended.push(Value::Atom(a));
                     next.push(extended);
                 }
@@ -298,7 +298,7 @@ mod tests {
                 let mut next = Vec::new();
                 for word in &frontier {
                     for &a in &alphabet {
-                        let mut e = word.clone();
+                        let mut e = *word;
                         e.push(Value::Atom(a));
                         next.push(e);
                     }

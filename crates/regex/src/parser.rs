@@ -293,7 +293,7 @@ mod tests {
                 let mut next = Vec::new();
                 for word in &frontier {
                     for a in alphabet {
-                        let mut e = word.clone();
+                        let mut e = *word;
                         e.push(seqdl_core::Value::Atom(seqdl_core::atom(a)));
                         next.push(e);
                     }

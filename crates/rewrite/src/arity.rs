@@ -125,7 +125,7 @@ mod tests {
                 let enc = encode_pair(&PathExpr::from_path(p1), &PathExpr::from_path(p2))
                     .as_path()
                     .expect("ground");
-                if let Some(prev) = seen.insert(enc, (p1.clone(), p2.clone())) {
+                if let Some(prev) = seen.insert(enc, (*p1, *p2)) {
                     panic!("collision: {prev:?} and {:?}", (p1, p2));
                 }
             }

@@ -23,7 +23,10 @@
 //! Beyond the paper's feature eliminations, [`magic`] adapts the classical
 //! magic-set *demand* transformation to sequence datalog (first-value
 //! adornments matched to the storage layer's column index), powering the
-//! `seqdl query` goal-directed evaluation pipeline.
+//! `seqdl query` goal-directed evaluation pipeline, and [`strip_dead`]
+//! removes rules that provably cannot contribute to the output relations
+//! (unreachable heads, statically unsatisfiable bodies, reads from
+//! statically empty relations) before the program is lowered to RAM.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -35,6 +38,7 @@ pub mod folding;
 pub mod magic;
 pub mod normal_form;
 pub mod packing;
+pub mod strip_dead;
 
 pub use arity::{eliminate_arity, encode_pair};
 pub use equations::{
@@ -47,6 +51,10 @@ pub use normal_form::{classify_rule, to_normal_form, NormalForm};
 pub use packing::{
     doubling_program, eliminate_packing_nonrecursive, purify_rule, split_into_single_idb_strata,
     undoubling_program, PackingStructure,
+};
+pub use strip_dead::{
+    always_false_reason, needed_relations, nonempty_relations, statically_empty_relations,
+    strip_dead, strip_dead_with_edb, RemovedRule, StripReason, StripReport,
 };
 
 #[cfg(test)]

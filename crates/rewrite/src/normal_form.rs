@@ -42,7 +42,7 @@ pub fn classify_rule(rule: &Rule) -> Option<NormalForm> {
         .head
         .args
         .iter()
-        .map(|a| single_var(a))
+        .map(single_var)
         .collect::<Option<Vec<_>>>()
         .unwrap_or_default();
     let head_all_vars = rule.head.args.len() == head_vars.len() && all_distinct(&head_vars);
@@ -68,7 +68,7 @@ pub fn classify_rule(rule: &Rule) -> Option<NormalForm> {
             let body_vars: Vec<Var> = body
                 .args
                 .iter()
-                .map(|a| single_var(a))
+                .map(single_var)
                 .collect::<Option<Vec<_>>>()
                 .unwrap_or_default();
             let body_all_vars = body.args.len() == body_vars.len() && all_distinct(&body_vars);
@@ -125,7 +125,7 @@ pub fn classify_rule(rule: &Rule) -> Option<NormalForm> {
             let body_vars: Vec<Var> = body
                 .args
                 .iter()
-                .map(|a| single_var(a))
+                .map(single_var)
                 .collect::<Option<Vec<_>>>()
                 .unwrap_or_default();
             if body.args.len() != body_vars.len()
@@ -141,7 +141,7 @@ pub fn classify_rule(rule: &Rule) -> Option<NormalForm> {
             let neg_vars: Vec<Var> = neg
                 .args
                 .iter()
-                .map(|a| single_var(a))
+                .map(single_var)
                 .collect::<Option<Vec<_>>>()
                 .unwrap_or_default();
             if neg.args.len() == neg_vars.len()

@@ -577,7 +577,7 @@ fn split_rule_equations(rule: &Rule) -> Vec<Rule> {
                 }
                 let c1 = PackingStructure::components(&eq.lhs);
                 let c2 = PackingStructure::components(&eq.rhs);
-                for (a, b) in c1.into_iter().zip(c2.into_iter()) {
+                for (a, b) in c1.into_iter().zip(c2) {
                     body.push(Literal::eq(a, b));
                 }
             }
@@ -611,7 +611,7 @@ fn split_rule_equations(rule: &Rule) -> Vec<Rule> {
     let c1 = PackingStructure::components(&eq.lhs);
     let c2 = PackingStructure::components(&eq.rhs);
     let mut out = Vec::new();
-    for (a, b) in c1.into_iter().zip(c2.into_iter()) {
+    for (a, b) in c1.into_iter().zip(c2) {
         let mut body = rest.clone();
         body.push(Literal::neq(a, b));
         out.extend(split_rule_equations(&Rule::new(rule.head.clone(), body)));
@@ -999,7 +999,7 @@ mod tests {
         let doubling = doubling_program(rel("R"), rel("Rd"));
         let undoubling = undoubling_program(rel("Rd"), rel("Rback"));
         let paths = [path_of(&["k1", "k2", "k3"]), path_of(&["a"]), Path::empty()];
-        let input = Instance::unary(rel("R"), paths.clone());
+        let input = Instance::unary(rel("R"), paths);
         let doubled = seqdl_engine::Engine::new().run(&doubling, &input).unwrap();
         let doubled_paths = doubled.unary_paths(rel("Rd"));
         assert_eq!(

@@ -41,11 +41,10 @@ impl Binding {
 
     /// Does the binding's shape fit the given variable kind?
     pub fn fits(&self, kind: VarKind) -> bool {
-        match (self, kind) {
-            (Binding::Atom(_), VarKind::Atom) => true,
-            (Binding::Path(_), VarKind::Path) => true,
-            _ => false,
-        }
+        matches!(
+            (self, kind),
+            (Binding::Atom(_), VarKind::Atom) | (Binding::Path(_), VarKind::Path)
+        )
     }
 }
 

@@ -12,7 +12,7 @@
 
 pub mod programs;
 
-pub use programs::{ProgramConfig, ProgramGenerator};
+pub use programs::{InjectedDefect, ProgramConfig, ProgramGenerator};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -51,7 +51,7 @@ impl Workloads {
     /// The instance `{R(a^n·b^n)}` (Example 4.6 style inputs).
     pub fn a_then_b(&self, relation: RelName, n: usize) -> Instance {
         let mut p = repeat_path("a", n);
-        p.extend(repeat_path("b", n).into_iter());
+        p.extend(repeat_path("b", n));
         Instance::unary(relation, [p])
     }
 
@@ -299,7 +299,7 @@ mod tests {
         let inst = w.random_flat_instance(3, 5, 6, 2);
         assert_eq!(inst.relation_names().len(), 3);
         assert!(inst.is_flat());
-        assert_eq!(inst.fact_count() <= 15, true);
-        assert_eq!(inst.schema().is_monadic(), true);
+        assert!(inst.fact_count() <= 15);
+        assert!(inst.schema().is_monadic());
     }
 }

@@ -45,6 +45,20 @@ impl Default for ProgramConfig {
     }
 }
 
+/// A defect [`ProgramGenerator::random_program_with_defects`] injected into a
+/// program, with the stable lint code `seqdl check` must report for it.
+///
+/// The codes are plain strings here (wgen sits below the analysis crate in
+/// the dependency order); the property suite resolves them against
+/// `seqdl_analysis::Lint::from_code` to keep them honest.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InjectedDefect {
+    /// The lint code the checker must report, e.g. `"SD-W105"`.
+    pub code: &'static str,
+    /// What was injected, for failure messages.
+    pub description: String,
+}
+
 /// A seeded generator of random nonrecursive programs over the EDB schema
 /// `{R0/1, R1/1}`.
 #[derive(Clone, Debug)]
@@ -121,6 +135,98 @@ impl ProgramGenerator {
             strata.push(Stratum::new(rules));
         }
         Program::new(strata)
+    }
+
+    /// Generate a random program and inject three known defects into it: a
+    /// dead rule (fresh head relation `Dead0` nothing reads), a duplicate of
+    /// the last rule with freshly renamed variables, and a rule carrying a
+    /// variable that occurs only once (`Lint0`).  Returns the program plus
+    /// the lint codes `seqdl check` must report for the injections.
+    ///
+    /// The injected rules derive only fresh relations (or repeat an existing
+    /// rule), so the program's output relation — the head of the last
+    /// pre-injection rule, which the duplicate preserves — computes exactly
+    /// what the clean program computes.
+    pub fn random_program_with_defects(
+        &self,
+        salt: u64,
+        config: &ProgramConfig,
+    ) -> (Program, Vec<InjectedDefect>) {
+        let mut program = self.random_program(salt, config);
+        let mut defects = Vec::new();
+
+        // Dead rule: a fresh relation nothing reads, prepended to the first
+        // stratum so the natural output (last rule of the last stratum) keeps
+        // its position.
+        let v = Var::path("dead0");
+        let dead = Rule::new(
+            Predicate::new(RelName::new("Dead0"), vec![PathExpr::var(v)]),
+            vec![Literal::pred(Predicate::new(
+                RelName::new("R0"),
+                vec![PathExpr::var(v)],
+            ))],
+        );
+        defects.push(InjectedDefect {
+            code: "SD-W101",
+            description: format!("dead rule {dead}"),
+        });
+        defects.push(InjectedDefect {
+            code: "SD-W102",
+            description: "dead relation Dead0".to_string(),
+        });
+        program.strata[0].rules.insert(0, dead);
+
+        // Unused variable: $unused0 occurs exactly once.  The rule is dead
+        // too (nothing reads Lint0), but the variable lint is what it is for.
+        let x = Var::path("lx");
+        let unused = Var::path("unused0");
+        let lint = Rule::new(
+            Predicate::new(RelName::new("Lint0"), vec![PathExpr::var(x)]),
+            vec![
+                Literal::pred(Predicate::new(RelName::new("R0"), vec![PathExpr::var(x)])),
+                Literal::pred(Predicate::new(
+                    RelName::new("R1"),
+                    vec![PathExpr::var(unused)],
+                )),
+            ],
+        );
+        defects.push(InjectedDefect {
+            code: "SD-W201",
+            description: format!("unused variable in {lint}"),
+        });
+        program.strata[0].rules.insert(1, lint);
+
+        // Duplicate rule: repeat the output rule with renamed variables,
+        // right after the original, so the last rule's head relation — the
+        // natural output — is unchanged.
+        if let Some(last) = program.strata.last_mut() {
+            if let Some(original) = last.rules.last().cloned() {
+                // Rename every variable to a fixed `dup{i}` name (Rule::
+                // freshen_vars draws from a global counter, which would make
+                // equal seeds produce unequal programs).
+                let map: std::collections::BTreeMap<Var, Var> = original
+                    .vars()
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, v)| {
+                        let name = format!("dup{i}");
+                        let fresh = match v.kind {
+                            seqdl_syntax::VarKind::Atom => Var::atom(&name),
+                            seqdl_syntax::VarKind::Path => Var::path(&name),
+                        };
+                        (v, fresh)
+                    })
+                    .collect();
+                let copy = original.rename_vars(&map);
+                defects.push(InjectedDefect {
+                    code: "SD-W105",
+                    description: format!("duplicate of {original}"),
+                });
+                last.rules.push(copy);
+            }
+        }
+
+        (program, defects)
     }
 
     /// Generate a random *goal* pattern for `relation` with the given arity:
@@ -301,6 +407,41 @@ mod tests {
             assert!(!features.arity, "salt {salt}");
             assert!(!features.packing, "salt {salt}");
         }
+    }
+
+    #[test]
+    fn defect_injection_preserves_safety_stratification_and_the_output_rule() {
+        let generator = ProgramGenerator::new(17);
+        let config = ProgramConfig {
+            allow_recursion: true,
+            ..ProgramConfig::default()
+        };
+        for salt in 0..40u64 {
+            let clean = generator.random_program(salt, &config);
+            let (seeded, defects) = generator.random_program_with_defects(salt, &config);
+            check_safety(&seeded).unwrap_or_else(|e| panic!("salt {salt}: unsafe: {e}\n{seeded}"));
+            check_stratification(&seeded)
+                .unwrap_or_else(|e| panic!("salt {salt}: not stratified: {e}\n{seeded}"));
+            // Exactly the four designed defect codes.
+            let mut codes: Vec<&str> = defects.iter().map(|d| d.code).collect();
+            codes.sort_unstable();
+            assert_eq!(codes, ["SD-W101", "SD-W102", "SD-W105", "SD-W201"]);
+            // The natural output relation (head of the last rule) is the same
+            // as in the clean program: the appended duplicate repeats it.
+            let clean_out = clean.rules().last().unwrap().head.relation;
+            let seeded_out = seeded.rules().last().unwrap().head.relation;
+            assert_eq!(clean_out, seeded_out, "salt {salt}");
+            assert_eq!(seeded.rule_count(), clean.rule_count() + 3, "salt {salt}");
+        }
+    }
+
+    #[test]
+    fn defect_injection_is_deterministic() {
+        let generator = ProgramGenerator::new(23);
+        let (a, da) = generator.random_program_with_defects(5, &ProgramConfig::default());
+        let (b, db) = generator.random_program_with_defects(5, &ProgramConfig::default());
+        assert_eq!(a, b);
+        assert_eq!(da, db);
     }
 
     #[test]

@@ -42,8 +42,7 @@ fn main() {
     let mut same = Instance::new();
     for r in ["A", "B"] {
         for p in sales.unary_paths(rel("Sales")) {
-            same.insert_fact(Fact::new(rel(r), vec![p.clone()]))
-                .unwrap();
+            same.insert_fact(Fact::new(rel(r), vec![p])).unwrap();
         }
     }
     let result = Engine::new()

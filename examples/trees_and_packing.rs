@@ -12,7 +12,7 @@ use sequence_datalog::rewrite::eliminate_packing_nonrecursive;
 fn node(label: &str, children: &[Path]) -> Path {
     let mut path = path_of(&[label]);
     for child in children {
-        path.push(Value::packed(child.clone()));
+        path.push(Value::packed(*child));
     }
     path
 }

@@ -9,6 +9,8 @@
 //!
 //! * [`core`] — the sequence data model (atoms, packed values, paths, instances);
 //! * [`syntax`] — path expressions, rules, programs, parser, and static analyses;
+//! * [`analysis`] — the lint framework behind `seqdl check` (stable lint codes,
+//!   dead-code and divergence diagnostics);
 //! * [`unify`] — associative unification for path expressions (extended pig-pug);
 //! * [`engine`] — bottom-up evaluation with stratified negation;
 //! * [`rewrite`] — the paper's feature-elimination transformations;
@@ -37,6 +39,7 @@
 #![warn(rust_2018_idioms)]
 
 pub use seqdl_algebra as algebra;
+pub use seqdl_analysis as analysis;
 pub use seqdl_core as core;
 pub use seqdl_engine as engine;
 pub use seqdl_exec as exec;

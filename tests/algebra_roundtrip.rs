@@ -37,7 +37,7 @@ fn selection_with_path_expressions() {
         a.concat(&col(1)),
     );
     let out = eval(&expr, &input).unwrap();
-    let paths: BTreeSet<Path> = out.into_iter().map(|t| t[0].clone()).collect();
+    let paths: BTreeSet<Path> = out.into_iter().map(|t| t[0]).collect();
     assert_eq!(paths, [p("a·a·a"), p("a"), p("")].into_iter().collect());
 }
 
@@ -83,7 +83,7 @@ fn union_difference_product_have_classical_semantics() {
         &input,
     )
     .unwrap();
-    let diff_paths: BTreeSet<Path> = difference.into_iter().map(|t| t[0].clone()).collect();
+    let diff_paths: BTreeSet<Path> = difference.into_iter().map(|t| t[0]).collect();
     assert_eq!(diff_paths, [p("a")].into_iter().collect());
 
     let product = eval(&AlgebraExpr::product(r_expr, s_expr), &input).unwrap();
@@ -103,7 +103,7 @@ fn unpack_extracts_packed_components() {
     // Round-trip: UNPACK_1(π_{⟨$1⟩}(R)) = R.
     let unpack = AlgebraExpr::unpack(pack, 1);
     let out = eval(&unpack, &input).unwrap();
-    let paths: BTreeSet<Path> = out.into_iter().map(|t| t[0].clone()).collect();
+    let paths: BTreeSet<Path> = out.into_iter().map(|t| t[0]).collect();
     assert_eq!(paths, input.unary_paths(rel("R")));
 }
 
@@ -113,7 +113,7 @@ fn substrings_enumerates_all_substrings() {
     let expr = AlgebraExpr::substrings(AlgebraExpr::relation(rel("R"), 1), 1);
     let out = eval(&expr, &input).unwrap();
     // Substrings of a·b·c: ε, a, b, c, a·b, b·c, a·b·c  (7 distinct).
-    let subs: BTreeSet<Path> = out.iter().map(|t| t[1].clone()).collect();
+    let subs: BTreeSet<Path> = out.iter().map(|t| t[1]).collect();
     assert_eq!(subs.len(), 7);
     for s in ["", "a", "b", "c", "a·b", "b·c", "a·b·c"] {
         assert!(subs.contains(&p(s)), "missing substring {s}");
@@ -159,7 +159,7 @@ fn assert_algebra_matches_datalog(
         .into_iter()
         .map(|t| {
             assert_eq!(t.len(), 1, "expected a unary result");
-            t[0].clone()
+            t[0]
         })
         .collect();
     let datalog_out = run_unary_query(program, input, output).expect("datalog evaluation succeeds");
@@ -227,7 +227,7 @@ fn datalog_to_algebra_on_nonrecursive_witnesses() {
                 .unwrap_or_else(|e| panic!("{label}: algebra eval failed on input {i}: {e}"))
                 .into_iter()
                 .filter(|t| t.len() == 1)
-                .map(|t| t[0].clone())
+                .map(|t| t[0])
                 .collect();
             let datalog_out = run_unary_query(&witness.program, input, witness.output).unwrap();
             assert_eq!(
@@ -254,7 +254,7 @@ fn datalog_to_algebra_round_trip_through_datalog_again() {
         let via_algebra: BTreeSet<Path> = eval(&expr, input)
             .unwrap()
             .into_iter()
-            .map(|t| t[0].clone())
+            .map(|t| t[0])
             .collect();
         let via_roundtrip = run_unary_query(&back, input, rel("S2")).unwrap();
         assert_eq!(direct, via_algebra);

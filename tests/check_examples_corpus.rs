@@ -1,0 +1,67 @@
+//! The example-program corpus under `examples/programs/` must stay clean
+//! under `seqdl check --deny warnings`: intentional findings are declared
+//! with `% expect:` annotations inside the programs themselves.  CI runs the
+//! same gate through the binary; this test enforces it in-process so a
+//! regression fails `cargo test` before it fails CI.
+
+use seqdl_cli::run_cli;
+
+fn corpus() -> Vec<std::path::PathBuf> {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/programs");
+    let mut programs: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", dir.display()))
+        .filter_map(|entry| {
+            let path = entry.unwrap().path();
+            (path.extension().is_some_and(|e| e == "sdl")).then_some(path)
+        })
+        .collect();
+    programs.sort();
+    programs
+}
+
+#[test]
+fn every_example_program_checks_clean_under_deny_warnings() {
+    let programs = corpus();
+    assert!(
+        programs.len() >= 5,
+        "expected a corpus of programs, found {programs:?}"
+    );
+    for path in &programs {
+        let args: Vec<String> = [
+            "check",
+            "--program",
+            path.to_str().unwrap(),
+            "--deny",
+            "warnings",
+        ]
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+        if let Err(e) = run_cli(&args) {
+            panic!(
+                "{} fails `seqdl check --deny warnings`:\n{e}",
+                path.display()
+            );
+        }
+    }
+}
+
+#[test]
+fn the_showcase_program_fires_its_declared_lints() {
+    // The one intentionally defective program must actually demonstrate the
+    // lints it advertises (the `% expect:` machinery verifies each fires).
+    let showcase = corpus()
+        .into_iter()
+        .find(|p| p.file_name().is_some_and(|n| n == "lints_showcase.sdl"))
+        .expect("lints_showcase.sdl present");
+    let args: Vec<String> = ["check", "--program", showcase.to_str().unwrap()]
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+    let report = run_cli(&args).expect("showcase checks without --deny");
+    for code in [
+        "SD-W101", "SD-W102", "SD-W103", "SD-W104", "SD-W105", "SD-W201",
+    ] {
+        assert!(report.contains(code), "missing {code} in:\n{report}");
+    }
+}

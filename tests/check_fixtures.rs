@@ -1,0 +1,179 @@
+//! One positive/negative fixture pair per lint code: the positive program
+//! must fire the code, the negative (a minimal fix of the same shape) must
+//! not.  This pins the codes themselves — renaming or retiring a lint breaks
+//! this table on purpose.
+
+use sequence_datalog::analysis::{check_program, CheckOptions, Lint};
+use sequence_datalog::prelude::*;
+
+struct Fixture {
+    code: &'static str,
+    /// Must fire `code`.
+    positive: &'static str,
+    /// Must NOT fire `code`.
+    negative: &'static str,
+    /// Output relation the check is run against.
+    output: &'static str,
+    /// EDB relations assumed nonempty (None = no instance knowledge).
+    nonempty_edb: Option<&'static [&'static str]>,
+}
+
+const FIXTURES: &[Fixture] = &[
+    Fixture {
+        code: "SD-E001", // unsafe-rule: $y unlimited, neither head-only nor negated
+        positive: "S($x) <- R($x), $y = $y.",
+        negative: "S($x) <- R($x), $y = $x.",
+        output: "S",
+        nonempty_edb: None,
+    },
+    Fixture {
+        code: "SD-E002", // inconsistent-arity: R read as both /1 and /2
+        positive: "S($x) <- R($x).\nS($x) <- R($x, $y).",
+        negative: "S($x) <- R($x).\nS($x) <- R2($x, $y).",
+        output: "S",
+        nonempty_edb: None,
+    },
+    Fixture {
+        code: "SD-E003", // not-stratified: S negates T, T reads S, same stratum
+        positive: "S($x) <- R($x), !T($x).\nT($x) <- S($x).",
+        negative: "T($x) <- R($x).\n---\nS($x) <- R($x), !T($x).",
+        output: "S",
+        nonempty_edb: None,
+    },
+    Fixture {
+        code: "SD-E004", // head-only-variable
+        positive: "S($x, $y) <- R($x).",
+        negative: "S($x, $x) <- R($x).",
+        output: "S",
+        nonempty_edb: None,
+    },
+    Fixture {
+        code: "SD-E005", // negation-shadowed-variable: $y only under negation
+        positive: "S($x) <- R($x), !T($y).",
+        negative: "S($x) <- R($x), T($y), !B($y).",
+        output: "S",
+        nonempty_edb: None,
+    },
+    Fixture {
+        code: "SD-W101", // dead-rule: U cannot reach the output S
+        positive: "U($x) <- R($x).\nS($x) <- R($x).",
+        negative: "U($x) <- R($x).\nS($x) <- U($x).",
+        output: "S",
+        nonempty_edb: None,
+    },
+    Fixture {
+        code: "SD-W102", // dead-relation
+        positive: "U($x) <- R($x).\nS($x) <- R($x).",
+        negative: "U($x) <- R($x).\nS($x) <- U($x).",
+        output: "S",
+        nonempty_edb: None,
+    },
+    Fixture {
+        code: "SD-W103", // empty-relation: Z holds no facts and has no rules
+        positive: "S($x) <- R($x), Z($x).",
+        negative: "S($x) <- R($x), Z($x).\nZ(a).",
+        output: "S",
+        nonempty_edb: Some(&["R"]),
+    },
+    Fixture {
+        code: "SD-W104", // always-false-rule: ground equation a = b
+        positive: "S($x) <- R($x), a = b.\nS($x) <- R($x).",
+        negative: "S($x) <- R($x), a = a.\nS($x) <- R($x).",
+        output: "S",
+        nonempty_edb: None,
+    },
+    Fixture {
+        code: "SD-W105", // duplicate-rule (up to variable renaming)
+        positive: "S($x) <- R($x).\nS($y) <- R($y).",
+        negative: "S($x) <- R($x).\nS($y) <- B($y).",
+        output: "S",
+        nonempty_edb: None,
+    },
+    Fixture {
+        code: "SD-W106", // subsumed-rule: the longer body adds nothing
+        positive: "S($x) <- R($x).\nS($x) <- R($x), B($x).",
+        negative: "S($x) <- R($x).\nS($x) <- B($x).",
+        output: "S",
+        nonempty_edb: None,
+    },
+    Fixture {
+        code: "SD-W201", // unused-variable: $y bound once, never used
+        positive: "S($x) <- R($x), B($y).",
+        negative: "S($x) <- R($x), B($y), B($y·a).",
+        output: "S",
+        nonempty_edb: None,
+    },
+    Fixture {
+        code: "SD-W301", // divergence-risk: the head grows without bound
+        positive: "T($x) <- R($x).\nT(a·$x) <- T($x).",
+        negative: "T($x) <- R($x).\nT($x) <- T(a·$x).",
+        output: "T",
+        nonempty_edb: None,
+    },
+];
+
+fn options_for(fixture: &Fixture) -> CheckOptions {
+    let mut options = CheckOptions::for_outputs([rel(fixture.output)]);
+    options.nonempty_edb = fixture
+        .nonempty_edb
+        .map(|names| names.iter().map(|n| rel(n)).collect());
+    options
+}
+
+#[test]
+fn every_lint_code_has_a_firing_and_a_clean_fixture() {
+    for fixture in FIXTURES {
+        let lint = Lint::from_code(fixture.code)
+            .unwrap_or_else(|| panic!("fixture names unknown code {}", fixture.code));
+        assert_eq!(lint.code(), fixture.code);
+
+        let positive = parse_program(fixture.positive)
+            .unwrap_or_else(|e| panic!("{}: positive fixture does not parse: {e}", fixture.code));
+        let report = check_program(&positive, &options_for(fixture));
+        assert!(
+            report.codes().contains(fixture.code),
+            "{}: expected to fire on\n{}\nreported: {:?}",
+            fixture.code,
+            fixture.positive,
+            report.codes()
+        );
+
+        let negative = parse_program(fixture.negative)
+            .unwrap_or_else(|e| panic!("{}: negative fixture does not parse: {e}", fixture.code));
+        let report = check_program(&negative, &options_for(fixture));
+        assert!(
+            !report.codes().contains(fixture.code),
+            "{}: must not fire on\n{}\nreported: {:?}",
+            fixture.code,
+            fixture.negative,
+            report.codes()
+        );
+    }
+}
+
+#[test]
+fn the_fixture_table_covers_every_warning_and_error_lint() {
+    // SD-I401 (the fragment note) fires on every program, so it has no
+    // negative fixture; everything else must appear in the table.
+    let covered: Vec<&str> = FIXTURES.iter().map(|f| f.code).collect();
+    for lint in Lint::ALL {
+        if lint == Lint::FragmentNote {
+            continue;
+        }
+        assert!(
+            covered.contains(&lint.code()),
+            "lint {} ({}) has no fixture pair",
+            lint.code(),
+            lint.name()
+        );
+    }
+}
+
+#[test]
+fn the_fragment_note_fires_on_every_program() {
+    for source in ["S($x) <- R($x).", "S <- !B.", "T(a)."] {
+        let program = parse_program(source).unwrap();
+        let report = check_program(&program, &CheckOptions::default());
+        assert!(report.codes().contains("SD-I401"), "{source}");
+    }
+}

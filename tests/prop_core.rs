@@ -88,7 +88,7 @@ proptest! {
 
     #[test]
     fn packing_depth_increases_by_one_when_packed(a in deep_path()) {
-        let packed = Path::singleton(Value::packed(a.clone()));
+        let packed = Path::singleton(Value::packed(a));
         prop_assert_eq!(packed.packing_depth(), a.packing_depth() + 1);
         prop_assert!(packed.len() == 1);
         prop_assert_eq!(packed.is_flat(), false);
@@ -124,14 +124,14 @@ proptest! {
         instance.declare_relation(rel("R"), 1);
         let mut expected = std::collections::BTreeSet::new();
         for p in &paths {
-            instance.insert_fact(Fact::new(rel("R"), vec![p.clone()])).unwrap();
-            expected.insert(p.clone());
+            instance.insert_fact(Fact::new(rel("R"), vec![*p])).unwrap();
+            expected.insert(*p);
         }
         prop_assert_eq!(instance.unary_paths(rel("R")), expected.clone());
         prop_assert_eq!(instance.fact_count(), expected.len());
         // Re-inserting never grows the instance.
         for p in &paths {
-            let inserted = instance.insert_fact(Fact::new(rel("R"), vec![p.clone()])).unwrap();
+            let inserted = instance.insert_fact(Fact::new(rel("R"), vec![*p])).unwrap();
             prop_assert!(!inserted);
         }
         prop_assert_eq!(instance.fact_count(), expected.len());
@@ -188,7 +188,7 @@ proptest! {
         let mut instance = Instance::unary(rel("R"), a.clone());
         instance.declare_relation(rel("Q"), 1);
         for p in &b {
-            instance.insert_fact(Fact::new(rel("Q"), vec![p.clone()])).unwrap();
+            instance.insert_fact(Fact::new(rel("Q"), vec![*p])).unwrap();
         }
         let mut schema = Schema::new();
         schema.declare(rel("R"), 1);

@@ -56,8 +56,8 @@ proptest! {
         let enc = |x: &Path, y: &Path| {
             let valuation = {
                 let mut v = Valuation::new();
-                v.bind_path(Var::path("l"), x.clone());
-                v.bind_path(Var::path("r"), y.clone());
+                v.bind_path(Var::path("l"), *x);
+                v.bind_path(Var::path("r"), *y);
                 v
             };
             let expr = encode_pair(

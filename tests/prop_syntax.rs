@@ -130,7 +130,7 @@ proptest! {
     fn ground_expressions_become_paths(p in flat_path()) {
         let expr = PathExpr::from_path(&p);
         prop_assert!(expr.is_ground());
-        prop_assert_eq!(expr.as_path(), Some(p.clone()));
+        prop_assert_eq!(expr.as_path(), Some(p));
         prop_assert_eq!(expr.vars().len(), 0);
     }
 
@@ -174,7 +174,7 @@ proptest! {
         let x = Var::path("x");
         let a = Var::atom("a");
         let mut valuation = Valuation::new();
-        valuation.bind_path(x, p.clone());
+        valuation.bind_path(x, p);
         valuation.bind_atom(a, atom("q"));
         // $x · @a evaluates to p · q.
         let expr = PathExpr::var(x).concat(&PathExpr::var(a));

@@ -80,9 +80,9 @@ fn words_up_to(n: usize) -> Vec<Path> {
         let mut next = Vec::new();
         for w in &frontier {
             for name in ATOMS {
-                let mut e = w.clone();
+                let mut e = *w;
                 e.push(Value::Atom(atom(name)));
-                out.push(e.clone());
+                out.push(e);
                 next.push(e);
             }
         }

@@ -225,7 +225,7 @@ fn packing_elimination_preserves_three_occurrences() {
         }
         inst
     };
-    let inputs = vec![
+    let inputs = [
         make(&["a·b·a·b·a·b"], &["a·b"]),
         make(&["a·b·a·b"], &["a·b"]),
         make(&["a·a·a·a"], &["a"]),
