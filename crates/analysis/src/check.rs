@@ -336,7 +336,12 @@ fn reachability_pass(program: &Program, options: &CheckOptions, out: &mut Vec<Di
 /// the larger body satisfies the smaller one, so the later rule derives
 /// nothing new.  Both checks are syntactic (shared variable names for
 /// subsumption), hence conservative.
-fn duplicate_pass(program: &Program, out: &mut Vec<Diagnostic>) -> bool {
+///
+/// Returns the (stratum, rule index) coordinates of every redundant rule, so
+/// the caller can reason about the program minus exactly those copies —
+/// coordinates, not renderings, because a textually identical duplicate
+/// shares its rendering with the kept original.
+fn duplicate_pass(program: &Program, out: &mut Vec<Diagnostic>) -> BTreeSet<(usize, usize)> {
     let rules = indexed_rules(program);
     let mut canonical_seen: BTreeMap<String, (usize, usize)> = BTreeMap::new();
     let mut redundant: BTreeSet<(usize, usize)> = BTreeSet::new();
@@ -383,7 +388,7 @@ fn duplicate_pass(program: &Program, out: &mut Vec<Diagnostic>) -> bool {
             }
         }
     }
-    !redundant.is_empty()
+    redundant
 }
 
 /// Pass 6 — divergence risk: cliques the termination analysis could not
@@ -392,15 +397,33 @@ fn divergence_pass(program: &Program, report: &TerminationReport, out: &mut Vec<
     if report.verdict == Verdict::Terminating {
         return;
     }
-    let rules = indexed_rules(program);
     for clique in &report.cliques {
         if clique.guarantee.is_some() {
             continue;
         }
         let relations: Vec<String> = clique.relations.iter().map(|r| r.to_string()).collect();
         for offending in &clique.offending_rules {
-            let Some((si, ri, rule)) = rules.iter().find(|(_, _, r)| r.to_string() == *offending)
-            else {
+            // The report carries the rule's coordinates in the very program
+            // we analysed, so the lookup is a direct index — no rendering
+            // comparison that could silently miss or conflate duplicates.
+            let rule = program
+                .strata
+                .get(offending.stratum)
+                .and_then(|s| s.rules.get(offending.rule_index));
+            let Some(rule) = rule else {
+                // Coordinates out of range would mean the report came from a
+                // different program; still surface the risk rather than
+                // dropping the diagnostic.
+                out.push(Diagnostic::new(
+                    Lint::DivergenceRisk,
+                    format!(
+                        "recursion through {{{}}} has no termination guarantee (offending rule \
+                         {}); consider running with --timeout",
+                        relations.join(", "),
+                        offending.rule,
+                    ),
+                    Anchor::Program,
+                ));
                 continue;
             };
             let head = Measure::of_predicate(&rule.head);
@@ -421,7 +444,7 @@ fn divergence_pass(program: &Program, report: &TerminationReport, out: &mut Vec<
                     measure_str(&head),
                     measure_str(&body),
                 ),
-                rule_anchor(*si, *ri, rule),
+                rule_anchor(offending.stratum, offending.rule_index, rule),
             ));
         }
     }
@@ -437,31 +460,23 @@ pub fn check_program(program: &Program, options: &CheckOptions) -> CheckReport {
     well_formedness_pass(program, &mut diagnostics);
     variable_pass(program, &mut diagnostics);
     reachability_pass(program, options, &mut diagnostics);
-    let found_redundant = duplicate_pass(program, &mut diagnostics);
+    let redundant = duplicate_pass(program, &mut diagnostics);
     let termination = analyse_termination(program);
     divergence_pass(program, &termination, &mut diagnostics);
 
     let features = FeatureSet::of_program(program);
     let fragment = Fragment::of_program(program);
     let mut fragment_note = format!("program lies in fragment {fragment}");
-    if found_redundant {
+    if !redundant.is_empty() {
         // Dropping redundant rules can only shrink the fragment, and a
         // smaller fragment always subsumes into the original (Theorem 6.1).
-        let kept: Vec<&Rule> = {
-            let all = indexed_rules(program);
-            let flagged: BTreeSet<String> = diagnostics
-                .iter()
-                .filter(|d| matches!(d.lint, Lint::DuplicateRule | Lint::SubsumedRule))
-                .filter_map(|d| match &d.anchor {
-                    Anchor::Rule { rule, .. } => Some(rule.clone()),
-                    _ => None,
-                })
-                .collect();
-            all.into_iter()
-                .filter(|(_, _, r)| !flagged.contains(&r.to_string()))
-                .map(|(_, _, r)| r)
-                .collect()
-        };
+        // Filter by coordinates, not renderings: a textually identical
+        // duplicate renders the same as its kept original.
+        let kept: Vec<&Rule> = indexed_rules(program)
+            .into_iter()
+            .filter(|(si, ri, _)| !redundant.contains(&(*si, *ri)))
+            .map(|(_, _, r)| r)
+            .collect();
         let reduced = Fragment::of_program(&Program::single_stratum(
             kept.into_iter().cloned().collect(),
         ));
@@ -564,6 +579,50 @@ mod tests {
             "{:?}",
             report.diagnostics
         );
+    }
+
+    #[test]
+    fn textually_identical_duplicates_keep_the_original_in_the_kept_set() {
+        // Both copies render identically; the kept set must retain the first
+        // one, so the "reduced" program still has the equation and the note
+        // cannot claim a narrowing that deduplication alone would not give.
+        let report = check(
+            "S($x) <- R($x), a·$x = $x·a.\nS($x) <- R($x), a·$x = $x·a.",
+            &["S"],
+        );
+        assert!(codes(&report).contains("SD-W105"), "{:?}", report.diagnostics);
+        let note = report
+            .diagnostics
+            .iter()
+            .find(|d| d.lint == Lint::FragmentNote)
+            .unwrap();
+        assert!(
+            !note.message.contains("narrows"),
+            "dropping one identical copy must not narrow the fragment: {}",
+            note.message
+        );
+    }
+
+    #[test]
+    fn duplicate_offending_rules_get_their_own_divergence_anchors() {
+        // Two textually identical uncertified recursive rules: each must be
+        // anchored at its own coordinates, not both at the first occurrence.
+        let report = check("T(a).\nT(a·$x) <- T($x).\nT(a·$x) <- T($x).", &["T"]);
+        let anchors: Vec<(usize, usize)> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.lint == Lint::DivergenceRisk)
+            .filter_map(|d| match &d.anchor {
+                Anchor::Rule {
+                    stratum,
+                    rule_index,
+                    ..
+                } => Some((*stratum, *rule_index)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(anchors.len(), 2, "{:?}", report.diagnostics);
+        assert_ne!(anchors[0], anchors[1], "anchors must be distinct");
     }
 
     #[test]

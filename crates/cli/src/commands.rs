@@ -630,12 +630,39 @@ fn preflight_warnings(program: &Program, options: &CheckOptions) -> String {
     block
 }
 
+/// Reject instances that populate (or redeclare at another arity) a relation
+/// the given *pre-optimization* program defines as IDB.  The evaluator runs
+/// the same check, but against the program it is handed — after `strip_dead`
+/// a relation whose rules were all removed is no longer IDB there, so without
+/// this pre-check the optimized and unoptimized runs would diverge (silent
+/// acceptance vs error) on the same invalid input.
+fn check_idb_schema(
+    program: &Program,
+    instance: &Instance,
+) -> Result<(), seqdl_engine::EvalError> {
+    // An inconsistent-arity program fails through evaluation on its own terms.
+    let Ok(arities) = program.relation_arities() else {
+        return Ok(());
+    };
+    for relation in program.idb_relations() {
+        if let Some(existing) = instance.relation(relation) {
+            if !existing.is_empty() || arities.get(&relation) != Some(&existing.arity()) {
+                return Err(seqdl_engine::EvalError::IdbRelationInInput {
+                    relation: relation.name().to_string(),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
 fn cmd_run(flags: &Flags) -> Result<String, CliError> {
     let program = load_program_flag(flags)?;
     let instance = load_instance_flag(flags)?;
     let output = output_relation(flags, &program)?;
     let executor = executor_from_flags(flags)?;
     let format = stats_format(flags)?;
+    check_idb_schema(&program, &instance).map_err(|e| eval_error_report(&executor, &e, format))?;
     let options = check_options([output], Some(&instance));
     let preflight = preflight_warnings(&program, &options);
     // Prune rules that cannot contribute to the requested output before
@@ -789,11 +816,22 @@ fn cmd_query(flags: &Flags) -> Result<String, CliError> {
         &check_options([goal.relation], Some(&instance)),
     ));
     let format = stats_format(flags)?;
+    check_idb_schema(&mp.program, &instance).map_err(|e| eval_error_report(&executor, &e, format))?;
     // Prune magic rules that cannot reach the answer relation before
-    // lowering.  No EDB emptiness here: the seeds make relations nonempty
-    // that the raw instance knows nothing about.
+    // lowering.  The seeds make relations nonempty that neither the raw
+    // instance nor the program's rules know anything about — the goal's
+    // magic relation may have only statically-false demand rules and still
+    // hold its seed facts at runtime — so the emptiness analysis must treat
+    // every seeded relation as never-empty (and no EDB emptiness is assumed
+    // at all).
     let stripped = (!flags.has("no-strip-dead")).then(|| {
-        seqdl_rewrite::strip_dead(&mp.program, &std::collections::BTreeSet::from([mp.answer]))
+        let seeded: std::collections::BTreeSet<RelName> =
+            mp.seeds.iter().map(|f| f.relation).collect();
+        seqdl_rewrite::strip_dead_seeded(
+            &mp.program,
+            &std::collections::BTreeSet::from([mp.answer]),
+            &seeded,
+        )
     });
     let eval_program = stripped.as_ref().map_or(&mp.program, |s| &s.program);
     let trace = start_trace(flags);
@@ -1577,6 +1615,59 @@ mod tests {
         assert!(!output.contains("T(x·y)"), "{output}");
         assert!(output.contains("magic rewrite:"), "{output}");
         assert!(output.contains("magic_T_b"), "{output}");
+    }
+
+    #[test]
+    fn query_strip_dead_keeps_seeded_demand_relations_live() {
+        // The recursive rule's demand prefix reads P, whose only rule is
+        // statically false — every demand rule of the seeded magic relation
+        // is always false, but the goal's seed facts still make it nonempty
+        // at runtime.  The default (stripped) query must agree with
+        // --no-strip-dead instead of silently returning no answers.
+        let program = write_program(
+            "query-seed.sdl",
+            "T(@x·@y) <- R(@x·@y).\n\
+             T(@x·@z) <- P(@x), T(@x·@y), R(@y·@z).\n\
+             P(@x) <- N(@x), a·@x = b·@x.",
+        );
+        let mut graph = Instance::new();
+        for (x, y) in [("a", "b"), ("b", "c")] {
+            graph
+                .insert_fact(seqdl_core::Fact::new(rel("R"), vec![path_of(&[x, y])]))
+                .unwrap();
+        }
+        graph
+            .insert_fact(seqdl_core::Fact::new(rel("N"), vec![path_of(&["a"])]))
+            .unwrap();
+        let instance = write_instance_file("query-seed.sdi", &graph);
+        let base = ["--program", &program, "--instance", &instance, "--goal", "T(a·$y)?"];
+        let stripped = cmd_query(&flags(&base)).unwrap();
+        let mut unstripped_args = base.to_vec();
+        unstripped_args.push("--no-strip-dead");
+        let unstripped = cmd_query(&flags(&unstripped_args)).unwrap();
+        assert!(stripped.contains("T(a·$y): 1 answer(s)"), "{stripped}");
+        assert!(stripped.contains("T(a·b)"), "{stripped}");
+        assert_eq!(stripped, unstripped);
+    }
+
+    #[test]
+    fn run_rejects_idb_facts_in_input_regardless_of_stripping() {
+        // Dead's rules are unreachable from S and stripped by default; the
+        // IDB-collision check must still run against the original program so
+        // the optimized and unoptimized runs fail identically.
+        let program = write_program("run-idb.sdl", "S($x) <- R($x).\nDead($x) <- Z($x).");
+        let mut input = Instance::unary(rel("R"), [path_of(&["a"])]);
+        input
+            .insert_fact(seqdl_core::Fact::new(rel("Dead"), vec![path_of(&["b"])]))
+            .unwrap();
+        let instance = write_instance_file("run-idb.sdi", &input);
+        let base = ["--program", &program, "--instance", &instance, "--output", "S"];
+        let stripped = cmd_run(&flags(&base)).unwrap_err();
+        let mut unstripped_args = base.to_vec();
+        unstripped_args.push("--no-strip-dead");
+        let unstripped = cmd_run(&flags(&unstripped_args)).unwrap_err();
+        assert!(stripped.to_string().contains("Dead"), "{stripped}");
+        assert_eq!(stripped.to_string(), unstripped.to_string());
     }
 
     #[test]

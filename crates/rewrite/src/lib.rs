@@ -54,7 +54,8 @@ pub use packing::{
 };
 pub use strip_dead::{
     always_false_reason, needed_relations, nonempty_relations, statically_empty_relations,
-    strip_dead, strip_dead_with_edb, RemovedRule, StripReason, StripReport,
+    statically_empty_relations_seeded, strip_dead, strip_dead_seeded, strip_dead_with_edb,
+    RemovedRule, StripReason, StripReport,
 };
 
 #[cfg(test)]

@@ -15,6 +15,9 @@
 //! * **Empty relation** — a positive body predicate reads a relation that is
 //!   statically empty: an EDB relation with no facts (when the caller knows
 //!   the instance) or an IDB relation all of whose rules have been removed.
+//!   Relations the caller will *seed* with facts at runtime (the magic-set
+//!   demand seeds of `run_seeded`) are never statically empty — use
+//!   [`strip_dead_seeded`] so the analysis knows about them.
 //!
 //! Removing a rule can only shrink the model of its head relation when the
 //! rule could fire, and each reason above certifies it cannot — so the
@@ -170,19 +173,32 @@ pub fn statically_empty_relations(
     program: &Program,
     nonempty_edb: Option<&BTreeSet<RelName>>,
 ) -> BTreeSet<RelName> {
+    statically_empty_relations_seeded(program, nonempty_edb, &BTreeSet::new())
+}
+
+/// [`statically_empty_relations`] for a program that will be evaluated with
+/// injected seed facts (`run_seeded`): the `seeded` relations hold facts at
+/// runtime no matter what their rules look like, so they are never reported
+/// empty — in particular an IDB relation whose rules are all statically false
+/// is still nonempty when it is seeded.
+pub fn statically_empty_relations_seeded(
+    program: &Program,
+    nonempty_edb: Option<&BTreeSet<RelName>>,
+    seeded: &BTreeSet<RelName>,
+) -> BTreeSet<RelName> {
     let idb = program.idb_relations();
     let mut empty: BTreeSet<RelName> = match nonempty_edb {
         Some(nonempty) => program
             .edb_relations()
             .into_iter()
-            .filter(|r| !nonempty.contains(r))
+            .filter(|r| !nonempty.contains(r) && !seeded.contains(r))
             .collect(),
         None => BTreeSet::new(),
     };
     loop {
         let mut grew = false;
         for relation in &idb {
-            if empty.contains(relation) {
+            if empty.contains(relation) || seeded.contains(relation) {
                 continue;
             }
             let all_false = program
@@ -226,6 +242,20 @@ pub fn strip_dead(program: &Program, outputs: &BTreeSet<RelName>) -> StripReport
     strip_dead_with_edb(program, outputs, None)
 }
 
+/// Strip rules of a program that will be evaluated with injected seed facts
+/// (`run_seeded`, as the magic-set query pipeline does): the `seeded`
+/// relations are treated as never statically empty, so rules reading them
+/// positively survive even when every rule *producing* them is statically
+/// false — at runtime the seeds make them nonempty and those rules can fire.
+/// No assumption is made about the EDB.
+pub fn strip_dead_seeded(
+    program: &Program,
+    outputs: &BTreeSet<RelName>,
+    seeded: &BTreeSet<RelName>,
+) -> StripReport {
+    strip_dead_impl(program, outputs, None, seeded)
+}
+
 /// Strip rules that cannot contribute to the `outputs`: rules whose head
 /// relation is unreachable from the outputs and rules whose body is statically
 /// unsatisfiable (see the [module docs](self)), iterated to a fixpoint.
@@ -238,6 +268,15 @@ pub fn strip_dead_with_edb(
     program: &Program,
     outputs: &BTreeSet<RelName>,
     nonempty_edb: Option<&BTreeSet<RelName>>,
+) -> StripReport {
+    strip_dead_impl(program, outputs, nonempty_edb, &BTreeSet::new())
+}
+
+fn strip_dead_impl(
+    program: &Program,
+    outputs: &BTreeSet<RelName>,
+    nonempty_edb: Option<&BTreeSet<RelName>>,
+    seeded: &BTreeSet<RelName>,
 ) -> StripReport {
     // Remember every rule's original coordinates before any removal.
     let mut current: Vec<Vec<(usize, usize, Rule)>> = program
@@ -261,7 +300,7 @@ pub fn strip_dead_with_edb(
                 .map(|s| Stratum::new(s.iter().map(|(_, _, r)| r.clone()).collect()))
                 .collect(),
         );
-        let empty = statically_empty_relations(&snapshot, nonempty_edb);
+        let empty = statically_empty_relations_seeded(&snapshot, nonempty_edb, seeded);
         let needed = needed_relations(&snapshot, outputs);
         let mut dropped_any = false;
         for stratum in &mut current {
@@ -386,6 +425,75 @@ mod tests {
         let empties = statically_empty_relations(&p, Some(&nonempty));
         assert!(empties.contains(&rel("B")));
         assert!(empties.contains(&rel("T")));
+    }
+
+    #[test]
+    fn seeded_relations_are_never_statically_empty() {
+        // M's only rule is always false, so without seed knowledge M is
+        // derived empty and both rules reading it die.  With M seeded (the
+        // magic-set query shape: seed facts injected at runtime), the rules
+        // must survive.
+        let p = parse_program("M($x) <- R($x), a·$x = b·$x.\nS($x) <- M($x), R($x).").unwrap();
+        let unseeded = strip_dead(&p, &outputs(&["S"]));
+        assert_eq!(unseeded.program.rule_count(), 0, "sanity: M propagates empty");
+
+        let seeds = outputs(&["M"]);
+        assert!(!statically_empty_relations_seeded(&p, None, &seeds).contains(&rel("M")));
+        let report = strip_dead_seeded(&p, &outputs(&["S"]), &seeds);
+        assert_eq!(
+            report.program.rule_count(),
+            1,
+            "the rule reading seeded M must survive"
+        );
+        assert!(report.removed[0].rule.starts_with("M($x)"));
+    }
+
+    #[test]
+    fn magic_programs_keep_rules_guarded_by_the_seeded_demand_relation() {
+        // The goal relation is recursive and the recursive rule's demand
+        // prefix reads P, whose only rule is statically false.  Every demand
+        // rule of the seeded magic relation is then always false — but the
+        // seed facts still make it nonempty at runtime, so the adorned base
+        // rule it guards must survive.  Seed-blind stripping removes it.
+        let p = parse_program(
+            "T(@x·@y) <- R(@x·@y).\n\
+             T(@x·@z) <- P(@x), T(@x·@y), R(@y·@z).\n\
+             P(@x) <- N(@x), a·@x = b·@x.",
+        )
+        .unwrap();
+        let goal = crate::parse_goal("T(a·$y)?").unwrap();
+        let mp = crate::magic(&p, &goal).unwrap();
+        let seeded: BTreeSet<RelName> = mp.seeds.iter().map(|f| f.relation).collect();
+        assert!(!seeded.is_empty(), "bound goal must produce seed facts");
+        let answers = BTreeSet::from([mp.answer]);
+
+        // Seed-blind stripping over-prunes: it derives the seeded magic
+        // relation empty and drops the base rule producing the answers.
+        let blind = strip_dead(&mp.program, &answers);
+        assert!(
+            !blind.program.rules().any(|r| r.head.relation == mp.answer),
+            "precondition: without seed knowledge the answer rules die\n{}",
+            mp.program
+        );
+
+        let seeded_report = strip_dead_seeded(&mp.program, &answers, &seeded);
+        assert!(
+            seeded_report
+                .program
+                .rules()
+                .any(|r| r.head.relation == mp.answer),
+            "seed-aware stripping must keep the answer-producing base rule\n{}",
+            seeded_report.program
+        );
+    }
+
+    #[test]
+    fn seeded_edb_relations_are_nonempty_despite_the_instance() {
+        // B is absent from the instance, but seeded at runtime.
+        let p = parse_program("S($x) <- B($x).").unwrap();
+        let nonempty = outputs(&["R"]);
+        let seeds = outputs(&["B"]);
+        assert!(!statically_empty_relations_seeded(&p, Some(&nonempty), &seeds).contains(&rel("B")));
     }
 
     #[test]

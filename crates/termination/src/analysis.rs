@@ -71,6 +71,20 @@ impl fmt::Display for Verdict {
     }
 }
 
+/// A recursive rule that defeated every termination criterion, located by its
+/// coordinates in the analysed program — coordinates rather than a rendering
+/// alone, so consumers (the `seqdl check` divergence lint) can anchor
+/// diagnostics to the exact rule even when several rules render identically.
+#[derive(Clone, Debug)]
+pub struct OffendingRule {
+    /// Index of the stratum the rule lives in.
+    pub stratum: usize,
+    /// Index of the rule within its stratum.
+    pub rule_index: usize,
+    /// Rendering of the rule.
+    pub rule: String,
+}
+
 /// The analysis result for one recursive clique (strongly connected component of
 /// the dependency graph).
 #[derive(Clone, Debug)]
@@ -79,9 +93,9 @@ pub struct CliqueReport {
     pub relations: Vec<RelName>,
     /// The guarantee found, if any.
     pub guarantee: Option<Guarantee>,
-    /// Renderings of the recursive rules that defeated every criterion (empty when a
+    /// The recursive rules that defeated every criterion (empty when a
     /// guarantee was found).
-    pub offending_rules: Vec<String>,
+    pub offending_rules: Vec<OffendingRule>,
 }
 
 /// The analysis result for a whole program.
@@ -107,7 +121,7 @@ impl fmt::Display for TerminationReport {
                         names.join(", ")
                     )?;
                     for rule in &clique.offending_rules {
-                        writeln!(f, "    {rule}")?;
+                        writeln!(f, "    {}", rule.rule)?;
                     }
                 }
             }
@@ -153,12 +167,18 @@ pub fn analyse(program: &Program) -> TerminationReport {
     TerminationReport { verdict, cliques }
 }
 
-/// The recursive rules of a clique: head in the clique and at least one positive
-/// body predicate in the clique.
-fn recursive_rules<'a>(program: &'a Program, clique: &BTreeSet<RelName>) -> Vec<&'a Rule> {
+/// The recursive rules of a clique — head in the clique and at least one positive
+/// body predicate in the clique — with their (stratum, index) coordinates.
+fn recursive_rules<'a>(
+    program: &'a Program,
+    clique: &BTreeSet<RelName>,
+) -> Vec<(usize, usize, &'a Rule)> {
     program
-        .rules()
-        .filter(|rule| {
+        .strata
+        .iter()
+        .enumerate()
+        .flat_map(|(si, s)| s.rules.iter().enumerate().map(move |(ri, r)| (si, ri, r)))
+        .filter(|(_, _, rule)| {
             clique.contains(&rule.head.relation)
                 && rule
                     .positive_body_predicates()
@@ -180,10 +200,10 @@ fn analyse_clique(program: &Program, clique: &[RelName]) -> CliqueReport {
     }
 
     // Criterion 1: size non-increasing.
-    let size_offenders: Vec<&Rule> = rules
+    let size_offenders: Vec<(usize, usize, &Rule)> = rules
         .iter()
         .copied()
-        .filter(|rule| !rule_is_size_non_increasing(rule, &clique_set))
+        .filter(|(_, _, rule)| !rule_is_size_non_increasing(rule, &clique_set))
         .collect();
     if size_offenders.is_empty() {
         return CliqueReport {
@@ -194,11 +214,15 @@ fn analyse_clique(program: &Program, clique: &[RelName]) -> CliqueReport {
     }
 
     // Criterion 2: rank decreasing at some argument position, linear recursion only.
-    let max_arity = rules.iter().map(|r| r.head.arity()).min().unwrap_or(0);
+    let max_arity = rules
+        .iter()
+        .map(|(_, _, r)| r.head.arity())
+        .min()
+        .unwrap_or(0);
     for argument in 0..max_arity {
         if rules
             .iter()
-            .all(|rule| rule_decreases_argument(rule, &clique_set, argument))
+            .all(|(_, _, rule)| rule_decreases_argument(rule, &clique_set, argument))
         {
             return CliqueReport {
                 relations: clique.to_vec(),
@@ -211,7 +235,14 @@ fn analyse_clique(program: &Program, clique: &[RelName]) -> CliqueReport {
     CliqueReport {
         relations: clique.to_vec(),
         guarantee: None,
-        offending_rules: size_offenders.iter().map(|r| r.to_string()).collect(),
+        offending_rules: size_offenders
+            .iter()
+            .map(|(stratum, rule_index, r)| OffendingRule {
+                stratum: *stratum,
+                rule_index: *rule_index,
+                rule: r.to_string(),
+            })
+            .collect(),
     }
 }
 

@@ -26,7 +26,8 @@ pub mod analysis;
 pub mod measure;
 
 pub use analysis::{
-    analyse, guaranteed_terminating, CliqueReport, Guarantee, TerminationReport, Verdict,
+    analyse, guaranteed_terminating, CliqueReport, Guarantee, OffendingRule, TerminationReport,
+    Verdict,
 };
 pub use measure::Measure;
 

@@ -12,7 +12,7 @@ use proptest::prelude::*;
 use sequence_datalog::core::Tuple;
 use sequence_datalog::exec::Executor;
 use sequence_datalog::prelude::*;
-use sequence_datalog::rewrite::{goal_matches, magic};
+use sequence_datalog::rewrite::{goal_matches, magic, strip_dead_seeded};
 use sequence_datalog::wgen::{ProgramConfig, ProgramGenerator, Workloads};
 use std::collections::BTreeSet;
 
@@ -91,6 +91,43 @@ proptest! {
                 &goal,
                 &program,
                 &mp.program
+            );
+        }
+
+        // Seed-aware dead-rule stripping (what `seqdl query` applies before
+        // lowering) must preserve the answers too: seeded relations are
+        // nonempty at runtime even when every rule producing them is
+        // statically false.
+        let seeded: BTreeSet<RelName> = mp.seeds.iter().map(|f| f.relation).collect();
+        let answer_set: BTreeSet<RelName> = [mp.answer].into_iter().collect();
+        let stripped = strip_dead_seeded(&mp.program, &answer_set, &seeded);
+        let stripped_out = Engine::new()
+            .run_seeded(&stripped.program, &input, &mp.seeds)
+            .unwrap_or_else(|e| panic!("stripped seeded run failed: {e}\n{}", stripped.program));
+        prop_assert_eq!(
+            mp.answers(&stripped_out),
+            expected.clone(),
+            "strip_dead_seeded changed the answers: goal {} on\n{}\nrewritten:\n{}\nstripped:\n{}",
+            &goal,
+            &program,
+            &mp.program,
+            &stripped.program
+        );
+        for threads in [1usize, 4] {
+            let out = Executor::new()
+                .with_threads(threads)
+                .run_seeded(&stripped.program, &input, &mp.seeds)
+                .unwrap_or_else(|e| {
+                    panic!("stripped seeded executor run failed: {e}\n{}", stripped.program)
+                });
+            prop_assert_eq!(
+                mp.answers(&out),
+                expected.clone(),
+                "threads = {}: strip_dead_seeded changed the answers: goal {} on\n{}\nstripped:\n{}",
+                threads,
+                &goal,
+                &program,
+                &stripped.program
             );
         }
     }
